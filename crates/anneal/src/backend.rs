@@ -1,0 +1,265 @@
+//! Energy backends: where the annealing engine gets its (incremental)
+//! energies from.
+//!
+//! [`ExactBackend`] evaluates everything in software with exact arithmetic
+//! (the algorithmic reference, fast enough for the paper's 10⁵-iteration
+//! runs via local fields). [`CrossbarBackend`] routes the same queries
+//! through the simulated DG FeFET crossbar, picking up quantization,
+//! device variation and activity statistics — the device-in-the-loop mode.
+
+use fecim_crossbar::{ActivityStats, Crossbar, CrossbarConfig};
+use fecim_ising::{CsrCoupling, FlipMask, LocalFieldState, SpinVector};
+
+/// Source of energies for the annealing engines.
+///
+/// The two queries mirror the two architectures of the paper:
+/// [`EnergyBackend::weighted_increment`] is the in-situ path
+/// (`σ_rᵀJσ_c · factor` in one array operation);
+/// [`EnergyBackend::direct_delta`] is the baseline path
+/// (`E(σ_new) − E(σ)` via full direct-E evaluation).
+pub trait EnergyBackend {
+    /// Number of spins.
+    fn dimension(&self) -> usize;
+
+    /// Current spin configuration.
+    fn spins(&self) -> &SpinVector;
+
+    /// Exact software energy of the current configuration (for traces and
+    /// solution quality; never consumed by the hardware flow).
+    fn exact_energy(&self) -> f64;
+
+    /// The in-situ incremental measurement `σ_rᵀ J σ_c · factor` for
+    /// flipping `mask` from the current configuration.
+    fn weighted_increment(&mut self, mask: &FlipMask, factor: f64) -> f64;
+
+    /// The direct-E measurement `E(σ_new) − E(σ)` for flipping `mask`
+    /// (baseline annealers recompute the full energy of the new state).
+    fn direct_delta(&mut self, mask: &FlipMask) -> f64;
+
+    /// Commit the flip of `mask`.
+    fn apply(&mut self, mask: &FlipMask);
+
+    /// Hardware activity accumulated so far (`None` for pure software).
+    fn activity(&self) -> Option<ActivityStats>;
+}
+
+/// Exact software backend over local fields.
+#[derive(Debug)]
+pub struct ExactBackend<'a> {
+    state: LocalFieldState<'a, CsrCoupling>,
+}
+
+impl<'a> ExactBackend<'a> {
+    /// Build from a coupling matrix and an initial configuration.
+    pub fn new(coupling: &'a CsrCoupling, initial: SpinVector) -> ExactBackend<'a> {
+        ExactBackend {
+            state: LocalFieldState::new(coupling, initial),
+        }
+    }
+}
+
+impl EnergyBackend for ExactBackend<'_> {
+    fn dimension(&self) -> usize {
+        self.state.spins().len()
+    }
+
+    fn spins(&self) -> &SpinVector {
+        self.state.spins()
+    }
+
+    fn exact_energy(&self) -> f64 {
+        self.state.energy()
+    }
+
+    fn weighted_increment(&mut self, mask: &FlipMask, factor: f64) -> f64 {
+        // ΔE = 4·σ_rᵀJσ_c, so the bilinear form is ΔE/4 (paper Eq. 9).
+        self.state.delta_energy(mask) / 4.0 * factor
+    }
+
+    fn direct_delta(&mut self, mask: &FlipMask) -> f64 {
+        self.state.delta_energy(mask)
+    }
+
+    fn apply(&mut self, mask: &FlipMask) {
+        self.state.apply(mask);
+    }
+
+    fn activity(&self) -> Option<ActivityStats> {
+        None
+    }
+}
+
+/// Device-in-the-loop backend: all energy-form measurements go through the
+/// simulated crossbar; an exact shadow state tracks true energies for
+/// reporting.
+#[derive(Debug)]
+pub struct CrossbarBackend<'a> {
+    crossbar: Crossbar,
+    shadow: LocalFieldState<'a, CsrCoupling>,
+    /// Measured (quantized) energy of the current state, as the baseline
+    /// hardware would hold it in its digital accumulator.
+    measured_energy: f64,
+    /// Measurement of the last `direct_delta` proposal, committed by
+    /// `apply`.
+    pending_measured: Option<f64>,
+}
+
+impl<'a> CrossbarBackend<'a> {
+    /// Program `coupling` into a crossbar and start from `initial`.
+    pub fn new(
+        coupling: &'a CsrCoupling,
+        initial: SpinVector,
+        config: CrossbarConfig,
+    ) -> CrossbarBackend<'a> {
+        let mut crossbar = Crossbar::program(coupling, config);
+        let measured_energy = crossbar.vmv(initial.as_slice());
+        let shadow = LocalFieldState::new(coupling, initial);
+        CrossbarBackend {
+            crossbar,
+            shadow,
+            measured_energy,
+            pending_measured: None,
+        }
+    }
+
+    /// The underlying crossbar (e.g. to inspect configuration or wires).
+    pub fn crossbar(&self) -> &Crossbar {
+        &self.crossbar
+    }
+
+    /// Hardware annealing factor for a back-gate voltage (forwarded from
+    /// the crossbar's reference cell).
+    pub fn cell_factor(&self, vbg: f64) -> f64 {
+        self.crossbar.cell_factor(vbg)
+    }
+}
+
+impl EnergyBackend for CrossbarBackend<'_> {
+    fn dimension(&self) -> usize {
+        self.shadow.spins().len()
+    }
+
+    fn spins(&self) -> &SpinVector {
+        self.shadow.spins()
+    }
+
+    fn exact_energy(&self) -> f64 {
+        self.shadow.energy()
+    }
+
+    fn weighted_increment(&mut self, mask: &FlipMask, factor: f64) -> f64 {
+        let new_spins = self.shadow.spins().flipped_by(mask);
+        let r = new_spins.rest_vector(mask);
+        let c = new_spins.changed_vector(mask);
+        self.crossbar.incremental_form(&r, &c, factor)
+    }
+
+    fn direct_delta(&mut self, mask: &FlipMask) -> f64 {
+        let new_spins = self.shadow.spins().flipped_by(mask);
+        let e_new = self.crossbar.vmv(new_spins.as_slice());
+        self.pending_measured = Some(e_new);
+        e_new - self.measured_energy
+    }
+
+    fn apply(&mut self, mask: &FlipMask) {
+        self.shadow.apply(mask);
+        if let Some(e) = self.pending_measured.take() {
+            self.measured_energy = e;
+        }
+    }
+
+    fn activity(&self) -> Option<ActivityStats> {
+        Some(*self.crossbar.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fecim_crossbar::CrossbarConfig;
+    use fecim_ising::{Coupling, DenseCoupling};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn coupling(n: usize, seed: u64) -> CsrCoupling {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CsrCoupling::from_dense(&DenseCoupling::random(n, 0.4, 1.0, &mut rng))
+    }
+
+    #[test]
+    fn exact_backend_matches_coupling_math() {
+        let j = coupling(16, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let init = SpinVector::random(16, &mut rng);
+        let mut b = ExactBackend::new(&j, init.clone());
+        let mask = FlipMask::random(2, 16, &mut rng);
+        let new = init.flipped_by(&mask);
+        let expected_delta = j.energy(&new) - j.energy(&init);
+        assert!((b.direct_delta(&mask) - expected_delta).abs() < 1e-9);
+        assert!((b.weighted_increment(&mask, 1.0) * 4.0 - expected_delta).abs() < 1e-9);
+        assert!((b.weighted_increment(&mask, 0.5) * 8.0 - expected_delta).abs() < 1e-9);
+        b.apply(&mask);
+        assert_eq!(b.spins(), &new);
+        assert!(b.activity().is_none());
+    }
+
+    #[test]
+    fn crossbar_backend_tracks_measured_energy() {
+        let j = coupling(16, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let init = SpinVector::random(16, &mut rng);
+        let mut cfg = CrossbarConfig::paper_defaults();
+        cfg.quant_bits = 8;
+        cfg.adc_bits = 14;
+        let mut b = CrossbarBackend::new(&j, init.clone(), cfg);
+        for _ in 0..5 {
+            let mask = FlipMask::random(2, 16, &mut rng);
+            let exact = {
+                let new = b.spins().flipped_by(&mask);
+                j.energy(&new) - j.energy(b.spins())
+            };
+            let measured = b.direct_delta(&mask);
+            assert!(
+                (measured - exact).abs() < 1.5,
+                "measured={measured} exact={exact}"
+            );
+            b.apply(&mask);
+        }
+        let a = b.activity().expect("crossbar backend records activity");
+        assert!(a.adc_conversions > 0);
+    }
+
+    #[test]
+    fn crossbar_weighted_increment_close_to_exact() {
+        let j = coupling(20, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let init = SpinVector::random(20, &mut rng);
+        let mut cfg = CrossbarConfig::paper_defaults();
+        cfg.quant_bits = 8;
+        cfg.adc_bits = 14;
+        let mut b = CrossbarBackend::new(&j, init, cfg);
+        let mask = FlipMask::random(2, 20, &mut rng);
+        let exact_form = {
+            let new = b.spins().flipped_by(&mask);
+            j.incremental_form(&new, &mask)
+        };
+        let measured = b.weighted_increment(&mask, 1.0);
+        assert!(
+            (measured - exact_form).abs() < 1.0,
+            "measured={measured} exact={exact_form}"
+        );
+    }
+
+    #[test]
+    fn apply_without_pending_keeps_measured_energy() {
+        let j = coupling(12, 7);
+        let init = SpinVector::all_up(12);
+        let mut b = CrossbarBackend::new(&j, init, CrossbarConfig::paper_defaults());
+        let mask = FlipMask::single(3, 12);
+        // In-situ flow never calls direct_delta; apply must not corrupt the
+        // (unused) measured energy.
+        let _ = b.weighted_increment(&mask, 0.7);
+        b.apply(&mask);
+        assert_eq!(b.pending_measured, None);
+    }
+}

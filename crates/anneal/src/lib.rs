@@ -1,0 +1,51 @@
+//! # fecim-anneal
+//!
+//! Annealing algorithms for the ferroelectric CiM in-situ annealer
+//! (Qian et al., DAC 2025): the proposed in-situ flow (Algorithm 1 —
+//! incremental-E measurement, fractional annealing factor, stepped
+//! back-gate temperature descent), the direct-E Metropolis baseline the
+//! CiM/FPGA and CiM/ASIC annealers run, MESA (ref [7]), greedy local
+//! search for reference optima, and a parallel Monte-Carlo harness.
+//!
+//! ```
+//! use fecim_anneal::{run_in_situ, AnnealConfig, ExactBackend, SteppedSchedule, suggest_einc_scale};
+//! use fecim_device::FractionalFactor;
+//! use fecim_ising::{CopProblem, MaxCut, SpinVector};
+//!
+//! let mc = MaxCut::new(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])?;
+//! let model = mc.to_ising()?;
+//! let j = model.couplings();
+//! let mut backend = ExactBackend::new(j, SpinVector::all_up(4));
+//! let schedule = SteppedSchedule::paper(200);
+//! let factor = FractionalFactor::paper();
+//! let scale = suggest_einc_scale(j, 1);
+//! let result = run_in_situ(&mut backend, &schedule, &factor, scale,
+//!                          AnnealConfig::new(200, 7).with_flips(1));
+//! assert!(mc.cut_from_energy(result.best_energy) >= 3.0);
+//! # Ok::<(), fecim_ising::IsingError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backend;
+mod engine;
+mod local_search;
+mod mesa;
+mod montecarlo;
+mod result;
+mod schedule;
+mod tabu;
+mod trace;
+
+pub use backend::{CrossbarBackend, EnergyBackend, ExactBackend};
+pub use engine::{run_direct, run_in_situ, suggest_einc_scale, Acceptance, AnnealConfig};
+pub use local_search::{local_search, multi_start_local_search};
+pub use mesa::{run_mesa, MesaConfig};
+pub use montecarlo::{success_rate, MonteCarlo};
+pub use result::{Aggregate, RunResult};
+pub use tabu::{multi_start_tabu, tabu_search, tabu_search_from, TabuConfig};
+pub use schedule::{
+    ConstantSchedule, GeometricSchedule, LinearSchedule, Schedule, SteppedSchedule,
+};
+pub use trace::{Trace, TraceMode, TracePoint};

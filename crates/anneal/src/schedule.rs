@@ -1,0 +1,230 @@
+//! Temperature schedules.
+//!
+//! The baselines use classical geometric/linear cooling; the in-situ
+//! annealer uses the paper's stepped descent (Sec. 3.4): the temperature
+//! maps onto the back-gate voltage grid (0.7 V → 0 V in 0.01 V steps), is
+//! held for a pre-set number of iterations per level, and pins to zero at
+//! the end of the run.
+
+use serde::{Deserialize, Serialize};
+
+/// A cooling schedule: temperature as a function of the iteration index.
+pub trait Schedule {
+    /// Temperature at `iteration` (0-based).
+    fn temperature(&self, iteration: usize) -> f64;
+
+    /// Initial temperature.
+    fn initial(&self) -> f64 {
+        self.temperature(0)
+    }
+}
+
+/// Geometric cooling `T_k = T_0 · α^k`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeometricSchedule {
+    t0: f64,
+    alpha: f64,
+}
+
+impl GeometricSchedule {
+    /// Build from an initial temperature and decay rate `α ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive `t0` or `alpha` outside `(0, 1]`.
+    pub fn new(t0: f64, alpha: f64) -> GeometricSchedule {
+        assert!(t0 > 0.0, "t0 must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        GeometricSchedule { t0, alpha }
+    }
+
+    /// Choose `α` so the schedule decays from `t0` to `t_end` over
+    /// `iterations` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_end >= t0`, either is non-positive, or
+    /// `iterations == 0`.
+    pub fn over_iterations(t0: f64, t_end: f64, iterations: usize) -> GeometricSchedule {
+        assert!(t0 > 0.0 && t_end > 0.0 && t_end < t0, "need 0 < t_end < t0");
+        assert!(iterations > 0, "need at least one iteration");
+        let alpha = (t_end / t0).powf(1.0 / iterations as f64);
+        GeometricSchedule { t0, alpha }
+    }
+
+    /// The decay rate α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Schedule for GeometricSchedule {
+    fn temperature(&self, iteration: usize) -> f64 {
+        self.t0 * self.alpha.powi(iteration as i32)
+    }
+}
+
+/// Linear cooling from `t0` to `t_end` over a fixed horizon, clamped at
+/// `t_end` afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearSchedule {
+    t0: f64,
+    t_end: f64,
+    iterations: usize,
+}
+
+impl LinearSchedule {
+    /// Build a linear ramp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0 <= t_end` or `iterations == 0`.
+    pub fn new(t0: f64, t_end: f64, iterations: usize) -> LinearSchedule {
+        assert!(t0 > t_end, "t0 must exceed t_end");
+        assert!(iterations > 0, "need at least one iteration");
+        LinearSchedule {
+            t0,
+            t_end,
+            iterations,
+        }
+    }
+}
+
+impl Schedule for LinearSchedule {
+    fn temperature(&self, iteration: usize) -> f64 {
+        if iteration >= self.iterations {
+            return self.t_end;
+        }
+        let frac = iteration as f64 / self.iterations as f64;
+        self.t0 + (self.t_end - self.t0) * frac
+    }
+}
+
+/// The paper's stepped back-gate descent: `levels + 1` discrete
+/// temperature plateaus from `t_max` down to exactly `0`, each held for
+/// `iterations / (levels + 1)` iterations (the "pre-set number of
+/// iterations" of Sec. 3.4). With `t_max = 700` and `levels = 70` the
+/// plateaus map 1:1 onto the 0.7 V → 0 V, 0.01 V back-gate grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SteppedSchedule {
+    t_max: f64,
+    levels: usize,
+    hold: usize,
+}
+
+impl SteppedSchedule {
+    /// Build a stepped descent over a run of `total_iterations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero/non-positive.
+    pub fn over_iterations(t_max: f64, levels: usize, total_iterations: usize) -> SteppedSchedule {
+        assert!(t_max > 0.0, "t_max must be positive");
+        assert!(levels > 0, "need at least one level");
+        assert!(total_iterations > 0, "need at least one iteration");
+        let hold = (total_iterations / (levels + 1)).max(1);
+        SteppedSchedule {
+            t_max,
+            levels,
+            hold,
+        }
+    }
+
+    /// The paper's grid: 70 levels (0.01 V steps over 0.7 V), `t_max=700`.
+    pub fn paper(total_iterations: usize) -> SteppedSchedule {
+        SteppedSchedule::over_iterations(700.0, 70, total_iterations)
+    }
+
+    /// Iterations spent on each temperature plateau.
+    pub fn hold_iterations(&self) -> usize {
+        self.hold
+    }
+
+    /// Number of descending levels (plateau count minus one).
+    pub fn level_count(&self) -> usize {
+        self.levels
+    }
+}
+
+impl Schedule for SteppedSchedule {
+    fn temperature(&self, iteration: usize) -> f64 {
+        let level = (iteration / self.hold).min(self.levels);
+        self.t_max * (1.0 - level as f64 / self.levels as f64)
+    }
+}
+
+/// A constant temperature (degenerate schedule for tests/ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantSchedule(pub f64);
+
+impl Schedule for ConstantSchedule {
+    fn temperature(&self, _iteration: usize) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_hits_target_at_horizon() {
+        let s = GeometricSchedule::over_iterations(10.0, 0.1, 100);
+        assert!((s.temperature(0) - 10.0).abs() < 1e-12);
+        assert!((s.temperature(100) - 0.1).abs() < 1e-9);
+        assert!(s.temperature(50) > 0.1 && s.temperature(50) < 10.0);
+    }
+
+    #[test]
+    fn geometric_is_monotone_decreasing() {
+        let s = GeometricSchedule::new(5.0, 0.99);
+        for k in 0..100 {
+            assert!(s.temperature(k + 1) < s.temperature(k));
+        }
+    }
+
+    #[test]
+    fn linear_ramps_and_clamps() {
+        let s = LinearSchedule::new(8.0, 2.0, 6);
+        assert_eq!(s.temperature(0), 8.0);
+        assert_eq!(s.temperature(3), 5.0);
+        assert_eq!(s.temperature(6), 2.0);
+        assert_eq!(s.temperature(100), 2.0);
+    }
+
+    #[test]
+    fn stepped_descends_to_exactly_zero() {
+        let s = SteppedSchedule::paper(710);
+        assert_eq!(s.temperature(0), 700.0);
+        // hold = 710/71 = 10 iterations per level.
+        assert_eq!(s.hold_iterations(), 10);
+        assert_eq!(s.temperature(9), 700.0, "plateau holds");
+        assert!((s.temperature(10) - 690.0).abs() < 1e-9, "one 0.01V step");
+        assert_eq!(s.temperature(700), 0.0);
+        assert_eq!(s.temperature(10_000), 0.0, "V_BG pins at zero");
+    }
+
+    #[test]
+    fn stepped_has_quantized_plateaus() {
+        let s = SteppedSchedule::paper(7100);
+        let mut seen = std::collections::BTreeSet::new();
+        for it in 0..7100 {
+            seen.insert((s.temperature(it) * 1000.0).round() as i64);
+        }
+        assert_eq!(seen.len(), 71, "exactly 71 distinct V_BG levels");
+    }
+
+    #[test]
+    fn short_runs_still_reach_low_levels() {
+        // 700-iteration run (the paper's 800-node budget) with 70 levels.
+        let s = SteppedSchedule::paper(700);
+        assert!(s.temperature(699) <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantSchedule(3.5);
+        assert_eq!(s.temperature(0), 3.5);
+        assert_eq!(s.temperature(1000), 3.5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Tabu search over single-spin flips — a stronger reference-optimum
+//! generator than plain multi-start local search, used to tighten the
+//! success-rate targets of the Fig. 10 reproduction.
+//!
+//! Classic best-improvement tabu with an aspiration criterion: each
+//! iteration flips the best non-tabu spin (or a tabu one that would beat
+//! the incumbent), then forbids flipping it back for `tenure` iterations.
+
+use serde::{Deserialize, Serialize};
+
+use fecim_ising::{Coupling, CsrCoupling, FlipMask, LocalFieldState, SpinVector};
+
+/// Tabu-search configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TabuConfig {
+    /// Search iterations (single flips).
+    pub iterations: usize,
+    /// Tabu tenure in iterations; `None` picks `n/10 + 7` adaptively.
+    pub tenure: Option<usize>,
+    /// RNG seed for the initial configuration.
+    pub seed: u64,
+}
+
+impl TabuConfig {
+    /// A reasonable default: `20·n` iterations, adaptive tenure.
+    pub fn for_dimension(n: usize, seed: u64) -> TabuConfig {
+        TabuConfig {
+            iterations: 20 * n.max(1),
+            tenure: None,
+            seed,
+        }
+    }
+}
+
+/// Run tabu search from a random start. Returns the best configuration
+/// and its energy.
+///
+/// # Panics
+///
+/// Panics if the coupling is empty.
+pub fn tabu_search(coupling: &CsrCoupling, config: TabuConfig) -> (SpinVector, f64) {
+    let n = coupling.dimension();
+    assert!(n > 0, "empty problem");
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let start = SpinVector::random(n, &mut rng);
+    tabu_search_from(coupling, start, config)
+}
+
+/// Run tabu search from a given start configuration.
+pub fn tabu_search_from(
+    coupling: &CsrCoupling,
+    start: SpinVector,
+    config: TabuConfig,
+) -> (SpinVector, f64) {
+    let n = coupling.dimension();
+    let tenure = config.tenure.unwrap_or(n / 10 + 7).max(1);
+    let mut state = LocalFieldState::new(coupling, start);
+    let mut tabu_until = vec![0usize; n];
+    let mut best_energy = state.energy();
+    let mut best_spins = state.spins().clone();
+
+    for iteration in 0..config.iterations {
+        // Best admissible single flip: ΔE_i = −4σ_i·l_i.
+        let mut chosen: Option<(usize, f64)> = None;
+        for i in 0..n {
+            let gain = -4.0 * state.spins().get(i) as f64 * state.field(i);
+            let is_tabu = tabu_until[i] > iteration;
+            // Aspiration: a tabu move is allowed if it beats the incumbent.
+            let aspires = state.energy() + gain < best_energy - 1e-12;
+            if is_tabu && !aspires {
+                continue;
+            }
+            if chosen.map_or(true, |(_, g)| gain < g) {
+                chosen = Some((i, gain));
+            }
+        }
+        let Some((i, _)) = chosen else {
+            break; // everything tabu and nothing aspires: stuck
+        };
+        state.apply(&FlipMask::single(i, n));
+        tabu_until[i] = iteration + tenure;
+        if state.energy() < best_energy {
+            best_energy = state.energy();
+            best_spins = state.spins().clone();
+        }
+    }
+    (best_spins, best_energy)
+}
+
+/// The better of multi-start tabu results (the reference-optimum helper).
+///
+/// # Panics
+///
+/// Panics if `starts == 0`.
+pub fn multi_start_tabu(coupling: &CsrCoupling, starts: usize, seed: u64) -> (SpinVector, f64) {
+    assert!(starts > 0, "need at least one start");
+    let mut best: Option<(SpinVector, f64)> = None;
+    for k in 0..starts {
+        let config = TabuConfig::for_dimension(coupling.dimension(), seed.wrapping_add(k as u64));
+        let (spins, energy) = tabu_search(coupling, config);
+        if best.as_ref().map_or(true, |(_, e)| energy < *e) {
+            best = Some((spins, energy));
+        }
+    }
+    best.expect("starts > 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_search::multi_start_local_search;
+    use fecim_ising::{CopProblem, MaxCut};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(n: usize, p: f64, seed: u64) -> (MaxCut, CsrCoupling) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen::<f64>() < p {
+                    edges.push((i, j, if rng.gen::<bool>() { 1.0 } else { -1.0 }));
+                }
+            }
+        }
+        let mc = MaxCut::new(n, edges).unwrap();
+        let j = mc.to_ising().unwrap().couplings().clone();
+        (mc, j)
+    }
+
+    #[test]
+    fn tabu_escapes_local_optima_that_trap_local_search() {
+        // On a signed random graph, tabu with the same seed budget should
+        // match or beat plain local search.
+        let (_, j) = random_instance(60, 0.2, 1);
+        let (_, ls) = multi_start_local_search(&j, 4, 11);
+        let (_, tabu) = multi_start_tabu(&j, 4, 11);
+        assert!(tabu <= ls + 1e-9, "tabu {tabu} vs local search {ls}");
+    }
+
+    #[test]
+    fn tabu_is_deterministic() {
+        let (_, j) = random_instance(40, 0.3, 2);
+        let a = tabu_search(&j, TabuConfig::for_dimension(40, 5));
+        let b = tabu_search(&j, TabuConfig::for_dimension(40, 5));
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn tabu_solves_ring_exactly() {
+        let edges: Vec<(usize, usize, f64)> = (0..16).map(|i| (i, (i + 1) % 16, 1.0)).collect();
+        let mc = MaxCut::new(16, edges).unwrap();
+        let j = mc.to_ising().unwrap().couplings().clone();
+        let (spins, energy) = tabu_search(&j, TabuConfig::for_dimension(16, 3));
+        assert_eq!(mc.cut_from_energy(energy), 16.0);
+        assert_eq!(mc.cut_value(&spins), 16.0);
+    }
+
+    #[test]
+    fn best_energy_is_consistent_with_returned_spins() {
+        let (_, j) = random_instance(30, 0.3, 4);
+        let (spins, energy) = tabu_search(&j, TabuConfig::for_dimension(30, 7));
+        assert!((j.energy(&spins) - energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tenure_one_reduces_to_steepest_descent_with_memory() {
+        let (_, j) = random_instance(20, 0.4, 6);
+        let cfg = TabuConfig {
+            iterations: 200,
+            tenure: Some(1),
+            seed: 9,
+        };
+        let (_, energy) = tabu_search(&j, cfg);
+        assert!(energy.is_finite());
+    }
+}

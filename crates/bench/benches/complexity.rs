@@ -1,0 +1,62 @@
+//! The paper's Fig. 4/5 complexity claim: the direct-E kernel (`σᵀJσ`,
+//! `n²` products) vs the incremental-E kernel (`σ_rᵀJσ_c`,
+//! `(n−|F|)·|F|` products) swept over problem size. The direct kernel must
+//! scale quadratically and the incremental kernel linearly at constant
+//! `|F|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fecim_ising::{direct_vmv, incremental_e, DenseCoupling, FlipMask, SpinVector};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("energy_kernels");
+    group.sample_size(20);
+    for &n in &[128usize, 256, 512, 1024] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let coupling = DenseCoupling::random(n, 0.5, 1.0, &mut rng);
+        let flat = coupling.to_vec();
+        let spins = SpinVector::random(n, &mut rng);
+        let mask = FlipMask::random(2, n, &mut rng);
+        let new_spins = spins.flipped_by(&mask);
+
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("direct_vmv_O(n2)", n), &n, |b, _| {
+            b.iter(|| direct_vmv(std::hint::black_box(&flat), std::hint::black_box(&spins)))
+        });
+        group.throughput(Throughput::Elements((2 * (n - 2)) as u64));
+        group.bench_with_input(BenchmarkId::new("incremental_e_O(n)", n), &n, |b, _| {
+            b.iter(|| {
+                incremental_e(
+                    std::hint::black_box(&flat),
+                    std::hint::black_box(&new_spins),
+                    std::hint::black_box(&mask),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_flip_count_scaling(c: &mut Criterion) {
+    // Incremental cost grows with |F| (the (n−|F|)·|F| term count).
+    let n = 1024;
+    let mut rng = StdRng::seed_from_u64(7);
+    let coupling = DenseCoupling::random(n, 0.5, 1.0, &mut rng);
+    let flat = coupling.to_vec();
+    let spins = SpinVector::random(n, &mut rng);
+    let mut group = c.benchmark_group("incremental_vs_flip_count");
+    group.sample_size(20);
+    for &t in &[1usize, 2, 8, 32, 128] {
+        let mask = FlipMask::random(t, n, &mut rng);
+        let new_spins = spins.flipped_by(&mask);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| incremental_e(&flat, &new_spins, &mask))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_flip_count_scaling);
+criterion_main!(benches);

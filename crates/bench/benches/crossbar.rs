@@ -1,0 +1,71 @@
+//! Crossbar read-path benchmarks: the in-situ incremental read vs the
+//! full direct VMV read, at both fidelities — the simulator-side mirror of
+//! the paper's "activate only the flipped columns" argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fecim_crossbar::{Crossbar, CrossbarConfig, Fidelity};
+use fecim_ising::{CsrCoupling, DenseCoupling, FlipMask, SpinVector};
+
+fn instance(n: usize, seed: u64) -> (CsrCoupling, SpinVector, FlipMask) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coupling = CsrCoupling::from_dense(&DenseCoupling::random(n, 10.0 / n as f64, 1.0, &mut rng));
+    let spins = SpinVector::random(n, &mut rng);
+    let mask = FlipMask::random(2, n, &mut rng);
+    (coupling, spins, mask)
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_reads");
+    group.sample_size(20);
+    for &n in &[128usize, 512] {
+        let (coupling, spins, mask) = instance(n, n as u64);
+        let new_spins = spins.flipped_by(&mask);
+        let r = new_spins.rest_vector(&mask);
+        let cvec = new_spins.changed_vector(&mask);
+        let mut xb = Crossbar::program(&coupling, CrossbarConfig::paper_defaults());
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| xb.incremental_form(&r, &cvec, 0.7))
+        });
+        group.bench_with_input(BenchmarkId::new("full_vmv", n), &n, |b, _| {
+            b.iter(|| xb.vmv(spins.as_slice()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fidelity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_fidelity");
+    group.sample_size(20);
+    let n = 256;
+    let (coupling, spins, mask) = instance(n, 99);
+    let new_spins = spins.flipped_by(&mask);
+    let r = new_spins.rest_vector(&mask);
+    let cvec = new_spins.changed_vector(&mask);
+    for (label, fidelity) in [("ideal", Fidelity::Ideal), ("device", Fidelity::DeviceAccurate)] {
+        let mut cfg = CrossbarConfig::paper_defaults();
+        cfg.fidelity = fidelity;
+        let mut xb = Crossbar::program(&coupling, cfg);
+        group.bench_function(BenchmarkId::new("incremental", label), |b| {
+            b.iter(|| xb.incremental_form(&r, &cvec, 0.7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_programming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_programming");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        let (coupling, _, _) = instance(n, n as u64 + 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| Crossbar::program(&coupling, CrossbarConfig::paper_defaults()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reads, bench_fidelity, bench_programming);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Device-model benchmarks: transfer-curve evaluation throughput, the
+//! Preisach hysteresis update, and the fractional-fit solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fecim_device::{
+    fit_fractional, AnnealFactor, DeviceFactor, DgFefet, Fefet, PreisachFefet, PreisachParams,
+    StoredBit,
+};
+
+fn bench_iv(c: &mut Criterion) {
+    let mut fefet = Fefet::new(Default::default());
+    fefet.program(StoredBit::One);
+    let mut cell = DgFefet::new(Default::default());
+    cell.program(StoredBit::One);
+    c.bench_function("fefet_drain_current", |b| {
+        b.iter(|| fefet.drain_current(std::hint::black_box(0.8), 1.0))
+    });
+    c.bench_function("dgfefet_four_input_multiply", |b| {
+        b.iter(|| cell.sl_current(true, true, std::hint::black_box(0.55)))
+    });
+}
+
+fn bench_preisach(c: &mut Criterion) {
+    let mut fe = PreisachFefet::new(PreisachParams::paper_reference());
+    c.bench_function("preisach_pulse", |b| {
+        b.iter(|| {
+            fe.apply_voltage(std::hint::black_box(1.7));
+            fe.apply_voltage(std::hint::black_box(-1.2));
+            fe.polarization()
+        })
+    });
+}
+
+fn bench_factor_and_fit(c: &mut Criterion) {
+    let device = DeviceFactor::paper();
+    c.bench_function("device_factor_eval", |b| {
+        b.iter(|| device.factor(std::hint::black_box(420.0)))
+    });
+    let samples = device.samples(71);
+    c.bench_function("fractional_fit_71pts", |b| {
+        b.iter(|| fit_fractional(std::hint::black_box(&samples)).expect("fits"))
+    });
+}
+
+criterion_group!(benches, bench_iv, bench_preisach, bench_factor_and_fit);
+criterion_main!(benches);

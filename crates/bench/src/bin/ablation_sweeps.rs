@@ -1,0 +1,165 @@
+//! Ablation sweeps over the design choices DESIGN.md calls out:
+//!
+//! 1. **Back-gate sweep direction** — factor rising vs the literal
+//!    falling reading of Sec. 3.4 (rising is required for convergence).
+//! 2. **E_inc full-scale calibration** — the divisor behind the default
+//!    normalization.
+//! 3. **Flip count `t = |F|`** — quality vs the `n/t` energy advantage.
+//! 4. **ADC resolution / weight bits** — device-in-the-loop quality.
+//! 5. **Device variation σ_VTH** — robustness of the in-situ flow.
+//!
+//! `cargo run --release -p fecim-bench --bin ablation_sweeps [--scale quick|paper]`
+
+use fecim::{CimAnnealer, FactorChoice};
+use fecim_anneal::{
+    multi_start_local_search, run_in_situ, success_rate, AnnealConfig, ExactBackend, MonteCarlo,
+    SteppedSchedule,
+};
+use fecim_bench::{parse_scale, HarnessScale};
+use fecim_crossbar::{CrossbarConfig, Fidelity};
+use fecim_device::{FractionalFactor, VariationConfig};
+use fecim_gset::{GeneratorConfig, GsetFamily};
+use fecim_ising::{CopProblem, SpinVector};
+
+fn main() {
+    let scale = parse_scale();
+    let (n, iterations, runs) = match scale {
+        HarnessScale::Quick => (128, 2000, 10),
+        HarnessScale::Paper => (800, 700, 100),
+    };
+    let graph = GeneratorConfig::new(n, 4242)
+        .with_family(GsetFamily::RandomUnit)
+        .with_mean_degree(if n >= 800 { 48.0 } else { 12.0 })
+        .generate();
+    let problem = graph.to_max_cut();
+    let model = problem.to_ising().expect("max-cut encodes");
+    let coupling = model.couplings();
+    let (_, ref_energy) = multi_start_local_search(coupling, 10, 9);
+    let reference = problem.cut_from_energy(ref_energy);
+    println!("instance: n={n}, iters={iterations}, runs={runs}, reference cut {reference}\n");
+    let mc = MonteCarlo::new(runs, 31337);
+
+    // --- 1. schedule direction × calibration ------------------------------
+    // The factor direction and the E_inc full-scale calibration interact:
+    // a rising factor (f ≈ 1/T_eff, consistent with the paper's Eq. 10)
+    // anneals properly at any calibration, while the literal falling
+    // reading of Sec. 3.4 relies entirely on its early greedy phase and
+    // collapses without a large calibration divisor or at tight budgets.
+    println!("=== ablation 1: back-gate sweep direction x E_inc calibration ===");
+    let tight = iterations.min(700);
+    let schedule = SteppedSchedule::paper(tight);
+    let factor = FractionalFactor::paper();
+    for (label, invert, divisor) in [
+        ("rising f, divisor 80 (ours)", false, 80.0),
+        ("falling f, divisor 80", true, 80.0),
+        ("rising f, uncalibrated", false, 1.0),
+        ("falling f, uncalibrated", true, 1.0),
+    ] {
+        let einc = fecim_anneal::suggest_einc_scale(coupling, 2) / divisor;
+        let cuts = mc.execute(|seed| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+            let init = SpinVector::random(coupling_dim(coupling), &mut rng);
+            let mut backend = ExactBackend::new(coupling, init);
+            let result = if invert {
+                // Re-create the literal reading: evaluate f at T itself by
+                // mirroring the schedule (T rises ⇒ factor falls over time).
+                let mirrored = MirroredSchedule(schedule);
+                run_in_situ(&mut backend, &mirrored, &factor, einc, AnnealConfig::new(tight, seed))
+            } else {
+                run_in_situ(&mut backend, &schedule, &factor, einc, AnnealConfig::new(tight, seed))
+            };
+            problem.cut_from_energy(result.best_energy) / reference
+        });
+        report(label, &cuts);
+    }
+
+    // --- 2. E_inc calibration divisor -------------------------------------
+    println!("\n=== ablation 2: E_inc full-scale divisor ===");
+    for divisor in [1.0, 5.0, 20.0, 80.0, 320.0] {
+        let base = fecim_anneal::suggest_einc_scale(coupling, 2);
+        let solver = CimAnnealer::new(iterations).with_einc_scale(base / divisor);
+        let cuts = mc.execute(|seed| {
+            solver.solve(&problem, seed).expect("valid").objective.unwrap() / reference
+        });
+        report(&format!("divisor {divisor:>5}"), &cuts);
+    }
+
+    // --- 3. flip count -----------------------------------------------------
+    println!("\n=== ablation 3: flip count t = |F| (energy advantage = n/t) ===");
+    for flips in [1usize, 2, 4, 8] {
+        let solver = CimAnnealer::new(iterations).with_flips(flips);
+        let cuts = mc.execute(|seed| {
+            solver.solve(&problem, seed).expect("valid").objective.unwrap() / reference
+        });
+        report(&format!("t = {flips} (n/t = {:>4.0})", n as f64 / flips as f64), &cuts);
+    }
+
+    // --- 4. ADC / weight precision (device in the loop) --------------------
+    println!("\n=== ablation 4: quantization (device-in-the-loop) ===");
+    let dl_runs = runs.min(5);
+    let dl_mc = MonteCarlo::new(dl_runs, 512);
+    for (adc_bits, quant_bits) in [(13u8, 4u8), (8, 4), (6, 4), (13, 2), (13, 1)] {
+        let mut cfg = CrossbarConfig::paper_defaults();
+        cfg.adc_bits = adc_bits;
+        cfg.quant_bits = quant_bits;
+        let solver = CimAnnealer::new(iterations).with_device_in_loop(cfg);
+        let cuts = dl_mc.execute(|seed| {
+            solver.solve(&problem, seed).expect("valid").objective.unwrap() / reference
+        });
+        report(&format!("ADC {adc_bits}b / J {quant_bits}b"), &cuts);
+    }
+
+    // --- 5. device variation ----------------------------------------------
+    println!("\n=== ablation 5: device variation sigma_VTH (device-in-the-loop) ===");
+    for sigma in [0.0, 0.027, 0.054, 0.108, 0.216] {
+        let mut cfg = CrossbarConfig::paper_defaults();
+        cfg.fidelity = Fidelity::DeviceAccurate;
+        cfg.variation = VariationConfig {
+            sigma_vth_d2d: sigma,
+            sigma_vth_c2c: sigma / 2.0,
+            read_noise_rel: 0.02,
+        };
+        let solver = CimAnnealer::new(iterations).with_device_in_loop(cfg);
+        let cuts = dl_mc.execute(|seed| {
+            solver.solve(&problem, seed).expect("valid").objective.unwrap() / reference
+        });
+        report(&format!("sigma {sigma:.3} V"), &cuts);
+    }
+
+    // --- 6. fractional vs device factor ------------------------------------
+    println!("\n=== ablation 6: analytic fractional vs physical device factor ===");
+    for (label, factor) in [
+        ("analytic fractional", FactorChoice::PaperFractional),
+        ("physical DG FeFET", FactorChoice::Device),
+    ] {
+        let solver = CimAnnealer::new(iterations).with_factor(factor);
+        let cuts = mc.execute(|seed| {
+            solver.solve(&problem, seed).expect("valid").objective.unwrap() / reference
+        });
+        report(label, &cuts);
+    }
+}
+
+fn coupling_dim(c: &fecim_ising::CsrCoupling) -> usize {
+    use fecim_ising::Coupling;
+    c.dimension()
+}
+
+fn report(label: &str, cuts: &[f64]) {
+    let mean = cuts.iter().sum::<f64>() / cuts.len() as f64;
+    let sr = success_rate(cuts, 0.9, true);
+    println!("  {label:<28} mean cut {mean:.3}  success {:.0}%", sr * 100.0);
+}
+
+/// Mirrors a stepped schedule in time: temperature *rises* over the run,
+/// which makes the (rising-in-T) fractional factor *fall* over the run —
+/// the literal reading of the paper's V_BG 0.7 V → 0 V direction.
+#[derive(Debug, Clone, Copy)]
+struct MirroredSchedule(SteppedSchedule);
+
+impl fecim_anneal::Schedule for MirroredSchedule {
+    fn temperature(&self, iteration: usize) -> f64 {
+        700.0 - self.0.temperature(iteration)
+    }
+}

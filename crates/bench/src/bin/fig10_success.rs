@@ -1,0 +1,36 @@
+//! Figure 10 reproduction: normalized cut values and success rates of the
+//! proposed in-situ annealer vs the baseline annealers across the four
+//! size groups (target = 90 % of the reference optimum; Monte-Carlo runs
+//! per instance as configured by the scale).
+//!
+//! `cargo run --release -p fecim-bench --bin fig10_success [--scale quick|paper]`
+
+use fecim::experiment::{run_experiment, ExperimentConfig, Scale};
+use fecim::report::format_outcome;
+use fecim_bench::{parse_scale, HarnessScale};
+
+fn main() {
+    let scale = parse_scale();
+    let config = ExperimentConfig::new(match scale {
+        HarnessScale::Quick => Scale::Quick,
+        HarnessScale::Paper => Scale::Paper,
+    });
+    println!(
+        "=== Fig. 10: normalized cut + success rate ({:?} scale, {} runs/instance) ===\n",
+        config.scale, config.runs_per_instance
+    );
+    let started = std::time::Instant::now();
+    let outcome = run_experiment(config);
+    println!("{}", format_outcome(&outcome));
+    println!(
+        "average success: this work {:.0}%, baselines {:.0}% (paper: 98% vs 50%)",
+        outcome.in_situ_mean_success() * 100.0,
+        outcome.baseline_mean_success() * 100.0
+    );
+    println!("wall time: {:.1}s", started.elapsed().as_secs_f64());
+
+    fecim_bench::write_artifact(
+        "fig10_success",
+        &serde_json::to_value(&outcome).expect("outcome serializes"),
+    );
+}

@@ -1,0 +1,77 @@
+//! Figure 9 reproduction: (a) average time cost of the three annealers
+//! over the four Max-Cut size groups with reduction ratios; (b) time vs
+//! iteration count for the 1000-node instance (`--trace`).
+//!
+//! `cargo run -p fecim-bench --bin fig9_time [--scale quick|paper] [--trace]`
+
+use fecim::experiment::{cost_trend, ExperimentConfig, Scale};
+use fecim_bench::{has_flag, parse_scale, HarnessScale};
+use fecim_gset::SizeGroup;
+use fecim_hwcost::{AnnealerKind, CostModel, IterationProfile};
+
+fn main() {
+    let scale = parse_scale();
+    let config = ExperimentConfig::new(match scale {
+        HarnessScale::Quick => Scale::Quick,
+        HarnessScale::Paper => Scale::Paper,
+    });
+
+    println!("=== Fig. 9(a): average time per run (s) ===");
+    println!(
+        "{:>8} {:>6} {:>9} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "group", "n", "iters", "CiM/FPGA", "CiM/ASIC", "This Work", "FPGA ratio", "ASIC ratio"
+    );
+    let mut artifact = Vec::new();
+    for group in SizeGroup::all() {
+        let n = match config.scale {
+            Scale::Quick => (group.vertex_count() / 10).max(32),
+            Scale::Paper => group.vertex_count(),
+        };
+        let iterations = config.iterations_for(group);
+        let model = CostModel::paper_22nm(n, 4);
+        let profile = IterationProfile::paper(n);
+        let time = |kind: AnnealerKind| profile.run_time(kind, &model, iterations).total();
+        let fpga = time(AnnealerKind::CimFpga);
+        let asic = time(AnnealerKind::CimAsic);
+        let ours = time(AnnealerKind::InSitu);
+        println!(
+            "{:>8} {:>6} {:>9} {:>12.3e} {:>12.3e} {:>12.3e} {:>11.2}x {:>11.2}x",
+            format!("{group:?}"),
+            n,
+            iterations,
+            fpga,
+            asic,
+            ours,
+            fpga / ours,
+            asic / ours
+        );
+        artifact.push(serde_json::json!({
+            "group": format!("{group:?}"), "n": n, "iterations": iterations,
+            "fpga": fpga, "asic": asic, "ours": ours,
+            "ratio_fpga": fpga / ours, "ratio_asic": asic / ours,
+        }));
+    }
+    println!("\npaper Fig. 9(a) ratios: 8.01x/7.98x (800), 8.05x/8.02x (1000), 8.10x/8.04x (2000), 8.15x/8.08x (3000)");
+
+    if has_flag("--trace") {
+        println!("\n=== Fig. 9(b): time vs iteration, 1000-node instance ===");
+        let n = match config.scale {
+            Scale::Quick => 100,
+            Scale::Paper => 1000,
+        };
+        let trend = cost_trend(n, 1000, 6);
+        println!(
+            "{:>10} {:>12} {:>12} {:>12}",
+            "iteration", "CiM/FPGA", "CiM/ASIC", "This Work"
+        );
+        for p in &trend {
+            println!(
+                "{:>10} {:>12.3e} {:>12.3e} {:>12.3e}",
+                p.iterations, p.time[0], p.time[1], p.time[2]
+            );
+        }
+        println!("paper: the two baselines overlap (ADC-dominated); this work ~8x below");
+    }
+
+    fecim_bench::write_artifact("fig9_time", &serde_json::json!({"fig9a": artifact}));
+}

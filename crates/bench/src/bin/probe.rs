@@ -1,0 +1,84 @@
+//! Calibration probe (development tool): sweeps the in-situ annealer's
+//! E_inc normalization divisor and flip count against the CiM/ASIC
+//! baseline.
+//!
+//! * default: the quick suite;
+//! * `--paper`: the first six 800/1000-node paper instances;
+//! * `--paper-large`: a 2000/3000-node subsample.
+//!
+//! This is how the shipped divisor-80 default was chosen; the published
+//! quality experiment is `fig10_success`, the published sweep is
+//! `ablation_sweeps`.
+
+use fecim::{CimAnnealer, DirectAnnealer};
+use fecim_anneal::{multi_start_local_search, success_rate, MonteCarlo};
+use fecim_gset::quick_suite;
+use fecim_ising::CopProblem;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let instances: Vec<fecim_gset::SuiteInstance> = if args.iter().any(|a| a == "--paper") {
+        fecim_gset::paper_suite()
+            .into_iter()
+            .filter(|i| {
+                matches!(
+                    i.group,
+                    fecim_gset::SizeGroup::N800 | fecim_gset::SizeGroup::N1000
+                )
+            })
+            .take(6)
+            .collect()
+    } else if args.iter().any(|a| a == "--paper-large") {
+        fecim_gset::paper_suite()
+            .into_iter()
+            .filter(|i| {
+                matches!(
+                    i.group,
+                    fecim_gset::SizeGroup::N2000 | fecim_gset::SizeGroup::N3000
+                )
+            })
+            .step_by(3)
+            .collect()
+    } else {
+        quick_suite(0.1)
+    };
+    let runs = 10;
+    for inst in &instances {
+        let graph = inst.graph();
+        let problem = graph.to_max_cut();
+        let model = problem.to_ising().unwrap();
+        let (_, ref_energy) = multi_start_local_search(model.couplings(), 8, 2025);
+        let reference = problem.cut_from_energy(ref_energy);
+        let iters = inst.group.iteration_budget().min(20_000);
+        let mc = MonteCarlo::new(runs, 2025);
+
+        let mut line = format!(
+            "{:8} n={:4} iters={:6} ref={:8.1} |",
+            inst.label,
+            graph.vertex_count(),
+            iters,
+            reference
+        );
+        for (label, divisor, flips) in [("d80/t2", 80.0, 2), ("d160/t2", 160.0, 2)] {
+            let base_scale = fecim_anneal::suggest_einc_scale(model.couplings(), flips);
+            let solver = CimAnnealer::new(iters)
+                .with_flips(flips)
+                .with_einc_scale(base_scale / divisor);
+            let cuts = mc.execute(|seed| {
+                solver.solve(&problem, seed).unwrap().objective.unwrap() / reference
+            });
+            let sr = success_rate(&cuts, 0.9, true);
+            let mean = cuts.iter().sum::<f64>() / cuts.len() as f64;
+            line.push_str(&format!(" {label}:{mean:.3}/{:.0}%", sr * 100.0));
+        }
+        // Baseline for comparison.
+        let base = DirectAnnealer::cim_asic(iters);
+        let cuts = mc.execute(|seed| {
+            base.solve(&problem, seed).unwrap().objective.unwrap() / reference
+        });
+        let sr = success_rate(&cuts, 0.9, true);
+        let mean = cuts.iter().sum::<f64>() / cuts.len() as f64;
+        line.push_str(&format!(" | base:{mean:.3}/{:.0}%", sr * 100.0));
+        println!("{line}");
+    }
+}

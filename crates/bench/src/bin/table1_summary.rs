@@ -1,0 +1,26 @@
+//! Table 1 reproduction: the COP-solver summary — five literature solvers
+//! (constants transcribed from the paper) plus the measured "This Work"
+//! row from a fresh experiment run.
+//!
+//! `cargo run --release -p fecim-bench --bin table1_summary [--scale quick|paper]`
+
+use fecim::experiment::{run_experiment, ExperimentConfig, Scale};
+use fecim::report::{format_table1, this_work_row};
+use fecim_bench::{parse_scale, HarnessScale};
+
+fn main() {
+    let scale = parse_scale();
+    let config = ExperimentConfig::new(match scale {
+        HarnessScale::Quick => Scale::Quick,
+        HarnessScale::Paper => Scale::Paper,
+    });
+    println!("=== Table 1: summary of COP solvers ({:?} scale) ===\n", config.scale);
+    let outcome = run_experiment(config);
+    println!("{}", format_table1(&outcome));
+    println!("paper 'This Work' row: O(n), no e^x, DG FeFET, 3000 node, 4.6 ms, 0.9 uJ, 98%");
+
+    fecim_bench::write_artifact(
+        "table1_summary",
+        &serde_json::to_value(&this_work_row(&outcome)).expect("row serializes"),
+    );
+}

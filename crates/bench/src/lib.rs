@@ -1,0 +1,110 @@
+//! # fecim-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (see `DESIGN.md` §3 for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results).
+//!
+//! * Criterion benches (`cargo bench -p fecim-bench`): kernel complexity
+//!   (Fig. 4/5 claim), crossbar reads, device evaluation, engine
+//!   iteration cost, and the ablation suite.
+//! * Figure binaries (`cargo run -p fecim-bench --bin figN_...`): print
+//!   the rows/series of each figure. All accept `--scale quick|paper`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Harness CLI scale, shared by the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HarnessScale {
+    /// Reduced instance sizes / run counts (default; minutes).
+    Quick,
+    /// The paper's full protocol (hours).
+    Paper,
+}
+
+/// Parse `--scale quick|paper` from `std::env::args` (default quick).
+///
+/// # Panics
+///
+/// Panics with a usage message on an unknown scale value.
+pub fn parse_scale() -> HarnessScale {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--scale" {
+            match args.get(i + 1).map(String::as_str) {
+                Some("quick") => return HarnessScale::Quick,
+                Some("paper") => return HarnessScale::Paper,
+                other => panic!("usage: --scale quick|paper (got {other:?})"),
+            }
+        }
+        if let Some(rest) = a.strip_prefix("--scale=") {
+            match rest {
+                "quick" => return HarnessScale::Quick,
+                "paper" => return HarnessScale::Paper,
+                other => panic!("usage: --scale quick|paper (got {other:?})"),
+            }
+        }
+    }
+    HarnessScale::Quick
+}
+
+/// `true` when the flag is present in `std::env::args`.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Render an ASCII bar series `(x, y)` for terminal figures.
+pub fn render_series(name: &str, series: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{name}:");
+    let y_max = series.iter().map(|p| p.1).fold(f64::MIN_POSITIVE, f64::max);
+    for &(x, y) in series {
+        let bars = ((y / y_max) * 50.0).round() as usize;
+        let _ = writeln!(out, "  {x:>10.1} | {:<50} {y:.3e}", "#".repeat(bars));
+    }
+    out
+}
+
+/// Write a JSON artifact under `target/fecim-artifacts/` (machine-readable
+/// record for EXPERIMENTS.md diffs). Errors are reported, not fatal.
+pub fn write_artifact(name: &str, json: &serde_json::Value) {
+    let dir = std::path::Path::new("target/fecim-artifacts");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create artifact dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(json) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[artifact] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize artifact: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_series_scales_bars() {
+        let s = render_series("test", &[(0.0, 1.0), (1.0, 2.0)]);
+        assert!(s.contains("test:"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let hashes = |l: &str| l.matches('#').count();
+        assert!(hashes(lines[2]) > hashes(lines[1]));
+    }
+
+    #[test]
+    fn flag_detection_default() {
+        assert!(!has_flag("--definitely-not-set"));
+        // No --scale in the test harness args → quick.
+        assert_eq!(parse_scale(), HarnessScale::Quick);
+    }
+}

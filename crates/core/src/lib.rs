@@ -1,0 +1,58 @@
+//! # fecim
+//!
+//! A full-system reproduction of **"Device-Algorithm Co-Design of
+//! Ferroelectric Compute-in-Memory In-Situ Annealer for Combinatorial
+//! Optimization Problems"** (Qian et al., DAC 2025): the incremental-E
+//! transformation, the DG FeFET crossbar, the tunable back-gate in-situ
+//! annealing flow, and the CiM/FPGA + CiM/ASIC baselines it is evaluated
+//! against.
+//!
+//! The workspace layering (see `DESIGN.md`):
+//!
+//! * [`fecim_ising`] — Ising/QUBO models, COP encodings, incremental-E math;
+//! * [`fecim_gset`] — Gset-style Max-Cut benchmark instances;
+//! * [`fecim_device`] — FeFET/DG FeFET device models and `f(T)` factors;
+//! * [`fecim_crossbar`] — the CiM array simulator;
+//! * [`fecim_hwcost`] — 22 nm energy/latency accounting;
+//! * [`fecim_anneal`] — the annealing engines;
+//! * this crate — the user-facing solvers and the paper's experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fecim::{CimAnnealer, DirectAnnealer};
+//! use fecim_ising::MaxCut;
+//!
+//! // An 8-vertex ring: optimal cut = 8.
+//! let problem = MaxCut::new(8, (0..8).map(|i| (i, (i + 1) % 8, 1.0)).collect())?;
+//! let ours = CimAnnealer::new(1500).with_flips(1).solve(&problem, 7)?;
+//! let baseline = DirectAnnealer::cim_asic(1500).with_flips(1).solve(&problem, 7)?;
+//! assert!(ours.objective.unwrap() >= 6.0);
+//! // The co-designed annealer runs the same workload far cheaper:
+//! assert!(baseline.energy.total() / ours.energy.total() > 2.0);
+//! # Ok::<(), fecim_ising::IsingError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod annealer;
+mod baselines;
+pub mod experiment;
+mod mesa_solver;
+pub mod report;
+
+pub use annealer::{CimAnnealer, FactorChoice, SolveReport};
+pub use baselines::DirectAnnealer;
+pub use mesa_solver::MesaAnnealer;
+pub use experiment::{
+    cost_trend, run_experiment, AlgoStats, ExperimentConfig, ExperimentOutcome, GroupOutcome,
+    HardwareCost, Scale, TrendPoint,
+};
+
+pub use fecim_anneal as anneal;
+pub use fecim_crossbar as crossbar;
+pub use fecim_device as device;
+pub use fecim_gset as gset;
+pub use fecim_hwcost as hwcost;
+pub use fecim_ising as ising;

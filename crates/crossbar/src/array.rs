@@ -1,0 +1,563 @@
+//! The CiM crossbar array simulator (paper Fig. 6d).
+//!
+//! One [`Crossbar`] instance models an `n × (n·k)` array per polarity
+//! plane: each coupling `J_ij` occupies a 1×k bit-sliced subarray of DG
+//! FeFET cells. Two read operations are provided:
+//!
+//! * [`Crossbar::incremental_form`] — the proposed in-situ computation
+//!   `σ_rᵀ J σ_c · f(T)`: rows carrying `σ_r` on the front gates, columns
+//!   selected by `σ_c` on the drain lines, and the annealing factor applied
+//!   through the shared back gate. Only the `|F|` column groups of flipped
+//!   spins are activated.
+//! * [`Crossbar::vmv`] — the conventional direct-E read `σᵀJσ` used by the
+//!   baseline annealers (whole array activated, ref [7] style).
+//!
+//! Both reads run the signal chain of the paper: positive/negative input
+//! phases (the crossbar accepts non-negative inputs only), per-bit-slice
+//! column currents, multiplexed SAR ADC conversion, digital
+//! shift-and-add, and sign recombination — while recording
+//! [`ActivityStats`] for the hardware cost model.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use fecim_device::{DgFefet, DgFefetParams, StoredBit, VariationConfig, VariationSampler};
+use fecim_ising::Coupling;
+
+use crate::adc::{MuxAssignment, SarAdc};
+use crate::parasitics::{ArrayWires, WireParams};
+use crate::quant::QuantizedCoupling;
+use crate::stats::ActivityStats;
+
+/// Simulation fidelity of the analog path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Ideal cells: unit current per conducting cell, no variation, no
+    /// wire loss. ADC quantization still applies.
+    Ideal,
+    /// Device-accurate cells: per-cell DG FeFET currents with programmed
+    /// threshold variation, read noise, leakage and source-line IR drop.
+    DeviceAccurate,
+}
+
+/// Configuration of a crossbar instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarConfig {
+    /// Quantization bits `k` per coupling magnitude (paper Fig. 6d).
+    pub quant_bits: u8,
+    /// ADC resolution in bits (paper ref [36]: 13-bit SAR).
+    pub adc_bits: u8,
+    /// Column groups per ADC (paper: 8-to-1 multiplexed ADCs).
+    pub mux_ratio: usize,
+    /// Interleaved (`true`) or blocked (`false`) group→ADC placement.
+    pub interleaved_mux: bool,
+    /// Analog-path fidelity.
+    pub fidelity: Fidelity,
+    /// Device non-idealities (used in [`Fidelity::DeviceAccurate`]).
+    pub variation: VariationConfig,
+    /// Wire technology parameters.
+    pub wires: WireParams,
+    /// DG FeFET cell parameters.
+    pub device: DgFefetParams,
+    /// Seed for variation sampling and read noise.
+    pub seed: u64,
+}
+
+impl CrossbarConfig {
+    /// The paper's operating point: 4-bit weight slicing, 13-bit 8:1-muxed
+    /// ADCs, interleaved mapping, ideal analog path.
+    pub fn paper_defaults() -> CrossbarConfig {
+        CrossbarConfig {
+            quant_bits: 4,
+            adc_bits: 13,
+            mux_ratio: 8,
+            interleaved_mux: true,
+            fidelity: Fidelity::Ideal,
+            variation: VariationConfig::ideal(),
+            wires: WireParams::node_22nm(),
+            device: DgFefetParams::paper_reference(),
+            seed: 0xF3C1,
+        }
+    }
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> CrossbarConfig {
+        CrossbarConfig::paper_defaults()
+    }
+}
+
+/// A programmed DG FeFET crossbar holding one coupling matrix.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    config: CrossbarConfig,
+    quant: QuantizedCoupling,
+    adc: SarAdc,
+    mux: MuxAssignment,
+    wires: ArrayWires,
+    /// Per-column, per-entry threshold offsets (device-accurate mode).
+    vth_offsets: Vec<Vec<f32>>,
+    /// Reference cell for current evaluation.
+    cell: DgFefet,
+    full_scale_current: f64,
+    read_rng: StdRng,
+    read_noise_rel: f64,
+    stats: ActivityStats,
+}
+
+impl Crossbar {
+    /// Program a coupling matrix into a new crossbar.
+    ///
+    /// Programming samples the per-cell threshold variation once (the
+    /// device-to-device map plus one cycle-to-cycle draw), mirroring a real
+    /// write-verify pass.
+    pub fn program<C: Coupling>(coupling: &C, config: CrossbarConfig) -> Crossbar {
+        let n = coupling.dimension();
+        assert!(n > 0, "empty coupling matrix");
+        let quant = QuantizedCoupling::from_coupling(coupling, config.quant_bits);
+        let adc = SarAdc::new(config.adc_bits, n as f64);
+        let mux = if config.interleaved_mux {
+            MuxAssignment::interleaved(n, config.mux_ratio)
+        } else {
+            MuxAssignment::blocked(n, config.mux_ratio)
+        };
+        let wires = ArrayWires::new(n, quant.physical_columns(), config.wires);
+        let mut sampler = VariationSampler::new(config.variation, config.seed);
+        let vth_offsets: Vec<Vec<f32>> = (0..n)
+            .map(|j| {
+                quant
+                    .column(j)
+                    .iter()
+                    .map(|_| (sampler.d2d_vth_offset() + sampler.c2c_vth_offset()) as f32)
+                    .collect()
+            })
+            .collect();
+        let mut cell = DgFefet::new(config.device);
+        cell.program(StoredBit::One);
+        let full_scale_current = cell.full_scale_current();
+        let read_rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let read_noise_rel = config.variation.read_noise_rel;
+        Crossbar {
+            config,
+            quant,
+            adc,
+            mux,
+            wires,
+            vth_offsets,
+            cell,
+            full_scale_current,
+            read_rng,
+            read_noise_rel,
+            stats: ActivityStats::new(),
+        }
+    }
+
+    /// Matrix dimension `n` (spins).
+    pub fn dimension(&self) -> usize {
+        self.quant.dimension()
+    }
+
+    /// The quantized coupling view.
+    pub fn quantized(&self) -> &QuantizedCoupling {
+        &self.quant
+    }
+
+    /// The configuration used to build this crossbar.
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.config
+    }
+
+    /// Wire parasitics of the physical array.
+    pub fn wires(&self) -> &ArrayWires {
+        &self.wires
+    }
+
+    /// Accumulated activity since construction or the last
+    /// [`Crossbar::reset_stats`].
+    pub fn stats(&self) -> &ActivityStats {
+        &self.stats
+    }
+
+    /// Clear the activity counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Upper bound on `|σ_rᵀJσ_c|` (or `|σᵀJσ|`) representable by the
+    /// array: `n · max|J|`. Useful for normalizing `E_inc` against
+    /// `rand(0,1)` in the annealing flow.
+    pub fn value_scale(&self) -> f64 {
+        self.dimension() as f64 * self.quant.scale() * ((1u32 << self.config.quant_bits) - 1) as f64
+    }
+
+    /// Normalized per-cell current at back-gate voltage `vbg` for an ideal
+    /// stored-'1' cell — the hardware annealing factor `f` (paper Fig. 6c).
+    pub fn cell_factor(&self, vbg: f64) -> f64 {
+        let i = self.cell.sl_current(true, true, self.cell.quantize_vbg(vbg));
+        let leak = self.cell.params().front.i_leak;
+        ((i - leak) / self.full_scale_current).max(0.0)
+    }
+
+    /// The in-situ incremental-E read: returns the de-quantized estimate of
+    /// `σ_rᵀ J σ_c · factor` in coupling units, where `factor` is the
+    /// normalized back-gate current scale (pass `1.0` for a plain bilinear
+    /// form, or [`Crossbar::cell_factor`] of the temperature's `V_BG` for
+    /// the paper's flow).
+    ///
+    /// `sigma_r` and `sigma_c` are the rest/changed vectors of Sec. 3.2:
+    /// entries in `{-1, 0, +1}` with disjoint supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths differ from the array dimension.
+    pub fn incremental_form(&mut self, sigma_r: &[i8], sigma_c: &[i8], factor: f64) -> f64 {
+        let n = self.dimension();
+        assert_eq!(sigma_r.len(), n, "sigma_r length mismatch");
+        assert_eq!(sigma_c.len(), n, "sigma_c length mismatch");
+        let active: Vec<usize> = (0..n).filter(|&j| sigma_c[j] != 0).collect();
+        self.stats.array_ops += 1;
+        self.stats.bg_updates += 1;
+        self.read_columns(sigma_r, Some(sigma_c), &active, factor)
+    }
+
+    /// The conventional direct-E read `σᵀJσ` (baseline annealers): the
+    /// whole array is activated and every column group is converted; the
+    /// per-column results are combined with `σ` digitally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma.len()` differs from the array dimension.
+    pub fn vmv(&mut self, sigma: &[i8]) -> f64 {
+        let n = self.dimension();
+        assert_eq!(sigma.len(), n, "sigma length mismatch");
+        let active: Vec<usize> = (0..n).collect();
+        self.stats.array_ops += 1;
+        self.read_columns(sigma, None, &active, 1.0)
+    }
+
+    /// Shared signal chain. When `column_select` is `Some(σ_c)`, column `j`
+    /// contributes with sign `σ_c[j]` (incremental mode); when `None`, the
+    /// row vector itself provides the digital column weights (direct mode).
+    fn read_columns(
+        &mut self,
+        rows: &[i8],
+        column_select: Option<&[i8]>,
+        active: &[usize],
+        factor: f64,
+    ) -> f64 {
+        let k = self.config.quant_bits as usize;
+        let mut total_codes = 0.0f64;
+        for &sign in &[1i8, -1i8] {
+            self.stats.row_passes += 1;
+            let driven: Vec<bool> = rows.iter().map(|&r| r == sign).collect();
+            let driven_count = driven.iter().filter(|&&d| d).count() as u64;
+            self.stats.rows_driven += driven_count;
+            self.stats.columns_driven += active.len() as u64;
+            // Conversions: every active group, both polarity planes, k bit
+            // slices. Polarity planes have independent ADCs, so time slots
+            // count one plane.
+            self.stats.adc_conversions += (active.len() * 2 * k) as u64;
+            self.stats.adc_slots += self.mux.slots_for(active, k) as u64;
+            self.stats.shift_add_ops += (active.len() * 2 * k) as u64;
+
+            for &j in active {
+                let col_sign = match column_select {
+                    Some(sel) => sel[j] as f64,
+                    None => rows[j] as f64,
+                };
+                if col_sign == 0.0 {
+                    continue;
+                }
+                let (pos_val, neg_val) = self.sense_column(j, &driven, factor);
+                total_codes += sign as f64 * col_sign * (pos_val - neg_val);
+            }
+        }
+        self.stats.buffer_writes += 1;
+        self.quant.scale() * total_codes
+    }
+
+    /// Sense one column group: per-bit-slice analog sums, ADC conversion,
+    /// shift-and-add. Returns de-quantized (code-unit) values for the
+    /// positive and negative polarity planes.
+    fn sense_column(&mut self, j: usize, driven: &[bool], factor: f64) -> (f64, f64) {
+        let k = self.config.quant_bits as usize;
+        let entries = self.quant.column(j);
+        let offsets = &self.vth_offsets[j];
+        let mut pos_bit_sums = vec![0.0f64; k];
+        let mut neg_bit_sums = vec![0.0f64; k];
+        let device_mode = self.config.fidelity == Fidelity::DeviceAccurate;
+
+        // Pre-compute the vbg implied by `factor` for device mode: the cell
+        // current of an ideal cell equals `factor`, so per-cell deviations
+        // enter through the threshold offsets.
+        let vbg = if device_mode {
+            self.vbg_for_factor(factor)
+        } else {
+            0.0
+        };
+
+        let mut activated = 0u64;
+        for (idx, &(row, pos, neg)) in entries.iter().enumerate() {
+            let row = row as usize;
+            if !driven[row] {
+                continue;
+            }
+            let (code, sums) = if pos > 0 {
+                (pos, &mut pos_bit_sums)
+            } else {
+                (neg, &mut neg_bit_sums)
+            };
+            let cell_current = if device_mode {
+                let mut cell = self.cell.clone();
+                cell.set_vth_offset(offsets[idx] as f64);
+                let i = cell.sl_current(true, true, vbg);
+                let leak = self.cell.params().front.i_leak;
+                let base = ((i - leak) / self.full_scale_current).max(0.0);
+                let attenuated = base * self.wires.ir_attenuation(row);
+                if self.read_noise_rel > 0.0 {
+                    use rand::Rng;
+                    // Box–Muller draw from the crossbar's read-noise RNG.
+                    let u1: f64 = self.read_rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let u2: f64 = self.read_rng.gen();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    attenuated * (1.0 + z * self.read_noise_rel)
+                } else {
+                    attenuated
+                }
+            } else {
+                factor
+            };
+            for (b, sum) in sums.iter_mut().enumerate() {
+                if (code >> b) & 1 == 1 {
+                    *sum += cell_current;
+                    activated += 1;
+                }
+            }
+        }
+        self.stats.cells_activated += activated;
+
+        let mut pos_val = 0.0;
+        let mut neg_val = 0.0;
+        for b in 0..k {
+            let weight = (1u64 << b) as f64;
+            pos_val += weight * self.adc.quantize(pos_bit_sums[b]);
+            neg_val += weight * self.adc.quantize(neg_bit_sums[b]);
+        }
+        (pos_val, neg_val)
+    }
+
+    /// Invert the normalized-current curve to find the `V_BG` whose ideal
+    /// cell factor equals `factor` (bisection over the DAC range).
+    fn vbg_for_factor(&self, factor: f64) -> f64 {
+        let vmax = self.cell.params().vbg_max;
+        if factor >= self.cell_factor(vmax) {
+            return vmax;
+        }
+        if factor <= 0.0 {
+            return 0.0;
+        }
+        let mut lo = 0.0;
+        let mut hi = vmax;
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if self.cell_factor(mid) < factor {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fecim_ising::{Coupling, DenseCoupling, FlipMask, SpinVector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense(n: usize, seed: u64) -> DenseCoupling {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DenseCoupling::random(n, 0.4, 1.0, &mut rng)
+    }
+
+    fn unit_config(bits: u8) -> CrossbarConfig {
+        CrossbarConfig {
+            quant_bits: bits,
+            adc_bits: 14,
+            ..CrossbarConfig::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn vmv_matches_exact_energy_with_high_precision() {
+        let m = dense(20, 5);
+        let mut xb = Crossbar::program(&m, unit_config(8));
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let s = SpinVector::random(20, &mut rng);
+            let exact = m.energy(&s);
+            let measured = xb.vmv(s.as_slice());
+            // Error budget: quantization of J (k bits) + ADC LSBs.
+            let tol = 20.0 * 20.0 * m.max_abs() / 255.0 + 1.0;
+            assert!(
+                (measured - exact).abs() < tol,
+                "measured={measured} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_exact_bilinear_form() {
+        let m = dense(24, 7);
+        let mut xb = Crossbar::program(&m, unit_config(8));
+        let mut rng = StdRng::seed_from_u64(8);
+        for t in [1usize, 2, 4] {
+            let s = SpinVector::random(24, &mut rng);
+            let mask = FlipMask::random(t, 24, &mut rng);
+            let s_new = s.flipped_by(&mask);
+            let r = s_new.rest_vector(&mask);
+            let c = s_new.changed_vector(&mask);
+            let exact = m.incremental_form(&s_new, &mask);
+            let measured = xb.incremental_form(&r, &c, 1.0);
+            let tol = 24.0 * m.max_abs() / 255.0 * t as f64 + 0.5;
+            assert!(
+                (measured - exact).abs() < tol,
+                "t={t}: measured={measured} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_scales_incremental_output() {
+        let m = dense(16, 9);
+        let mut xb = Crossbar::program(&m, unit_config(8));
+        let mut rng = StdRng::seed_from_u64(10);
+        let s = SpinVector::random(16, &mut rng);
+        let mask = FlipMask::random(2, 16, &mut rng);
+        let s_new = s.flipped_by(&mask);
+        let r = s_new.rest_vector(&mask);
+        let c = s_new.changed_vector(&mask);
+        let full = xb.incremental_form(&r, &c, 1.0);
+        let half = xb.incremental_form(&r, &c, 0.5);
+        if full.abs() > 1.0 {
+            let ratio = half / full;
+            assert!((ratio - 0.5).abs() < 0.2, "ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn incremental_activates_only_flipped_columns() {
+        let m = dense(64, 11);
+        let mut xb = Crossbar::program(&m, unit_config(4));
+        let mut rng = StdRng::seed_from_u64(12);
+        let s = SpinVector::random(64, &mut rng);
+        let mask = FlipMask::random(2, 64, &mut rng);
+        let s_new = s.flipped_by(&mask);
+        let _ = xb.incremental_form(
+            &s_new.rest_vector(&mask),
+            &s_new.changed_vector(&mask),
+            1.0,
+        );
+        let inc = *xb.stats();
+        xb.reset_stats();
+        let _ = xb.vmv(s.as_slice());
+        let full = *xb.stats();
+        // Conversions: 2 passes × groups × 2 planes × k.
+        assert_eq!(inc.adc_conversions, 2 * 2 * 2 * 4);
+        assert_eq!(full.adc_conversions, 2 * 64 * 2 * 4);
+        let ratio = full.adc_conversions as f64 / inc.adc_conversions as f64;
+        assert_eq!(ratio, 32.0, "n/|F| = 64/2");
+        // Time slots: baseline serializes mux_ratio groups per ADC.
+        assert!(full.adc_slots > inc.adc_slots);
+    }
+
+    #[test]
+    fn slots_ratio_approaches_mux_ratio() {
+        // The Fig. 9 mechanism: with interleaved mapping and |F| active
+        // groups < ADC count, the in-situ read converts in k slots per pass
+        // while the full read needs mux_ratio × k.
+        let m = dense(128, 13);
+        let mut xb = Crossbar::program(&m, unit_config(4));
+        let s = SpinVector::all_up(128);
+        let mask = FlipMask::new(vec![3, 77], 128);
+        let s_new = s.flipped_by(&mask);
+        let _ = xb.incremental_form(
+            &s_new.rest_vector(&mask),
+            &s_new.changed_vector(&mask),
+            1.0,
+        );
+        let inc_slots = xb.stats().adc_slots;
+        xb.reset_stats();
+        let _ = xb.vmv(s.as_slice());
+        let full_slots = xb.stats().adc_slots;
+        assert_eq!(full_slots / inc_slots, 8, "mux ratio 8");
+    }
+
+    #[test]
+    fn device_accurate_mode_stays_close_to_ideal() {
+        let m = dense(16, 14);
+        let ideal_cfg = unit_config(8);
+        let mut device_cfg = ideal_cfg.clone();
+        device_cfg.fidelity = Fidelity::DeviceAccurate;
+        let mut ideal = Crossbar::program(&m, ideal_cfg);
+        let mut device = Crossbar::program(&m, device_cfg);
+        let mut rng = StdRng::seed_from_u64(15);
+        let s = SpinVector::random(16, &mut rng);
+        let mask = FlipMask::random(2, 16, &mut rng);
+        let s_new = s.flipped_by(&mask);
+        let r = s_new.rest_vector(&mask);
+        let c = s_new.changed_vector(&mask);
+        let a = ideal.incremental_form(&r, &c, 1.0);
+        let b = device.incremental_form(&r, &c, 1.0);
+        // No variation configured: only IR drop separates them.
+        assert!((a - b).abs() < 0.15 * a.abs().max(1.0), "ideal={a} device={b}");
+    }
+
+    #[test]
+    fn variation_perturbs_but_preserves_sign_of_large_values() {
+        let m = dense(16, 16);
+        let mut cfg = unit_config(8);
+        cfg.fidelity = Fidelity::DeviceAccurate;
+        cfg.variation = VariationConfig::typical();
+        let mut noisy = Crossbar::program(&m, cfg);
+        let mut ideal = Crossbar::program(&m, unit_config(8));
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let s = SpinVector::random(16, &mut rng);
+            let mask = FlipMask::random(3, 16, &mut rng);
+            let s_new = s.flipped_by(&mask);
+            let r = s_new.rest_vector(&mask);
+            let c = s_new.changed_vector(&mask);
+            let a = ideal.incremental_form(&r, &c, 1.0);
+            let b = noisy.incremental_form(&r, &c, 1.0);
+            if a.abs() > 2.0 {
+                assert_eq!(a.signum(), b.signum(), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_scale_bounds_outputs() {
+        let m = dense(20, 18);
+        let mut xb = Crossbar::program(&m, unit_config(6));
+        let mut rng = StdRng::seed_from_u64(19);
+        let bound = xb.value_scale();
+        for _ in 0..5 {
+            let s = SpinVector::random(20, &mut rng);
+            let v = xb.vmv(s.as_slice());
+            assert!(v.abs() <= bound * 20.0, "v={v} bound={bound}");
+        }
+    }
+
+    #[test]
+    fn zero_flip_mask_returns_zero() {
+        let m = dense(10, 20);
+        let mut xb = Crossbar::program(&m, unit_config(4));
+        let zeros = vec![0i8; 10];
+        let s = SpinVector::all_up(10);
+        assert_eq!(xb.incremental_form(s.as_slice(), &zeros, 1.0), 0.0);
+    }
+}

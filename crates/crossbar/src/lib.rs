@@ -1,0 +1,41 @@
+//! # fecim-crossbar
+//!
+//! DG FeFET compute-in-memory crossbar simulator (Sec. 3.3 / Fig. 6d of
+//! Qian et al., DAC 2025): `k`-bit signed quantization of the coupling
+//! matrix, bit-sliced column sensing through multiplexed SAR ADCs, wire
+//! parasitics, device variation, and hardware activity accounting.
+//!
+//! Two read modes mirror the paper's comparison: the proposed *in-situ
+//! incremental-E* read (only flipped-spin columns activate) and the
+//! conventional *direct VMV* read (whole array) used by the baseline
+//! annealers.
+//!
+//! ```
+//! use fecim_crossbar::{Crossbar, CrossbarConfig};
+//! use fecim_ising::{CsrCoupling, SpinVector};
+//!
+//! let j = CsrCoupling::from_triplets(4, &[(0, 1, 0.25), (2, 3, -0.25)])?;
+//! let mut xb = Crossbar::program(&j, CrossbarConfig::paper_defaults());
+//! let sigma = SpinVector::all_up(4);
+//! let e = xb.vmv(sigma.as_slice());
+//! assert!((e - 0.0).abs() < 0.5); // 2·(0.25) + 2·(−0.25) = 0
+//! assert!(xb.stats().adc_conversions > 0);
+//! # Ok::<(), fecim_ising::IsingError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod adc;
+mod array;
+mod parasitics;
+mod periphery;
+mod quant;
+mod stats;
+
+pub use adc::{MuxAssignment, SarAdc};
+pub use array::{Crossbar, CrossbarConfig, Fidelity};
+pub use parasitics::{ArrayWires, WireParams};
+pub use periphery::{split_input_phases, ShiftAdd, SpinEncoder, TemperatureEncoder};
+pub use quant::QuantizedCoupling;
+pub use stats::ActivityStats;

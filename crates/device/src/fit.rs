@@ -1,0 +1,300 @@
+//! Least-squares fitting of the fractional annealing factor
+//! `f(T) = a/(bT + c) + d` to sampled data (paper Fig. 6c).
+//!
+//! The paper approximates the DG FeFET's normalized `I_SL(V_BG(T))` with
+//! `f(T) ≈ 1/(−0.006·T + 5) − 0.2`. This module recovers such constants
+//! from device samples with a damped Gauss–Newton (Levenberg–Marquardt)
+//! solver over the reduced parameterization `f(T) = 1/(pT + q) + d`
+//! (the form is scale-invariant in `a`, so `a = 1` is fixed without loss
+//! of generality).
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error raised by the curve fitter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Fewer samples than parameters.
+    TooFewSamples(usize),
+    /// The solver could not reduce the residual (singular system or
+    /// divergence).
+    DidNotConverge,
+    /// Samples contain non-finite values.
+    NonFiniteSample(usize),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewSamples(n) => write!(f, "need at least 4 samples, got {n}"),
+            FitError::DidNotConverge => write!(f, "levenberg-marquardt did not converge"),
+            FitError::NonFiniteSample(i) => write!(f, "non-finite sample at index {i}"),
+        }
+    }
+}
+
+impl Error for FitError {}
+
+/// A fitted fractional annealing factor `f(T) = a/(bT + c) + d`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FractionalFit {
+    /// Numerator `a` (fixed to 1 by the reduced parameterization).
+    pub a: f64,
+    /// Slope `b` of the denominator.
+    pub b: f64,
+    /// Offset `c` of the denominator.
+    pub c: f64,
+    /// Additive constant `d`.
+    pub d: f64,
+    /// Root-mean-square residual of the fit.
+    pub rmse: f64,
+}
+
+impl FractionalFit {
+    /// Evaluate the fitted `f(T)`.
+    pub fn evaluate(&self, t: f64) -> f64 {
+        self.a / (self.b * t + self.c) + self.d
+    }
+}
+
+/// Fit `f(T) = 1/(pT + q) + d` to `(T, y)` samples by damped Gauss–Newton.
+///
+/// # Errors
+///
+/// [`FitError::TooFewSamples`] for fewer than 4 samples,
+/// [`FitError::NonFiniteSample`] on NaN/∞ input,
+/// [`FitError::DidNotConverge`] when the solver stalls above a useful
+/// residual.
+///
+/// # Examples
+///
+/// ```
+/// use fecim_device::fit_fractional;
+/// // Synthesize samples from the paper's constants.
+/// let samples: Vec<(f64, f64)> = (0..=70)
+///     .map(|k| {
+///         let t = 10.0 * k as f64;
+///         (t, 1.0 / (-0.006 * t + 5.0) - 0.2)
+///     })
+///     .collect();
+/// let fit = fit_fractional(&samples)?;
+/// assert!((fit.b - (-0.006)).abs() < 1e-6);
+/// assert!((fit.c - 5.0).abs() < 1e-3);
+/// assert!((fit.d - (-0.2)).abs() < 1e-4);
+/// # Ok::<(), fecim_device::FitError>(())
+/// ```
+pub fn fit_fractional(samples: &[(f64, f64)]) -> Result<FractionalFit, FitError> {
+    if samples.len() < 4 {
+        return Err(FitError::TooFewSamples(samples.len()));
+    }
+    for (i, &(t, y)) in samples.iter().enumerate() {
+        if !t.is_finite() || !y.is_finite() {
+            return Err(FitError::NonFiniteSample(i));
+        }
+    }
+    // Initial guess from the endpoints: assume d slightly below min(y).
+    let (t0, y0) = samples[0];
+    let (t1, y1) = *samples.last().expect("nonempty");
+    let ymin = samples.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+    let d0 = ymin - 0.05;
+    let q0 = 1.0 / (y0 - d0);
+    let p0 = if (t1 - t0).abs() > 1e-12 {
+        (1.0 / (y1 - d0) - q0) / (t1 - t0)
+    } else {
+        0.0
+    };
+    let mut params = [p0, q0, d0];
+    let mut lambda = 1e-3;
+    let mut residual = sum_sq(samples, &params);
+
+    for _ in 0..200 {
+        // Numerical Jacobian of r_i = f(t_i) − y_i w.r.t. (p, q, d).
+        let mut jtj = [[0.0f64; 3]; 3];
+        let mut jtr = [0.0f64; 3];
+        for &(t, y) in samples {
+            let denom = params[0] * t + params[1];
+            if denom.abs() < 1e-12 {
+                continue;
+            }
+            let r = 1.0 / denom + params[2] - y;
+            let g = [-t / (denom * denom), -1.0 / (denom * denom), 1.0];
+            for i in 0..3 {
+                jtr[i] += g[i] * r;
+                for j in 0..3 {
+                    jtj[i][j] += g[i] * g[j];
+                }
+            }
+        }
+        // Levenberg damping then 3×3 solve by Gaussian elimination.
+        let mut a = jtj;
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] += lambda * (1.0 + row[i]);
+        }
+        let step = match solve3(a, [-jtr[0], -jtr[1], -jtr[2]]) {
+            Some(s) => s,
+            None => {
+                lambda *= 10.0;
+                continue;
+            }
+        };
+        let trial = [
+            params[0] + step[0],
+            params[1] + step[1],
+            params[2] + step[2],
+        ];
+        let trial_res = sum_sq(samples, &trial);
+        if trial_res < residual {
+            params = trial;
+            let improvement = residual - trial_res;
+            residual = trial_res;
+            lambda = (lambda * 0.5).max(1e-12);
+            if improvement < 1e-15 {
+                break;
+            }
+        } else {
+            lambda *= 10.0;
+            if lambda > 1e12 {
+                break;
+            }
+        }
+    }
+
+    let rmse = (residual / samples.len() as f64).sqrt();
+    let spread = samples
+        .iter()
+        .map(|&(_, y)| y)
+        .fold(f64::NEG_INFINITY, f64::max)
+        - ymin;
+    if !rmse.is_finite() || (spread > 0.0 && rmse > 0.5 * spread) {
+        return Err(FitError::DidNotConverge);
+    }
+    Ok(FractionalFit {
+        a: 1.0,
+        b: params[0],
+        c: params[1],
+        d: params[2],
+        rmse,
+    })
+}
+
+fn sum_sq(samples: &[(f64, f64)], params: &[f64; 3]) -> f64 {
+    samples
+        .iter()
+        .map(|&(t, y)| {
+            let denom = params[0] * t + params[1];
+            if denom.abs() < 1e-12 {
+                return 1e18;
+            }
+            let r = 1.0 / denom + params[2] - y;
+            r * r
+        })
+        .sum()
+}
+
+/// Solve a 3×3 linear system with partial pivoting; `None` if singular.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..3 {
+            let factor = a[row][col] / a[col][col];
+            for k in col..3 {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..3 {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn paper_samples(noise: f64, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..=70)
+            .map(|k| {
+                let t = 10.0 * k as f64;
+                let y = 1.0 / (-0.006 * t + 5.0) - 0.2;
+                let eps = if noise > 0.0 {
+                    (rng.gen::<f64>() - 0.5) * 2.0 * noise
+                } else {
+                    0.0
+                };
+                (t, y + eps)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_paper_constants_exactly() {
+        let fit = fit_fractional(&paper_samples(0.0, 0)).unwrap();
+        assert!((fit.b + 0.006).abs() < 1e-6, "b={}", fit.b);
+        assert!((fit.c - 5.0).abs() < 1e-3, "c={}", fit.c);
+        assert!((fit.d + 0.2).abs() < 1e-4, "d={}", fit.d);
+        assert!(fit.rmse < 1e-8);
+    }
+
+    #[test]
+    fn tolerates_moderate_noise() {
+        let fit = fit_fractional(&paper_samples(0.005, 1)).unwrap();
+        assert!((fit.b + 0.006).abs() < 5e-4);
+        assert!(fit.rmse < 0.01);
+        // Fitted curve tracks the true one.
+        for k in 0..=7 {
+            let t = 100.0 * k as f64;
+            let truth = 1.0 / (-0.006 * t + 5.0) - 0.2;
+            assert!((fit.evaluate(t) - truth).abs() < 0.02, "t={t}");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(matches!(
+            fit_fractional(&[(0.0, 1.0)]),
+            Err(FitError::TooFewSamples(1))
+        ));
+        let bad = vec![(0.0, 1.0), (1.0, f64::NAN), (2.0, 1.0), (3.0, 1.0)];
+        assert!(matches!(
+            fit_fractional(&bad),
+            Err(FitError::NonFiniteSample(1))
+        ));
+    }
+
+    #[test]
+    fn fits_constant_data_with_small_rmse() {
+        let samples: Vec<(f64, f64)> = (0..10).map(|k| (k as f64, 0.5)).collect();
+        let fit = fit_fractional(&samples).unwrap();
+        assert!(fit.rmse < 1e-3);
+        assert!((fit.evaluate(5.0) - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn solve3_handles_identity_and_singularity() {
+        let x = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, [1.0, 2.0, 3.0]);
+        assert!(solve3([[0.0; 3]; 3], [1.0, 1.0, 1.0]).is_none());
+    }
+}

@@ -1,0 +1,195 @@
+//! FeFET reliability models: retention loss and program/erase endurance.
+//!
+//! The paper's evaluation assumes fresh devices; these models cover the
+//! "what happens after a billion annealing iterations" question a
+//! deployment would ask. Retention follows the standard log-time memory
+//! window decay of HZO FeFETs; endurance follows the wake-up/fatigue
+//! window evolution with cycle count. Both expose a window-scaling factor
+//! that plugs into [`crate::FefetParams`]/[`crate::DgFefetParams`].
+
+use serde::{Deserialize, Serialize};
+
+/// Retention model: memory window shrinks ∝ log10(t) after programming.
+///
+/// `MW(t) = MW₀ · (1 − rate · log10(1 + t/t₀))` clamped to `[floor, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionModel {
+    /// Fractional window loss per decade of time.
+    pub loss_per_decade: f64,
+    /// Reference time `t₀` in seconds (onset of measurable decay).
+    pub onset_seconds: f64,
+    /// Fraction of the window that never decays (deep traps).
+    pub floor: f64,
+}
+
+impl RetentionModel {
+    /// HZO-class defaults: ~3 % window loss per decade from 1 s, floored
+    /// at 60 % — extrapolates to ≥10-year retention of a readable window.
+    pub fn hzo_reference() -> RetentionModel {
+        RetentionModel {
+            loss_per_decade: 0.03,
+            onset_seconds: 1.0,
+            floor: 0.6,
+        }
+    }
+
+    /// Window scale factor in `[floor, 1]` after `seconds` of retention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative.
+    pub fn window_scale(&self, seconds: f64) -> f64 {
+        assert!(seconds >= 0.0, "time must be non-negative");
+        let decades = (1.0 + seconds / self.onset_seconds).log10();
+        (1.0 - self.loss_per_decade * decades).clamp(self.floor, 1.0)
+    }
+
+    /// Whether the window is still readable (above `margin` of the
+    /// original) after `seconds`.
+    pub fn retains(&self, seconds: f64, margin: f64) -> bool {
+        self.window_scale(seconds) >= margin
+    }
+}
+
+impl Default for RetentionModel {
+    fn default() -> RetentionModel {
+        RetentionModel::hzo_reference()
+    }
+}
+
+/// Endurance model: wake-up (window grows over the first cycles), a flat
+/// plateau, then fatigue (log-cycle decay) until breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceModel {
+    /// Cycles over which wake-up completes.
+    pub wakeup_cycles: f64,
+    /// Window gain from wake-up (e.g. 0.1 = +10 %).
+    pub wakeup_gain: f64,
+    /// Cycle count where fatigue sets in.
+    pub fatigue_onset: f64,
+    /// Fractional window loss per decade beyond fatigue onset.
+    pub fatigue_per_decade: f64,
+    /// Hard breakdown cycle count (window collapses).
+    pub breakdown_cycles: f64,
+}
+
+impl EnduranceModel {
+    /// HZO-class defaults: wake-up over 10³ cycles (+8 %), fatigue from
+    /// 10⁸, breakdown at 10¹¹ cycles.
+    pub fn hzo_reference() -> EnduranceModel {
+        EnduranceModel {
+            wakeup_cycles: 1e3,
+            wakeup_gain: 0.08,
+            fatigue_onset: 1e8,
+            fatigue_per_decade: 0.05,
+            breakdown_cycles: 1e11,
+        }
+    }
+
+    /// Window scale factor after `cycles` program/erase cycles
+    /// (`0` after breakdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is negative.
+    pub fn window_scale(&self, cycles: f64) -> f64 {
+        assert!(cycles >= 0.0, "cycle count must be non-negative");
+        if cycles >= self.breakdown_cycles {
+            return 0.0;
+        }
+        let wakeup = self.wakeup_gain * (cycles / self.wakeup_cycles).min(1.0);
+        let fatigue = if cycles > self.fatigue_onset {
+            self.fatigue_per_decade * (cycles / self.fatigue_onset).log10()
+        } else {
+            0.0
+        };
+        (1.0 + wakeup - fatigue).max(0.0)
+    }
+
+    /// Cycles until the window falls below `margin` of nominal (`None`
+    /// if breakdown hits first; search over log-spaced cycle counts).
+    pub fn cycles_to_margin(&self, margin: f64) -> Option<f64> {
+        let mut cycles = 1.0;
+        while cycles < self.breakdown_cycles {
+            if self.window_scale(cycles) < margin {
+                return Some(cycles);
+            }
+            cycles *= 1.2589254117941673; // one fifth of a decade
+        }
+        None
+    }
+}
+
+impl Default for EnduranceModel {
+    fn default() -> EnduranceModel {
+        EnduranceModel::hzo_reference()
+    }
+}
+
+/// How many program/erase cycles one annealing run costs each cell.
+///
+/// In the in-situ flow the array is programmed once per *problem* (the
+/// couplings never change during annealing — only inputs and the back
+/// gate do), so lifetime is measured in problems, not iterations.
+pub fn cycles_per_problem() -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_ten_years_keeps_readable_window() {
+        let r = RetentionModel::hzo_reference();
+        let ten_years = 10.0 * 365.25 * 86400.0;
+        let scale = r.window_scale(ten_years);
+        assert!(scale >= 0.6, "scale={scale}");
+        assert!(r.retains(ten_years, 0.6));
+    }
+
+    #[test]
+    fn retention_is_monotone_nonincreasing() {
+        let r = RetentionModel::hzo_reference();
+        let mut prev = r.window_scale(0.0);
+        assert!((prev - 1.0).abs() < 1e-9);
+        for k in 1..12 {
+            let t = 10f64.powi(k);
+            let s = r.window_scale(t);
+            assert!(s <= prev + 1e-12);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn endurance_wakeup_then_fatigue_then_breakdown() {
+        let e = EnduranceModel::hzo_reference();
+        let fresh = e.window_scale(0.0);
+        let woken = e.window_scale(1e4);
+        let fatigued = e.window_scale(1e10);
+        let dead = e.window_scale(1e11);
+        assert!(woken > fresh, "wake-up grows the window");
+        assert!(fatigued < woken, "fatigue shrinks it");
+        assert_eq!(dead, 0.0, "breakdown kills it");
+    }
+
+    #[test]
+    fn cycles_to_margin_is_in_the_fatigue_regime() {
+        let e = EnduranceModel::hzo_reference();
+        let c = e.cycles_to_margin(0.95).expect("fatigue crosses 95%");
+        assert!(c > e.fatigue_onset, "c={c}");
+        assert!(c < e.breakdown_cycles);
+        // A margin of 0 is never crossed before breakdown.
+        assert!(e.cycles_to_margin(0.0).is_none());
+    }
+
+    #[test]
+    fn annealing_lifetime_is_enormous() {
+        // One program cycle per problem and fatigue onset at 1e8 cycles
+        // ⇒ ~1e8 problems before any degradation — the reliability
+        // argument for CiM annealers.
+        let e = EnduranceModel::hzo_reference();
+        let problems_before_fatigue = e.fatigue_onset / cycles_per_problem();
+        assert!(problems_before_fatigue >= 1e8);
+    }
+}

@@ -1,0 +1,232 @@
+//! Undirected weighted graphs backing the Max-Cut benchmark instances.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use fecim_ising::MaxCut;
+
+/// Error raised when constructing or parsing a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint is out of range.
+    VertexOutOfRange {
+        /// Offending vertex id.
+        vertex: usize,
+        /// Number of vertices of the graph.
+        vertex_count: usize,
+    },
+    /// Self-loops are not allowed.
+    SelfLoop(usize),
+    /// Weight is not finite.
+    NonFiniteWeight {
+        /// Edge tail.
+        u: usize,
+        /// Edge head.
+        v: usize,
+    },
+    /// A Gset text stream could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                vertex_count,
+            } => write!(f, "vertex {vertex} out of range for {vertex_count} vertices"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop at vertex {v}"),
+            GraphError::NonFiniteWeight { u, v } => {
+                write!(f, "non-finite weight on edge ({u}, {v})")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An undirected, edge-weighted graph with adjacency lists.
+///
+/// # Examples
+///
+/// ```
+/// use fecim_gset::Graph;
+/// let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, -1.0)])?;
+/// assert_eq!(g.vertex_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.degree(1), 2);
+/// # Ok::<(), fecim_gset::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize, f64)>,
+    adjacency: Vec<Vec<(usize, f64)>>,
+}
+
+impl Graph {
+    /// Graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Graph {
+        Graph {
+            n,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Build from an undirected edge list (each edge listed once).
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphError`]; rejects out-of-range endpoints, self-loops and
+    /// non-finite weights.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Result<Graph, GraphError> {
+        let mut g = Graph::empty(n);
+        for &(u, v, w) in edges {
+            g.add_edge(u, v, w)?;
+        }
+        Ok(g)
+    }
+
+    /// Add an undirected edge.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Graph::from_edges`].
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                vertex_count: self.n,
+            });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                vertex_count: self.n,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !w.is_finite() {
+            return Err(GraphError::NonFiniteWeight { u, v });
+        }
+        self.edges.push((u, v, w));
+        self.adjacency[u].push((v, w));
+        self.adjacency[v].push((u, w));
+        Ok(())
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list (each undirected edge once).
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Neighbours of `v` with edge weights.
+    pub fn neighbors(&self, v: usize) -> &[(usize, f64)] {
+        &self.adjacency[v]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Mean vertex degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / self.n as f64
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// `true` if every weight is `+1` or `-1` (the Gset convention).
+    pub fn is_unit_weighted(&self) -> bool {
+        self.edges.iter().all(|&(_, _, w)| w == 1.0 || w == -1.0)
+    }
+
+    /// Convert to a [`MaxCut`] problem instance.
+    pub fn to_max_cut(&self) -> MaxCut {
+        MaxCut::new(self.n, self.edges.clone()).expect("graph invariants imply a valid instance")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, -1.0)]).unwrap();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(2), &[(1, 2.0), (3, -1.0)]);
+        assert_eq!(g.total_weight(), 2.0);
+        assert!((g.mean_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 2, 1.0)]),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, &[(1, 1, 1.0)]),
+            Err(GraphError::SelfLoop(1))
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 1, f64::NAN)]),
+            Err(GraphError::NonFiniteWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn unit_weight_detection() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, -1.0)]).unwrap();
+        assert!(g.is_unit_weighted());
+        let g2 = Graph::from_edges(3, &[(0, 1, 0.5)]).unwrap();
+        assert!(!g2.is_unit_weighted());
+    }
+
+    #[test]
+    fn to_max_cut_preserves_structure() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let mc = g.to_max_cut();
+        assert_eq!(mc.vertex_count(), 3);
+        assert_eq!(mc.edges().len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.mean_degree(), 0.0);
+        assert_eq!(g.total_weight(), 0.0);
+    }
+}

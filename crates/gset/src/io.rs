@@ -1,0 +1,180 @@
+//! Reader/writer for the Stanford Gset text format.
+//!
+//! The format is a header line `n m` followed by `m` lines `u v w` with
+//! 1-based vertex indices and integer weights — the format of the files the
+//! paper's evaluation pulls its Max-Cut instances from (ref [38]).
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::graph::{Graph, GraphError};
+
+/// Parse a graph from a Gset-format reader.
+///
+/// A `&mut R` can be passed for any `R: Read`.
+///
+/// # Errors
+///
+/// [`GraphError::Parse`] on malformed input (wrong token counts, bad
+/// numbers, inconsistent edge count) and the usual structural errors for
+/// invalid edges. I/O errors are reported as parse errors with the line at
+/// which they occurred.
+///
+/// # Examples
+///
+/// ```
+/// use fecim_gset::read_gset;
+/// let text = "3 2\n1 2 1\n2 3 -1\n";
+/// let g = read_gset(text.as_bytes())?;
+/// assert_eq!(g.vertex_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), fecim_gset::GraphError>(())
+/// ```
+pub fn read_gset<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+    let (n, m) = loop {
+        let (line_no, line) = lines.next().ok_or(GraphError::Parse {
+            line: 1,
+            message: "empty input".into(),
+        })?;
+        let line = line.map_err(|e| GraphError::Parse {
+            line: line_no + 1,
+            message: e.to_string(),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let n: usize = parse_token(it.next(), line_no + 1, "vertex count")?;
+        let m: usize = parse_token(it.next(), line_no + 1, "edge count")?;
+        break (n, m);
+    };
+    let mut g = Graph::empty(n);
+    let mut read_edges = 0usize;
+    for (line_no, line) in lines {
+        let line = line.map_err(|e| GraphError::Parse {
+            line: line_no + 1,
+            message: e.to_string(),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u: usize = parse_token(it.next(), line_no + 1, "edge tail")?;
+        let v: usize = parse_token(it.next(), line_no + 1, "edge head")?;
+        let w: f64 = parse_token(it.next(), line_no + 1, "edge weight")?;
+        if u == 0 || v == 0 {
+            return Err(GraphError::Parse {
+                line: line_no + 1,
+                message: "gset vertex indices are 1-based".into(),
+            });
+        }
+        g.add_edge(u - 1, v - 1, w)?;
+        read_edges += 1;
+    }
+    if read_edges != m {
+        return Err(GraphError::Parse {
+            line: 1,
+            message: format!("header declared {m} edges, found {read_edges}"),
+        });
+    }
+    Ok(g)
+}
+
+fn parse_token<T: std::str::FromStr>(
+    token: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphError> {
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    token.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what}: {token:?}"),
+    })
+}
+
+/// Write a graph in Gset format (1-based indices; weights printed as
+/// integers when they are integral).
+///
+/// A `&mut W` can be passed for any `W: Write`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_gset<W: Write>(mut writer: W, graph: &Graph) -> std::io::Result<()> {
+    writeln!(writer, "{} {}", graph.vertex_count(), graph.edge_count())?;
+    for &(u, v, w) in graph.edges() {
+        if w.fract() == 0.0 {
+            writeln!(writer, "{} {} {}", u + 1, v + 1, w as i64)?;
+        } else {
+            writeln!(writer, "{} {} {}", u + 1, v + 1, w)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::GeneratorConfig;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = GeneratorConfig::new(50, 7).generate();
+        let mut buf = Vec::new();
+        write_gset(&mut buf, &g).unwrap();
+        let g2 = read_gset(buf.as_slice()).unwrap();
+        assert_eq!(g.vertex_count(), g2.vertex_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# comment\n\n3 1\n% another\n1 3 2\n";
+        let g = read_gset(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edges()[0], (0, 2, 2.0));
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert!(matches!(
+            read_gset("x y\n".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(read_gset("".as_bytes()), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn zero_based_index_is_rejected() {
+        let text = "2 1\n0 1 1\n";
+        assert!(matches!(
+            read_gset(text.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_count_mismatch_is_rejected() {
+        let text = "3 2\n1 2 1\n";
+        assert!(matches!(
+            read_gset(text.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn fractional_weights_roundtrip() {
+        let g = Graph::from_edges(2, &[(0, 1, 0.5)]).unwrap();
+        let mut buf = Vec::new();
+        write_gset(&mut buf, &g).unwrap();
+        let g2 = read_gset(buf.as_slice()).unwrap();
+        assert_eq!(g2.edges()[0].2, 0.5);
+    }
+}

@@ -1,0 +1,230 @@
+//! Per-annealer hardware models: the analytic per-iteration activity of
+//! the three architectures the paper compares (Sec. 4), used to cost
+//! paper-scale runs without simulating every cell.
+//!
+//! The same [`ActivityStats`] shape is produced by the cycle-level
+//! crossbar simulator; an integration test pins the analytic counts to the
+//! simulated ones.
+
+use serde::{Deserialize, Serialize};
+
+use fecim_crossbar::ActivityStats;
+
+use crate::accounting::{energy_of, time_of, EnergyReport, TimeReport};
+use crate::components::{CostModel, ExpUnit};
+
+/// The three annealer architectures of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnnealerKind {
+    /// The proposed DG FeFET CiM in-situ annealer (incremental-E,
+    /// fractional factor, no `eˣ` unit).
+    InSitu,
+    /// Baseline: FeFET CiM direct-E annealer with an FPGA `eˣ` unit
+    /// (refs [7] + [18]).
+    CimFpga,
+    /// Baseline: FeFET CiM direct-E annealer with an ASIC `eˣ` unit.
+    CimAsic,
+}
+
+impl AnnealerKind {
+    /// All architectures in the paper's plotting order.
+    pub fn all() -> [AnnealerKind; 3] {
+        [AnnealerKind::CimFpga, AnnealerKind::CimAsic, AnnealerKind::InSitu]
+    }
+
+    /// Display label used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnnealerKind::InSitu => "This Work",
+            AnnealerKind::CimFpga => "CiM/FPGA",
+            AnnealerKind::CimAsic => "CiM/ASIC",
+        }
+    }
+
+    /// Which `eˣ` unit the architecture instantiates (`None` for the
+    /// in-situ annealer, which eliminates the exponential).
+    pub fn exp_unit(self) -> Option<ExpUnit> {
+        match self {
+            AnnealerKind::InSitu => None,
+            AnnealerKind::CimFpga => Some(ExpUnit::Fpga),
+            AnnealerKind::CimAsic => Some(ExpUnit::Asic),
+        }
+    }
+
+    /// Computational complexity class of one iteration (paper Table 1).
+    pub fn complexity(self) -> &'static str {
+        match self {
+            AnnealerKind::InSitu => "O(n)",
+            _ => "O(n^2)",
+        }
+    }
+}
+
+/// Geometry/algorithm parameters that fix the per-iteration activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationProfile {
+    /// Number of spins `n`.
+    pub spins: usize,
+    /// Quantization bits `k`.
+    pub quant_bits: u8,
+    /// Flip-set size `|F| = t` of the incremental transformation.
+    pub flips: usize,
+    /// ADC mux ratio `M`.
+    pub mux_ratio: usize,
+}
+
+impl IterationProfile {
+    /// The paper's operating point for a given problem size: `k = 4`,
+    /// `t = 2`, 8:1 muxed ADCs.
+    pub fn paper(spins: usize) -> IterationProfile {
+        IterationProfile {
+            spins,
+            quant_bits: 4,
+            flips: 2,
+            mux_ratio: 8,
+        }
+    }
+
+    /// Analytic activity of ONE annealing iteration of `kind`.
+    ///
+    /// Counting model (two input-sign passes, two polarity planes,
+    /// `k` bit slices — see `fecim-crossbar`):
+    ///
+    /// * direct-E baselines convert every column group:
+    ///   `2·n·2·k` conversions, serializing `M·k` per pass on the shared
+    ///   ADCs, plus one `eˣ` evaluation;
+    /// * the in-situ annealer converts only the `t` flipped groups:
+    ///   `2·t·2·k` conversions in `k` slots per pass (interleaved mapping),
+    ///   no `eˣ`.
+    pub fn activity(&self, kind: AnnealerKind) -> ActivityStats {
+        let n = self.spins as u64;
+        let k = self.quant_bits as u64;
+        let t = self.flips as u64;
+        let m = self.mux_ratio as u64;
+        match kind {
+            AnnealerKind::InSitu => ActivityStats {
+                array_ops: 1,
+                row_passes: 2,
+                adc_conversions: 2 * t * 2 * k,
+                adc_slots: 2 * k.min(t * k), // t groups on distinct ADCs
+                cells_activated: 2 * t * k, // active couplings of flipped spins
+                rows_driven: 2 * t,          // only changed FG inputs toggle
+                columns_driven: 2 * t * 2 * k,
+                bg_updates: 1,
+                shift_add_ops: 2 * t * 2 * k,
+                buffer_writes: 1,
+                exp_evaluations: 0,
+            },
+            AnnealerKind::CimFpga | AnnealerKind::CimAsic => ActivityStats {
+                array_ops: 1,
+                row_passes: 2,
+                adc_conversions: 2 * n * 2 * k,
+                adc_slots: 2 * m * k,
+                cells_activated: 2 * n * k,
+                rows_driven: 2 * t,
+                columns_driven: 2 * n * 2 * k,
+                bg_updates: 0,
+                shift_add_ops: 2 * n * 2 * k,
+                buffer_writes: 1,
+                exp_evaluations: 1,
+            },
+        }
+    }
+
+    /// Energy of one iteration of `kind` under `model`.
+    pub fn iteration_energy(&self, kind: AnnealerKind, model: &CostModel) -> EnergyReport {
+        let unit = kind.exp_unit().unwrap_or(ExpUnit::Asic);
+        energy_of(&self.activity(kind), model, unit)
+    }
+
+    /// Latency of one iteration of `kind` under `model`.
+    pub fn iteration_time(&self, kind: AnnealerKind, model: &CostModel) -> TimeReport {
+        let unit = kind.exp_unit().unwrap_or(ExpUnit::Asic);
+        time_of(&self.activity(kind), model, unit)
+    }
+
+    /// Energy of a whole run of `iterations` iterations.
+    pub fn run_energy(&self, kind: AnnealerKind, model: &CostModel, iterations: usize) -> EnergyReport {
+        self.iteration_energy(kind, model).scaled(iterations as f64)
+    }
+
+    /// Latency of a whole run of `iterations` iterations.
+    pub fn run_time(&self, kind: AnnealerKind, model: &CostModel, iterations: usize) -> TimeReport {
+        self.iteration_time(kind, model).scaled(iterations as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_ratio_tracks_n_over_t() {
+        // The Fig. 8 scaling law: ASIC-baseline/in-situ energy ≈ n/t.
+        let model3000 = CostModel::paper_22nm(3000, 4);
+        let p = IterationProfile::paper(3000);
+        let base = p.iteration_energy(AnnealerKind::CimAsic, &model3000).total();
+        let ours = p.iteration_energy(AnnealerKind::InSitu, &model3000).total();
+        let ratio = base / ours;
+        assert!(
+            (ratio - 1500.0).abs() / 1500.0 < 0.10,
+            "ratio={ratio}, expected ≈ n/t = 1500"
+        );
+    }
+
+    #[test]
+    fn fpga_ratio_exceeds_asic_ratio() {
+        // Fig. 8(a): the FPGA baseline pays extra for eˣ.
+        for n in [800usize, 1000, 2000, 3000] {
+            let model = CostModel::paper_22nm(n, 4);
+            let p = IterationProfile::paper(n);
+            let ours = p.iteration_energy(AnnealerKind::InSitu, &model).total();
+            let fpga = p.iteration_energy(AnnealerKind::CimFpga, &model).total() / ours;
+            let asic = p.iteration_energy(AnnealerKind::CimAsic, &model).total() / ours;
+            assert!(fpga > asic, "n={n}: fpga={fpga} asic={asic}");
+            assert!(asic > 0.9 * (n as f64 / 2.0), "n={n}: asic={asic}");
+        }
+    }
+
+    #[test]
+    fn time_ratio_close_to_mux_ratio() {
+        // Fig. 9: both baselines are ≈8× slower (mux ratio), FPGA slightly
+        // worse than ASIC.
+        let model = CostModel::paper_22nm(1000, 4);
+        let p = IterationProfile::paper(1000);
+        let ours = p.iteration_time(AnnealerKind::InSitu, &model).total();
+        let fpga = p.iteration_time(AnnealerKind::CimFpga, &model).total() / ours;
+        let asic = p.iteration_time(AnnealerKind::CimAsic, &model).total() / ours;
+        assert!(fpga > 7.0 && fpga < 9.5, "fpga={fpga}");
+        assert!(asic > 7.0 && asic < 9.5, "asic={asic}");
+        assert!(fpga > asic);
+    }
+
+    #[test]
+    fn in_situ_has_no_exp_and_uses_bg() {
+        let p = IterationProfile::paper(500);
+        let a = p.activity(AnnealerKind::InSitu);
+        assert_eq!(a.exp_evaluations, 0);
+        assert_eq!(a.bg_updates, 1);
+        let b = p.activity(AnnealerKind::CimFpga);
+        assert_eq!(b.exp_evaluations, 1);
+        assert_eq!(b.bg_updates, 0);
+    }
+
+    #[test]
+    fn run_cost_scales_linearly_with_iterations() {
+        let model = CostModel::paper_22nm(800, 4);
+        let p = IterationProfile::paper(800);
+        let one = p.run_energy(AnnealerKind::InSitu, &model, 1).total();
+        let many = p.run_energy(AnnealerKind::InSitu, &model, 700).total();
+        assert!((many / one - 700.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn labels_and_complexity() {
+        assert_eq!(AnnealerKind::InSitu.label(), "This Work");
+        assert_eq!(AnnealerKind::InSitu.complexity(), "O(n)");
+        assert_eq!(AnnealerKind::CimFpga.complexity(), "O(n^2)");
+        assert_eq!(AnnealerKind::all().len(), 3);
+    }
+}

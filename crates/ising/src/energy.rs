@@ -1,0 +1,303 @@
+//! Energy computation kernels: the direct `O(n²)` VMV form, the paper's
+//! `O(n)` incremental-E form, and a local-field cache for fast software
+//! annealing.
+//!
+//! These kernels back the Fig. 4/5 complexity claim of the paper: the
+//! `complexity` Criterion bench sweeps `n` and shows the direct kernel
+//! scaling quadratically while [`incremental_e`] scales linearly for a
+//! constant flip count `|F|`.
+
+use crate::coupling::Coupling;
+use crate::spin::{FlipMask, SpinVector};
+
+/// Direct Ising energy `E = σᵀJσ` over a dense row-major matrix, written as
+/// the explicit `n²`-term double loop the paper ascribes to direct-E
+/// transformation annealers.
+///
+/// # Panics
+///
+/// Panics if `matrix.len() != spins.len()²`.
+pub fn direct_vmv(matrix: &[f64], spins: &SpinVector) -> f64 {
+    let n = spins.len();
+    assert_eq!(matrix.len(), n * n, "matrix must be n×n");
+    let s = spins.as_slice();
+    let mut e = 0.0;
+    for i in 0..n {
+        let row = &matrix[i * n..(i + 1) * n];
+        let si = s[i] as f64;
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += row[j] * s[j] as f64;
+        }
+        e += si * acc;
+    }
+    e
+}
+
+/// The paper's incremental-E bilinear form `σ_rᵀ J σ_c` over a dense
+/// row-major matrix: only `(n − |F|)·|F|` products (Eq. 9, Fig. 5d).
+///
+/// Multiply by 4 to obtain `ΔE`, or by `f(T)` to obtain the in-situ
+/// `E_inc` (Eq. 11).
+///
+/// # Panics
+///
+/// Panics if `matrix.len() != new_spins.len()²`.
+pub fn incremental_e(matrix: &[f64], new_spins: &SpinVector, mask: &FlipMask) -> f64 {
+    let n = new_spins.len();
+    assert_eq!(matrix.len(), n * n, "matrix must be n×n");
+    let s = new_spins.as_slice();
+    let mut total = 0.0;
+    for &j in mask.indices() {
+        let sj = s[j] as f64;
+        let row = &matrix[j * n..(j + 1) * n];
+        let mut acc = 0.0;
+        let mut flips = mask.indices().iter().peekable();
+        for (i, &v) in row.iter().enumerate() {
+            // Skip columns in F (two-flip terms cancel, Fig. 5c).
+            if let Some(&&next_flip) = flips.peek() {
+                if next_flip == i {
+                    flips.next();
+                    continue;
+                }
+            }
+            acc += v * s[i] as f64;
+        }
+        total += sj * acc;
+    }
+    total
+}
+
+/// Incrementally-maintained local fields `l_i = Σ_j J_ij σ_j`, giving `O(deg)`
+/// energy differences and `O(|F|·deg)` state updates.
+///
+/// This is the software-exact engine used for the baseline annealers and for
+/// verifying the crossbar: it produces bit-identical energies to the direct
+/// form while being fast enough for the paper's 10⁵-iteration runs.
+///
+/// # Examples
+///
+/// ```
+/// use fecim_ising::{Coupling, CsrCoupling, FlipMask, LocalFieldState, SpinVector};
+/// let j = CsrCoupling::from_triplets(3, &[(0, 1, 1.0), (1, 2, -0.5)])?;
+/// let mut state = LocalFieldState::new(&j, SpinVector::all_up(3));
+/// let mask = FlipMask::single(1, 3);
+/// let de = state.delta_energy(&mask);
+/// state.apply(&mask);
+/// assert!((state.energy() - j.energy(state.spins())).abs() < 1e-12);
+/// assert!((de - (-2.0)).abs() < 1e-12); // −4·σ₁·(J₁₀+J₁₂) = −4·0.5
+/// # Ok::<(), fecim_ising::IsingError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalFieldState<'a, C: Coupling> {
+    coupling: &'a C,
+    spins: SpinVector,
+    fields: Vec<f64>,
+    energy: f64,
+}
+
+impl<'a, C: Coupling> LocalFieldState<'a, C> {
+    /// Initialize from a coupling matrix and starting configuration.
+    ///
+    /// Cost: one `O(n²)` (dense) or `O(nnz)` (sparse) pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn new(coupling: &'a C, spins: SpinVector) -> LocalFieldState<'a, C> {
+        assert_eq!(spins.len(), coupling.dimension(), "dimension mismatch");
+        let fields = coupling.local_fields(&spins);
+        let energy = coupling.energy(&spins);
+        LocalFieldState {
+            coupling,
+            spins,
+            fields,
+            energy,
+        }
+    }
+
+    fn coupling(&self) -> &'a C {
+        self.coupling
+    }
+
+    /// Current configuration.
+    pub fn spins(&self) -> &SpinVector {
+        &self.spins
+    }
+
+    /// Current energy `σᵀJσ` (maintained incrementally).
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Current local field of spin `i`.
+    pub fn field(&self, i: usize) -> f64 {
+        self.fields[i]
+    }
+
+    /// Energy difference of flipping the spins in `mask`, without applying.
+    ///
+    /// `ΔE = Σ_{i∈F} −4 σ_i l_i + 4 Σ_{i<j ∈ F} J_ij σ_i σ_j·2` — the pair
+    /// correction accounts for both flipped endpoints.
+    pub fn delta_energy(&self, mask: &FlipMask) -> f64 {
+        let idx = mask.indices();
+        let mut de = 0.0;
+        for &i in idx {
+            de += -4.0 * self.spins.get(i) as f64 * self.fields[i];
+        }
+        // Pairs inside F flipped together leave their term unchanged, but the
+        // local-field sum above subtracted both directions; add them back.
+        for (a, &i) in idx.iter().enumerate() {
+            for &j in idx.iter().skip(a + 1) {
+                let jij = self.coupling().get(i, j);
+                if jij != 0.0 {
+                    de += 8.0 * jij * (self.spins.get(i) * self.spins.get(j)) as f64;
+                }
+            }
+        }
+        de
+    }
+
+    /// Apply the flips in `mask`, updating spins, fields and energy in
+    /// `O(|F|·deg)`. Returns the energy difference that was applied.
+    pub fn apply(&mut self, mask: &FlipMask) -> f64 {
+        let de = self.delta_energy(mask);
+        let coupling = self.coupling;
+        for &i in mask.indices() {
+            let old = self.spins.get(i) as f64;
+            self.spins.flip(i);
+            // Neighbour fields see σ_i change by −2·old.
+            let fields = &mut self.fields;
+            coupling.for_each_in_row(i, &mut |j, v| {
+                fields[j] += v * (-2.0 * old);
+            });
+        }
+        self.energy += de;
+        de
+    }
+
+    /// Recompute fields and energy from scratch (testing aid; also heals
+    /// accumulated floating-point drift on very long runs).
+    pub fn rebuild(&mut self) {
+        self.fields = self.coupling().local_fields(&self.spins);
+        self.energy = self.coupling().energy(&self.spins);
+    }
+}
+
+/// Number of product terms of the direct form (`n²`, paper Fig. 5b).
+pub fn direct_term_count(n: usize) -> usize {
+    n * n
+}
+
+/// Number of product terms of the incremental form (`(n−|F|)·|F|`,
+/// paper Fig. 5d).
+pub fn incremental_term_count(n: usize, flips: usize) -> usize {
+    n.saturating_sub(flips) * flips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coupling::{CsrCoupling, DenseCoupling};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn direct_vmv_matches_coupling_energy() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let m = DenseCoupling::random(24, 0.4, 1.0, &mut rng);
+        let s = SpinVector::random(24, &mut rng);
+        assert!((direct_vmv(&m.to_vec(), &s) - m.energy(&s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_e_times_four_is_delta() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let m = DenseCoupling::random(32, 0.3, 1.5, &mut rng);
+        let flat = m.to_vec();
+        for t in [1usize, 2, 3, 8] {
+            let s = SpinVector::random(32, &mut rng);
+            let mask = FlipMask::random(t, 32, &mut rng);
+            let s_new = s.flipped_by(&mask);
+            let de_direct = direct_vmv(&flat, &s_new) - direct_vmv(&flat, &s);
+            let de_inc = 4.0 * incremental_e(&flat, &s_new, &mask);
+            assert!((de_direct - de_inc).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn empty_mask_gives_zero_increment() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let m = DenseCoupling::random(10, 0.5, 1.0, &mut rng);
+        let s = SpinVector::random(10, &mut rng);
+        let mask = FlipMask::new(vec![], 10);
+        assert_eq!(incremental_e(&m.to_vec(), &s, &mask), 0.0);
+    }
+
+    #[test]
+    fn full_mask_gives_zero_increment() {
+        // Flipping every spin leaves σᵀJσ invariant (global Z₂ symmetry).
+        let mut rng = StdRng::seed_from_u64(24);
+        let m = DenseCoupling::random(10, 0.5, 1.0, &mut rng);
+        let s = SpinVector::random(10, &mut rng);
+        let mask = FlipMask::new((0..10).collect(), 10);
+        let s_new = s.flipped_by(&mask);
+        assert!(incremental_e(&m.to_vec(), &s_new, &mask).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_field_state_tracks_energy_over_run() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let dense = DenseCoupling::random(20, 0.4, 1.0, &mut rng);
+        let csr = CsrCoupling::from_dense(&dense);
+        let start = SpinVector::random(20, &mut rng);
+        let mut state = LocalFieldState::new(&csr, start);
+        for _ in 0..200 {
+            let t = rng.gen_range(1..=3);
+            let mask = FlipMask::random(t, 20, &mut rng);
+            let predicted = state.delta_energy(&mask);
+            let before = state.energy();
+            let applied = state.apply(&mask);
+            assert!((predicted - applied).abs() < 1e-9);
+            assert!((state.energy() - (before + predicted)).abs() < 1e-9);
+        }
+        // Energy must agree with a from-scratch recomputation.
+        let fresh = csr.energy(state.spins());
+        assert!((state.energy() - fresh).abs() < 1e-6);
+    }
+
+    #[test]
+    fn local_field_state_multi_flip_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let dense = DenseCoupling::random(15, 0.7, 2.0, &mut rng);
+        let csr = CsrCoupling::from_dense(&dense);
+        let s = SpinVector::random(15, &mut rng);
+        let state = LocalFieldState::new(&csr, s.clone());
+        for t in 1..=15 {
+            let mask = FlipMask::random(t, 15, &mut rng);
+            let s_new = s.flipped_by(&mask);
+            let direct = csr.energy(&s_new) - csr.energy(&s);
+            assert!(
+                (state.delta_energy(&mask) - direct).abs() < 1e-9,
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_is_idempotent() {
+        let csr = CsrCoupling::from_triplets(3, &[(0, 1, 1.0)]).unwrap();
+        let mut state = LocalFieldState::new(&csr, SpinVector::all_up(3));
+        let e = state.energy();
+        state.rebuild();
+        assert_eq!(state.energy(), e);
+    }
+
+    #[test]
+    fn term_counts_match_paper() {
+        assert_eq!(direct_term_count(100), 10_000);
+        assert_eq!(incremental_term_count(100, 2), 196);
+        assert_eq!(incremental_term_count(2, 2), 0);
+        assert_eq!(incremental_term_count(1, 2), 0);
+    }
+}

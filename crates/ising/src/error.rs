@@ -1,0 +1,83 @@
+//! Error types for Ising model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when building or validating an Ising model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IsingError {
+    /// Matrix dimensions are inconsistent (e.g. non-square input).
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was found.
+        found: usize,
+    },
+    /// The coupling matrix is not symmetric at the given entry.
+    NotSymmetric {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+    },
+    /// A coupling entry is not finite.
+    NonFiniteCoupling {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+    },
+    /// Index out of range for the model dimension.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The model dimension.
+        dimension: usize,
+    },
+    /// A problem-specific encoding constraint was violated.
+    InvalidProblem(String),
+}
+
+impl fmt::Display for IsingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsingError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            IsingError::NotSymmetric { row, col } => {
+                write!(f, "coupling matrix not symmetric at ({row}, {col})")
+            }
+            IsingError::NonFiniteCoupling { row, col } => {
+                write!(f, "non-finite coupling at ({row}, {col})")
+            }
+            IsingError::IndexOutOfRange { index, dimension } => {
+                write!(f, "index {index} out of range for dimension {dimension}")
+            }
+            IsingError::InvalidProblem(msg) => write!(f, "invalid problem: {msg}"),
+        }
+    }
+}
+
+impl Error for IsingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = IsingError::DimensionMismatch {
+            expected: 3,
+            found: 4,
+        };
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&IsingError::InvalidProblem("x".into()));
+    }
+}

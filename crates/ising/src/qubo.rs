@@ -1,0 +1,193 @@
+//! Quadratic Unconstrained Binary Optimization (QUBO) form and the exact
+//! QUBO ↔ Ising equivalence (`σ_i = 1 − 2 x_i`, paper Sec. 2.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::coupling::{CsrCoupling, IsingModel};
+use crate::error::IsingError;
+use crate::spin::SpinVector;
+
+/// A QUBO instance: minimize `xᵀQx` over `x ∈ {0,1}ⁿ`, with `Q` upper
+/// triangular (diagonal entries are the linear coefficients since `x² = x`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Qubo {
+    n: usize,
+    /// Upper-triangular entries `(i, j, q)` with `i <= j`.
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Qubo {
+    /// Empty QUBO over `n` variables.
+    pub fn new(n: usize) -> Qubo {
+        Qubo {
+            n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of binary variables.
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
+    /// Stored (upper-triangular) entries.
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// Add `q·x_i·x_j` (or `q·x_i` when `i == j`) to the objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `q` is not finite.
+    pub fn add_term(&mut self, i: usize, j: usize, q: f64) {
+        assert!(i < self.n && j < self.n, "index out of range");
+        assert!(q.is_finite(), "coefficient must be finite");
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        self.entries.push((a, b, q));
+    }
+
+    /// Objective value `xᵀQx` for a binary assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n` or any entry is not 0/1.
+    pub fn evaluate(&self, x: &[u8]) -> f64 {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        assert!(x.iter().all(|&b| b <= 1), "entries must be binary");
+        self.entries
+            .iter()
+            .map(|&(i, j, q)| q * (x[i] * x[j]) as f64)
+            .sum()
+    }
+
+    /// Exact conversion to an Ising model via `x_i = (1 − σ_i)/2`.
+    ///
+    /// The returned model satisfies
+    /// `model.energy(σ) == self.evaluate(x(σ))` for all assignments
+    /// (offset included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates coupling-construction errors (cannot occur for valid
+    /// `Qubo` values, but kept in the signature for forward compatibility).
+    pub fn to_ising(&self) -> Result<IsingModel, IsingError> {
+        // q x_i x_j = q (1-σi)(1-σj)/4 = q/4 (1 - σi - σj + σiσj)
+        // q x_i     = q (1-σi)/2
+        let mut offset = 0.0;
+        let mut fields = vec![0.0; self.n];
+        let mut quad: std::collections::BTreeMap<(usize, usize), f64> = std::collections::BTreeMap::new();
+        for &(i, j, q) in &self.entries {
+            if i == j {
+                offset += q / 2.0;
+                fields[i] -= q / 2.0;
+            } else {
+                offset += q / 4.0;
+                fields[i] -= q / 4.0;
+                fields[j] -= q / 4.0;
+                *quad.entry((i, j)).or_insert(0.0) += q / 4.0;
+            }
+        }
+        // σᵀJσ counts each pair twice, so J_ij = coeff/2.
+        let triplets: Vec<(usize, usize, f64)> = quad
+            .into_iter()
+            .filter(|&(_, v)| v != 0.0)
+            .map(|((i, j), v)| (i, j, v / 2.0))
+            .collect();
+        let couplings = CsrCoupling::from_triplets(self.n, &triplets)?;
+        let mut model = IsingModel::with_fields(couplings, fields)?;
+        model.set_offset(offset);
+        Ok(model)
+    }
+
+    /// Decode an Ising configuration back to the binary assignment.
+    pub fn decode(&self, spins: &SpinVector) -> Vec<u8> {
+        spins.to_binaries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exhaustive_check(qubo: &Qubo) {
+        let model = qubo.to_ising().unwrap();
+        let n = qubo.dimension();
+        assert!(n <= 16, "exhaustive check only for small n");
+        for bits in 0u32..(1 << n) {
+            let x: Vec<u8> = (0..n).map(|i| ((bits >> i) & 1) as u8).collect();
+            let spins = SpinVector::from_binaries(&x);
+            let qv = qubo.evaluate(&x);
+            let ev = model.energy(&spins);
+            assert!(
+                (qv - ev).abs() < 1e-9,
+                "bits={bits:b}: qubo={qv} ising={ev}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_only_conversion() {
+        let mut q = Qubo::new(3);
+        q.add_term(0, 0, 2.0);
+        q.add_term(1, 1, -1.0);
+        exhaustive_check(&q);
+    }
+
+    #[test]
+    fn quadratic_conversion() {
+        let mut q = Qubo::new(4);
+        q.add_term(0, 1, 1.0);
+        q.add_term(2, 3, -3.0);
+        q.add_term(0, 3, 0.5);
+        exhaustive_check(&q);
+    }
+
+    #[test]
+    fn mixed_random_conversion() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let n = 8;
+            let mut q = Qubo::new(n);
+            for i in 0..n {
+                for j in i..n {
+                    if rng.gen::<f64>() < 0.4 {
+                        q.add_term(i, j, rng.gen_range(-2.0..2.0));
+                    }
+                }
+            }
+            exhaustive_check(&q);
+        }
+    }
+
+    #[test]
+    fn add_term_normalizes_order() {
+        let mut q = Qubo::new(3);
+        q.add_term(2, 0, 1.5);
+        assert_eq!(q.entries()[0], (0, 2, 1.5));
+    }
+
+    #[test]
+    fn evaluate_counts_terms_once() {
+        let mut q = Qubo::new(2);
+        q.add_term(0, 1, 3.0);
+        assert_eq!(q.evaluate(&[1, 1]), 3.0);
+        assert_eq!(q.evaluate(&[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn decode_matches_binary_convention() {
+        let q = Qubo::new(2);
+        let s = SpinVector::from_signs(&[1, -1]);
+        assert_eq!(q.decode(&s), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_term_rejects_out_of_range() {
+        let mut q = Qubo::new(2);
+        q.add_term(0, 2, 1.0);
+    }
+}

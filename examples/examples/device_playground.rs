@@ -1,0 +1,68 @@
+//! Device playground: sweep the FeFET and DG FeFET models, print the
+//! curves behind the paper's Figs. 2 and 6, and calibrate the fractional
+//! annealing factor against the physical device response.
+//!
+//! Run with: `cargo run -p fecim-examples --example device_playground`
+
+use fecim_device::{
+    fit_fractional, AnnealFactor, DeviceFactor, DgFefet, Fefet, FractionalFactor, PreisachFefet,
+    PreisachParams, StoredBit,
+};
+
+fn main() {
+    // --- FeFET transfer curves (Fig. 2b) --------------------------------
+    println!("FeFET I_D-V_G (A) at V_DS = 1 V:");
+    let mut fefet = Fefet::new(Default::default());
+    println!("{:>8} {:>12} {:>12}", "V_G (V)", "low-VTH", "high-VTH");
+    for k in 0..=8 {
+        let vg = -0.5 + 2.0 * k as f64 / 8.0;
+        fefet.program(StoredBit::One);
+        let lo = fefet.drain_current(vg, 1.0);
+        fefet.program(StoredBit::Zero);
+        let hi = fefet.drain_current(vg, 1.0);
+        println!("{vg:>8.2} {lo:>12.3e} {hi:>12.3e}");
+    }
+
+    // --- Preisach hysteresis (the physics behind programming) -----------
+    let mut fe = PreisachFefet::new(PreisachParams::paper_reference());
+    fe.apply_voltage(3.0);
+    let p_up = fe.polarization();
+    fe.apply_voltage(-3.0);
+    let p_down = fe.polarization();
+    println!("\nPreisach saturation polarization: +{p_up:.3} / {p_down:.3}");
+    println!("memory window: {:.2} V", {
+        fe.program(StoredBit::Zero);
+        let hi = fe.vth();
+        fe.program(StoredBit::One);
+        hi - fe.vth()
+    });
+
+    // --- DG FeFET I_SL-V_BG (Fig. 6b) ------------------------------------
+    println!("\nDG FeFET I_SL-V_BG (x = y = 1):");
+    let mut cell = DgFefet::new(Default::default());
+    cell.program(StoredBit::One);
+    println!("{:>9} {:>12}", "V_BG (V)", "I_SL (A)");
+    for (v, i) in cell.isl_vbg_curve(8) {
+        println!("{v:>9.2} {i:>12.3e}");
+    }
+
+    // --- f(T) calibration (Fig. 6c) --------------------------------------
+    let device = DeviceFactor::paper();
+    let fit = fit_fractional(&device.samples(71)).expect("device curve fits");
+    println!(
+        "\nfractional fit to device curve: f(T) = {:.3}/({:.5}*T + {:.3}) + {:.3}  (rmse {:.4})",
+        fit.a, fit.b, fit.c, fit.d, fit.rmse
+    );
+    let paper = FractionalFactor::paper();
+    println!("paper constants:                f(T) = 1/(-0.00600*T + 5.000) - 0.200");
+    println!("\n{:>8} {:>10} {:>10} {:>10}", "T", "device", "fit", "paper/1.05");
+    for k in 0..=7 {
+        let t = 100.0 * k as f64;
+        println!(
+            "{t:>8.0} {:>10.4} {:>10.4} {:>10.4}",
+            device.factor(t),
+            fit.evaluate(t),
+            paper.factor(t) / 1.05
+        );
+    }
+}

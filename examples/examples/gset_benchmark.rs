@@ -1,0 +1,55 @@
+//! Three-annealer comparison on a slice of the paper's Gset-style
+//! benchmark suite: solution quality (normalized cut + success rate) and
+//! hardware cost side by side — a miniature of the paper's Figs. 8–10.
+//!
+//! Run with: `cargo run --release -p fecim-examples --example gset_benchmark`
+
+use fecim::{CimAnnealer, DirectAnnealer};
+use fecim_anneal::{multi_start_local_search, success_rate, MonteCarlo};
+use fecim_gset::quick_suite;
+use fecim_ising::CopProblem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>10} {:>6} {:>7} | {:>22} | {:>22}",
+        "instance", "n", "iters", "This Work (cut/succ)", "CiM baseline (cut/succ)"
+    );
+    for inst in quick_suite(0.1) {
+        let graph = inst.graph();
+        let problem = graph.to_max_cut();
+        let model = problem.to_ising()?;
+        // Reference optimum from multi-start local search; the success
+        // target is 90% of it, as in the paper.
+        let (_, ref_energy) = multi_start_local_search(model.couplings(), 8, 1);
+        let reference = problem.cut_from_energy(ref_energy);
+        let iterations = inst.group.iteration_budget().min(20_000);
+
+        let ours = CimAnnealer::new(iterations);
+        let baseline = DirectAnnealer::cim_asic(iterations);
+        let mc = MonteCarlo::new(10, 777);
+
+        let our_cuts = mc.execute(|seed| {
+            ours.solve(&problem, seed).expect("valid instance").objective.unwrap() / reference
+        });
+        let base_cuts = mc.execute(|seed| {
+            baseline
+                .solve(&problem, seed)
+                .expect("valid instance")
+                .objective
+                .unwrap()
+                / reference
+        });
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "{:>10} {:>6} {:>7} | {:>13.3} / {:>4.0}% | {:>13.3} / {:>4.0}%",
+            inst.label,
+            graph.vertex_count(),
+            iterations,
+            mean(&our_cuts),
+            success_rate(&our_cuts, 0.9, true) * 100.0,
+            mean(&base_cuts),
+            success_rate(&base_cuts, 0.9, true) * 100.0,
+        );
+    }
+    Ok(())
+}

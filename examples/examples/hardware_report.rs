@@ -1,0 +1,65 @@
+//! Device-in-the-loop run with a full hardware breakdown: energy and time
+//! per component, activity counters, and the effect of device variation —
+//! the level of detail behind the paper's Figs. 8–9 bars.
+//!
+//! Run with: `cargo run --release -p fecim-examples --example hardware_report`
+
+use fecim::{CimAnnealer, DirectAnnealer};
+use fecim_crossbar::{CrossbarConfig, Fidelity};
+use fecim_device::VariationConfig;
+use fecim_gset::{GeneratorConfig, GsetFamily};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = GeneratorConfig::new(128, 9)
+        .with_family(GsetFamily::RandomSigned)
+        .with_mean_degree(10.0)
+        .generate();
+    let problem = graph.to_max_cut();
+
+    // Device-accurate crossbar with typical FeFET variation.
+    let mut config = CrossbarConfig::paper_defaults();
+    config.fidelity = Fidelity::DeviceAccurate;
+    config.variation = VariationConfig::typical();
+
+    let iterations = 1500;
+    let ours = CimAnnealer::new(iterations)
+        .with_device_in_loop(config.clone())
+        .solve(&problem, 5)?;
+    let baseline = DirectAnnealer::cim_asic(iterations)
+        .with_device_in_loop(config)
+        .solve(&problem, 5)?;
+
+    for report in [&ours, &baseline] {
+        println!("=== {} ===", report.kind.label());
+        println!("cut: {} (energy {:.1})", report.objective.unwrap(), report.best_energy);
+        let stats = report.run.activity.expect("device-in-loop records stats");
+        println!(
+            "activity: {} array ops, {} ADC conversions ({} serialized slots), {} cells fired",
+            stats.array_ops, stats.adc_conversions, stats.adc_slots, stats.cells_activated
+        );
+        println!(
+            "energy:  {:.3} nJ total (adc {:.3} | exp {:.3} | wires {:.3} | bg {:.3} | digital {:.3})",
+            report.energy.total() * 1e9,
+            report.energy.adc * 1e9,
+            report.energy.exp * 1e9,
+            report.energy.wires * 1e9,
+            report.energy.bg * 1e9,
+            report.energy.digital * 1e9,
+        );
+        println!(
+            "time:    {:.3} us total (adc {:.3} | exp {:.3} | array {:.3} | digital {:.3})\n",
+            report.time.total() * 1e6,
+            report.time.adc * 1e6,
+            report.time.exp * 1e6,
+            report.time.array * 1e6,
+            report.time.digital * 1e6,
+        );
+    }
+
+    println!(
+        "ratios (baseline / this work): energy {:.0}x, time {:.2}x",
+        baseline.energy.total() / ours.energy.total(),
+        baseline.time.total() / ours.time.total()
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: solve a Max-Cut instance with the ferroelectric CiM in-situ
+//! annealer and compare it against the CiM/ASIC baseline.
+//!
+//! Run with: `cargo run -p fecim-examples --example quickstart`
+
+use fecim::{CimAnnealer, DirectAnnealer};
+use fecim_gset::{GeneratorConfig, GsetFamily};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A Gset-style random Max-Cut instance: 256 vertices, mean degree 12.
+    let graph = GeneratorConfig::new(256, 42)
+        .with_family(GsetFamily::RandomUnit)
+        .with_mean_degree(12.0)
+        .generate();
+    let problem = graph.to_max_cut();
+    println!(
+        "instance: {} vertices, {} edges, total weight {}",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.total_weight()
+    );
+
+    // The proposed annealer: incremental-E + fractional factor, 2000
+    // iterations, two spins flipped per iteration (paper Algorithm 1).
+    let ours = CimAnnealer::new(2000).solve(&problem, 7)?;
+    // The baseline: direct-E Metropolis with an ASIC e^x unit.
+    let baseline = DirectAnnealer::cim_asic(2000).solve(&problem, 7)?;
+
+    println!("\n                      {:>12}  {:>12}", "This Work", "CiM/ASIC");
+    println!(
+        "cut value             {:>12.0}  {:>12.0}",
+        ours.objective.unwrap(),
+        baseline.objective.unwrap()
+    );
+    println!(
+        "Ising energy          {:>12.1}  {:>12.1}",
+        ours.best_energy, baseline.best_energy
+    );
+    println!(
+        "hardware energy (nJ)  {:>12.3}  {:>12.3}",
+        ours.energy.total() * 1e9,
+        baseline.energy.total() * 1e9
+    );
+    println!(
+        "hardware time (us)    {:>12.3}  {:>12.3}",
+        ours.time.total() * 1e6,
+        baseline.time.total() * 1e6
+    );
+    println!(
+        "\nenergy advantage: {:.0}x, time advantage: {:.1}x",
+        baseline.energy.total() / ours.energy.total(),
+        baseline.time.total() / ours.time.total()
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Examples live in the `examples/` directory of this package.

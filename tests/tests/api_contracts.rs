@@ -1,0 +1,100 @@
+//! API-contract tests following the Rust API guidelines: key public types
+//! are `Send + Sync` (usable across the Monte-Carlo worker threads),
+//! implement the common traits, and errors behave as `std::error::Error`.
+
+use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer, SolveReport};
+use fecim_crossbar::{ActivityStats, Crossbar, CrossbarConfig};
+use fecim_device::{DgFefet, Fefet, FractionalFactor, PreisachFefet};
+use fecim_gset::{Graph, GraphError, SuiteInstance};
+use fecim_ising::{CsrCoupling, DenseCoupling, IsingError, IsingModel, MaxCut, SpinVector};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn core_types_are_send_and_sync() {
+    assert_send_sync::<CimAnnealer>();
+    assert_send_sync::<DirectAnnealer>();
+    assert_send_sync::<MesaAnnealer>();
+    assert_send_sync::<SolveReport>();
+    assert_send_sync::<Crossbar>();
+    assert_send_sync::<CrossbarConfig>();
+    assert_send_sync::<ActivityStats>();
+    assert_send_sync::<Fefet>();
+    assert_send_sync::<DgFefet>();
+    assert_send_sync::<PreisachFefet>();
+    assert_send_sync::<FractionalFactor>();
+    assert_send_sync::<Graph>();
+    assert_send_sync::<SuiteInstance>();
+    assert_send_sync::<CsrCoupling>();
+    assert_send_sync::<DenseCoupling>();
+    assert_send_sync::<IsingModel>();
+    assert_send_sync::<MaxCut>();
+    assert_send_sync::<SpinVector>();
+}
+
+#[test]
+fn errors_are_std_errors_with_lowercase_messages() {
+    fn check(err: &dyn std::error::Error) {
+        let msg = err.to_string();
+        assert!(!msg.is_empty());
+        assert!(
+            msg.starts_with(char::is_lowercase) || msg.starts_with(char::is_numeric),
+            "error messages follow std conventions: {msg:?}"
+        );
+        assert!(!msg.ends_with('.'), "no trailing punctuation: {msg:?}");
+    }
+    check(&IsingError::DimensionMismatch {
+        expected: 4,
+        found: 5,
+    });
+    check(&IsingError::InvalidProblem("bad thing".into()));
+    check(&GraphError::SelfLoop(3));
+    check(&GraphError::Parse {
+        line: 2,
+        message: "nope".into(),
+    });
+    check(&fecim_device::FitError::TooFewSamples(1));
+}
+
+#[test]
+fn debug_representations_are_never_empty() {
+    assert!(!format!("{:?}", SpinVector::all_up(0)).is_empty());
+    assert!(!format!("{:?}", ActivityStats::new()).is_empty());
+    assert!(!format!("{:?}", CrossbarConfig::paper_defaults()).is_empty());
+    assert!(!format!("{:?}", FractionalFactor::paper()).is_empty());
+}
+
+#[test]
+fn builders_are_chainable_and_cloneable() {
+    let solver = CimAnnealer::new(100)
+        .with_flips(1)
+        .with_einc_scale(0.5)
+        .with_trace(10)
+        .with_target_energy(-5.0);
+    let cloned = solver.clone();
+    // Both configurations drive identical runs.
+    let mc = MaxCut::new(6, (0..6).map(|i| (i, (i + 1) % 6, 1.0)).collect()).unwrap();
+    let a = solver.solve(&mc, 9).unwrap();
+    let b = cloned.solve(&mc, 9).unwrap();
+    assert_eq!(a.best_energy, b.best_energy);
+}
+
+#[test]
+fn solvers_work_behind_threads() {
+    // The exact pattern the Monte-Carlo harness relies on.
+    let solver = CimAnnealer::new(200);
+    let mc = MaxCut::new(8, (0..8).map(|i| (i, (i + 1) % 8, 1.0)).collect()).unwrap();
+    let results: Vec<f64> = std::thread::scope(|scope| {
+        (0..4u64)
+            .map(|seed| {
+                let solver = &solver;
+                let mc = &mc;
+                scope.spawn(move || solver.solve(mc, seed).unwrap().best_energy)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(results.len(), 4);
+}

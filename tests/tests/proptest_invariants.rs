@@ -1,0 +1,158 @@
+//! Property-based tests of the core invariants, across crate boundaries.
+
+use proptest::prelude::*;
+
+use fecim_ising::{
+    CopProblem, Coupling, CsrCoupling, DenseCoupling, FlipMask, LocalFieldState, MaxCut, Qubo,
+    SpinVector,
+};
+
+/// Strategy: a random symmetric coupling (as triplets) over `n` spins.
+fn coupling_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (4..=max_n).prop_flat_map(|n| {
+        let triplet = (0..n, 0..n, -2.0f64..2.0).prop_filter_map("no self-loops", move |(i, j, w)| {
+            if i == j {
+                None
+            } else {
+                Some((i.min(j), i.max(j), w))
+            }
+        });
+        (Just(n), proptest::collection::vec(triplet, 0..3 * n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// THE paper invariant (Eq. 9): 4·σ_rᵀJσ_c == E(σ_new) − E(σ) for any
+    /// coupling, configuration and flip set.
+    #[test]
+    fn incremental_e_equals_direct_difference(
+        (n, triplets) in coupling_strategy(24),
+        seed in 0u64..1000,
+        flips in 0usize..24,
+    ) {
+        let coupling = CsrCoupling::from_triplets(n, &triplets).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spins = SpinVector::random(n, &mut rng);
+        let mask = FlipMask::random(flips.min(n), n, &mut rng);
+        let new_spins = spins.flipped_by(&mask);
+        let direct = coupling.energy(&new_spins) - coupling.energy(&spins);
+        let incremental = coupling.delta_energy(&new_spins, &mask);
+        prop_assert!((direct - incremental).abs() < 1e-9,
+            "direct {direct} vs incremental {incremental}");
+    }
+
+    /// Local-field state stays consistent with from-scratch evaluation
+    /// after arbitrary flip sequences.
+    #[test]
+    fn local_fields_stay_consistent(
+        (n, triplets) in coupling_strategy(16),
+        seed in 0u64..1000,
+        steps in 1usize..30,
+    ) {
+        let coupling = CsrCoupling::from_triplets(n, &triplets).unwrap();
+        use rand::SeedableRng;
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut state = LocalFieldState::new(&coupling, SpinVector::random(n, &mut rng));
+        for _ in 0..steps {
+            let t = rng.gen_range(1..=3.min(n));
+            let mask = FlipMask::random(t, n, &mut rng);
+            state.apply(&mask);
+        }
+        let fresh = coupling.energy(state.spins());
+        prop_assert!((state.energy() - fresh).abs() < 1e-6);
+    }
+
+    /// Max-Cut cut/energy duality for arbitrary weighted graphs.
+    #[test]
+    fn max_cut_duality(
+        (n, triplets) in coupling_strategy(20),
+        seed in 0u64..1000,
+    ) {
+        let edges: Vec<(usize, usize, f64)> = triplets;
+        let mc = MaxCut::new(n, edges).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spins = SpinVector::random(n, &mut rng);
+        let model = mc.to_ising().unwrap();
+        let via_energy = mc.cut_from_energy(model.energy(&spins));
+        prop_assert!((via_energy - mc.cut_value(&spins)).abs() < 1e-9);
+    }
+
+    /// QUBO → Ising conversion preserves objective values exactly.
+    #[test]
+    fn qubo_ising_equivalence(
+        n in 2usize..10,
+        terms in proptest::collection::vec((0usize..10, 0usize..10, -3.0f64..3.0), 1..20),
+        bits in proptest::collection::vec(0u8..2, 10),
+    ) {
+        let mut qubo = Qubo::new(n);
+        for (i, j, q) in terms {
+            qubo.add_term(i % n, j % n, q);
+        }
+        let x: Vec<u8> = bits.into_iter().take(n).collect();
+        let x = if x.len() < n { vec![0; n] } else { x };
+        let model = qubo.to_ising().unwrap();
+        let spins = SpinVector::from_binaries(&x);
+        prop_assert!((qubo.evaluate(&x) - model.energy(&spins)).abs() < 1e-9);
+    }
+
+    /// Quantized crossbar reconstruction error is bounded by half an LSB.
+    #[test]
+    fn quantization_error_bound(
+        (n, triplets) in coupling_strategy(16),
+        bits in 1u8..=8,
+    ) {
+        let coupling = CsrCoupling::from_triplets(n, &triplets).unwrap();
+        let q = fecim_crossbar::QuantizedCoupling::from_coupling(&coupling, bits);
+        let bound = q.max_quantization_error() + 1e-12;
+        for i in 0..n {
+            for j in 0..n {
+                let err = (q.reconstruct(i, j) - coupling.get(i, j)).abs();
+                prop_assert!(err <= bound, "({i},{j}): {err} > {bound}");
+            }
+        }
+    }
+
+    /// Flip-mask decomposition: σ_c + σ_r == σ_new with disjoint supports.
+    #[test]
+    fn sigma_decomposition_partitions(
+        n in 1usize..64,
+        seed in 0u64..1000,
+        flips in 0usize..64,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spins = SpinVector::random(n, &mut rng);
+        let mask = FlipMask::random(flips.min(n), n, &mut rng);
+        let s_new = spins.flipped_by(&mask);
+        let c = s_new.changed_vector(&mask);
+        let r = s_new.rest_vector(&mask);
+        for i in 0..n {
+            prop_assert_eq!(c[i] + r[i], s_new.get(i));
+            prop_assert!(c[i] == 0 || r[i] == 0);
+        }
+    }
+
+    /// Dense and sparse couplings agree on every energy query.
+    #[test]
+    fn dense_sparse_agreement(
+        n in 4usize..16,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dense = DenseCoupling::random(n, 0.5, 2.0, &mut rng);
+        let sparse = CsrCoupling::from_dense(&dense);
+        let spins = SpinVector::random(n, &mut rng);
+        prop_assert!((dense.energy(&spins) - sparse.energy(&spins)).abs() < 1e-9);
+        let mask = FlipMask::random(2.min(n), n, &mut rng);
+        let s_new = spins.flipped_by(&mask);
+        prop_assert!(
+            (dense.delta_energy(&s_new, &mask) - sparse.delta_energy(&s_new, &mask)).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Serde round-trips for the workspace's persistence surface: experiment
+//! configs, results, device parameters and graphs all serialize to JSON
+//! (the harness artifact format) and deserialize back unchanged.
+
+use fecim::experiment::{ExperimentConfig, Scale};
+use fecim_crossbar::{ActivityStats, CrossbarConfig};
+use fecim_device::{DgFefetParams, FefetParams, PreisachParams, VariationConfig};
+use fecim_gset::{suite_instance, GeneratorConfig, SizeGroup};
+use fecim_ising::{CsrCoupling, MaxCut, Qubo, SpinVector};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn spin_vector_roundtrip() {
+    let v = SpinVector::from_signs(&[1, -1, 1, 1, -1]);
+    assert_eq!(roundtrip(&v), v);
+}
+
+#[test]
+fn coupling_roundtrip_preserves_energies() {
+    let j = CsrCoupling::from_triplets(5, &[(0, 1, 1.5), (2, 4, -0.25), (1, 3, 0.75)]).unwrap();
+    let back = roundtrip(&j);
+    assert_eq!(back, j);
+    use fecim_ising::Coupling;
+    let s = SpinVector::all_up(5);
+    assert_eq!(back.energy(&s), j.energy(&s));
+}
+
+#[test]
+fn problem_roundtrips() {
+    let mc = MaxCut::new(4, vec![(0, 1, 1.0), (2, 3, -2.0)]).unwrap();
+    assert_eq!(roundtrip(&mc), mc);
+    let mut q = Qubo::new(3);
+    q.add_term(0, 1, 2.0);
+    q.add_term(2, 2, -1.0);
+    assert_eq!(roundtrip(&q), q);
+}
+
+#[test]
+fn device_params_roundtrip() {
+    assert_eq!(roundtrip(&FefetParams::paper_reference()), FefetParams::paper_reference());
+    assert_eq!(
+        roundtrip(&DgFefetParams::paper_reference()),
+        DgFefetParams::paper_reference()
+    );
+    assert_eq!(
+        roundtrip(&PreisachParams::paper_reference()),
+        PreisachParams::paper_reference()
+    );
+    assert_eq!(roundtrip(&VariationConfig::typical()), VariationConfig::typical());
+}
+
+#[test]
+fn crossbar_config_and_stats_roundtrip() {
+    let cfg = CrossbarConfig::paper_defaults();
+    assert_eq!(roundtrip(&cfg), cfg);
+    let stats = ActivityStats {
+        array_ops: 10,
+        adc_conversions: 320,
+        ..Default::default()
+    };
+    assert_eq!(roundtrip(&stats), stats);
+}
+
+#[test]
+fn gset_instances_roundtrip_and_regenerate_identically() {
+    let inst = suite_instance(SizeGroup::N800, 3);
+    let back = roundtrip(&inst);
+    assert_eq!(back, inst);
+    // The config fully determines the graph.
+    assert_eq!(back.graph(), inst.graph());
+    let gen = GeneratorConfig::new(64, 9);
+    assert_eq!(roundtrip(&gen), gen);
+}
+
+#[test]
+fn experiment_config_roundtrip() {
+    let cfg = ExperimentConfig::new(Scale::Paper);
+    let back = roundtrip(&cfg);
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn solve_report_serializes_for_artifacts() {
+    // End-to-end: a real report must serialize (the harness writes these).
+    let mc = MaxCut::new(6, (0..6).map(|i| (i, (i + 1) % 6, 1.0)).collect()).unwrap();
+    let report = fecim::CimAnnealer::new(200).solve(&mc, 1).unwrap();
+    let json = serde_json::to_value(&report).expect("report serializes");
+    assert!(json.get("best_energy").is_some());
+    assert!(json.get("energy").is_some());
+}

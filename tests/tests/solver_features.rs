@@ -1,0 +1,143 @@
+//! Integration tests for the extended solver features: time-to-target
+//! tracking, the MESA baseline, tabu-search references, SK spin glasses,
+//! vertex cover, and the area model.
+
+use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer};
+use fecim_anneal::{multi_start_local_search, multi_start_tabu};
+use fecim_gset::{GeneratorConfig, GsetFamily};
+use fecim_hwcost::{annealer_area, AreaModel};
+use fecim_ising::{CopProblem, SherringtonKirkpatrick, VertexCover};
+
+fn unit_graph(n: usize, seed: u64) -> fecim_gset::Graph {
+    GeneratorConfig::new(n, seed)
+        .with_family(GsetFamily::RandomUnit)
+        .with_mean_degree(10.0)
+        .generate()
+}
+
+#[test]
+fn first_target_hit_is_recorded_and_consistent() {
+    let graph = unit_graph(100, 21);
+    let problem = graph.to_max_cut();
+    // An easy target: 55% of the edge weight (random assignments sit at
+    // 50%; the optimum of a degree-10 unit graph is ≈62%).
+    let target_cut = 0.55 * graph.edge_count() as f64;
+    let target_energy = problem.energy_from_cut(target_cut);
+    let report = CimAnnealer::new(3000)
+        .with_target_energy(target_energy)
+        .solve(&problem, 3)
+        .unwrap();
+    let hit = report.run.first_target_hit.expect("easy target must be hit");
+    assert!(hit <= 3000);
+    // The reported best must actually satisfy the target.
+    assert!(report.best_energy <= target_energy + 1e-9);
+    // An impossible target is never hit.
+    let impossible = problem.energy_from_cut(graph.edge_count() as f64 * 2.0);
+    let report = CimAnnealer::new(500)
+        .with_target_energy(impossible)
+        .solve(&problem, 3)
+        .unwrap();
+    assert_eq!(report.run.first_target_hit, None);
+}
+
+#[test]
+fn baseline_reaches_target_later_than_in_situ_on_tight_budget() {
+    // The Fig. 10 "converge faster" claim at the run level.
+    let graph = unit_graph(200, 5);
+    let problem = graph.to_max_cut();
+    let target_energy = problem.energy_from_cut(0.58 * graph.edge_count() as f64);
+    let budget = 2000;
+    let mut ours_hits = Vec::new();
+    let mut base_hits = Vec::new();
+    for seed in 0..5u64 {
+        let ours = CimAnnealer::new(budget)
+            .with_target_energy(target_energy)
+            .solve(&problem, seed)
+            .unwrap();
+        let base = DirectAnnealer::cim_asic(budget)
+            .with_target_energy(target_energy)
+            .solve(&problem, seed)
+            .unwrap();
+        if let Some(h) = ours.run.first_target_hit {
+            ours_hits.push(h as f64);
+        }
+        if let Some(h) = base.run.first_target_hit {
+            base_hits.push(h as f64);
+        }
+    }
+    assert!(!ours_hits.is_empty(), "in-situ must hit the target");
+    let ours_mean = ours_hits.iter().sum::<f64>() / ours_hits.len() as f64;
+    if !base_hits.is_empty() {
+        let base_mean = base_hits.iter().sum::<f64>() / base_hits.len() as f64;
+        assert!(
+            ours_mean <= base_mean * 1.2,
+            "in-situ {ours_mean} vs baseline {base_mean}"
+        );
+    }
+}
+
+#[test]
+fn mesa_beats_plain_baseline_on_average() {
+    let graph = unit_graph(120, 9);
+    let problem = graph.to_max_cut();
+    let mut mesa_total = 0.0;
+    let mut plain_total = 0.0;
+    for seed in 0..5u64 {
+        mesa_total += MesaAnnealer::new(2000).solve(&problem, seed).unwrap().objective.unwrap();
+        plain_total += DirectAnnealer::cim_asic(2000)
+            .with_flips(1)
+            .solve(&problem, seed)
+            .unwrap()
+            .objective
+            .unwrap();
+    }
+    // MESA's re-heating epochs should not be materially worse; typically
+    // slightly better on multimodal instances.
+    assert!(
+        mesa_total >= plain_total * 0.95,
+        "mesa {mesa_total} vs plain {plain_total}"
+    );
+}
+
+#[test]
+fn tabu_reference_is_at_least_as_good_as_local_search() {
+    let graph = unit_graph(150, 13);
+    let problem = graph.to_max_cut();
+    let j = problem.to_ising().unwrap().couplings().clone();
+    let (_, ls_energy) = multi_start_local_search(&j, 6, 7);
+    let (_, tabu_energy) = multi_start_tabu(&j, 2, 7);
+    assert!(tabu_energy <= ls_energy + 1e-9);
+}
+
+#[test]
+fn sk_spin_glass_solvable_through_the_full_stack() {
+    let sk = SherringtonKirkpatrick::new(100, 11).unwrap();
+    let report = CimAnnealer::new(5000).with_flips(1).solve(&sk, 1).unwrap();
+    // Energy density should approach the Parisi band from above.
+    let density = report.objective.unwrap();
+    assert!(density < -0.55, "density {density}");
+    assert!(density > -0.85, "density {density} unphysically low");
+}
+
+#[test]
+fn vertex_cover_solvable_through_the_full_stack() {
+    // Star plus a triangle: optimal cover = hub + 2 triangle vertices.
+    let mut edges: Vec<(usize, usize)> = (1..6).map(|v| (0, v)).collect();
+    edges.extend([(6, 7), (7, 8), (6, 8)]);
+    let problem = VertexCover::new(9, edges).unwrap();
+    let report = CimAnnealer::new(4000).with_flips(1).solve(&problem, 5).unwrap();
+    assert!(report.feasible);
+    assert!(report.objective.unwrap() <= 4.0, "cover size {}", report.objective.unwrap());
+}
+
+#[test]
+fn area_model_favors_the_in_situ_architecture() {
+    let model = AreaModel::node_22nm();
+    for n in [800usize, 3000] {
+        let ours = annealer_area(&model, n, 4, 8, false, true);
+        let base = annealer_area(&model, n, 4, 8, true, false);
+        assert!(ours.total() < base.total(), "n={n}");
+        // Both are mm²-class macros.
+        assert!(ours.total_mm2() > 0.01 && ours.total_mm2() < 50.0);
+    }
+}
