@@ -369,7 +369,11 @@ mod tests {
 
     #[test]
     fn zero_temperature_rejects_all_uphill() {
-        for acc in [Acceptance::Metropolis, Acceptance::LinearApprox, Acceptance::Greedy] {
+        for acc in [
+            Acceptance::Metropolis,
+            Acceptance::LinearApprox,
+            Acceptance::Greedy,
+        ] {
             assert_eq!(acc.uphill_probability(1.0, 0.0), 0.0);
         }
     }

@@ -5,7 +5,9 @@
 //! incremental-E measurement, fractional annealing factor, stepped
 //! back-gate temperature descent), the direct-E Metropolis baseline the
 //! CiM/FPGA and CiM/ASIC annealers run, MESA (ref [7]), greedy local
-//! search for reference optima, and a parallel Monte-Carlo harness.
+//! search for reference optima, and the rayon-backed [`Ensemble`] runner
+//! for success-probability experiments (deterministic at any thread
+//! count).
 //!
 //! ```
 //! use fecim_anneal::{run_in_situ, AnnealConfig, ExactBackend, SteppedSchedule, suggest_einc_scale};
@@ -30,6 +32,7 @@
 
 mod backend;
 mod engine;
+mod ensemble;
 mod local_search;
 mod mesa;
 mod montecarlo;
@@ -40,12 +43,13 @@ mod trace;
 
 pub use backend::{CrossbarBackend, EnergyBackend, ExactBackend};
 pub use engine::{run_direct, run_in_situ, suggest_einc_scale, Acceptance, AnnealConfig};
+pub use ensemble::Ensemble;
 pub use local_search::{local_search, multi_start_local_search};
 pub use mesa::{run_mesa, MesaConfig};
 pub use montecarlo::{success_rate, MonteCarlo};
 pub use result::{Aggregate, RunResult};
-pub use tabu::{multi_start_tabu, tabu_search, tabu_search_from, TabuConfig};
 pub use schedule::{
     ConstantSchedule, GeometricSchedule, LinearSchedule, Schedule, SteppedSchedule,
 };
+pub use tabu::{multi_start_tabu, tabu_search, tabu_search_from, TabuConfig};
 pub use trace::{Trace, TraceMode, TracePoint};

@@ -57,7 +57,7 @@ pub fn multi_start_local_search(
     for _ in 0..starts {
         let start = SpinVector::random(n, &mut rng);
         let (spins, energy) = local_search(coupling, start);
-        if best.as_ref().map_or(true, |(_, e)| energy < *e) {
+        if best.as_ref().is_none_or(|(_, e)| energy < *e) {
             best = Some((spins, energy));
         }
     }

@@ -66,7 +66,8 @@ pub fn run_mesa(coupling: &CsrCoupling, initial: SpinVector, config: MesaConfig)
 
     for epoch in 0..config.epochs {
         let t0 = (config.t0 * config.reheat.powi(epoch as i32)).max(config.t_end * 2.0);
-        let schedule = GeometricSchedule::over_iterations(t0, config.t_end, config.iterations_per_epoch);
+        let schedule =
+            GeometricSchedule::over_iterations(t0, config.t_end, config.iterations_per_epoch);
         let mut backend = ExactBackend::new(coupling, current.clone());
         let result = run_direct(
             &mut backend,
@@ -82,7 +83,7 @@ pub fn run_mesa(coupling: &CsrCoupling, initial: SpinVector, config: MesaConfig)
         );
         total_accepted += result.accepted;
         total_iterations += result.iterations;
-        if best.as_ref().map_or(true, |(e, _)| result.best_energy < *e) {
+        if best.as_ref().is_none_or(|(e, _)| result.best_energy < *e) {
             best = Some((result.best_energy, result.best_spins.clone()));
         }
         // Next epoch continues from the best configuration found so far.

@@ -1,18 +1,27 @@
-//! Monte-Carlo evaluation harness: many independent seeded runs in
-//! parallel (std threads, no extra dependencies), success-rate computation
-//! against a quality target — the methodology of the paper's Fig. 10
-//! (100 runs per instance, success = reaching 90 % of the optimal cut).
+//! Legacy Monte-Carlo harness, now a thin wrapper over the rayon-backed
+//! [`Ensemble`] runner: many independent seeded runs in parallel, plus
+//! success-rate computation against a quality target — the methodology of
+//! the paper's Fig. 10 (100 runs per instance, success = reaching 90 % of
+//! the optimal cut).
+//!
+//! New code should use [`Ensemble`] directly; [`MonteCarlo`] is kept for
+//! source compatibility and forwards to it. Execution order, seed
+//! derivation (`base_seed + run_index`) and outcome order are identical,
+//! and results are deterministic at any thread count.
 
 use serde::{Deserialize, Serialize};
 
-/// Monte-Carlo execution plan.
+use crate::ensemble::Ensemble;
+
+/// Monte-Carlo execution plan (wrapper over [`Ensemble`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MonteCarlo {
     /// Number of independent runs.
     pub runs: usize,
     /// Base seed; run `r` receives seed `base_seed + r`.
     pub base_seed: u64,
-    /// Worker threads (1 = sequential).
+    /// Upper bound on worker threads (1 = sequential). The effective
+    /// count is additionally capped by `RAYON_NUM_THREADS`.
     pub threads: usize,
 }
 
@@ -31,7 +40,7 @@ impl MonteCarlo {
         }
     }
 
-    /// Fix the worker thread count.
+    /// Fix the worker thread cap.
     ///
     /// # Panics
     ///
@@ -43,39 +52,18 @@ impl MonteCarlo {
     }
 
     /// Execute `run_fn(seed)` for every planned seed, in parallel, and
-    /// return the outcomes in seed order.
+    /// return the outcomes in seed order (delegates to [`Ensemble::run`]).
+    /// A `threads` value of 0 (possible through the public field or
+    /// deserialization) is treated as 1, like the pre-`Ensemble`
+    /// implementation did.
     pub fn execute<T, F>(&self, run_fn: F) -> Vec<T>
     where
         T: Send,
         F: Fn(u64) -> T + Sync,
     {
-        if self.runs == 0 {
-            return Vec::new();
-        }
-        let seeds: Vec<u64> = (0..self.runs as u64).map(|r| self.base_seed + r).collect();
-        if self.threads <= 1 {
-            return seeds.into_iter().map(&run_fn).collect();
-        }
-        let mut results: Vec<Option<T>> = (0..self.runs).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results_mutex = std::sync::Mutex::new(&mut results);
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(self.runs) {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= seeds.len() {
-                        break;
-                    }
-                    let out = run_fn(seeds[idx]);
-                    let mut guard = results_mutex.lock().expect("no poisoned workers");
-                    guard[idx] = Some(out);
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("every index visited"))
-            .collect()
+        Ensemble::new(self.runs, self.base_seed)
+            .with_max_threads(self.threads.max(1))
+            .run(run_fn)
     }
 }
 
@@ -128,9 +116,29 @@ mod tests {
     }
 
     #[test]
+    fn zero_threads_field_runs_sequentially() {
+        // `threads` is a public field, so 0 is constructible; the
+        // pre-Ensemble implementation treated it as sequential.
+        let mc = MonteCarlo {
+            runs: 4,
+            base_seed: 3,
+            threads: 0,
+        };
+        assert_eq!(mc.execute(|s| s), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn matches_ensemble_exactly() {
+        let f = |seed: u64| seed.wrapping_mul(6364136223846793005);
+        let via_mc = MonteCarlo::new(32, 9).execute(f);
+        let via_ensemble = Ensemble::new(32, 9).run(f);
+        assert_eq!(via_mc, via_ensemble);
+    }
+
+    #[test]
     fn parallel_execution_actually_uses_threads() {
         // Smoke test: heavy-ish closure across threads completes and is
-        // correct (catches deadlocks in the scope/mutex plumbing).
+        // correct (catches deadlocks in the dispatch plumbing).
         let mc = MonteCarlo::new(32, 0).with_threads(8);
         let out = mc.execute(|seed| {
             let mut acc = seed;

@@ -63,15 +63,15 @@ pub fn tabu_search_from(
     for iteration in 0..config.iterations {
         // Best admissible single flip: ΔE_i = −4σ_i·l_i.
         let mut chosen: Option<(usize, f64)> = None;
-        for i in 0..n {
+        for (i, &until) in tabu_until.iter().enumerate() {
             let gain = -4.0 * state.spins().get(i) as f64 * state.field(i);
-            let is_tabu = tabu_until[i] > iteration;
+            let is_tabu = until > iteration;
             // Aspiration: a tabu move is allowed if it beats the incumbent.
             let aspires = state.energy() + gain < best_energy - 1e-12;
             if is_tabu && !aspires {
                 continue;
             }
-            if chosen.map_or(true, |(_, g)| gain < g) {
+            if chosen.is_none_or(|(_, g)| gain < g) {
                 chosen = Some((i, gain));
             }
         }
@@ -99,7 +99,7 @@ pub fn multi_start_tabu(coupling: &CsrCoupling, starts: usize, seed: u64) -> (Sp
     for k in 0..starts {
         let config = TabuConfig::for_dimension(coupling.dimension(), seed.wrapping_add(k as u64));
         let (spins, energy) = tabu_search(coupling, config);
-        if best.as_ref().map_or(true, |(_, e)| energy < *e) {
+        if best.as_ref().is_none_or(|(_, e)| energy < *e) {
             best = Some((spins, energy));
         }
     }

@@ -46,7 +46,7 @@ impl Trace {
             TraceMode::Off => {}
             TraceMode::Every(n) => {
                 let n = n.max(1);
-                if point.iteration % n == 0 {
+                if point.iteration.is_multiple_of(n) {
                     self.points.push(point);
                 }
             }

@@ -31,7 +31,8 @@ fn bench_quant_bits(c: &mut Criterion) {
     group.sample_size(20);
     let n = 256;
     let mut rng = StdRng::seed_from_u64(11);
-    let coupling = CsrCoupling::from_dense(&DenseCoupling::random(n, 10.0 / n as f64, 1.0, &mut rng));
+    let coupling =
+        CsrCoupling::from_dense(&DenseCoupling::random(n, 10.0 / n as f64, 1.0, &mut rng));
     let spins = SpinVector::random(n, &mut rng);
     let mask = FlipMask::random(2, n, &mut rng);
     let new_spins = spins.flipped_by(&mask);
@@ -59,5 +60,10 @@ fn bench_factor_backends(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mux_mapping, bench_quant_bits, bench_factor_backends);
+criterion_group!(
+    benches,
+    bench_mux_mapping,
+    bench_quant_bits,
+    bench_factor_backends
+);
 criterion_main!(benches);

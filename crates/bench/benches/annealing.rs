@@ -40,7 +40,13 @@ fn bench_exact_engines(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(1);
                 let mut backend = ExactBackend::new(&j, SpinVector::random(n, &mut rng));
-                run_in_situ(&mut backend, &schedule, &factor, scale, AnnealConfig::new(1000, 1))
+                run_in_situ(
+                    &mut backend,
+                    &schedule,
+                    &factor,
+                    scale,
+                    AnnealConfig::new(1000, 1),
+                )
             })
         });
         let metro_schedule = GeometricSchedule::over_iterations(10.0, 0.1, 1000);
@@ -77,7 +83,13 @@ fn bench_crossbar_engine(c: &mut Criterion) {
                 SpinVector::random(n, &mut rng),
                 CrossbarConfig::paper_defaults(),
             );
-            run_in_situ(&mut backend, &schedule, &factor, scale, AnnealConfig::new(200, 2))
+            run_in_situ(
+                &mut backend,
+                &schedule,
+                &factor,
+                scale,
+                AnnealConfig::new(200, 2),
+            )
         })
     });
     group.finish();

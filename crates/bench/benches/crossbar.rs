@@ -11,7 +11,8 @@ use fecim_ising::{CsrCoupling, DenseCoupling, FlipMask, SpinVector};
 
 fn instance(n: usize, seed: u64) -> (CsrCoupling, SpinVector, FlipMask) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let coupling = CsrCoupling::from_dense(&DenseCoupling::random(n, 10.0 / n as f64, 1.0, &mut rng));
+    let coupling =
+        CsrCoupling::from_dense(&DenseCoupling::random(n, 10.0 / n as f64, 1.0, &mut rng));
     let spins = SpinVector::random(n, &mut rng);
     let mask = FlipMask::random(2, n, &mut rng);
     (coupling, spins, mask)
@@ -44,7 +45,10 @@ fn bench_fidelity(c: &mut Criterion) {
     let new_spins = spins.flipped_by(&mask);
     let r = new_spins.rest_vector(&mask);
     let cvec = new_spins.changed_vector(&mask);
-    for (label, fidelity) in [("ideal", Fidelity::Ideal), ("device", Fidelity::DeviceAccurate)] {
+    for (label, fidelity) in [
+        ("ideal", Fidelity::Ideal),
+        ("device", Fidelity::DeviceAccurate),
+    ] {
         let mut cfg = CrossbarConfig::paper_defaults();
         cfg.fidelity = fidelity;
         let mut xb = Crossbar::program(&coupling, cfg);

@@ -10,16 +10,27 @@
 //!
 //! `cargo run --release -p fecim-bench --bin ablation_sweeps [--scale quick|paper]`
 
-use fecim::{CimAnnealer, FactorChoice};
+use fecim::{normalized_ensemble, CimAnnealer, FactorChoice, Solver};
 use fecim_anneal::{
-    multi_start_local_search, run_in_situ, success_rate, AnnealConfig, ExactBackend, MonteCarlo,
+    multi_start_local_search, run_in_situ, success_rate, AnnealConfig, Ensemble, ExactBackend,
     SteppedSchedule,
 };
 use fecim_bench::{parse_scale, HarnessScale};
 use fecim_crossbar::{CrossbarConfig, Fidelity};
 use fecim_device::{FractionalFactor, VariationConfig};
 use fecim_gset::{GeneratorConfig, GsetFamily};
-use fecim_ising::{CopProblem, SpinVector};
+use fecim_ising::{CopProblem, MaxCut, SpinVector};
+
+/// Run one sweep point: a parallel ensemble of `solver` on `problem`,
+/// reported as mean normalized cut + success rate. Every solver-level
+/// ablation goes through this `&dyn Solver` entry point.
+fn sweep(label: &str, solver: &dyn Solver, problem: &MaxCut, reference: f64, ensemble: &Ensemble) {
+    let cuts: Vec<f64> = normalized_ensemble(solver, problem, reference, ensemble)
+        .into_iter()
+        .map(|(cut, _)| cut)
+        .collect();
+    report(label, &cuts);
+}
 
 fn main() {
     let scale = parse_scale();
@@ -37,7 +48,7 @@ fn main() {
     let (_, ref_energy) = multi_start_local_search(coupling, 10, 9);
     let reference = problem.cut_from_energy(ref_energy);
     println!("instance: n={n}, iters={iterations}, runs={runs}, reference cut {reference}\n");
-    let mc = MonteCarlo::new(runs, 31337);
+    let ensemble = Ensemble::new(runs, 31337);
 
     // --- 1. schedule direction × calibration ------------------------------
     // The factor direction and the E_inc full-scale calibration interact:
@@ -56,7 +67,7 @@ fn main() {
         ("falling f, uncalibrated", true, 1.0),
     ] {
         let einc = fecim_anneal::suggest_einc_scale(coupling, 2) / divisor;
-        let cuts = mc.execute(|seed| {
+        let cuts = ensemble.run(|seed| {
             use rand::SeedableRng;
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
             let init = SpinVector::random(coupling_dim(coupling), &mut rng);
@@ -65,9 +76,21 @@ fn main() {
                 // Re-create the literal reading: evaluate f at T itself by
                 // mirroring the schedule (T rises ⇒ factor falls over time).
                 let mirrored = MirroredSchedule(schedule);
-                run_in_situ(&mut backend, &mirrored, &factor, einc, AnnealConfig::new(tight, seed))
+                run_in_situ(
+                    &mut backend,
+                    &mirrored,
+                    &factor,
+                    einc,
+                    AnnealConfig::new(tight, seed),
+                )
             } else {
-                run_in_situ(&mut backend, &schedule, &factor, einc, AnnealConfig::new(tight, seed))
+                run_in_situ(
+                    &mut backend,
+                    &schedule,
+                    &factor,
+                    einc,
+                    AnnealConfig::new(tight, seed),
+                )
             };
             problem.cut_from_energy(result.best_energy) / reference
         });
@@ -79,35 +102,44 @@ fn main() {
     for divisor in [1.0, 5.0, 20.0, 80.0, 320.0] {
         let base = fecim_anneal::suggest_einc_scale(coupling, 2);
         let solver = CimAnnealer::new(iterations).with_einc_scale(base / divisor);
-        let cuts = mc.execute(|seed| {
-            solver.solve(&problem, seed).expect("valid").objective.unwrap() / reference
-        });
-        report(&format!("divisor {divisor:>5}"), &cuts);
+        sweep(
+            &format!("divisor {divisor:>5}"),
+            &solver,
+            &problem,
+            reference,
+            &ensemble,
+        );
     }
 
     // --- 3. flip count -----------------------------------------------------
     println!("\n=== ablation 3: flip count t = |F| (energy advantage = n/t) ===");
     for flips in [1usize, 2, 4, 8] {
         let solver = CimAnnealer::new(iterations).with_flips(flips);
-        let cuts = mc.execute(|seed| {
-            solver.solve(&problem, seed).expect("valid").objective.unwrap() / reference
-        });
-        report(&format!("t = {flips} (n/t = {:>4.0})", n as f64 / flips as f64), &cuts);
+        sweep(
+            &format!("t = {flips} (n/t = {:>4.0})", n as f64 / flips as f64),
+            &solver,
+            &problem,
+            reference,
+            &ensemble,
+        );
     }
 
     // --- 4. ADC / weight precision (device in the loop) --------------------
     println!("\n=== ablation 4: quantization (device-in-the-loop) ===");
     let dl_runs = runs.min(5);
-    let dl_mc = MonteCarlo::new(dl_runs, 512);
+    let dl_ensemble = Ensemble::new(dl_runs, 512);
     for (adc_bits, quant_bits) in [(13u8, 4u8), (8, 4), (6, 4), (13, 2), (13, 1)] {
         let mut cfg = CrossbarConfig::paper_defaults();
         cfg.adc_bits = adc_bits;
         cfg.quant_bits = quant_bits;
         let solver = CimAnnealer::new(iterations).with_device_in_loop(cfg);
-        let cuts = dl_mc.execute(|seed| {
-            solver.solve(&problem, seed).expect("valid").objective.unwrap() / reference
-        });
-        report(&format!("ADC {adc_bits}b / J {quant_bits}b"), &cuts);
+        sweep(
+            &format!("ADC {adc_bits}b / J {quant_bits}b"),
+            &solver,
+            &problem,
+            reference,
+            &dl_ensemble,
+        );
     }
 
     // --- 5. device variation ----------------------------------------------
@@ -121,10 +153,13 @@ fn main() {
             read_noise_rel: 0.02,
         };
         let solver = CimAnnealer::new(iterations).with_device_in_loop(cfg);
-        let cuts = dl_mc.execute(|seed| {
-            solver.solve(&problem, seed).expect("valid").objective.unwrap() / reference
-        });
-        report(&format!("sigma {sigma:.3} V"), &cuts);
+        sweep(
+            &format!("sigma {sigma:.3} V"),
+            &solver,
+            &problem,
+            reference,
+            &dl_ensemble,
+        );
     }
 
     // --- 6. fractional vs device factor ------------------------------------
@@ -134,10 +169,7 @@ fn main() {
         ("physical DG FeFET", FactorChoice::Device),
     ] {
         let solver = CimAnnealer::new(iterations).with_factor(factor);
-        let cuts = mc.execute(|seed| {
-            solver.solve(&problem, seed).expect("valid").objective.unwrap() / reference
-        });
-        report(label, &cuts);
+        sweep(label, &solver, &problem, reference, &ensemble);
     }
 }
 
@@ -149,7 +181,10 @@ fn coupling_dim(c: &fecim_ising::CsrCoupling) -> usize {
 fn report(label: &str, cuts: &[f64]) {
     let mean = cuts.iter().sum::<f64>() / cuts.len() as f64;
     let sr = success_rate(cuts, 0.9, true);
-    println!("  {label:<28} mean cut {mean:.3}  success {:.0}%", sr * 100.0);
+    println!(
+        "  {label:<28} mean cut {mean:.3}  success {:.0}%",
+        sr * 100.0
+    );
 }
 
 /// Mirrors a stepped schedule in time: temperature *rises* over the run,

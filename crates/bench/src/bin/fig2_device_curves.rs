@@ -13,7 +13,10 @@ fn main() {
     let low = fefet.transfer_curve(-0.5, 1.5, 21, 1.0);
     fefet.program(StoredBit::Zero);
     let high = fefet.transfer_curve(-0.5, 1.5, 21, 1.0);
-    println!("{:>8} {:>12} {:>12}", "V_G (V)", "low-VTH (A)", "high-VTH (A)");
+    println!(
+        "{:>8} {:>12} {:>12}",
+        "V_G (V)", "low-VTH (A)", "high-VTH (A)"
+    );
     let mut rows = Vec::new();
     for (l, h) in low.iter().zip(high.iter()) {
         println!("{:>8.2} {:>12.4e} {:>12.4e}", l.0, l.1, h.1);

@@ -14,7 +14,10 @@ fn main() {
     one.program(StoredBit::One);
     let mut zero = DgFefet::new(Default::default());
     zero.program(StoredBit::Zero);
-    println!("{:>9} {:>14} {:>14}", "V_BG (V)", "store '1' (A)", "store '0' (A)");
+    println!(
+        "{:>9} {:>14} {:>14}",
+        "V_BG (V)", "store '1' (A)", "store '0' (A)"
+    );
     let curve_one = one.isl_vbg_curve(15);
     let curve_zero = zero.isl_vbg_curve(15);
     let mut rows = Vec::new();
@@ -22,9 +25,7 @@ fn main() {
         println!("{:>9.2} {:>14.4e} {:>14.4e}", a.0, a.1, b.1);
         rows.push(serde_json::json!({"v_bg": a.0, "i_one": a.1, "i_zero": b.1}));
     }
-    println!(
-        "paper: '1' rises ~linearly toward ~10 uA at 0.7 V; '0' stays near zero\n"
-    );
+    println!("paper: '1' rises ~linearly toward ~10 uA at 0.7 V; '0' stays near zero\n");
 
     println!("=== Fig. 6(c): normalized I_SL vs fractional f(T) ===");
     let device = DeviceFactor::paper();
@@ -67,7 +68,7 @@ fn main() {
         &serde_json::json!({
             "fig6b": rows,
             "fig6c": fig6c,
-            "fit": {"b": fit.b, "c": fit.c, "d": fit.d, "rmse": fit.rmse},
+            "fit": serde_json::json!({"b": fit.b, "c": fit.c, "d": fit.d, "rmse": fit.rmse}),
         }),
     );
 }

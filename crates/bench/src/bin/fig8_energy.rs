@@ -34,8 +34,7 @@ fn main() {
         let iterations = config.iterations_for(group);
         let model = CostModel::paper_22nm(n, 4);
         let profile = IterationProfile::paper(n);
-        let energy =
-            |kind: AnnealerKind| profile.run_energy(kind, &model, iterations).total();
+        let energy = |kind: AnnealerKind| profile.run_energy(kind, &model, iterations).total();
         let fpga = energy(AnnealerKind::CimFpga);
         let asic = energy(AnnealerKind::CimAsic);
         let ours = energy(AnnealerKind::InSitu);

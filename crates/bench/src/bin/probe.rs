@@ -10,10 +10,23 @@
 //! quality experiment is `fig10_success`, the published sweep is
 //! `ablation_sweeps`.
 
-use fecim::{CimAnnealer, DirectAnnealer};
-use fecim_anneal::{multi_start_local_search, success_rate, MonteCarlo};
+use fecim::{normalized_ensemble, CimAnnealer, DirectAnnealer, Solver};
+use fecim_anneal::{multi_start_local_search, success_rate, Ensemble};
 use fecim_gset::quick_suite;
 use fecim_ising::CopProblem;
+
+/// Normalized-cut ensemble of any solver on a Max-Cut instance.
+fn normalized_cuts(
+    solver: &dyn Solver,
+    problem: &(dyn CopProblem + Sync),
+    reference: f64,
+    ensemble: &Ensemble,
+) -> Vec<f64> {
+    normalized_ensemble(solver, problem, reference, ensemble)
+        .into_iter()
+        .map(|(cut, _)| cut)
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -50,7 +63,7 @@ fn main() {
         let (_, ref_energy) = multi_start_local_search(model.couplings(), 8, 2025);
         let reference = problem.cut_from_energy(ref_energy);
         let iters = inst.group.iteration_budget().min(20_000);
-        let mc = MonteCarlo::new(runs, 2025);
+        let ensemble = Ensemble::new(runs, 2025);
 
         let mut line = format!(
             "{:8} n={:4} iters={:6} ref={:8.1} |",
@@ -59,23 +72,28 @@ fn main() {
             iters,
             reference
         );
+        // Candidate in-situ configurations, dispatched as `&dyn Solver`.
+        let mut candidates: Vec<(String, Box<dyn Solver>)> = Vec::new();
         for (label, divisor, flips) in [("d80/t2", 80.0, 2), ("d160/t2", 160.0, 2)] {
             let base_scale = fecim_anneal::suggest_einc_scale(model.couplings(), flips);
-            let solver = CimAnnealer::new(iters)
-                .with_flips(flips)
-                .with_einc_scale(base_scale / divisor);
-            let cuts = mc.execute(|seed| {
-                solver.solve(&problem, seed).unwrap().objective.unwrap() / reference
-            });
+            candidates.push((
+                label.to_string(),
+                Box::new(
+                    CimAnnealer::new(iters)
+                        .with_flips(flips)
+                        .with_einc_scale(base_scale / divisor),
+                ),
+            ));
+        }
+        for (label, solver) in &candidates {
+            let cuts = normalized_cuts(solver.as_ref(), &problem, reference, &ensemble);
             let sr = success_rate(&cuts, 0.9, true);
             let mean = cuts.iter().sum::<f64>() / cuts.len() as f64;
             line.push_str(&format!(" {label}:{mean:.3}/{:.0}%", sr * 100.0));
         }
         // Baseline for comparison.
         let base = DirectAnnealer::cim_asic(iters);
-        let cuts = mc.execute(|seed| {
-            base.solve(&problem, seed).unwrap().objective.unwrap() / reference
-        });
+        let cuts = normalized_cuts(&base, &problem, reference, &ensemble);
         let sr = success_rate(&cuts, 0.9, true);
         let mean = cuts.iter().sum::<f64>() / cuts.len() as f64;
         line.push_str(&format!(" | base:{mean:.3}/{:.0}%", sr * 100.0));

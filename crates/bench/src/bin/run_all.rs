@@ -34,7 +34,10 @@ fn main() {
         println!("================================================================");
         let mut cmd = Command::new(exe_dir.join(bin));
         // Figure binaries that don't take --scale just ignore unknown args.
-        if matches!(bin, "fig8_energy" | "fig9_time" | "fig10_success" | "table1_summary" | "ablation_sweeps") {
+        if matches!(
+            bin,
+            "fig8_energy" | "fig9_time" | "fig10_success" | "table1_summary" | "ablation_sweeps"
+        ) {
             cmd.args(&scale_args);
         }
         cmd.args(extra);

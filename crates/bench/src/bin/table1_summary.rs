@@ -14,7 +14,10 @@ fn main() {
         HarnessScale::Quick => Scale::Quick,
         HarnessScale::Paper => Scale::Paper,
     });
-    println!("=== Table 1: summary of COP solvers ({:?} scale) ===\n", config.scale);
+    println!(
+        "=== Table 1: summary of COP solvers ({:?} scale) ===\n",
+        config.scale
+    );
     let outcome = run_experiment(config);
     println!("{}", format_table1(&outcome));
     println!("paper 'This Work' row: O(n), no e^x, DG FeFET, 3000 node, 4.6 ms, 0.9 uJ, 98%");

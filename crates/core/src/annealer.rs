@@ -12,7 +12,9 @@ use fecim_anneal::{
 use fecim_crossbar::CrossbarConfig;
 use fecim_device::{AnnealFactor, DeviceFactor, FractionalFactor, TableFactor};
 use fecim_hwcost::{AnnealerKind, CostModel, EnergyReport, IterationProfile, TimeReport};
-use fecim_ising::{CopProblem, Coupling, IsingError, IsingModel, SpinVector};
+use fecim_ising::{CopProblem, Coupling, CsrCoupling, IsingError, IsingModel, SpinVector};
+
+use crate::solver::Solver;
 
 /// Which annealing-factor implementation drives the acceptance test.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -152,28 +154,38 @@ impl CimAnnealer {
 
     /// Solve a COP: transform to Ising (ancilla-embedding linear terms if
     /// present), anneal, and score the solution in the problem's native
-    /// objective.
+    /// objective (convenience wrapper over the [`Solver`] pipeline).
     ///
     /// # Errors
     ///
     /// Propagates encoding errors from the problem's Ising transformation.
     pub fn solve<P: CopProblem>(&self, problem: &P, seed: u64) -> Result<SolveReport, IsingError> {
-        let model = problem.to_ising()?;
-        let (run, spins) = self.anneal_model(&model, seed);
-        let objective = problem.native_objective(&spins);
-        let feasible = problem.is_feasible(&spins);
-        Ok(self.report(run, spins, Some(objective), feasible, model.dimension()))
+        Solver::solve(self, problem, seed)
     }
 
     /// Anneal a raw Ising model and return the run plus the best solution
-    /// projected back to the model's original spins.
+    /// projected back to the model's original spins (see
+    /// [`Solver::anneal_model`]).
     pub fn anneal_model(&self, model: &IsingModel, seed: u64) -> (RunResult, SpinVector) {
-        use rand::SeedableRng;
-        let quadratic = model.to_quadratic_only();
-        let coupling = quadratic.couplings();
+        Solver::anneal_model(self, model, seed)
+    }
+}
+
+impl Solver for CimAnnealer {
+    fn name(&self) -> &str {
+        "in-situ (this work)"
+    }
+
+    fn kind(&self) -> AnnealerKind {
+        AnnealerKind::InSitu
+    }
+
+    fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn run_engine(&self, coupling: &CsrCoupling, initial: SpinVector, seed: u64) -> RunResult {
         let n = coupling.dimension();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
-        let initial = SpinVector::random(n, &mut rng);
         let factor = self.factor.build();
         let schedule = SteppedSchedule::over_iterations(self.factor.t_max(), 70, self.iterations);
         // Default normalization: 1/80 of the typical |σ_rᵀJσ_c|. The
@@ -193,7 +205,7 @@ impl CimAnnealer {
         if let Some(target) = self.target_energy {
             config = config.with_target_energy(target);
         }
-        let run = match &self.device_in_loop {
+        match &self.device_in_loop {
             None => {
                 let mut backend = ExactBackend::new(coupling, initial);
                 run_in_situ(&mut backend, &schedule, factor.as_ref(), scale, config)
@@ -202,24 +214,10 @@ impl CimAnnealer {
                 let mut backend = CrossbarBackend::new(coupling, initial, xb_config.clone());
                 run_in_situ(&mut backend, &schedule, factor.as_ref(), scale, config)
             }
-        };
-        let spins = if model.is_quadratic_only() {
-            run.best_spins.clone()
-        } else {
-            model.project_from_quadratic(&run.best_spins)
-        };
-        (run, spins)
+        }
     }
 
-    /// Assemble the hardware-costed report for a finished run.
-    fn report(
-        &self,
-        run: RunResult,
-        best_spins: SpinVector,
-        objective: Option<f64>,
-        feasible: bool,
-        spins: usize,
-    ) -> SolveReport {
+    fn hardware_report(&self, run: &mut RunResult, spins: usize) -> (EnergyReport, TimeReport) {
         let cost_model = CostModel::paper_22nm(spins, self.quant_bits);
         let profile = IterationProfile {
             spins,
@@ -228,7 +226,7 @@ impl CimAnnealer {
             mux_ratio: self.mux_ratio,
         };
         // Prefer measured activity (device-in-loop) over the analytic model.
-        let (energy, time) = match &run.activity {
+        match &run.activity {
             Some(stats) => (
                 fecim_hwcost::energy_of(stats, &cost_model, fecim_hwcost::ExpUnit::Asic),
                 fecim_hwcost::time_of(stats, &cost_model, fecim_hwcost::ExpUnit::Asic),
@@ -237,16 +235,6 @@ impl CimAnnealer {
                 profile.run_energy(AnnealerKind::InSitu, &cost_model, run.iterations),
                 profile.run_time(AnnealerKind::InSitu, &cost_model, run.iterations),
             ),
-        };
-        SolveReport {
-            kind: AnnealerKind::InSitu,
-            best_energy: run.best_energy,
-            objective,
-            feasible,
-            best_spins,
-            energy,
-            time,
-            run,
         }
     }
 }

@@ -9,10 +9,11 @@ use fecim_anneal::{
     GeometricSchedule, RunResult,
 };
 use fecim_crossbar::CrossbarConfig;
-use fecim_hwcost::{AnnealerKind, CostModel, ExpUnit, IterationProfile};
-use fecim_ising::{CopProblem, Coupling, IsingError, IsingModel, SpinVector};
+use fecim_hwcost::{AnnealerKind, CostModel, EnergyReport, ExpUnit, IterationProfile, TimeReport};
+use fecim_ising::{CopProblem, Coupling, CsrCoupling, IsingError, IsingModel, SpinVector};
 
 use crate::annealer::SolveReport;
+use crate::solver::Solver;
 
 /// Baseline direct-E CiM annealer (conventional FeFET crossbar + digital
 /// Metropolis acceptance with a hardware `eˣ` unit).
@@ -121,27 +122,41 @@ impl DirectAnnealer {
         self.iterations
     }
 
-    /// Solve a COP with the baseline flow.
+    /// Solve a COP with the baseline flow (convenience wrapper over the
+    /// [`Solver`] pipeline).
     ///
     /// # Errors
     ///
     /// Propagates encoding errors from the problem's Ising transformation.
     pub fn solve<P: CopProblem>(&self, problem: &P, seed: u64) -> Result<SolveReport, IsingError> {
-        let model = problem.to_ising()?;
-        let (run, spins) = self.anneal_model(&model, seed);
-        let objective = problem.native_objective(&spins);
-        let feasible = problem.is_feasible(&spins);
-        Ok(self.report(run, spins, Some(objective), feasible, model.dimension()))
+        Solver::solve(self, problem, seed)
     }
 
-    /// Anneal a raw Ising model with the baseline flow.
+    /// Anneal a raw Ising model with the baseline flow (see
+    /// [`Solver::anneal_model`]).
     pub fn anneal_model(&self, model: &IsingModel, seed: u64) -> (RunResult, SpinVector) {
-        use rand::SeedableRng;
-        let quadratic = model.to_quadratic_only();
-        let coupling = quadratic.couplings();
+        Solver::anneal_model(self, model, seed)
+    }
+}
+
+impl Solver for DirectAnnealer {
+    fn name(&self) -> &str {
+        match self.exp_unit {
+            ExpUnit::Fpga => "CiM/FPGA direct-E baseline",
+            ExpUnit::Asic => "CiM/ASIC direct-E baseline",
+        }
+    }
+
+    fn kind(&self) -> AnnealerKind {
+        DirectAnnealer::kind(self)
+    }
+
+    fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn run_engine(&self, coupling: &CsrCoupling, initial: SpinVector, seed: u64) -> RunResult {
         let n = coupling.dimension();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
-        let initial = SpinVector::random(n, &mut rng);
         // Default T0: a few times the typical |ΔE| of a t-flip move, so
         // the Metropolis walk starts hot (the classical SA prescription).
         let t0 = self
@@ -156,7 +171,7 @@ impl DirectAnnealer {
         if let Some(target) = self.target_energy {
             config = config.with_target_energy(target);
         }
-        let run = match &self.device_in_loop {
+        match &self.device_in_loop {
             None => {
                 let mut backend = ExactBackend::new(coupling, initial);
                 run_direct(&mut backend, &schedule, self.acceptance, config)
@@ -165,23 +180,10 @@ impl DirectAnnealer {
                 let mut backend = CrossbarBackend::new(coupling, initial, xb_config.clone());
                 run_direct(&mut backend, &schedule, self.acceptance, config)
             }
-        };
-        let spins = if model.is_quadratic_only() {
-            run.best_spins.clone()
-        } else {
-            model.project_from_quadratic(&run.best_spins)
-        };
-        (run, spins)
+        }
     }
 
-    fn report(
-        &self,
-        mut run: RunResult,
-        best_spins: SpinVector,
-        objective: Option<f64>,
-        feasible: bool,
-        spins: usize,
-    ) -> SolveReport {
+    fn hardware_report(&self, run: &mut RunResult, spins: usize) -> (EnergyReport, TimeReport) {
         // The baseline evaluates eˣ once per iteration (Fig. 1b digital
         // computation); stamp it into measured activity when present.
         if let Some(stats) = run.activity.as_mut() {
@@ -194,7 +196,7 @@ impl DirectAnnealer {
             flips: self.flips,
             mux_ratio: self.mux_ratio,
         };
-        let (energy, time) = match &run.activity {
+        match &run.activity {
             Some(stats) => (
                 fecim_hwcost::energy_of(stats, &cost_model, self.exp_unit),
                 fecim_hwcost::time_of(stats, &cost_model, self.exp_unit),
@@ -203,16 +205,6 @@ impl DirectAnnealer {
                 profile.run_energy(self.kind(), &cost_model, run.iterations),
                 profile.run_time(self.kind(), &cost_model, run.iterations),
             ),
-        };
-        SolveReport {
-            kind: self.kind(),
-            best_energy: run.best_energy,
-            objective,
-            feasible,
-            best_spins,
-            energy,
-            time,
-            run,
         }
     }
 }

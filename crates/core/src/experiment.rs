@@ -1,18 +1,25 @@
 //! The paper's evaluation protocol (Sec. 4) as a reusable experiment
-//! runner: the 30-instance Max-Cut suite, Monte-Carlo solving with all
-//! three annealers, success-rate scoring against 90 %-of-optimum targets,
-//! and hardware energy/time accounting — the data behind Figs. 8, 9, 10
-//! and Table 1.
+//! runner: the 30-instance Max-Cut suite, parallel solver ensembles
+//! (rayon-backed, deterministic at any thread count), success-rate
+//! scoring against 90 %-of-optimum targets, and hardware energy/time
+//! accounting — the data behind Figs. 8, 9, 10 and Table 1.
+//!
+//! Solvers are dispatched through the [`Solver`](crate::Solver) trait
+//! (via [`normalized_ensemble`](crate::normalized_ensemble)), so the
+//! protocol never names a concrete annealer beyond the two architecture
+//! choices it compares; swapping either is a one-line change in
+//! [`run_experiment`]'s solver construction.
 
 use serde::{Deserialize, Serialize};
 
-use fecim_anneal::{multi_start_local_search, success_rate, Aggregate, MonteCarlo};
+use fecim_anneal::{multi_start_local_search, success_rate, Aggregate, Ensemble};
 use fecim_gset::{paper_suite, quick_suite, SizeGroup, SuiteInstance};
 use fecim_hwcost::{AnnealerKind, CostModel, IterationProfile};
 use fecim_ising::CopProblem;
 
 use crate::annealer::CimAnnealer;
 use crate::baselines::DirectAnnealer;
+use crate::solver::normalized_ensemble;
 
 /// Evaluation scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -232,28 +239,14 @@ fn run_group(
         };
         // Target in energy units: the Ising energy of a 90%-of-optimum cut.
         let target_energy = problem.energy_from_cut(config.target_fraction * reference);
-        let mc = MonteCarlo::new(
+        let ensemble = Ensemble::new(
             config.runs_per_instance,
             config.seed ^ ((inst_idx as u64) << 32),
         );
         let ours = CimAnnealer::new(iterations).with_target_energy(target_energy);
         let base = DirectAnnealer::cim_asic(iterations).with_target_energy(target_energy);
-        let our_outcomes = mc.execute(|seed| {
-            let report = ours.solve(&problem, seed).expect("valid problem");
-            (
-                report.objective.expect("max-cut scores") / reference,
-                report.run.first_target_hit,
-            )
-        });
-        let base_outcomes = mc.execute(|seed| {
-            let report = base.solve(&problem, seed).expect("valid problem");
-            (
-                report.objective.expect("max-cut scores") / reference,
-                report.run.first_target_hit,
-            )
-        });
-        in_situ_runs.extend(our_outcomes);
-        baseline_runs.extend(base_outcomes);
+        in_situ_runs.extend(normalized_ensemble(&ours, &problem, reference, &ensemble));
+        baseline_runs.extend(normalized_ensemble(&base, &problem, reference, &ensemble));
     }
 
     let algo_stats = |runs: &[(f64, Option<usize>)]| {

@@ -32,6 +32,32 @@
 //! assert!(baseline.energy.total() / ours.energy.total() > 2.0);
 //! # Ok::<(), fecim_ising::IsingError>(())
 //! ```
+//!
+//! ## One trait, three architectures
+//!
+//! All annealers implement [`Solver`], so experiment code dispatches over
+//! `&dyn Solver` and fans seeded trials out with the rayon-backed
+//! [`Ensemble`](fecim_anneal::Ensemble) runner (results are bit-identical
+//! at any thread count):
+//!
+//! ```
+//! use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer, Solver};
+//! use fecim_anneal::Ensemble;
+//! use fecim_ising::MaxCut;
+//!
+//! let problem = MaxCut::new(8, (0..8).map(|i| (i, (i + 1) % 8, 1.0)).collect())?;
+//! let solvers: [&dyn Solver; 3] = [
+//!     &CimAnnealer::new(500).with_flips(1),
+//!     &DirectAnnealer::cim_asic(500).with_flips(1),
+//!     &MesaAnnealer::new(500),
+//! ];
+//! for solver in solvers {
+//!     let cuts = Ensemble::new(8, 1)
+//!         .run(|seed| solver.solve(&problem, seed).expect("ring encodes").objective.unwrap());
+//!     assert_eq!(cuts.len(), 8);
+//! }
+//! # Ok::<(), fecim_ising::IsingError>(())
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -41,14 +67,16 @@ mod baselines;
 pub mod experiment;
 mod mesa_solver;
 pub mod report;
+mod solver;
 
 pub use annealer::{CimAnnealer, FactorChoice, SolveReport};
 pub use baselines::DirectAnnealer;
-pub use mesa_solver::MesaAnnealer;
 pub use experiment::{
     cost_trend, run_experiment, AlgoStats, ExperimentConfig, ExperimentOutcome, GroupOutcome,
     HardwareCost, Scale, TrendPoint,
 };
+pub use mesa_solver::MesaAnnealer;
+pub use solver::{normalized_ensemble, Solver};
 
 pub use fecim_anneal as anneal;
 pub use fecim_crossbar as crossbar;

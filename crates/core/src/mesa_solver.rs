@@ -4,11 +4,12 @@
 
 use serde::{Deserialize, Serialize};
 
-use fecim_anneal::{run_mesa, suggest_einc_scale, MesaConfig};
-use fecim_hwcost::{AnnealerKind, CostModel, ExpUnit, IterationProfile};
-use fecim_ising::{CopProblem, Coupling, IsingError, SpinVector};
+use fecim_anneal::{run_mesa, suggest_einc_scale, MesaConfig, RunResult};
+use fecim_hwcost::{AnnealerKind, CostModel, EnergyReport, ExpUnit, IterationProfile, TimeReport};
+use fecim_ising::{CopProblem, CsrCoupling, IsingError, SpinVector};
 
 use crate::annealer::SolveReport;
+use crate::solver::Solver;
 
 /// The MESA baseline solver (ref [7]'s enhanced SA on direct-E hardware).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,39 +45,44 @@ impl MesaAnnealer {
         self.iterations
     }
 
-    /// Solve a COP with MESA.
+    /// Solve a COP with MESA (convenience wrapper over the [`Solver`]
+    /// pipeline).
     ///
     /// # Errors
     ///
     /// Propagates encoding errors from the problem's Ising transformation.
     pub fn solve<P: CopProblem>(&self, problem: &P, seed: u64) -> Result<SolveReport, IsingError> {
-        let model = problem.to_ising()?;
-        let quadratic = model.to_quadratic_only();
-        let coupling = quadratic.couplings();
-        let n = coupling.dimension();
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
-        let initial = SpinVector::random(n, &mut rng);
+        Solver::solve(self, problem, seed)
+    }
+}
+
+impl Solver for MesaAnnealer {
+    fn name(&self) -> &str {
+        "MESA multi-epoch baseline"
+    }
+
+    fn kind(&self) -> AnnealerKind {
+        AnnealerKind::CimAsic
+    }
+
+    fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn run_engine(&self, coupling: &CsrCoupling, initial: SpinVector, seed: u64) -> RunResult {
         let t0 = 16.0 * suggest_einc_scale(coupling, 1);
         let mut config = MesaConfig::new(self.iterations, t0, seed);
         config.epochs = self.epochs;
         config.iterations_per_epoch = (self.iterations / self.epochs).max(1);
         config.reheat = self.reheat;
-        let run = run_mesa(coupling, initial, config);
+        run_mesa(coupling, initial, config)
+    }
 
-        let spins = if model.is_quadratic_only() {
-            run.best_spins.clone()
-        } else {
-            model.project_from_quadratic(&run.best_spins)
-        };
-        let objective = problem.native_objective(&spins);
-        let feasible = problem.is_feasible(&spins);
-
+    fn hardware_report(&self, run: &mut RunResult, spins: usize) -> (EnergyReport, TimeReport) {
         // Same direct-E hardware as the ASIC baseline (one exp unit, full
         // array reads each iteration).
-        let spins_n = model.dimension();
-        let cost_model = CostModel::paper_22nm(spins_n, 4);
-        let profile = IterationProfile::paper(spins_n);
+        let cost_model = CostModel::paper_22nm(spins, 4);
+        let profile = IterationProfile::paper(spins);
         let mut activity = profile.activity(AnnealerKind::CimAsic);
         let iters = run.iterations as u64;
         activity.array_ops *= iters;
@@ -91,17 +97,7 @@ impl MesaAnnealer {
         activity.exp_evaluations *= iters;
         let energy = fecim_hwcost::energy_of(&activity, &cost_model, ExpUnit::Asic);
         let time = fecim_hwcost::time_of(&activity, &cost_model, ExpUnit::Asic);
-
-        Ok(SolveReport {
-            kind: AnnealerKind::CimAsic,
-            best_energy: run.best_energy,
-            objective: Some(objective),
-            feasible,
-            best_spins: spins,
-            energy,
-            time,
-            run,
-        })
+        (energy, time)
     }
 }
 
@@ -126,8 +122,14 @@ mod tests {
     #[test]
     fn epoch_override() {
         let problem = ring_problem(12);
-        let a = MesaAnnealer::new(1000).with_epochs(2).solve(&problem, 7).unwrap();
-        let b = MesaAnnealer::new(1000).with_epochs(5).solve(&problem, 7).unwrap();
+        let a = MesaAnnealer::new(1000)
+            .with_epochs(2)
+            .solve(&problem, 7)
+            .unwrap();
+        let b = MesaAnnealer::new(1000)
+            .with_epochs(5)
+            .solve(&problem, 7)
+            .unwrap();
         // Different epoch structure → different trajectories (almost surely).
         assert!(a.best_energy != b.best_energy || a.run.accepted != b.run.accepted);
     }

@@ -1,0 +1,214 @@
+//! The unifying [`Solver`] abstraction over the three annealer
+//! architectures.
+//!
+//! Every solver in this crate ([`CimAnnealer`](crate::CimAnnealer),
+//! [`DirectAnnealer`](crate::DirectAnnealer),
+//! [`MesaAnnealer`](crate::MesaAnnealer)) runs the same pipeline:
+//!
+//! 1. transform the COP to an Ising model (ancilla-embedding linear
+//!    terms when present);
+//! 2. draw the seeded random start configuration;
+//! 3. run an architecture-specific annealing engine on the quadratic
+//!    coupling;
+//! 4. project the best embedded configuration back to the problem's
+//!    original spins and score it in the native objective;
+//! 5. attach hardware energy/time costs for the architecture.
+//!
+//! Steps 1, 2, 4 and 5 are identical across architectures and live here
+//! as provided methods; implementors supply only the two
+//! architecture-specific hooks [`Solver::run_engine`] (step 3) and
+//! [`Solver::hardware_report`] (step 5's costing rule). Experiment
+//! drivers dispatch over `&dyn Solver`, so adding a fourth architecture
+//! never touches them.
+
+use rand::SeedableRng;
+
+use fecim_anneal::{Ensemble, RunResult};
+use fecim_hwcost::{AnnealerKind, EnergyReport, TimeReport};
+use fecim_ising::{CopProblem, Coupling, CsrCoupling, IsingError, IsingModel, SpinVector};
+
+use crate::annealer::SolveReport;
+
+/// Seed salt applied before drawing the initial configuration, so the
+/// start state and the engine's proposal stream come from decorrelated
+/// streams of the same user seed.
+pub(crate) const INIT_SEED_SALT: u64 = 0xA5A5_5A5A;
+
+/// A combinatorial-optimization solver with hardware-cost accounting —
+/// the common face of the paper's three annealer architectures.
+///
+/// Object safe: experiment drivers hold `&dyn Solver` / `Box<dyn Solver>`
+/// and the [`Ensemble`](fecim_anneal::Ensemble) runner fans solver calls
+/// out across threads (`Solver: Send + Sync`).
+pub trait Solver: Send + Sync {
+    /// Human-readable architecture name for reports and logs.
+    fn name(&self) -> &str;
+
+    /// The architecture tag attached to [`SolveReport::kind`].
+    fn kind(&self) -> AnnealerKind;
+
+    /// Iterations per run.
+    fn iterations(&self) -> usize;
+
+    /// Architecture hook: anneal a prepared quadratic coupling from the
+    /// given start configuration. `seed` drives the engine's proposal
+    /// stream.
+    fn run_engine(&self, coupling: &CsrCoupling, initial: SpinVector, seed: u64) -> RunResult;
+
+    /// Architecture hook: the hardware energy/time of a finished run over
+    /// `spins` logical spins. Receives the run mutably so architectures
+    /// can stamp architecture-implied activity (e.g. the baselines' one
+    /// `eˣ` evaluation per iteration) before costing.
+    fn hardware_report(&self, run: &mut RunResult, spins: usize) -> (EnergyReport, TimeReport);
+
+    /// Anneal a raw Ising model and return the run plus the best solution
+    /// projected back to the model's original spins.
+    fn anneal_model(&self, model: &IsingModel, seed: u64) -> (RunResult, SpinVector) {
+        let quadratic = model.to_quadratic_only();
+        let coupling = quadratic.couplings();
+        let n = coupling.dimension();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ INIT_SEED_SALT);
+        let initial = SpinVector::random(n, &mut rng);
+        let run = self.run_engine(coupling, initial, seed);
+        let spins = if model.is_quadratic_only() {
+            run.best_spins.clone()
+        } else {
+            model.project_from_quadratic(&run.best_spins)
+        };
+        (run, spins)
+    }
+
+    /// Solve a COP: transform to Ising, anneal, score the best solution
+    /// in the problem's native objective and attach hardware costs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors from the problem's Ising transformation.
+    fn solve(&self, problem: &dyn CopProblem, seed: u64) -> Result<SolveReport, IsingError> {
+        let model = problem.to_ising()?;
+        let (mut run, spins) = self.anneal_model(&model, seed);
+        let objective = problem.native_objective(&spins);
+        let feasible = problem.is_feasible(&spins);
+        let (energy, time) = self.hardware_report(&mut run, model.dimension());
+        Ok(SolveReport {
+            kind: self.kind(),
+            best_energy: run.best_energy,
+            objective: Some(objective),
+            feasible,
+            best_spins: spins,
+            energy,
+            time,
+            run,
+        })
+    }
+
+    /// Solve a raw Ising model (no native objective to score against:
+    /// `objective` is `None` and the solution is trivially feasible).
+    ///
+    /// # Errors
+    ///
+    /// Kept fallible for symmetry with [`Solver::solve`]; the provided
+    /// implementation cannot fail.
+    fn solve_model(&self, model: &IsingModel, seed: u64) -> Result<SolveReport, IsingError> {
+        let (mut run, spins) = self.anneal_model(model, seed);
+        let (energy, time) = self.hardware_report(&mut run, model.dimension());
+        Ok(SolveReport {
+            kind: self.kind(),
+            best_energy: run.best_energy,
+            objective: None,
+            feasible: true,
+            best_spins: spins,
+            energy,
+            time,
+            run,
+        })
+    }
+}
+
+/// One parallel ensemble of `solver` on `problem`, scored per trial as
+/// `(native objective / reference, first iteration reaching the target)`
+/// — the per-run record behind Fig. 10, Table 1 and the calibration
+/// sweeps. Dispatches through `&dyn Solver`, so any architecture plugs
+/// in unchanged.
+///
+/// # Panics
+///
+/// Panics if the problem fails to encode or does not score a native
+/// objective (both impossible for the COP types in this workspace).
+pub fn normalized_ensemble(
+    solver: &dyn Solver,
+    problem: &(dyn CopProblem + Sync),
+    reference: f64,
+    ensemble: &Ensemble,
+) -> Vec<(f64, Option<usize>)> {
+    ensemble.run(|seed| {
+        let report = solver.solve(problem, seed).expect("valid problem");
+        (
+            report.objective.expect("COP solves score an objective") / reference,
+            report.run.first_target_hit,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CimAnnealer, DirectAnnealer, MesaAnnealer};
+    use fecim_ising::MaxCut;
+
+    fn ring_problem(n: usize) -> MaxCut {
+        MaxCut::new(n, (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect()).unwrap()
+    }
+
+    #[test]
+    fn all_three_architectures_dispatch_dynamically() {
+        let ours = CimAnnealer::new(1500).with_flips(1);
+        let fpga = DirectAnnealer::cim_fpga(1500).with_flips(1);
+        let mesa = MesaAnnealer::new(1500);
+        let solvers: [&dyn Solver; 3] = [&ours, &fpga, &mesa];
+        let problem = ring_problem(12);
+        for solver in solvers {
+            let report = solver.solve(&problem, 5).unwrap();
+            assert_eq!(report.kind, solver.kind(), "{}", solver.name());
+            assert!(report.objective.unwrap() >= 8.0, "{}", solver.name());
+            assert!(!solver.name().is_empty());
+            assert_eq!(solver.iterations(), 1500);
+        }
+    }
+
+    #[test]
+    fn trait_solve_matches_inherent_solve() {
+        let problem = ring_problem(10);
+        let solver = CimAnnealer::new(500).with_flips(1);
+        let inherent = solver.solve(&problem, 3).unwrap();
+        let dynamic = Solver::solve(&solver, &problem, 3).unwrap();
+        assert_eq!(inherent.best_energy, dynamic.best_energy);
+        assert_eq!(inherent.best_spins, dynamic.best_spins);
+        assert_eq!(inherent.energy.total(), dynamic.energy.total());
+    }
+
+    #[test]
+    fn solve_model_reports_no_native_objective() {
+        let problem = ring_problem(8);
+        let model = fecim_ising::CopProblem::to_ising(&problem).unwrap();
+        let report = MesaAnnealer::new(400).solve_model(&model, 2).unwrap();
+        assert_eq!(report.objective, None);
+        assert!(report.feasible);
+        assert!(report.energy.total() > 0.0);
+    }
+
+    #[test]
+    fn boxed_solvers_compose() {
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(CimAnnealer::new(300).with_flips(1)),
+            Box::new(DirectAnnealer::cim_asic(300).with_flips(1)),
+            Box::new(MesaAnnealer::new(300)),
+        ];
+        let problem = ring_problem(8);
+        let energies: Vec<f64> = solvers
+            .iter()
+            .map(|s| s.solve(&problem, 1).unwrap().best_energy)
+            .collect();
+        assert_eq!(energies.len(), 3);
+    }
+}

@@ -194,7 +194,9 @@ impl Crossbar {
     /// Normalized per-cell current at back-gate voltage `vbg` for an ideal
     /// stored-'1' cell — the hardware annealing factor `f` (paper Fig. 6c).
     pub fn cell_factor(&self, vbg: f64) -> f64 {
-        let i = self.cell.sl_current(true, true, self.cell.quantize_vbg(vbg));
+        let i = self
+            .cell
+            .sl_current(true, true, self.cell.quantize_vbg(vbg));
         let leak = self.cell.params().front.i_leak;
         ((i - leak) / self.full_scale_current).max(0.0)
     }
@@ -456,11 +458,7 @@ mod tests {
         let s = SpinVector::random(64, &mut rng);
         let mask = FlipMask::random(2, 64, &mut rng);
         let s_new = s.flipped_by(&mask);
-        let _ = xb.incremental_form(
-            &s_new.rest_vector(&mask),
-            &s_new.changed_vector(&mask),
-            1.0,
-        );
+        let _ = xb.incremental_form(&s_new.rest_vector(&mask), &s_new.changed_vector(&mask), 1.0);
         let inc = *xb.stats();
         xb.reset_stats();
         let _ = xb.vmv(s.as_slice());
@@ -484,11 +482,7 @@ mod tests {
         let s = SpinVector::all_up(128);
         let mask = FlipMask::new(vec![3, 77], 128);
         let s_new = s.flipped_by(&mask);
-        let _ = xb.incremental_form(
-            &s_new.rest_vector(&mask),
-            &s_new.changed_vector(&mask),
-            1.0,
-        );
+        let _ = xb.incremental_form(&s_new.rest_vector(&mask), &s_new.changed_vector(&mask), 1.0);
         let inc_slots = xb.stats().adc_slots;
         xb.reset_stats();
         let _ = xb.vmv(s.as_slice());
@@ -513,7 +507,10 @@ mod tests {
         let a = ideal.incremental_form(&r, &c, 1.0);
         let b = device.incremental_form(&r, &c, 1.0);
         // No variation configured: only IR drop separates them.
-        assert!((a - b).abs() < 0.15 * a.abs().max(1.0), "ideal={a} device={b}");
+        assert!(
+            (a - b).abs() < 0.15 * a.abs().max(1.0),
+            "ideal={a} device={b}"
+        );
     }
 
     #[test]

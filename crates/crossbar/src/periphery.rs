@@ -106,7 +106,13 @@ impl ShiftAdd {
     /// Apply the polarity-plane and input-phase signs to a combined
     /// magnitude: `value · pos/neg-plane sign · row-phase sign · column
     /// sign`.
-    pub fn apply_signs(&self, magnitude: f64, plane_positive: bool, phase_positive: bool, column_sign: i8) -> f64 {
+    pub fn apply_signs(
+        &self,
+        magnitude: f64,
+        plane_positive: bool,
+        phase_positive: bool,
+        column_sign: i8,
+    ) -> f64 {
         let plane = if plane_positive { 1.0 } else { -1.0 };
         let phase = if phase_positive { 1.0 } else { -1.0 };
         magnitude * plane * phase * column_sign as f64

@@ -32,7 +32,7 @@ impl QuantizedCoupling {
     ///
     /// Panics if `bits` is 0 or greater than 8.
     pub fn from_coupling<C: Coupling>(coupling: &C, bits: u8) -> QuantizedCoupling {
-        assert!(bits >= 1 && bits <= 8, "bits must be in 1..=8");
+        assert!((1..=8).contains(&bits), "bits must be in 1..=8");
         let n = coupling.dimension();
         let mut max_abs = 0.0f64;
         for i in 0..n {

@@ -177,7 +177,13 @@ impl Fefet {
     /// # Panics
     ///
     /// Panics if `points < 2` or `v_hi <= v_lo`.
-    pub fn transfer_curve(&self, v_lo: f64, v_hi: f64, points: usize, v_ds: f64) -> Vec<(f64, f64)> {
+    pub fn transfer_curve(
+        &self,
+        v_lo: f64,
+        v_hi: f64,
+        points: usize,
+        v_ds: f64,
+    ) -> Vec<(f64, f64)> {
         assert!(points >= 2, "need at least two samples");
         assert!(v_hi > v_lo, "empty sweep range");
         (0..points)
@@ -205,11 +211,7 @@ pub(crate) fn channel_current(
     let phi = 2.0 * ideality * THERMAL_VOLTAGE;
     let x = (v_g - vth) / phi;
     // ln(1+e^x) computed stably for large |x|.
-    let soft = if x > 30.0 {
-        x
-    } else {
-        x.exp().ln_1p()
-    };
+    let soft = if x > 30.0 { x } else { x.exp().ln_1p() };
     let saturation = 1.0 - (-v_ds / THERMAL_VOLTAGE).exp();
     i_spec * soft * soft * saturation + i_leak
 }

@@ -97,7 +97,10 @@ pub fn fit_fractional(samples: &[(f64, f64)]) -> Result<FractionalFit, FitError>
     // Initial guess from the endpoints: assume d slightly below min(y).
     let (t0, y0) = samples[0];
     let (t1, y1) = *samples.last().expect("nonempty");
-    let ymin = samples.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+    let ymin = samples
+        .iter()
+        .map(|&(_, y)| y)
+        .fold(f64::INFINITY, f64::min);
     let d0 = ymin - 0.05;
     let q0 = 1.0 / (y0 - d0);
     let p0 = if (t1 - t0).abs() > 1e-12 {
@@ -209,8 +212,9 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
         b.swap(col, pivot);
         for row in (col + 1)..3 {
             let factor = a[row][col] / a[col][col];
-            for k in col..3 {
-                a[row][k] -= factor * a[col][k];
+            let pivot_row = a[col];
+            for (k, pivot_entry) in pivot_row.iter().enumerate().skip(col) {
+                a[row][k] -= factor * pivot_entry;
             }
             b[row] -= factor * b[col];
         }
@@ -293,7 +297,11 @@ mod tests {
 
     #[test]
     fn solve3_handles_identity_and_singularity() {
-        let x = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [1.0, 2.0, 3.0]).unwrap();
+        let x = solve3(
+            [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            [1.0, 2.0, 3.0],
+        )
+        .unwrap();
         assert_eq!(x, [1.0, 2.0, 3.0]);
         assert!(solve3([[0.0; 3]; 3], [1.0, 1.0, 1.0]).is_none());
     }

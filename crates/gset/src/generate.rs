@@ -92,8 +92,12 @@ impl GeneratorConfig {
     pub fn generate(&self) -> Graph {
         let mut rng = StdRng::seed_from_u64(self.seed);
         match self.family {
-            GsetFamily::RandomUnit => random_graph(self.vertex_count, self.mean_degree, false, &mut rng),
-            GsetFamily::RandomSigned => random_graph(self.vertex_count, self.mean_degree, true, &mut rng),
+            GsetFamily::RandomUnit => {
+                random_graph(self.vertex_count, self.mean_degree, false, &mut rng)
+            }
+            GsetFamily::RandomSigned => {
+                random_graph(self.vertex_count, self.mean_degree, true, &mut rng)
+            }
             GsetFamily::ToroidalUnit => toroidal_graph(self.vertex_count, false, &mut rng),
             GsetFamily::ToroidalSigned => toroidal_graph(self.vertex_count, true, &mut rng),
             GsetFamily::AlmostPlanar => almost_planar_graph(self.vertex_count, &mut rng),
@@ -115,7 +119,11 @@ fn random_graph(n: usize, mean_degree: f64, signed: bool, rng: &mut StdRng) -> G
     let mut idx: i64 = -1;
     loop {
         let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-        let skip = if p >= 1.0 { 1 } else { 1 + (r.ln() / ln_q).floor() as i64 };
+        let skip = if p >= 1.0 {
+            1
+        } else {
+            1 + (r.ln() / ln_q).floor() as i64
+        };
         idx += skip.max(1);
         if idx as usize >= total_pairs {
             break;
@@ -144,7 +152,7 @@ fn pair_from_index(idx: usize, n: usize) -> (usize, usize) {
     let mut hi = n - 1;
     let row_start = |u: usize| u * (2 * n - u - 1) / 2;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if row_start(mid) <= idx {
             lo = mid;
         } else {
@@ -195,11 +203,11 @@ fn torus_grid(n: usize) -> (usize, usize) {
     let side = ((n as f64).sqrt().floor() as usize).max(2);
     let mut best: Option<(usize, usize)> = None;
     for rows in (2..=side).rev() {
-        if rows % 2 != 0 || n % rows != 0 {
+        if rows % 2 != 0 || !n.is_multiple_of(rows) {
             continue;
         }
         let cols = n / rows;
-        if cols % 2 == 0 && cols >= 2 {
+        if cols.is_multiple_of(2) && cols >= 2 {
             best = Some((rows, cols));
             break;
         }
@@ -259,7 +267,9 @@ mod tests {
 
     #[test]
     fn mean_degree_is_close_to_target() {
-        let g = GeneratorConfig::new(2000, 3).with_mean_degree(10.0).generate();
+        let g = GeneratorConfig::new(2000, 3)
+            .with_mean_degree(10.0)
+            .generate();
         let d = g.mean_degree();
         assert!((d - 10.0).abs() < 1.5, "mean degree {d} too far from 10");
     }

@@ -41,12 +41,17 @@ impl fmt::Display for GraphError {
             GraphError::VertexOutOfRange {
                 vertex,
                 vertex_count,
-            } => write!(f, "vertex {vertex} out of range for {vertex_count} vertices"),
+            } => write!(
+                f,
+                "vertex {vertex} out of range for {vertex_count} vertices"
+            ),
             GraphError::SelfLoop(v) => write!(f, "self-loop at vertex {v}"),
             GraphError::NonFiniteWeight { u, v } => {
                 write!(f, "non-finite weight on edge ({u}, {v})")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
         }
     }
 }

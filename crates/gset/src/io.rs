@@ -148,7 +148,10 @@ mod tests {
             read_gset("x y\n".as_bytes()),
             Err(GraphError::Parse { .. })
         ));
-        assert!(matches!(read_gset("".as_bytes()), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_gset("".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]

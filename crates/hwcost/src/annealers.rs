@@ -29,7 +29,11 @@ pub enum AnnealerKind {
 impl AnnealerKind {
     /// All architectures in the paper's plotting order.
     pub fn all() -> [AnnealerKind; 3] {
-        [AnnealerKind::CimFpga, AnnealerKind::CimAsic, AnnealerKind::InSitu]
+        [
+            AnnealerKind::CimFpga,
+            AnnealerKind::CimAsic,
+            AnnealerKind::InSitu,
+        ]
     }
 
     /// Display label used in the figures.
@@ -107,7 +111,7 @@ impl IterationProfile {
                 row_passes: 2,
                 adc_conversions: 2 * t * 2 * k,
                 adc_slots: 2 * k.min(t * k), // t groups on distinct ADCs
-                cells_activated: 2 * t * k, // active couplings of flipped spins
+                cells_activated: 2 * t * k,  // active couplings of flipped spins
                 rows_driven: 2 * t,          // only changed FG inputs toggle
                 columns_driven: 2 * t * 2 * k,
                 bg_updates: 1,
@@ -144,7 +148,12 @@ impl IterationProfile {
     }
 
     /// Energy of a whole run of `iterations` iterations.
-    pub fn run_energy(&self, kind: AnnealerKind, model: &CostModel, iterations: usize) -> EnergyReport {
+    pub fn run_energy(
+        &self,
+        kind: AnnealerKind,
+        model: &CostModel,
+        iterations: usize,
+    ) -> EnergyReport {
         self.iteration_energy(kind, model).scaled(iterations as f64)
     }
 
@@ -163,7 +172,9 @@ mod tests {
         // The Fig. 8 scaling law: ASIC-baseline/in-situ energy ≈ n/t.
         let model3000 = CostModel::paper_22nm(3000, 4);
         let p = IterationProfile::paper(3000);
-        let base = p.iteration_energy(AnnealerKind::CimAsic, &model3000).total();
+        let base = p
+            .iteration_energy(AnnealerKind::CimAsic, &model3000)
+            .total();
         let ours = p.iteration_energy(AnnealerKind::InSitu, &model3000).total();
         let ratio = base / ours;
         assert!(

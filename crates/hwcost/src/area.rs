@@ -129,7 +129,11 @@ mod tests {
         // At this node the converters dominate — exactly why the paper
         // muxes them 8:1.
         assert!(a.converters > a.array, "{a:?}");
-        assert!(a.total_mm2() < 20.0, "macro should be mm^2-class: {}", a.total_mm2());
+        assert!(
+            a.total_mm2() < 20.0,
+            "macro should be mm^2-class: {}",
+            a.total_mm2()
+        );
     }
 
     #[test]

@@ -56,12 +56,12 @@ pub trait Coupling {
         let n = self.dimension();
         assert_eq!(spins.len(), n, "dimension mismatch");
         let mut fields = vec![0.0; n];
-        for i in 0..n {
+        for (i, field) in fields.iter_mut().enumerate() {
             let mut acc = 0.0;
             self.for_each_in_row(i, &mut |j, v| {
                 acc += v * spins.get(j) as f64;
             });
-            fields[i] = acc;
+            *field = acc;
         }
         fields
     }
@@ -264,7 +264,10 @@ impl CsrCoupling {
     /// [`IsingError::IndexOutOfRange`] for indices `>= n`;
     /// [`IsingError::InvalidProblem`] for diagonal entries;
     /// [`IsingError::NonFiniteCoupling`] for non-finite values.
-    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Result<CsrCoupling, IsingError> {
+    pub fn from_triplets(
+        n: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<CsrCoupling, IsingError> {
         let mut full: Vec<(usize, usize, f64)> = Vec::with_capacity(triplets.len() * 2);
         for &(i, j, v) in triplets {
             if i >= n {
@@ -290,7 +293,7 @@ impl CsrCoupling {
             full.push((i, j, v));
             full.push((j, i, v));
         }
-        full.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        full.sort_unstable_by_key(|a| (a.0, a.1));
         // Merge duplicates.
         let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(full.len());
         for (i, j, v) in full {
@@ -512,8 +515,8 @@ impl IsingModel {
                 triplets.push((0, i + 1, self.fields[i] / 2.0));
             }
         }
-        let couplings = CsrCoupling::from_triplets(n + 1, &triplets)
-            .expect("valid by construction");
+        let couplings =
+            CsrCoupling::from_triplets(n + 1, &triplets).expect("valid by construction");
         let mut m = IsingModel::new(couplings);
         m.set_offset(self.offset);
         m
@@ -526,7 +529,11 @@ impl IsingModel {
     ///
     /// Panics if `embedded.len() != self.dimension() + 1`.
     pub fn project_from_quadratic(&self, embedded: &SpinVector) -> SpinVector {
-        assert_eq!(embedded.len(), self.dimension() + 1, "ancilla dimension mismatch");
+        assert_eq!(
+            embedded.len(),
+            self.dimension() + 1,
+            "ancilla dimension mismatch"
+        );
         let gauge = embedded.get(0);
         (1..embedded.len())
             .map(|i| embedded.get(i) * gauge)
@@ -578,7 +585,7 @@ mod tests {
         let m = small_dense();
         let s = SpinVector::from_signs(&[1, -1, 1, -1]);
         // σᵀJσ counts each pair twice: 2*(J01 σ0σ1 + J12 σ1σ2 + J23 σ2σ3 + J03 σ0σ3)
-        let expected = 2.0 * (1.0 * -1.0 + -2.0 * -1.0 + 0.5 * -1.0 + -1.5 * -1.0);
+        let expected = 2.0 * (-1.0 + -2.0 * -1.0 + -0.5 + -1.5 * -1.0);
         assert!((m.energy(&s) - expected).abs() < 1e-12);
     }
 
@@ -640,12 +647,12 @@ mod tests {
         let m = DenseCoupling::random(12, 0.6, 1.0, &mut rng);
         let s = SpinVector::random(12, &mut rng);
         let fields = m.local_fields(&s);
-        for i in 0..12 {
+        for (i, &field) in fields.iter().enumerate() {
             let mask = FlipMask::single(i, 12);
             let s_new = s.flipped_by(&mask);
             let de = m.energy(&s_new) - m.energy(&s);
             // ΔE for flipping spin i = −4 σ_i l_i.
-            let expected = -4.0 * s.get(i) as f64 * fields[i];
+            let expected = -4.0 * s.get(i) as f64 * field;
             assert!((de - expected).abs() < 1e-9);
         }
     }
@@ -666,7 +673,8 @@ mod tests {
     #[test]
     fn ancilla_embedding_preserves_energy() {
         let mut rng = StdRng::seed_from_u64(8);
-        let csr = CsrCoupling::from_triplets(4, &[(0, 1, 1.0), (2, 3, -1.0), (0, 3, 0.25)]).unwrap();
+        let csr =
+            CsrCoupling::from_triplets(4, &[(0, 1, 1.0), (2, 3, -1.0), (0, 3, 0.25)]).unwrap();
         let model = IsingModel::with_fields(csr, vec![0.3, -0.7, 0.1, 0.0]).unwrap();
         let quad = model.to_quadratic_only();
         assert!(quad.is_quadratic_only());

@@ -277,10 +277,7 @@ mod tests {
             let mask = FlipMask::random(t, 15, &mut rng);
             let s_new = s.flipped_by(&mask);
             let direct = csr.energy(&s_new) - csr.energy(&s);
-            assert!(
-                (state.delta_energy(&mask) - direct).abs() < 1e-9,
-                "t={t}"
-            );
+            assert!((state.delta_energy(&mask) - direct).abs() < 1e-9, "t={t}");
         }
     }
 

@@ -32,7 +32,11 @@ impl GraphColoring {
     ///
     /// [`IsingError::InvalidProblem`] if `k == 0` or an edge endpoint is out
     /// of range or a self-loop.
-    pub fn new(n: usize, k: usize, edges: Vec<(usize, usize)>) -> Result<GraphColoring, IsingError> {
+    pub fn new(
+        n: usize,
+        k: usize,
+        edges: Vec<(usize, usize)>,
+    ) -> Result<GraphColoring, IsingError> {
         if k == 0 {
             return Err(IsingError::InvalidProblem("need at least one color".into()));
         }

@@ -48,10 +48,14 @@ impl Knapsack {
             )));
         }
         if capacity == 0 {
-            return Err(IsingError::InvalidProblem("capacity must be positive".into()));
+            return Err(IsingError::InvalidProblem(
+                "capacity must be positive".into(),
+            ));
         }
-        if weights.iter().any(|&w| w == 0) {
-            return Err(IsingError::InvalidProblem("weights must be positive".into()));
+        if weights.contains(&0) {
+            return Err(IsingError::InvalidProblem(
+                "weights must be positive".into(),
+            ));
         }
         // Bounded binary encoding of slack ∈ [0, capacity]:
         // powers of two then one residual coefficient.

@@ -57,7 +57,9 @@ impl MaxCut {
                 });
             }
             if i == j {
-                return Err(IsingError::InvalidProblem(format!("self-loop at vertex {i}")));
+                return Err(IsingError::InvalidProblem(format!(
+                    "self-loop at vertex {i}"
+                )));
             }
             if !w.is_finite() {
                 return Err(IsingError::InvalidProblem(format!(
@@ -97,13 +99,15 @@ impl MaxCut {
         assert_eq!(spins.len(), self.n, "dimension mismatch");
         self.edges
             .iter()
-            .map(|&(i, j, w)| {
-                if spins.get(i) != spins.get(j) {
-                    w
-                } else {
-                    0.0
-                }
-            })
+            .map(
+                |&(i, j, w)| {
+                    if spins.get(i) != spins.get(j) {
+                        w
+                    } else {
+                        0.0
+                    }
+                },
+            )
             .sum()
     }
 

@@ -113,10 +113,7 @@ mod tests {
                 .map(|i| if (bits >> i) & 1 == 1 { 1i8 } else { -1 })
                 .collect();
             let d = p.imbalance(&spins);
-            assert!(
-                (model.energy(&spins) - d * d).abs() < 1e-9,
-                "bits={bits:b}"
-            );
+            assert!((model.energy(&spins) - d * d).abs() < 1e-9, "bits={bits:b}");
         }
     }
 

@@ -76,7 +76,9 @@ impl CopProblem for SherringtonKirkpatrick {
             .iter()
             .map(|&(i, j, v)| (i, j, v / 2.0))
             .collect();
-        Ok(IsingModel::new(CsrCoupling::from_triplets(self.n, &triplets)?))
+        Ok(IsingModel::new(CsrCoupling::from_triplets(
+            self.n, &triplets,
+        )?))
     }
 
     fn native_objective(&self, spins: &SpinVector) -> f64 {

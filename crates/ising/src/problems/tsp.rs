@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn decode_rejects_invalid_assignments() {
         let p = square_instance();
-        let s = SpinVector::from_binaries(&vec![0u8; 16]);
+        let s = SpinVector::from_binaries(&[0u8; 16]);
         assert!(p.decode(&s).is_none());
         assert_eq!(p.native_objective(&s), f64::INFINITY);
     }

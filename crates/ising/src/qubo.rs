@@ -76,7 +76,8 @@ impl Qubo {
         // q x_i     = q (1-σi)/2
         let mut offset = 0.0;
         let mut fields = vec![0.0; self.n];
-        let mut quad: std::collections::BTreeMap<(usize, usize), f64> = std::collections::BTreeMap::new();
+        let mut quad: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
         for &(i, j, q) in &self.entries {
             if i == j {
                 offset += q / 2.0;

@@ -118,7 +118,9 @@ impl SpinVector {
 
     /// Uniformly random configuration drawn from `rng`.
     pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> SpinVector {
-        let spins = (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
+        let spins = (0..n)
+            .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+            .collect();
         SpinVector { spins }
     }
 
@@ -146,7 +148,10 @@ impl SpinVector {
 
     /// Convert to QUBO binaries via `x_i = (1 − σ_i)/2`.
     pub fn to_binaries(&self) -> Vec<u8> {
-        self.spins.iter().map(|&s| if s > 0 { 0 } else { 1 }).collect()
+        self.spins
+            .iter()
+            .map(|&s| if s > 0 { 0 } else { 1 })
+            .collect()
     }
 
     /// Number of spins.
@@ -309,7 +314,7 @@ impl FlipMask {
         indices.sort_unstable();
         indices.dedup();
         assert!(
-            indices.last().map_or(true, |&i| i < n),
+            indices.last().is_none_or(|&i| i < n),
             "flip index out of range"
         );
         FlipMask { indices, n }

@@ -50,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.objective.unwrap(),
         report.feasible
     );
-    if let Some(colors) = report
-        .feasible
-        .then(|| coloring.decode(&report.best_spins))
-    {
+    if let Some(colors) = report.feasible.then(|| coloring.decode(&report.best_spins)) {
         let rendered: Vec<String> = colors
             .iter()
             .map(|c| c.map(|v| v.to_string()).unwrap_or_else(|| "?".into()))

@@ -55,7 +55,10 @@ fn main() {
     );
     let paper = FractionalFactor::paper();
     println!("paper constants:                f(T) = 1/(-0.00600*T + 5.000) - 0.200");
-    println!("\n{:>8} {:>10} {:>10} {:>10}", "T", "device", "fit", "paper/1.05");
+    println!(
+        "\n{:>8} {:>10} {:>10} {:>10}",
+        "T", "device", "fit", "paper/1.05"
+    );
     for k in 0..=7 {
         let t = 100.0 * k as f64;
         println!(

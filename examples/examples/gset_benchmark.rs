@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release -p fecim-examples --example gset_benchmark`
 
-use fecim::{CimAnnealer, DirectAnnealer};
-use fecim_anneal::{multi_start_local_search, success_rate, MonteCarlo};
+use fecim::{normalized_ensemble, CimAnnealer, DirectAnnealer, Solver};
+use fecim_anneal::{multi_start_local_search, success_rate, Ensemble};
 use fecim_gset::quick_suite;
 use fecim_ising::CopProblem;
 
@@ -24,31 +24,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let reference = problem.cut_from_energy(ref_energy);
         let iterations = inst.group.iteration_budget().min(20_000);
 
+        // Both architectures behind one `Solver` face, trials fanned out
+        // by the rayon-backed ensemble runner (deterministic per seed).
         let ours = CimAnnealer::new(iterations);
         let baseline = DirectAnnealer::cim_asic(iterations);
-        let mc = MonteCarlo::new(10, 777);
+        let solvers: [&dyn Solver; 2] = [&ours, &baseline];
+        let ensemble = Ensemble::new(10, 777);
 
-        let our_cuts = mc.execute(|seed| {
-            ours.solve(&problem, seed).expect("valid instance").objective.unwrap() / reference
-        });
-        let base_cuts = mc.execute(|seed| {
-            baseline
-                .solve(&problem, seed)
-                .expect("valid instance")
-                .objective
-                .unwrap()
-                / reference
-        });
+        let cuts: Vec<Vec<f64>> = solvers
+            .iter()
+            .map(|solver| {
+                normalized_ensemble(*solver, &problem, reference, &ensemble)
+                    .into_iter()
+                    .map(|(cut, _)| cut)
+                    .collect()
+            })
+            .collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         println!(
             "{:>10} {:>6} {:>7} | {:>13.3} / {:>4.0}% | {:>13.3} / {:>4.0}%",
             inst.label,
             graph.vertex_count(),
             iterations,
-            mean(&our_cuts),
-            success_rate(&our_cuts, 0.9, true) * 100.0,
-            mean(&base_cuts),
-            success_rate(&base_cuts, 0.9, true) * 100.0,
+            mean(&cuts[0]),
+            success_rate(&cuts[0], 0.9, true) * 100.0,
+            mean(&cuts[1]),
+            success_rate(&cuts[1], 0.9, true) * 100.0,
         );
     }
     Ok(())

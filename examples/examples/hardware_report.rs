@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for report in [&ours, &baseline] {
         println!("=== {} ===", report.kind.label());
-        println!("cut: {} (energy {:.1})", report.objective.unwrap(), report.best_energy);
+        println!(
+            "cut: {} (energy {:.1})",
+            report.objective.unwrap(),
+            report.best_energy
+        );
         let stats = report.run.activity.expect("device-in-loop records stats");
         println!(
             "activity: {} array ops, {} ADC conversions ({} serialized slots), {} cells fired",

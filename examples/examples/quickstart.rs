@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The baseline: direct-E Metropolis with an ASIC e^x unit.
     let baseline = DirectAnnealer::cim_asic(2000).solve(&problem, 7)?;
 
-    println!("\n                      {:>12}  {:>12}", "This Work", "CiM/ASIC");
+    println!(
+        "\n                      {:>12}  {:>12}",
+        "This Work", "CiM/ASIC"
+    );
     println!(
         "cut value             {:>12.0}  {:>12.0}",
         ours.objective.unwrap(),

@@ -35,10 +35,16 @@ fn simulated_incremental_activity_matches_analytic_profile() {
     }
     let got = *xb.stats();
     assert_eq!(got.array_ops, iterations as u64);
-    assert_eq!(got.adc_conversions, expected.adc_conversions * iterations as u64);
+    assert_eq!(
+        got.adc_conversions,
+        expected.adc_conversions * iterations as u64
+    );
     assert_eq!(got.bg_updates, expected.bg_updates * iterations as u64);
     assert_eq!(got.row_passes, expected.row_passes * iterations as u64);
-    assert_eq!(got.shift_add_ops, expected.shift_add_ops * iterations as u64);
+    assert_eq!(
+        got.shift_add_ops,
+        expected.shift_add_ops * iterations as u64
+    );
     // Interleaved mapping: two flipped groups almost always land on
     // distinct ADCs, so slots match the analytic 2·k per iteration; allow
     // the rare collision to add at most one extra k per iteration.

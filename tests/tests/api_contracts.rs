@@ -2,11 +2,14 @@
 //! are `Send + Sync` (usable across the Monte-Carlo worker threads),
 //! implement the common traits, and errors behave as `std::error::Error`.
 
-use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer, SolveReport};
+use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer, SolveReport, Solver};
 use fecim_crossbar::{ActivityStats, Crossbar, CrossbarConfig};
 use fecim_device::{DgFefet, Fefet, FractionalFactor, PreisachFefet};
 use fecim_gset::{Graph, GraphError, SuiteInstance};
-use fecim_ising::{CsrCoupling, DenseCoupling, IsingError, IsingModel, MaxCut, SpinVector};
+use fecim_ising::{
+    CopProblem, CsrCoupling, DenseCoupling, IsingError, IsingModel, MaxCut, MaxIndependentSet,
+    NumberPartitioning, ObjectiveSense, SpinVector,
+};
 
 fn assert_send_sync<T: Send + Sync>() {}
 
@@ -77,6 +80,100 @@ fn builders_are_chainable_and_cloneable() {
     let a = solver.solve(&mc, 9).unwrap();
     let b = cloned.solve(&mc, 9).unwrap();
     assert_eq!(a.best_energy, b.best_energy);
+}
+
+/// The three solver architectures, as trait objects — the exact shape the
+/// experiment drivers dispatch over.
+fn all_solvers(iterations: usize) -> Vec<(&'static str, Box<dyn Solver>)> {
+    vec![
+        (
+            "in-situ",
+            Box::new(CimAnnealer::new(iterations).with_flips(1)),
+        ),
+        (
+            "cim-asic",
+            Box::new(DirectAnnealer::cim_asic(iterations).with_flips(1)),
+        ),
+        ("mesa", Box::new(MesaAnnealer::new(iterations))),
+    ]
+}
+
+/// `SolveReport` invariants every solver must uphold on every problem:
+/// consistent architecture tag, a native objective within the problem's
+/// bounds, a truthful feasibility flag, and nonzero energy/time
+/// accounting.
+fn assert_report_contract(
+    label: &str,
+    solver: &dyn Solver,
+    problem: &dyn CopProblem,
+    report: &SolveReport,
+    objective_bounds: (f64, f64),
+) {
+    assert_eq!(report.kind, solver.kind(), "{label}: kind mismatch");
+    let objective = report
+        .objective
+        .unwrap_or_else(|| panic!("{label}: COP solve must score the native objective"));
+    let (lo, hi) = objective_bounds;
+    assert!(
+        (lo..=hi).contains(&objective),
+        "{label}: objective {objective} outside [{lo}, {hi}]"
+    );
+    assert_eq!(
+        report.feasible,
+        problem.is_feasible(&report.best_spins),
+        "{label}: feasibility flag disagrees with the problem"
+    );
+    assert!(
+        (problem.native_objective(&report.best_spins) - objective).abs() < 1e-9,
+        "{label}: objective not reproducible from best_spins"
+    );
+    assert!(
+        report.energy.total() > 0.0,
+        "{label}: zero energy accounting"
+    );
+    assert!(report.time.total() > 0.0, "{label}: zero time accounting");
+    assert!(report.run.iterations > 0, "{label}: no iterations recorded");
+    assert!(
+        report.best_energy.is_finite(),
+        "{label}: non-finite best energy"
+    );
+}
+
+#[test]
+fn solver_contract_holds_on_ring_max_cut() {
+    let n = 12;
+    let problem = MaxCut::new(n, (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect()).unwrap();
+    assert_eq!(problem.objective_sense(), ObjectiveSense::Maximize);
+    for (label, solver) in all_solvers(1500) {
+        let report = solver.solve(&problem, 7).unwrap();
+        // A cut is between 0 and the total edge weight of the ring.
+        assert_report_contract(label, solver.as_ref(), &problem, &report, (0.0, n as f64));
+    }
+}
+
+#[test]
+fn solver_contract_holds_on_number_partitioning() {
+    let numbers = vec![7.0, 11.0, 5.0, 8.0, 9.0, 10.0, 6.0, 4.0];
+    let total: f64 = numbers.iter().sum();
+    let problem = NumberPartitioning::new(numbers).unwrap();
+    assert_eq!(problem.objective_sense(), ObjectiveSense::Minimize);
+    for (label, solver) in all_solvers(2000) {
+        let report = solver.solve(&problem, 11).unwrap();
+        // The imbalance of a two-way split is between 0 and the total sum.
+        assert_report_contract(label, solver.as_ref(), &problem, &report, (0.0, total));
+    }
+}
+
+#[test]
+fn solver_contract_holds_on_mis() {
+    // A path of 6 vertices: the maximum independent set has size 3, and
+    // the MIS encoding carries linear terms (exercises the ancilla path).
+    let n = 6;
+    let problem = MaxIndependentSet::new(n, (0..n - 1).map(|i| (i, i + 1)).collect()).unwrap();
+    for (label, solver) in all_solvers(3000) {
+        let report = solver.solve(&problem, 3).unwrap();
+        assert_report_contract(label, solver.as_ref(), &problem, &report, (0.0, 3.0));
+    }
 }
 
 #[test]

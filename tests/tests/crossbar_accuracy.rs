@@ -52,11 +52,8 @@ fn incremental_error_is_small_for_unit_weights() {
         let mask = FlipMask::random(2, n, &mut rng);
         let s_new = s.flipped_by(&mask);
         let exact = coupling.incremental_form(&s_new, &mask);
-        let measured = xb.incremental_form(
-            &s_new.rest_vector(&mask),
-            &s_new.changed_vector(&mask),
-            1.0,
-        );
+        let measured =
+            xb.incremental_form(&s_new.rest_vector(&mask), &s_new.changed_vector(&mask), 1.0);
         // Unit Gset weights quantize exactly; only ADC rounding remains,
         // and the sparse column sums sit far from the ADC full scale.
         assert!(
@@ -111,11 +108,8 @@ fn typical_variation_keeps_decisions_mostly_correct() {
         if exact.abs() < 1.0 {
             continue; // tiny increments legitimately flip sign under noise
         }
-        let measured = noisy.incremental_form(
-            &s_new.rest_vector(&mask),
-            &s_new.changed_vector(&mask),
-            1.0,
-        );
+        let measured =
+            noisy.incremental_form(&s_new.rest_vector(&mask), &s_new.changed_vector(&mask), 1.0);
         total += 1;
         if measured.signum() == exact.signum() {
             agree += 1;

@@ -46,7 +46,10 @@ fn energy_cut_duality_holds_through_the_solver() {
 fn knapsack_end_to_end_reaches_dp_optimum() {
     let knapsack = Knapsack::new(vec![6, 5, 8, 9, 6, 7], vec![2, 3, 6, 7, 5, 9], 15).unwrap();
     let dp = knapsack.optimal_value();
-    let report = CimAnnealer::new(6000).with_flips(1).solve(&knapsack, 17).unwrap();
+    let report = CimAnnealer::new(6000)
+        .with_flips(1)
+        .solve(&knapsack, 17)
+        .unwrap();
     assert!(report.feasible);
     assert!(
         report.objective.unwrap() >= dp as f64 * 0.9,
@@ -59,7 +62,10 @@ fn knapsack_end_to_end_reaches_dp_optimum() {
 fn partitioning_end_to_end_finds_balanced_split() {
     let numbers = vec![7.0, 11.0, 5.0, 8.0, 9.0, 10.0, 6.0, 4.0];
     let problem = NumberPartitioning::new(numbers.clone()).unwrap();
-    let report = CimAnnealer::new(4000).with_flips(1).solve(&problem, 23).unwrap();
+    let report = CimAnnealer::new(4000)
+        .with_flips(1)
+        .solve(&problem, 23)
+        .unwrap();
     let total: f64 = numbers.iter().sum();
     assert!(
         report.objective.unwrap() <= total * 0.1,
@@ -71,11 +77,25 @@ fn partitioning_end_to_end_finds_balanced_split() {
 #[test]
 fn all_three_architectures_solve_the_same_problem() {
     let problem = MaxCut::new(24, (0..24).map(|i| (i, (i + 1) % 24, 1.0)).collect()).unwrap();
-    let ours = CimAnnealer::new(3000).with_flips(1).solve(&problem, 5).unwrap();
-    let fpga = DirectAnnealer::cim_fpga(3000).with_flips(1).solve(&problem, 5).unwrap();
-    let asic = DirectAnnealer::cim_asic(3000).with_flips(1).solve(&problem, 5).unwrap();
+    let ours = CimAnnealer::new(3000)
+        .with_flips(1)
+        .solve(&problem, 5)
+        .unwrap();
+    let fpga = DirectAnnealer::cim_fpga(3000)
+        .with_flips(1)
+        .solve(&problem, 5)
+        .unwrap();
+    let asic = DirectAnnealer::cim_asic(3000)
+        .with_flips(1)
+        .solve(&problem, 5)
+        .unwrap();
     for r in [&ours, &fpga, &asic] {
-        assert!(r.objective.unwrap() >= 20.0, "{:?}: {}", r.kind, r.objective.unwrap());
+        assert!(
+            r.objective.unwrap() >= 20.0,
+            "{:?}: {}",
+            r.kind,
+            r.objective.unwrap()
+        );
     }
     // Architecture ordering from the paper: FPGA > ASIC >> ours in energy.
     assert!(fpga.energy.total() > asic.energy.total());

@@ -1,0 +1,99 @@
+//! Determinism contract of the rayon-backed [`Ensemble`] runner: the
+//! same base seed must produce bit-identical results at any worker
+//! count — `RAYON_NUM_THREADS=1`, an explicit thread cap, or the default
+//! pool — because every trial derives all randomness from its own seed
+//! and outcomes are returned in trial order.
+
+use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer, Solver};
+use fecim_anneal::Ensemble;
+use fecim_gset::{GeneratorConfig, GsetFamily};
+use fecim_ising::MaxCut;
+
+fn test_problem() -> MaxCut {
+    GeneratorConfig::new(96, 4242)
+        .with_family(GsetFamily::RandomUnit)
+        .with_mean_degree(8.0)
+        .generate()
+        .to_max_cut()
+}
+
+fn best_energies(solver: &dyn Solver, problem: &MaxCut, ensemble: &Ensemble) -> Vec<f64> {
+    ensemble.run(|seed| solver.solve(problem, seed).expect("valid").best_energy)
+}
+
+#[test]
+fn same_base_seed_is_bit_identical_across_thread_counts() {
+    let problem = test_problem();
+    let solver = CimAnnealer::new(400).with_flips(1);
+
+    let default_threads = best_energies(&solver, &problem, &Ensemble::new(12, 2025));
+    let capped = best_energies(
+        &solver,
+        &problem,
+        &Ensemble::new(12, 2025).with_max_threads(3),
+    );
+    let sequential = best_energies(
+        &solver,
+        &problem,
+        &Ensemble::new(12, 2025).with_max_threads(1),
+    );
+    // Bit-identical, not approximately equal.
+    assert_eq!(default_threads, sequential);
+    assert_eq!(default_threads, capped);
+
+    // And identical to a hand-rolled sequential loop over the same seeds.
+    let by_hand: Vec<f64> = Ensemble::new(12, 2025)
+        .seeds()
+        .map(|seed| solver.solve(&problem, seed).expect("valid").best_energy)
+        .collect();
+    assert_eq!(default_threads, by_hand);
+}
+
+#[test]
+fn rayon_num_threads_env_does_not_change_results() {
+    let problem = test_problem();
+    let solver = DirectAnnealer::cim_asic(400).with_flips(1);
+    let ensemble = Ensemble::new(8, 7);
+
+    // Restore any externally-set value afterwards (CI runs this whole
+    // binary under RAYON_NUM_THREADS=1 on purpose).
+    let previous = std::env::var("RAYON_NUM_THREADS").ok();
+    let with_default_pool = best_energies(&solver, &problem, &ensemble);
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let single_threaded = best_energies(&solver, &problem, &ensemble);
+    match previous {
+        Some(value) => std::env::set_var("RAYON_NUM_THREADS", value),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+
+    assert_eq!(with_default_pool, single_threaded);
+}
+
+#[test]
+fn all_architectures_are_ensemble_deterministic() {
+    let problem = test_problem();
+    let solvers: [&dyn Solver; 3] = [
+        &CimAnnealer::new(300).with_flips(1),
+        &DirectAnnealer::cim_fpga(300).with_flips(1),
+        &MesaAnnealer::new(300),
+    ];
+    for solver in solvers {
+        let a = best_energies(solver, &problem, &Ensemble::new(6, 99));
+        let b = best_energies(solver, &problem, &Ensemble::new(6, 99).with_max_threads(1));
+        assert_eq!(
+            a,
+            b,
+            "{} not deterministic across thread counts",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn distinct_base_seeds_explore_distinct_trajectories() {
+    let problem = test_problem();
+    let solver = CimAnnealer::new(200).with_flips(1);
+    let a = best_energies(&solver, &problem, &Ensemble::new(6, 1));
+    let b = best_energies(&solver, &problem, &Ensemble::new(6, 1_000_000));
+    assert_ne!(a, b, "independent ensembles should not repeat trajectories");
+}

@@ -10,13 +10,14 @@ use fecim_ising::{
 /// Strategy: a random symmetric coupling (as triplets) over `n` spins.
 fn coupling_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
     (4..=max_n).prop_flat_map(|n| {
-        let triplet = (0..n, 0..n, -2.0f64..2.0).prop_filter_map("no self-loops", move |(i, j, w)| {
-            if i == j {
-                None
-            } else {
-                Some((i.min(j), i.max(j), w))
-            }
-        });
+        let triplet =
+            (0..n, 0..n, -2.0f64..2.0).prop_filter_map("no self-loops", move |(i, j, w)| {
+                if i == j {
+                    None
+                } else {
+                    Some((i.min(j), i.max(j), w))
+                }
+            });
         (Just(n), proptest::collection::vec(triplet, 0..3 * n))
     })
 }

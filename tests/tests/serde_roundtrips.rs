@@ -44,7 +44,10 @@ fn problem_roundtrips() {
 
 #[test]
 fn device_params_roundtrip() {
-    assert_eq!(roundtrip(&FefetParams::paper_reference()), FefetParams::paper_reference());
+    assert_eq!(
+        roundtrip(&FefetParams::paper_reference()),
+        FefetParams::paper_reference()
+    );
     assert_eq!(
         roundtrip(&DgFefetParams::paper_reference()),
         DgFefetParams::paper_reference()
@@ -53,7 +56,10 @@ fn device_params_roundtrip() {
         roundtrip(&PreisachParams::paper_reference()),
         PreisachParams::paper_reference()
     );
-    assert_eq!(roundtrip(&VariationConfig::typical()), VariationConfig::typical());
+    assert_eq!(
+        roundtrip(&VariationConfig::typical()),
+        VariationConfig::typical()
+    );
 }
 
 #[test]

@@ -27,7 +27,10 @@ fn first_target_hit_is_recorded_and_consistent() {
         .with_target_energy(target_energy)
         .solve(&problem, 3)
         .unwrap();
-    let hit = report.run.first_target_hit.expect("easy target must be hit");
+    let hit = report
+        .run
+        .first_target_hit
+        .expect("easy target must be hit");
     assert!(hit <= 3000);
     // The reported best must actually satisfy the target.
     assert!(report.best_energy <= target_energy + 1e-9);
@@ -83,7 +86,11 @@ fn mesa_beats_plain_baseline_on_average() {
     let mut mesa_total = 0.0;
     let mut plain_total = 0.0;
     for seed in 0..5u64 {
-        mesa_total += MesaAnnealer::new(2000).solve(&problem, seed).unwrap().objective.unwrap();
+        mesa_total += MesaAnnealer::new(2000)
+            .solve(&problem, seed)
+            .unwrap()
+            .objective
+            .unwrap();
         plain_total += DirectAnnealer::cim_asic(2000)
             .with_flips(1)
             .solve(&problem, seed)
@@ -125,9 +132,16 @@ fn vertex_cover_solvable_through_the_full_stack() {
     let mut edges: Vec<(usize, usize)> = (1..6).map(|v| (0, v)).collect();
     edges.extend([(6, 7), (7, 8), (6, 8)]);
     let problem = VertexCover::new(9, edges).unwrap();
-    let report = CimAnnealer::new(4000).with_flips(1).solve(&problem, 5).unwrap();
+    let report = CimAnnealer::new(4000)
+        .with_flips(1)
+        .solve(&problem, 5)
+        .unwrap();
     assert!(report.feasible);
-    assert!(report.objective.unwrap() <= 4.0, "cover size {}", report.objective.unwrap());
+    assert!(
+        report.objective.unwrap() <= 4.0,
+        "cover size {}",
+        report.objective.unwrap()
+    );
 }
 
 #[test]

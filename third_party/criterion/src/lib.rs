@@ -1,0 +1,240 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment for this workspace cannot reach crates.io, so
+//! this crate provides a minimal timing harness with criterion's call
+//! surface: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with `sample_size`/`throughput`/`bench_with_input`, [`BenchmarkId`],
+//! [`Throughput`] and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. No statistics engine — each bench is timed with a short
+//! calibrated loop and the mean ns/iter is printed. Good enough for
+//! relative comparisons; swap in real criterion when a registry is
+//! available.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement driver passed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    label: String,
+    /// Target measurement time per bench.
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Time the closure: warm up, calibrate an iteration count that
+    /// fills the measurement window, then report mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: time a single call.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.measure.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let total = start.elapsed();
+        let per_iter = total.as_nanos() as f64 / iters as f64;
+        println!(
+            "{:<60} {:>14.1} ns/iter ({iters} iters)",
+            self.label, per_iter
+        );
+    }
+}
+
+/// Identifies a parametrized benchmark, e.g. `in_situ/800`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// Build from a parameter value alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Declared throughput of a benchmark (recorded, not yet reported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            // Short window: this shim is for smoke-timing, not statistics.
+            measure: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            label: name.to_string(),
+            measure: self.measure,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility (this shim has no sampling).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (recorded nowhere yet).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            label: format!("{}/{}", self.name, id.id),
+            measure: self.criterion.measure,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Run one parametrized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            label: format!("{}/{}", self.name, id.id),
+            measure: self.criterion.measure,
+        };
+        f(&mut bencher, input);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            measure: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion {
+            measure: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("f", 4), &4usize, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2));
+        });
+        group.bench_function("plain", |b| b.iter(|| std::hint::black_box(3)));
+        group.finish();
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build environment for this workspace cannot reach crates.io, so
+//! this crate provides the parallel-iterator surface the workspace uses
+//! (`into_par_iter().map(..).collect()` over vectors and ranges) on top
+//! of `std::thread::scope`. Semantics match rayon where it matters here:
+//!
+//! * results come back **in input order** regardless of thread count;
+//! * `RAYON_NUM_THREADS` caps the worker count (`1` forces fully
+//!   sequential execution on the calling thread);
+//! * work is distributed dynamically (atomic index dispatch), so uneven
+//!   item costs still load-balance.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads parallel operations may use:
+/// `RAYON_NUM_THREADS` when set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Apply `f` to every item, in parallel, returning outputs in input
+/// order. The parallel backbone of this shim.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    // Feed items through per-slot Mutex<Option<T>> cells so workers can
+    // claim them by index (dynamic dispatch → load balance), and write
+    // results to per-slot cells so order is preserved deterministically.
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let item = inputs[idx]
+                    .lock()
+                    .expect("input cell never poisoned")
+                    .take()
+                    .expect("each index claimed once");
+                let out = f(item);
+                *outputs[idx].lock().expect("output cell never poisoned") = Some(out);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .expect("output cell never poisoned")
+                .expect("every index visited")
+        })
+        .collect()
+}
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A (materialized) parallel iterator.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Evaluate the pipeline, in parallel, preserving input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Map every item through `f` (applied in parallel at evaluation
+    /// time; workers share `&f`, so `Sync` is all the closure needs).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Evaluate and collect into `C`.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_vec(self.drive())
+    }
+
+    /// Evaluate for side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = self.map(f).drive();
+    }
+}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<T: Send> {
+    /// Build from the ordered evaluation results.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Vec<T> {
+        items
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+#[derive(Debug)]
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = VecIter<$t>;
+
+            fn into_par_iter(self) -> VecIter<$t> {
+                VecIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(usize, u64, u32, i32, i64);
+
+/// Lazy `map` stage.
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_map(self.base.drive(), &self.f)
+    }
+}
+
+/// The traits needed for `.into_par_iter().map(..).collect()` chains.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+/// Compatibility alias of [`prelude`] (rayon exposes both).
+pub mod iter {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, Map, ParallelIterator, VecIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_and_chained_maps() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(out, vec!["2", "3", "4"]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let out: Vec<usize> = (0usize..64)
+            .into_par_iter()
+            .map(|i| {
+                // Vary per-item cost to exercise dynamic dispatch.
+                let mut acc = i;
+                for _ in 0..(i % 7) * 1000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                std::hint::black_box(acc);
+                i
+            })
+            .collect();
+        assert_eq!(out, (0usize..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![7u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

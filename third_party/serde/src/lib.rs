@@ -1,0 +1,499 @@
+//! Offline drop-in subset of the `serde` API.
+//!
+//! The build environment for this workspace cannot reach crates.io, so
+//! this crate provides the exact serialization surface the workspace
+//! uses: `#[derive(Serialize, Deserialize)]`, the [`Serialize`] /
+//! [`Deserialize`] traits and [`de::DeserializeOwned`]. Instead of
+//! serde's visitor architecture, values convert through a small
+//! self-describing [`Content`] tree which the companion `serde_json`
+//! shim renders to and parses from JSON. The derive macro emits the same
+//! external data layout as upstream serde (structs as maps, enums
+//! externally tagged), so artifacts stay compatible with real serde if
+//! the shims are ever swapped out.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value — the intermediate representation
+/// between Rust values and concrete formats (JSON via the `serde_json`
+/// shim).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Null / absent.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered string-keyed map (struct fields keep declaration order).
+    Map(Vec<(String, Content)>),
+}
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// Look up a map entry by key.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Map entry by key, or `Null` when missing (lets `Option` fields
+    /// deserialize from maps that omit them).
+    pub fn field(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+
+    /// The `(key, value)` of a single-entry map (externally tagged enums).
+    pub fn single_entry(&self) -> Option<(&str, &Content)> {
+        match self {
+            Content::Map(entries) if entries.len() == 1 => {
+                Some((entries[0].0.as_str(), &entries[0].1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (any of the numeric variants).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(x) => Some(*x),
+            Content::U64(x) => Some(*x as f64),
+            Content::I64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(x) => Some(*x),
+            Content::I64(x) if *x >= 0 => Some(*x as u64),
+            Content::F64(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(x) => Some(*x),
+            Content::U64(x) if *x <= i64::MAX as u64 => Some(*x as i64),
+            Content::F64(x)
+                if x.fract() == 0.0 && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 =>
+            {
+                Some(*x as i64)
+            }
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A `expected X, found Y` error for a mismatched [`Content`].
+    pub fn expected(what: &str, found: &Content) -> DeError {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// A `missing field` error.
+    pub fn missing_field(name: &str) -> DeError {
+        DeError(format!("missing field `{name}`"))
+    }
+
+    /// An `unknown variant` error.
+    pub fn unknown_variant(name: &str, ty: &str) -> DeError {
+        DeError(format!("unknown variant `{name}` for enum `{ty}`"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can serialize itself to [`Content`].
+pub trait Serialize {
+    /// Convert to the intermediate representation.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can deserialize itself from [`Content`].
+pub trait Deserialize: Sized {
+    /// Convert from the intermediate representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `content` does not match the expected
+    /// shape.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Compatibility module mirroring `serde::de`.
+pub mod de {
+    /// Marker alias for owned deserialization (all our [`Deserialize`]
+    /// impls are owned).
+    ///
+    /// [`Deserialize`]: crate::Deserialize
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_bool()
+            .ok_or_else(|| DeError::expected("bool", content))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = content
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", content))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError(format!("integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = content
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", content))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError(format!("integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            // JSON has no NaN/Infinity literal; the emitter writes null.
+            Content::Null => Ok(f64::NAN),
+            _ => content
+                .as_f64()
+                .ok_or_else(|| DeError::expected("number", content)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", content))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let s = content
+            .as_str()
+            .ok_or_else(|| DeError::expected("char", content))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-char string", content)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", content))?;
+        if items.len() != N {
+            return Err(DeError(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items
+            .iter()
+            .map(T::from_content)
+            .collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let items = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("tuple sequence", content))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError(format!(
+                        "expected tuple of length {expected}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1usize, 2usize, -0.5f64), (3, 4, 1.25)];
+        let c = v.to_content();
+        assert_eq!(Vec::<(usize, usize, f64)>::from_content(&c).unwrap(), v);
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_content(&o.to_content()).unwrap(), None);
+        assert_eq!(
+            Option::<u8>::from_content(&Some(3u8).to_content()).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn option_field_absent_is_none() {
+        let map = Content::Map(vec![]);
+        assert_eq!(Option::<u8>::from_content(map.field("gone")).unwrap(), None);
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+        assert!(u64::from_content(&Content::I64(-1)).is_err());
+        assert_eq!(u64::from_content(&Content::F64(5.0)).unwrap(), 5);
+        assert!(u64::from_content(&Content::F64(5.5)).is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the workspace's
+//! offline serde shim.
+//!
+//! Implemented directly on `proc_macro` token streams (the offline build
+//! has no `syn`/`quote`). Supports the shapes this workspace uses:
+//! structs with named fields, tuple/newtype structs, unit structs, and
+//! enums with unit / newtype / tuple / struct variants (externally
+//! tagged, matching upstream serde's default representation). Generics
+//! and `#[serde(...)]` attributes are intentionally unsupported and
+//! produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive the shim's `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive the shim's `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Advance past a type (or expression) until a top-level comma, tracking
+/// `<`/`>` nesting so commas inside generic arguments don't split fields.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1; // consume the comma (or run off the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_to_top_level_comma(&tokens, &mut i);
+        count += 1;
+        i += 1;
+        // A trailing comma leaves no tokens behind it; don't count an
+        // empty final segment.
+        if i >= tokens.len() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1;
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Content::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                        .collect();
+                    format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => gen_map_literal(names, |f| format!("&self.{f}")),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for (variant, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{variant} => ::serde::Content::Str(\
+                         ::std::string::String::from(\"{variant}\"))"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{variant}({binds}) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{variant}\"), {payload})])",
+                            binds = binders.join(", ")
+                        )
+                    }
+                    Fields::Named(field_names) => {
+                        let payload = gen_map_literal(field_names, |f| f.to_string());
+                        format!(
+                            "{name}::{variant} {{ {binds} }} => ::serde::Content::Map(\
+                             ::std::vec![(::std::string::String::from(\"{variant}\"), {payload})])",
+                            binds = field_names.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{\n{arms},\n}}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_map_literal(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_content({}))",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_named_constructor(path: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_content({source}.field(\"{f}\"))?"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_tuple_constructor(path: &str, n: usize, seq_var: &str) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|k| format!("::serde::Deserialize::from_content(&{seq_var}[{k}])?"))
+        .collect();
+    format!("{path}({})", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => {
+                    format!("let _ = content;\n::std::result::Result::Ok({name})")
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_content(content)?))"
+                ),
+                Fields::Tuple(n) => format!(
+                    "let __items = content.as_seq().ok_or_else(|| \
+                     ::serde::DeError::expected(\"{name} tuple\", content))?;\n\
+                     if __items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"expected {n} elements for {name}, found {{}}\", \
+                         __items.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({ctor})",
+                    ctor = gen_tuple_constructor(name, *n, "__items")
+                ),
+                Fields::Named(field_names) => format!(
+                    "::std::result::Result::Ok({})",
+                    gen_named_constructor(name, field_names, "content")
+                ),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut str_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for (variant, fields) in variants {
+                match fields {
+                    Fields::Unit => str_arms.push(format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant})"
+                    )),
+                    Fields::Tuple(1) => payload_arms.push(format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}(\
+                         ::serde::Deserialize::from_content(__payload)?))"
+                    )),
+                    Fields::Tuple(n) => payload_arms.push(format!(
+                        "\"{variant}\" => {{\n\
+                             let __items = __payload.as_seq().ok_or_else(|| \
+                             ::serde::DeError::expected(\"{variant} payload\", __payload))?;\n\
+                             if __items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\"expected {n} elements for {name}::{variant}, \
+                                 found {{}}\", __items.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({ctor})\n\
+                         }}",
+                        ctor = gen_tuple_constructor(&format!("{name}::{variant}"), *n, "__items")
+                    )),
+                    Fields::Named(field_names) => payload_arms.push(format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({ctor})",
+                        ctor = gen_named_constructor(
+                            &format!("{name}::{variant}"),
+                            field_names,
+                            "__payload"
+                        )
+                    )),
+                }
+            }
+            let body = format!(
+                "if let ::serde::Content::Str(__s) = content {{\n\
+                     return match __s.as_str() {{\n\
+                         {str_arms}\n\
+                         __other => ::std::result::Result::Err(\
+                         ::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                     }};\n\
+                 }}\n\
+                 if let ::std::option::Option::Some((__key, __payload)) = \
+                 content.single_entry() {{\n\
+                     return match __key {{\n\
+                         {payload_arms}\n\
+                         __other => ::std::result::Result::Err(\
+                         ::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                     }};\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"enum {name}\", content))",
+                str_arms = str_arms
+                    .iter()
+                    .map(|a| format!("{a},"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+                payload_arms = payload_arms
+                    .iter()
+                    .map(|a| format!("{a},"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,471 @@
+//! Offline drop-in subset of the `serde_json` API.
+//!
+//! Renders the serde shim's [`Content`](serde::Content) tree to JSON and
+//! parses JSON back. Provides exactly what this workspace uses:
+//! [`Value`], [`to_value`], [`to_string`], [`to_string_pretty`],
+//! [`from_str`], [`from_value`] and the [`json!`] macro.
+
+#![warn(missing_docs)]
+
+use serde::de::DeserializeOwned;
+use serde::{Content, Serialize};
+
+/// A parsed/serializable JSON value (alias of the serde shim's content
+/// tree; maps preserve insertion order like `serde_json`'s
+/// `preserve_order` feature).
+pub type Value = Content;
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible in this shim (kept fallible for API compatibility).
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_content())
+}
+
+/// Convert a [`Value`] tree into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the tree does not match `T`'s shape.
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_content(value)?)
+}
+
+/// Serialize to a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible in this shim (kept fallible for API compatibility).
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_content(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed JSON string (two-space indent).
+///
+/// # Errors
+///
+/// Infallible in this shim (kept fallible for API compatibility).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_content(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse a JSON string into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = Parser::new(s).parse_document()?;
+    Ok(T::from_content(&value)?)
+}
+
+/// Build a [`Value`] from a JSON-shaped literal. Object values and array
+/// elements may be arbitrary serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Map(::std::vec![
+            $((::std::string::String::from($key),
+               $crate::to_value(&$val).expect("json! value serializes"))),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Seq(::std::vec![
+            $($crate::to_value(&$val).expect("json! value serializes")),*
+        ])
+    };
+    ($val:expr) => { $crate::to_value(&$val).expect("json! value serializes") };
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_json(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Rust's shortest-roundtrip float formatting is valid JSON.
+                out.push_str(&x.to_string());
+            } else {
+                // Like serde_json's `null` for non-finite under lossy modes.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Seq(items) => {
+            write_bracketed(out, indent, depth, '[', ']', items.len(), |out, i| {
+                write_json(&items[i], out, indent, depth + 1);
+            });
+        }
+        Value::Map(entries) => {
+            write_bracketed(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                write_escaped(&entries[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(&entries[i].1, out, indent, depth + 1);
+            });
+        }
+    }
+}
+
+fn write_bracketed(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Value, Error> {
+        let value = self.parse_value()?;
+        self.skip_whitespace();
+        if self.pos != self.bytes.len() {
+            return Err(self.error("trailing characters"));
+        }
+        Ok(value)
+    }
+
+    fn error(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        self.skip_whitespace();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.bytes.get(self.pos) {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_whitespace();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_whitespace();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(self.error("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_whitespace();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_whitespace();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_whitespace();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(self.error("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(self.error("expected string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if text.is_empty() {
+            return Err(self.error("expected value"));
+        }
+        let is_float = text.contains(['.', 'e', 'E']);
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_document() {
+        let doc = json!({
+            "name": "fig10",
+            "count": 3u64,
+            "ratio": 1.5f64,
+            "flags": [true, false],
+            "nested": json!({"a": -2i64}),
+        });
+        let text = to_string(&doc).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, doc);
+        let pretty = to_string_pretty(&doc).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = Value::Str("a\"b\\c\nd\te\u{1}".to_string());
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn numbers_keep_integer_fidelity() {
+        assert_eq!(
+            from_str::<Value>("18446744073709551615").unwrap(),
+            Value::U64(u64::MAX)
+        );
+        assert_eq!(from_str::<Value>("-3").unwrap(), Value::I64(-3));
+        assert_eq!(from_str::<Value>("2.5").unwrap(), Value::F64(2.5));
+    }
+
+    #[test]
+    fn float_formatting_is_shortest_roundtrip() {
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1");
+        assert_eq!(from_str::<f64>("1").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+    }
+
+    #[test]
+    fn value_get_works() {
+        let doc = json!({"x": 1u64});
+        assert!(doc.get("x").is_some());
+        assert!(doc.get("y").is_none());
+    }
+}
