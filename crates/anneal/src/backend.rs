@@ -6,8 +6,11 @@
 //! runs via local fields). [`CrossbarBackend`] routes the same queries
 //! through the simulated DG FeFET crossbar, picking up quantization,
 //! device variation and activity statistics — the device-in-the-loop mode.
+//! [`TiledBackend`] does the same through the fixed-size-tile composition
+//! (`fecim_crossbar::TiledCrossbar`), which is how instances larger than
+//! one physical array run device-in-the-loop.
 
-use fecim_crossbar::{ActivityStats, Crossbar, CrossbarConfig};
+use fecim_crossbar::{ActivityStats, Crossbar, CrossbarConfig, InSituArray, TiledCrossbar};
 use fecim_ising::{CsrCoupling, FlipMask, LocalFieldState, SpinVector};
 
 /// Source of energies for the annealing engines.
@@ -89,12 +92,16 @@ impl EnergyBackend for ExactBackend<'_> {
     }
 }
 
-/// Device-in-the-loop backend: all energy-form measurements go through the
-/// simulated crossbar; an exact shadow state tracks true energies for
-/// reporting.
+/// Device-in-the-loop backend: all energy-form measurements go through a
+/// simulated array (monolithic [`Crossbar`] or [`TiledCrossbar`], via the
+/// [`InSituArray`] read interface); an exact shadow state tracks true
+/// energies for reporting.
+///
+/// Use the [`CrossbarBackend`] / [`TiledBackend`] aliases and their
+/// constructors.
 #[derive(Debug)]
-pub struct CrossbarBackend<'a> {
-    crossbar: Crossbar,
+pub struct DeviceBackend<'a, A: InSituArray> {
+    array: A,
     shadow: LocalFieldState<'a, CsrCoupling>,
     /// Measured (quantized) energy of the current state, as the baseline
     /// hardware would hold it in its digital accumulator.
@@ -104,37 +111,77 @@ pub struct CrossbarBackend<'a> {
     pending_measured: Option<f64>,
 }
 
-impl<'a> CrossbarBackend<'a> {
-    /// Program `coupling` into a crossbar and start from `initial`.
-    pub fn new(
+/// Device-in-the-loop backend over the monolithic `n × (n·k)` array.
+pub type CrossbarBackend<'a> = DeviceBackend<'a, Crossbar>;
+
+/// Device-in-the-loop backend over the tiled fixed-size-array
+/// composition — the backend that lets G-set-scale instances run through
+/// physically plausible tiles.
+pub type TiledBackend<'a> = DeviceBackend<'a, TiledCrossbar>;
+
+impl<'a, A: InSituArray> DeviceBackend<'a, A> {
+    fn from_array(
+        mut array: A,
         coupling: &'a CsrCoupling,
         initial: SpinVector,
-        config: CrossbarConfig,
-    ) -> CrossbarBackend<'a> {
-        let mut crossbar = Crossbar::program(coupling, config);
-        let measured_energy = crossbar.vmv(initial.as_slice());
+    ) -> DeviceBackend<'a, A> {
+        let measured_energy = array.vmv(initial.as_slice());
         let shadow = LocalFieldState::new(coupling, initial);
-        CrossbarBackend {
-            crossbar,
+        DeviceBackend {
+            array,
             shadow,
             measured_energy,
             pending_measured: None,
         }
     }
 
-    /// The underlying crossbar (e.g. to inspect configuration or wires).
-    pub fn crossbar(&self) -> &Crossbar {
-        &self.crossbar
-    }
-
     /// Hardware annealing factor for a back-gate voltage (forwarded from
-    /// the crossbar's reference cell).
+    /// the array's reference cell).
     pub fn cell_factor(&self, vbg: f64) -> f64 {
-        self.crossbar.cell_factor(vbg)
+        self.array.cell_factor(vbg)
     }
 }
 
-impl EnergyBackend for CrossbarBackend<'_> {
+impl<'a> CrossbarBackend<'a> {
+    /// Program `coupling` into a monolithic crossbar and start from
+    /// `initial`.
+    pub fn new(
+        coupling: &'a CsrCoupling,
+        initial: SpinVector,
+        config: CrossbarConfig,
+    ) -> CrossbarBackend<'a> {
+        DeviceBackend::from_array(Crossbar::program(coupling, config), coupling, initial)
+    }
+
+    /// The underlying crossbar (e.g. to inspect configuration or wires).
+    pub fn crossbar(&self) -> &Crossbar {
+        &self.array
+    }
+}
+
+impl<'a> TiledBackend<'a> {
+    /// Program `coupling` onto a grid of `tile_rows`-row tiles and start
+    /// from `initial`.
+    pub fn new(
+        coupling: &'a CsrCoupling,
+        initial: SpinVector,
+        config: CrossbarConfig,
+        tile_rows: usize,
+    ) -> TiledBackend<'a> {
+        DeviceBackend::from_array(
+            TiledCrossbar::program(coupling, config, tile_rows),
+            coupling,
+            initial,
+        )
+    }
+
+    /// The underlying tiled array (tile grid, activity, configuration).
+    pub fn tiled(&self) -> &TiledCrossbar {
+        &self.array
+    }
+}
+
+impl<A: InSituArray> EnergyBackend for DeviceBackend<'_, A> {
     fn dimension(&self) -> usize {
         self.shadow.spins().len()
     }
@@ -151,12 +198,12 @@ impl EnergyBackend for CrossbarBackend<'_> {
         let new_spins = self.shadow.spins().flipped_by(mask);
         let r = new_spins.rest_vector(mask);
         let c = new_spins.changed_vector(mask);
-        self.crossbar.incremental_form(&r, &c, factor)
+        self.array.incremental_form(&r, &c, factor)
     }
 
     fn direct_delta(&mut self, mask: &FlipMask) -> f64 {
         let new_spins = self.shadow.spins().flipped_by(mask);
-        let e_new = self.crossbar.vmv(new_spins.as_slice());
+        let e_new = self.array.vmv(new_spins.as_slice());
         self.pending_measured = Some(e_new);
         e_new - self.measured_energy
     }
@@ -169,7 +216,7 @@ impl EnergyBackend for CrossbarBackend<'_> {
     }
 
     fn activity(&self) -> Option<ActivityStats> {
-        Some(*self.crossbar.stats())
+        Some(*self.array.stats())
     }
 }
 
@@ -248,6 +295,33 @@ mod tests {
             (measured - exact_form).abs() < 1.0,
             "measured={measured} exact={exact_form}"
         );
+    }
+
+    #[test]
+    fn tiled_backend_matches_crossbar_backend_in_ideal_mode() {
+        // Ideal-fidelity tiled reads are bit-identical to the monolithic
+        // array, so the two backends must agree measurement for
+        // measurement.
+        let j = coupling(24, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let init = SpinVector::random(24, &mut rng);
+        let cfg = CrossbarConfig::paper_defaults();
+        let mut mono = CrossbarBackend::new(&j, init.clone(), cfg.clone());
+        let mut tiled = TiledBackend::new(&j, init, cfg, 7);
+        assert_eq!(tiled.tiled().tile_grid(), (4, 4));
+        for _ in 0..5 {
+            let mask = FlipMask::random(2, 24, &mut rng);
+            assert_eq!(
+                mono.weighted_increment(&mask, 0.6),
+                tiled.weighted_increment(&mask, 0.6)
+            );
+            assert_eq!(mono.direct_delta(&mask), tiled.direct_delta(&mask));
+            mono.apply(&mask);
+            tiled.apply(&mask);
+            assert_eq!(mono.spins(), tiled.spins());
+        }
+        let a = tiled.activity().expect("tiled backend records activity");
+        assert!(a.tiles_activated > 0, "per-tile activity recorded");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use fecim_crossbar::{Crossbar, CrossbarConfig, Fidelity};
+use fecim_crossbar::{Crossbar, CrossbarConfig, Fidelity, TiledCrossbar};
 use fecim_ising::{CsrCoupling, DenseCoupling, FlipMask, SpinVector};
 
 fn instance(n: usize, seed: u64) -> (CsrCoupling, SpinVector, FlipMask) {
@@ -59,6 +59,29 @@ fn bench_fidelity(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_tiled_reads(c: &mut Criterion) {
+    // The tiled composition against the monolithic array at a
+    // beyond-array-size instance (n = 1024 on 256-row tiles): same reads,
+    // per-tile bookkeeping on top.
+    let mut group = c.benchmark_group("tiled_reads_1024");
+    group.sample_size(20);
+    let n = 1024;
+    let (coupling, spins, mask) = instance(n, 7);
+    let new_spins = spins.flipped_by(&mask);
+    let r = new_spins.rest_vector(&mask);
+    let cvec = new_spins.changed_vector(&mask);
+    let mut mono = Crossbar::program(&coupling, CrossbarConfig::paper_defaults());
+    let mut tiled = TiledCrossbar::program(&coupling, CrossbarConfig::paper_defaults(), 256);
+    group.bench_function("incremental/monolithic", |b| {
+        b.iter(|| mono.incremental_form(&r, &cvec, 0.7))
+    });
+    group.bench_function("incremental/tiled256", |b| {
+        b.iter(|| tiled.incremental_form(&r, &cvec, 0.7))
+    });
+    group.bench_function("vmv/tiled256", |b| b.iter(|| tiled.vmv(spins.as_slice())));
+    group.finish();
+}
+
 fn bench_programming(c: &mut Criterion) {
     let mut group = c.benchmark_group("crossbar_programming");
     group.sample_size(10);
@@ -71,5 +94,11 @@ fn bench_programming(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reads, bench_fidelity, bench_programming);
+criterion_group!(
+    benches,
+    bench_reads,
+    bench_fidelity,
+    bench_tiled_reads,
+    bench_programming
+);
 criterion_main!(benches);

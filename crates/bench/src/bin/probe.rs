@@ -9,9 +9,14 @@
 //! This is how the shipped divisor-80 default was chosen; the published
 //! quality experiment is `fig10_success`, the published sweep is
 //! `ablation_sweeps`.
+//!
+//! With `--tile-rows N`, the probe additionally runs the first instance
+//! device-in-the-loop through the tiled array and prints the measured
+//! per-tile activity (activated tiles, ADC conversions/slots).
 
 use fecim::{normalized_ensemble, CimAnnealer, DirectAnnealer, Solver};
 use fecim_anneal::{multi_start_local_search, success_rate, Ensemble};
+use fecim_crossbar::CrossbarConfig;
 use fecim_gset::quick_suite;
 use fecim_ising::CopProblem;
 
@@ -98,5 +103,34 @@ fn main() {
         let mean = cuts.iter().sum::<f64>() / cuts.len() as f64;
         line.push_str(&format!(" | base:{mean:.3}/{:.0}%", sr * 100.0));
         println!("{line}");
+    }
+
+    if let Some(tile_rows) = fecim_bench::parse_tile_rows() {
+        let inst = instances.first().expect("suite is nonempty");
+        let graph = inst.graph();
+        let problem = graph.to_max_cut();
+        let n = graph.vertex_count();
+        let iters = inst.group.iteration_budget().min(2_000);
+        let report = CimAnnealer::new(iters)
+            .with_tiled_device_in_loop(CrossbarConfig::paper_defaults(), tile_rows)
+            .solve(&problem, 2025)
+            .expect("max-cut always encodes");
+        let a = report
+            .run
+            .activity
+            .expect("tiled device runs record activity");
+        let bands = n.div_ceil(tile_rows);
+        println!(
+            "tiled probe {} (n={n}, {tile_rows}-row tiles, {bands}x{bands} grid, {iters} iters):",
+            inst.label
+        );
+        println!(
+            "  tiles activated {} ({:.1}/iter), adc conversions {}, adc slots {}, energy {:.3e} J",
+            a.tiles_activated,
+            a.tiles_activated as f64 / a.array_ops.max(1) as f64,
+            a.adc_conversions,
+            a.adc_slots,
+            report.energy.total()
+        );
     }
 }

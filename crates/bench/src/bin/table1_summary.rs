@@ -2,18 +2,25 @@
 //! (constants transcribed from the paper) plus the measured "This Work"
 //! row from a fresh experiment run.
 //!
-//! `cargo run --release -p fecim-bench --bin table1_summary [--scale quick|paper]`
+//! `cargo run --release -p fecim-bench --bin table1_summary \
+//!     [--scale quick|paper] [--tile-rows N]`
+//!
+//! With `--tile-rows N` the hardware costs are priced for the matrix
+//! mapped onto fixed-size `N`-row tiles, and the per-architecture
+//! activated-tile counts are printed per size group.
 
 use fecim::experiment::{run_experiment, ExperimentConfig, Scale};
 use fecim::report::{format_table1, this_work_row};
-use fecim_bench::{parse_scale, HarnessScale};
+use fecim_bench::{parse_scale, parse_tile_rows, HarnessScale};
+use fecim_hwcost::AnnealerKind;
 
 fn main() {
     let scale = parse_scale();
-    let config = ExperimentConfig::new(match scale {
+    let mut config = ExperimentConfig::new(match scale {
         HarnessScale::Quick => Scale::Quick,
         HarnessScale::Paper => Scale::Paper,
     });
+    config.tile_rows = parse_tile_rows();
     println!(
         "=== Table 1: summary of COP solvers ({:?} scale) ===\n",
         config.scale
@@ -21,6 +28,25 @@ fn main() {
     let outcome = run_experiment(config);
     println!("{}", format_table1(&outcome));
     println!("paper 'This Work' row: O(n), no e^x, DG FeFET, 3000 node, 4.6 ms, 0.9 uJ, 98%");
+    if let Some(tile_rows) = config.tile_rows {
+        println!("\ntiled mapping ({tile_rows}-row tiles), activated tiles per iteration:");
+        for g in &outcome.groups {
+            let tiles = |kind: AnnealerKind| {
+                g.hardware
+                    .iter()
+                    .find(|h| h.kind == kind)
+                    .map(|h| h.tiles_per_iteration)
+                    .unwrap_or(0)
+            };
+            println!(
+                "  {:?} (n={}): in-situ {} vs direct-E baseline {}",
+                g.group,
+                g.spins,
+                tiles(AnnealerKind::InSitu),
+                tiles(AnnealerKind::CimAsic)
+            );
+        }
+    }
 
     fecim_bench::write_artifact(
         "table1_summary",

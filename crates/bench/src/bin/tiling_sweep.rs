@@ -1,0 +1,110 @@
+//! Tile-size ablation: success probability and hardware energy of the
+//! in-situ annealer running device-in-the-loop through the tiled array
+//! composition, swept over the physical tile height.
+//!
+//! Smaller tiles mean shorter (cheaper) lines and more ADC banks but a
+//! larger activated-tile count per read; in `Fidelity::Ideal` mode the
+//! solve trajectory is bit-identical across tile sizes (tiling is a
+//! physical re-partition, not an algorithm change), so the success
+//! column doubles as a regression check while energy/activity show the
+//! mapping trade-off.
+//!
+//! `cargo run --release -p fecim-bench --bin tiling_sweep \
+//!     [--scale quick|paper] [--device-accurate]`
+//!
+//! `--device-accurate` switches the analog path to per-tile variation
+//! maps and read noise (typical magnitudes), where tile size *does*
+//! change outcomes.
+
+use fecim::CimAnnealer;
+use fecim_anneal::{multi_start_local_search, success_rate, Ensemble};
+use fecim_crossbar::{CrossbarConfig, Fidelity};
+use fecim_device::VariationConfig;
+use fecim_gset::{GeneratorConfig, GsetFamily};
+use fecim_ising::CopProblem;
+
+fn main() {
+    let scale = fecim_bench::parse_scale();
+    let device_accurate = fecim_bench::has_flag("--device-accurate");
+    // Paper scale exercises a true G-set-scale instance (n = 800, the
+    // paper's smallest group) where every tested tile is smaller than
+    // the array; quick scale shrinks everything 4x.
+    let (n, degree, iterations, runs, tile_sizes): (usize, f64, usize, usize, Vec<usize>) =
+        match scale {
+            fecim_bench::HarnessScale::Quick => (200, 8.0, 1000, 10, vec![32, 64, 128, 200]),
+            fecim_bench::HarnessScale::Paper => (800, 24.0, 700, 25, vec![64, 128, 256, 800]),
+        };
+    let graph = GeneratorConfig::new(n, 0x711E)
+        .with_family(GsetFamily::RandomUnit)
+        .with_mean_degree(degree)
+        .generate();
+    let problem = graph.to_max_cut();
+    let model = problem.to_ising().expect("max-cut always encodes");
+    let (_, ref_energy) = multi_start_local_search(model.couplings(), 8, 2025);
+    let reference = problem.cut_from_energy(ref_energy);
+
+    let mut config = CrossbarConfig::paper_defaults();
+    if device_accurate {
+        config.fidelity = Fidelity::DeviceAccurate;
+        config.variation = VariationConfig::typical();
+    }
+    println!(
+        "=== tile-size sweep: n={n}, {iterations} iters, {runs} runs, ref cut {reference:.1}, {} ===\n",
+        if device_accurate {
+            "device-accurate"
+        } else {
+            "ideal analog path"
+        }
+    );
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>14} {:>12}",
+        "tile_rows", "grid", "mean cut", "success", "tiles/iter", "energy/run"
+    );
+
+    let mut rows = Vec::new();
+    for &tile_rows in &tile_sizes {
+        let solver =
+            CimAnnealer::new(iterations).with_tiled_device_in_loop(config.clone(), tile_rows);
+        let ensemble = Ensemble::new(runs, 2025);
+        let results = ensemble.run(|seed| {
+            let report = solver.solve(&problem, seed).expect("valid problem");
+            let activity = report.run.activity.expect("device runs record stats");
+            (
+                report.objective.expect("max-cut scores a cut") / reference,
+                report.energy.total(),
+                activity.tiles_activated as f64 / activity.array_ops.max(1) as f64,
+            )
+        });
+        let cuts: Vec<f64> = results.iter().map(|r| r.0).collect();
+        let sr = success_rate(&cuts, 0.9, true);
+        let mean_cut = cuts.iter().sum::<f64>() / cuts.len() as f64;
+        let mean_energy = results.iter().map(|r| r.1).sum::<f64>() / results.len() as f64;
+        let tiles_per_iter = results.iter().map(|r| r.2).sum::<f64>() / results.len() as f64;
+        let bands = n.div_ceil(tile_rows);
+        println!(
+            "{tile_rows:>10} {:>8} {mean_cut:>12.4} {:>11.0}% {tiles_per_iter:>14.2} {mean_energy:>12.3e}",
+            format!("{bands}x{bands}"),
+            sr * 100.0
+        );
+        rows.push(serde_json::json!({
+            "tile_rows": tile_rows,
+            "bands": bands,
+            "mean_normalized_cut": mean_cut,
+            "success_rate": sr,
+            "tiles_per_iteration": tiles_per_iter,
+            "mean_energy_j": mean_energy,
+        }));
+    }
+
+    fecim_bench::write_artifact(
+        "tiling_sweep",
+        &serde_json::json!({
+            "spins": n,
+            "iterations": iterations,
+            "runs": runs,
+            "device_accurate": device_accurate,
+            "reference_cut": reference,
+            "rows": rows,
+        }),
+    );
+}

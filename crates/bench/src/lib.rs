@@ -54,6 +54,31 @@ pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// Parse `--tile-rows N` (or `--tile-rows=N`) from `std::env::args`:
+/// the physical tile height for tiled-mapping runs (`None` = monolithic).
+///
+/// # Panics
+///
+/// Panics with a usage message on a missing or non-positive value.
+pub fn parse_tile_rows() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let parse = |v: Option<&str>| -> usize {
+        match v.and_then(|s| s.parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => panic!("usage: --tile-rows <positive integer> (got {v:?})"),
+        }
+    };
+    for (i, a) in args.iter().enumerate() {
+        if a == "--tile-rows" {
+            return Some(parse(args.get(i + 1).map(String::as_str)));
+        }
+        if let Some(rest) = a.strip_prefix("--tile-rows=") {
+            return Some(parse(Some(rest)));
+        }
+    }
+    None
+}
+
 /// Render an ASCII bar series `(x, y)` for terminal figures.
 pub fn render_series(name: &str, series: &[(f64, f64)]) -> String {
     let mut out = String::new();
@@ -106,5 +131,7 @@ mod tests {
         assert!(!has_flag("--definitely-not-set"));
         // No --scale in the test harness args → quick.
         assert_eq!(parse_scale(), HarnessScale::Quick);
+        // No --tile-rows in the test harness args → monolithic.
+        assert_eq!(parse_tile_rows(), None);
     }
 }

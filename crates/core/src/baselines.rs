@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use fecim_anneal::{
     run_direct, suggest_einc_scale, Acceptance, AnnealConfig, CrossbarBackend, ExactBackend,
-    GeometricSchedule, RunResult,
+    GeometricSchedule, RunResult, TiledBackend,
 };
 use fecim_crossbar::CrossbarConfig;
 use fecim_hwcost::{AnnealerKind, CostModel, EnergyReport, ExpUnit, IterationProfile, TimeReport};
@@ -26,6 +26,7 @@ pub struct DirectAnnealer {
     t0: Option<f64>,
     t_end_fraction: f64,
     device_in_loop: Option<CrossbarConfig>,
+    tile_rows: Option<usize>,
     trace_every: Option<usize>,
     target_energy: Option<f64>,
     quant_bits: u8,
@@ -52,6 +53,7 @@ impl DirectAnnealer {
             t0: None,
             t_end_fraction: 1e-2,
             device_in_loop: None,
+            tile_rows: None,
             trace_every: None,
             target_energy: None,
             quant_bits: 4,
@@ -101,6 +103,23 @@ impl DirectAnnealer {
         self.mux_ratio = config.mux_ratio;
         self.device_in_loop = Some(config);
         self
+    }
+
+    /// Route energy measurements through the tiled array composition
+    /// (fixed-size `tile_rows`-row tiles; see
+    /// `fecim_crossbar::TiledCrossbar`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_rows == 0`.
+    pub fn with_tiled_device_in_loop(
+        mut self,
+        config: CrossbarConfig,
+        tile_rows: usize,
+    ) -> DirectAnnealer {
+        assert!(tile_rows > 0, "tile_rows must be positive");
+        self.tile_rows = Some(tile_rows);
+        self.with_device_in_loop(config)
     }
 
     /// Record a trace point every `every` iterations.
@@ -171,13 +190,18 @@ impl Solver for DirectAnnealer {
         if let Some(target) = self.target_energy {
             config = config.with_target_energy(target);
         }
-        match &self.device_in_loop {
-            None => {
+        match (&self.device_in_loop, self.tile_rows) {
+            (None, _) => {
                 let mut backend = ExactBackend::new(coupling, initial);
                 run_direct(&mut backend, &schedule, self.acceptance, config)
             }
-            Some(xb_config) => {
+            (Some(xb_config), None) => {
                 let mut backend = CrossbarBackend::new(coupling, initial, xb_config.clone());
+                run_direct(&mut backend, &schedule, self.acceptance, config)
+            }
+            (Some(xb_config), Some(tile_rows)) => {
+                let mut backend =
+                    TiledBackend::new(coupling, initial, xb_config.clone(), tile_rows);
                 run_direct(&mut backend, &schedule, self.acceptance, config)
             }
         }
@@ -189,12 +213,16 @@ impl Solver for DirectAnnealer {
         if let Some(stats) = run.activity.as_mut() {
             stats.exp_evaluations = run.iterations as u64;
         }
-        let cost_model = CostModel::paper_22nm(spins, self.quant_bits);
+        let cost_model = match self.tile_rows {
+            None => CostModel::paper_22nm(spins, self.quant_bits),
+            Some(tr) => CostModel::paper_22nm_tiled(spins, self.quant_bits, tr),
+        };
         let profile = IterationProfile {
             spins,
             quant_bits: self.quant_bits,
             flips: self.flips,
             mux_ratio: self.mux_ratio,
+            tile_rows: self.tile_rows,
         };
         match &run.activity {
             Some(stats) => (

@@ -45,6 +45,14 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Local-search starts for the reference optimum.
     pub reference_starts: usize,
+    /// Physical tile height for hardware-cost accounting (`None` = one
+    /// monolithic array per instance): row/column wire events are priced
+    /// at tile geometry and the per-iteration activated-tile counts are
+    /// reported per architecture.
+    pub tile_rows: Option<usize>,
+    /// Skip size groups whose instances exceed this many spins (used by
+    /// the golden-regression suite and CI smoke runs to bound cost).
+    pub max_spins: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -57,6 +65,8 @@ impl ExperimentConfig {
                 target_fraction: 0.9,
                 seed: 2025,
                 reference_starts: 8,
+                tile_rows: None,
+                max_spins: None,
             },
             Scale::Paper => ExperimentConfig {
                 scale,
@@ -64,6 +74,8 @@ impl ExperimentConfig {
                 target_fraction: 0.9,
                 seed: 2025,
                 reference_starts: 20,
+                tile_rows: None,
+                max_spins: None,
             },
         }
     }
@@ -113,6 +125,9 @@ pub struct HardwareCost {
     pub energy: f64,
     /// Time per run, seconds.
     pub time: f64,
+    /// Physical tiles activated per iteration under the configured
+    /// mapping (1 for the monolithic array).
+    pub tiles_per_iteration: u64,
 }
 
 /// Everything measured for one size group.
@@ -212,6 +227,11 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentOutcome {
         if members.is_empty() {
             continue;
         }
+        if let Some(max) = config.max_spins {
+            if members[0].config.vertex_count > max {
+                continue;
+            }
+        }
         groups.push(run_group(&config, group, &members));
     }
     ExperimentOutcome { config, groups }
@@ -265,14 +285,23 @@ fn run_group(
         }
     };
 
-    let cost_model = CostModel::paper_22nm(spins, 4);
-    let profile = IterationProfile::paper(spins);
+    let (cost_model, profile) = match config.tile_rows {
+        None => (
+            CostModel::paper_22nm(spins, 4),
+            IterationProfile::paper(spins),
+        ),
+        Some(tr) => (
+            CostModel::paper_22nm_tiled(spins, 4, tr),
+            IterationProfile::paper_tiled(spins, tr),
+        ),
+    };
     let hardware = AnnealerKind::all()
         .into_iter()
         .map(|kind| HardwareCost {
             kind,
             energy: profile.run_energy(kind, &cost_model, iterations).total(),
             time: profile.run_time(kind, &cost_model, iterations).total(),
+            tiles_per_iteration: profile.activated_tiles(kind),
         })
         .collect();
 
@@ -372,6 +401,34 @@ mod tests {
             let e200 = trend[1].energy[arch];
             let e1000 = trend[5].energy[arch];
             assert!((e1000 / e200 - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tiled_experiment_reports_activated_tiles() {
+        let mut config = ExperimentConfig::new(Scale::Quick);
+        config.runs_per_instance = 2;
+        config.reference_starts = 2;
+        config.max_spins = Some(100);
+        config.tile_rows = Some(32);
+        let outcome = run_experiment(config);
+        // max_spins keeps only the 80- and 100-spin quick groups.
+        assert_eq!(outcome.groups.len(), 2);
+        for g in &outcome.groups {
+            let ours = g
+                .hardware
+                .iter()
+                .find(|h| h.kind == AnnealerKind::InSitu)
+                .unwrap();
+            let base = g
+                .hardware
+                .iter()
+                .find(|h| h.kind == AnnealerKind::CimAsic)
+                .unwrap();
+            // The in-situ read touches only the flipped stripes; the
+            // baseline lights the whole grid.
+            assert!(ours.tiles_per_iteration < base.tiles_per_iteration);
+            assert!(base.tiles_per_iteration >= 9, "n={} grid", g.spins);
         }
     }
 

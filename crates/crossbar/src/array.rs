@@ -30,6 +30,93 @@ use crate::parasitics::{ArrayWires, WireParams};
 use crate::quant::QuantizedCoupling;
 use crate::stats::ActivityStats;
 
+/// Common read interface of the physical array simulators: the monolithic
+/// [`Crossbar`] and the [`TiledCrossbar`](crate::TiledCrossbar) expose the
+/// same two measurements, so energy backends and solvers can hold either
+/// behind one generic parameter.
+pub trait InSituArray {
+    /// Matrix dimension `n` (spins).
+    fn dimension(&self) -> usize;
+
+    /// The in-situ incremental-E read `σ_rᵀ J σ_c · factor` (see
+    /// [`Crossbar::incremental_form`]).
+    fn incremental_form(&mut self, sigma_r: &[i8], sigma_c: &[i8], factor: f64) -> f64;
+
+    /// The conventional direct-E read `σᵀJσ` (see [`Crossbar::vmv`]).
+    fn vmv(&mut self, sigma: &[i8]) -> f64;
+
+    /// Accumulated hardware activity.
+    fn stats(&self) -> &ActivityStats;
+
+    /// Clear the activity counters.
+    fn reset_stats(&mut self);
+
+    /// Normalized per-cell current at back-gate voltage `vbg` (the
+    /// hardware annealing factor, see [`Crossbar::cell_factor`]).
+    fn cell_factor(&self, vbg: f64) -> f64;
+}
+
+/// Normalized current of an ideal stored-'1' cell at back-gate voltage
+/// `vbg`: the hardware annealing factor `f` (paper Fig. 6c). Shared by the
+/// monolithic and tiled arrays so both read identical cell physics.
+pub(crate) fn ideal_cell_factor(cell: &DgFefet, full_scale_current: f64, vbg: f64) -> f64 {
+    let i = cell.sl_current(true, true, cell.quantize_vbg(vbg));
+    let leak = cell.params().front.i_leak;
+    ((i - leak) / full_scale_current).max(0.0)
+}
+
+/// Invert the normalized-current curve: the `V_BG` whose ideal cell factor
+/// equals `factor` (bisection over the DAC range).
+pub(crate) fn vbg_for_factor(cell: &DgFefet, full_scale_current: f64, factor: f64) -> f64 {
+    let vmax = cell.params().vbg_max;
+    if factor >= ideal_cell_factor(cell, full_scale_current, vmax) {
+        return vmax;
+    }
+    if factor <= 0.0 {
+        return 0.0;
+    }
+    let mut lo = 0.0;
+    let mut hi = vmax;
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if ideal_cell_factor(cell, full_scale_current, mid) < factor {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Device-accurate current of one conducting cell: programmed threshold
+/// offset, back-gate bias, source-line IR attenuation and multiplicative
+/// read noise (Box–Muller draw from `rng` when `noise_rel > 0`).
+pub(crate) fn device_cell_current(
+    cell: &DgFefet,
+    vth_offset: f64,
+    vbg: f64,
+    full_scale_current: f64,
+    attenuation: f64,
+    noise_rel: f64,
+    rng: &mut StdRng,
+) -> f64 {
+    let mut programmed = cell.clone();
+    programmed.set_vth_offset(vth_offset);
+    let i = programmed.sl_current(true, true, vbg);
+    let leak = cell.params().front.i_leak;
+    let base = ((i - leak) / full_scale_current).max(0.0);
+    let attenuated = base * attenuation;
+    if noise_rel > 0.0 {
+        use rand::Rng;
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        attenuated * (1.0 + z * noise_rel)
+    } else {
+        attenuated
+    }
+}
+
 /// Simulation fidelity of the analog path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Fidelity {
@@ -194,11 +281,7 @@ impl Crossbar {
     /// Normalized per-cell current at back-gate voltage `vbg` for an ideal
     /// stored-'1' cell — the hardware annealing factor `f` (paper Fig. 6c).
     pub fn cell_factor(&self, vbg: f64) -> f64 {
-        let i = self
-            .cell
-            .sl_current(true, true, self.cell.quantize_vbg(vbg));
-        let leak = self.cell.params().front.i_leak;
-        ((i - leak) / self.full_scale_current).max(0.0)
+        ideal_cell_factor(&self.cell, self.full_scale_current, vbg)
     }
 
     /// The in-situ incremental-E read: returns the de-quantized estimate of
@@ -220,6 +303,11 @@ impl Crossbar {
         let active: Vec<usize> = (0..n).filter(|&j| sigma_c[j] != 0).collect();
         self.stats.array_ops += 1;
         self.stats.bg_updates += 1;
+        // The whole array is one tile; it participates only when a column
+        // group is selected AND a row is driven (matching the tiled
+        // accounting of `TiledCrossbar`).
+        self.stats.tiles_activated +=
+            u64::from(!active.is_empty() && sigma_r.iter().any(|&r| r != 0));
         self.read_columns(sigma_r, Some(sigma_c), &active, factor)
     }
 
@@ -235,6 +323,7 @@ impl Crossbar {
         assert_eq!(sigma.len(), n, "sigma length mismatch");
         let active: Vec<usize> = (0..n).collect();
         self.stats.array_ops += 1;
+        self.stats.tiles_activated += 1;
         self.read_columns(sigma, None, &active, 1.0)
     }
 
@@ -249,6 +338,14 @@ impl Crossbar {
         factor: f64,
     ) -> f64 {
         let k = self.config.quant_bits as usize;
+        // The back-gate bias implied by `factor` depends only on the read,
+        // not the column: invert the current curve once (the tiled path
+        // does the same).
+        let vbg = if self.config.fidelity == Fidelity::DeviceAccurate {
+            self.vbg_for_factor(factor)
+        } else {
+            0.0
+        };
         let mut total_codes = 0.0f64;
         for &sign in &[1i8, -1i8] {
             self.stats.row_passes += 1;
@@ -271,7 +368,7 @@ impl Crossbar {
                 if col_sign == 0.0 {
                     continue;
                 }
-                let (pos_val, neg_val) = self.sense_column(j, &driven, factor);
+                let (pos_val, neg_val) = self.sense_column(j, &driven, factor, vbg);
                 total_codes += sign as f64 * col_sign * (pos_val - neg_val);
             }
         }
@@ -281,23 +378,16 @@ impl Crossbar {
 
     /// Sense one column group: per-bit-slice analog sums, ADC conversion,
     /// shift-and-add. Returns de-quantized (code-unit) values for the
-    /// positive and negative polarity planes.
-    fn sense_column(&mut self, j: usize, driven: &[bool], factor: f64) -> (f64, f64) {
+    /// positive and negative polarity planes. `vbg` is the back-gate bias
+    /// implied by `factor` (per-cell deviations enter through the
+    /// threshold offsets), precomputed once per read.
+    fn sense_column(&mut self, j: usize, driven: &[bool], factor: f64, vbg: f64) -> (f64, f64) {
         let k = self.config.quant_bits as usize;
         let entries = self.quant.column(j);
         let offsets = &self.vth_offsets[j];
         let mut pos_bit_sums = vec![0.0f64; k];
         let mut neg_bit_sums = vec![0.0f64; k];
         let device_mode = self.config.fidelity == Fidelity::DeviceAccurate;
-
-        // Pre-compute the vbg implied by `factor` for device mode: the cell
-        // current of an ideal cell equals `factor`, so per-cell deviations
-        // enter through the threshold offsets.
-        let vbg = if device_mode {
-            self.vbg_for_factor(factor)
-        } else {
-            0.0
-        };
 
         let mut activated = 0u64;
         for (idx, &(row, pos, neg)) in entries.iter().enumerate() {
@@ -311,22 +401,15 @@ impl Crossbar {
                 (neg, &mut neg_bit_sums)
             };
             let cell_current = if device_mode {
-                let mut cell = self.cell.clone();
-                cell.set_vth_offset(offsets[idx] as f64);
-                let i = cell.sl_current(true, true, vbg);
-                let leak = self.cell.params().front.i_leak;
-                let base = ((i - leak) / self.full_scale_current).max(0.0);
-                let attenuated = base * self.wires.ir_attenuation(row);
-                if self.read_noise_rel > 0.0 {
-                    use rand::Rng;
-                    // Box–Muller draw from the crossbar's read-noise RNG.
-                    let u1: f64 = self.read_rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                    let u2: f64 = self.read_rng.gen();
-                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                    attenuated * (1.0 + z * self.read_noise_rel)
-                } else {
-                    attenuated
-                }
+                device_cell_current(
+                    &self.cell,
+                    offsets[idx] as f64,
+                    vbg,
+                    self.full_scale_current,
+                    self.wires.ir_attenuation(row),
+                    self.read_noise_rel,
+                    &mut self.read_rng,
+                )
             } else {
                 factor
             };
@@ -352,24 +435,33 @@ impl Crossbar {
     /// Invert the normalized-current curve to find the `V_BG` whose ideal
     /// cell factor equals `factor` (bisection over the DAC range).
     fn vbg_for_factor(&self, factor: f64) -> f64 {
-        let vmax = self.cell.params().vbg_max;
-        if factor >= self.cell_factor(vmax) {
-            return vmax;
-        }
-        if factor <= 0.0 {
-            return 0.0;
-        }
-        let mut lo = 0.0;
-        let mut hi = vmax;
-        for _ in 0..40 {
-            let mid = 0.5 * (lo + hi);
-            if self.cell_factor(mid) < factor {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        0.5 * (lo + hi)
+        vbg_for_factor(&self.cell, self.full_scale_current, factor)
+    }
+}
+
+impl InSituArray for Crossbar {
+    fn dimension(&self) -> usize {
+        Crossbar::dimension(self)
+    }
+
+    fn incremental_form(&mut self, sigma_r: &[i8], sigma_c: &[i8], factor: f64) -> f64 {
+        Crossbar::incremental_form(self, sigma_r, sigma_c, factor)
+    }
+
+    fn vmv(&mut self, sigma: &[i8]) -> f64 {
+        Crossbar::vmv(self, sigma)
+    }
+
+    fn stats(&self) -> &ActivityStats {
+        Crossbar::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        Crossbar::reset_stats(self);
+    }
+
+    fn cell_factor(&self, vbg: f64) -> f64 {
+        Crossbar::cell_factor(self, vbg)
     }
 }
 
@@ -556,5 +648,6 @@ mod tests {
         let zeros = vec![0i8; 10];
         let s = SpinVector::all_up(10);
         assert_eq!(xb.incremental_form(s.as_slice(), &zeros, 1.0), 0.0);
+        assert_eq!(xb.stats().tiles_activated, 0, "no column selected");
     }
 }

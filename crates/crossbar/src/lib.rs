@@ -32,10 +32,12 @@ mod parasitics;
 mod periphery;
 mod quant;
 mod stats;
+mod tiled;
 
 pub use adc::{MuxAssignment, SarAdc};
-pub use array::{Crossbar, CrossbarConfig, Fidelity};
+pub use array::{Crossbar, CrossbarConfig, Fidelity, InSituArray};
 pub use parasitics::{ArrayWires, WireParams};
 pub use periphery::{split_input_phases, ShiftAdd, SpinEncoder, TemperatureEncoder};
 pub use quant::QuantizedCoupling;
 pub use stats::ActivityStats;
+pub use tiled::{TiledCrossbar, DEFAULT_TILE_ROWS};

@@ -32,6 +32,12 @@ pub struct ActivityStats {
     pub shift_add_ops: u64,
     /// Output-buffer writes.
     pub buffer_writes: u64,
+    /// Physical tiles that participated in a read: tiles whose row range
+    /// held a driven row AND whose column range held a selected group.
+    /// The monolithic array counts as one tile; a [`crate::TiledCrossbar`]
+    /// counts only the activated subset, which is what lets `fecim-hwcost`
+    /// scale array energy with activated tiles instead of whole-array `n`.
+    pub tiles_activated: u64,
     /// Exponential-function evaluations (baseline annealers only; recorded
     /// here so one report covers the whole iteration).
     pub exp_evaluations: u64,
@@ -55,6 +61,7 @@ impl ActivityStats {
         self.bg_updates += other.bg_updates;
         self.shift_add_ops += other.shift_add_ops;
         self.buffer_writes += other.buffer_writes;
+        self.tiles_activated += other.tiles_activated;
         self.exp_evaluations += other.exp_evaluations;
     }
 
@@ -90,6 +97,7 @@ mod tests {
             bg_updates: 8,
             shift_add_ops: 9,
             buffer_writes: 10,
+            tiles_activated: 12,
             exp_evaluations: 11,
         };
         a.merge(&b);
@@ -97,6 +105,7 @@ mod tests {
         assert_eq!(a.adc_conversions, 6);
         assert_eq!(a.exp_evaluations, 22);
         assert_eq!(a.buffer_writes, 20);
+        assert_eq!(a.tiles_activated, 24);
     }
 
     #[test]

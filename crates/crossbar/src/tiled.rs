@@ -1,0 +1,700 @@
+//! Tiled crossbar composition for beyond-array-size instances.
+//!
+//! Real FeFET arrays are fixed-size: the experimental FeCiM annealer
+//! demonstrates small arrays only, and scaled systems compose fixed
+//! in-memory tiles (LIMO-style). [`TiledCrossbar`] maps an `n × n`
+//! coupling matrix onto a grid of `R × R`-block physical tiles of
+//! `tile_rows` rows × `tile_rows` column groups each (`tile_rows · k`
+//! physical columns per polarity plane):
+//!
+//! * **Column stripes** partition the column groups. Each stripe owns its
+//!   own bank of `mux_ratio`-to-1 SAR ADCs, so stripes convert in
+//!   parallel and their de-quantized partial sums are aggregated
+//!   digitally — exactly the digital per-column combination the
+//!   monolithic array already performs.
+//! * **Row bands** partition the rows. Tiles stacked in one stripe abut
+//!   vertically and chain their bit lines: the partial currents of the
+//!   activated row bands sum in analog on the shared line before the
+//!   stripe ADC converts once. The ADC full scale therefore spans the
+//!   full chained column (the monolithic full scale, partitioned
+//!   consistently across the stripes' banks).
+//!
+//! That composition makes the tiled read **bit-identical** to the
+//! monolithic [`Crossbar`](crate::Crossbar) in [`Fidelity::Ideal`] mode —
+//! same global quantization, same per-column analog sums in the same
+//! accumulation order, same single ADC quantization point — for *any*
+//! tile size, including sizes that do not divide `n`. That exact
+//! equivalence is the adversarial test surface of the whole subsystem
+//! (see the `tiled_equivalence` proptests).
+//!
+//! In [`Fidelity::DeviceAccurate`] mode each tile owns its own device
+//! story: a variation map drawn from a per-tile seed derived
+//! deterministically from the config seed, and tile-local wire
+//! parasitics (shorter lines than the monolithic array — the classic
+//! tiling benefit of bounded IR drop).
+//!
+//! Activity accounting reflects the physical partition: only tiles whose
+//! row range holds a driven row *and* whose stripe holds a selected
+//! column group activate ([`ActivityStats::tiles_activated`]), row
+//! segments toggle per activated tile, and ADC serialization is the
+//! worst stripe rather than the whole-array bank.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fecim_device::{DgFefet, StoredBit, VariationSampler};
+use fecim_ising::Coupling;
+
+use crate::adc::{MuxAssignment, SarAdc};
+use crate::array::{
+    device_cell_current, ideal_cell_factor, vbg_for_factor, CrossbarConfig, Fidelity, InSituArray,
+};
+use crate::parasitics::ArrayWires;
+use crate::quant::QuantizedCoupling;
+use crate::stats::ActivityStats;
+
+/// Default physical tile height (rows), matching common FeFET macro
+/// sizes.
+pub const DEFAULT_TILE_ROWS: usize = 256;
+
+/// One fixed-size physical tile: the block of couplings with rows in
+/// `[row_start, row_start + row_count)` and column groups in its stripe.
+#[derive(Debug, Clone)]
+struct Tile {
+    /// First global row held by this tile.
+    row_start: usize,
+    /// Rows held by this tile (`tile_rows`, or the remainder band).
+    row_count: usize,
+    /// Per *local* column group: sorted `(local_row, pos_code, neg_code)`
+    /// entries — the tile's own quantized cells.
+    columns: Vec<Vec<(u32, u8, u8)>>,
+    /// Per-cell programmed threshold offsets, aligned with `columns`
+    /// (device-accurate mode; drawn from this tile's own seed).
+    vth_offsets: Vec<Vec<f32>>,
+    /// Tile-local wire parasitics (lines span only the tile).
+    wires: ArrayWires,
+}
+
+/// A coupling matrix mapped onto a grid of fixed-size DG FeFET tiles.
+///
+/// Construction, configuration and the two read operations mirror
+/// [`Crossbar`](crate::Crossbar); see the module docs for the
+/// composition rules and the equivalence guarantee.
+#[derive(Debug, Clone)]
+pub struct TiledCrossbar {
+    config: CrossbarConfig,
+    tile_rows: usize,
+    /// Bands per axis: `ceil(n / tile_rows)`.
+    bands: usize,
+    /// Matrix dimension `n` (the cells themselves live in the tiles; the
+    /// global [`QuantizedCoupling`] is only a programming-time artifact,
+    /// so the array does not hold every code twice).
+    n: usize,
+    /// Global quantization step (J units per code LSB), shared by every
+    /// tile.
+    scale: f64,
+    adc: SarAdc,
+    /// Per column stripe: the stripe's own multiplexed ADC bank.
+    stripe_mux: Vec<MuxAssignment>,
+    /// Tiles in row-band-major order: `tiles[band_r * bands + band_c]`.
+    tiles: Vec<Tile>,
+    cell: DgFefet,
+    full_scale_current: f64,
+    read_rng: StdRng,
+    read_noise_rel: f64,
+    stats: ActivityStats,
+}
+
+/// Deterministic per-tile seed: a splitmix64 finalizer over the config
+/// seed and the tile's grid coordinates, so every tile draws an
+/// independent — but fully reproducible — variation map.
+fn tile_seed(base: u64, band_r: usize, band_c: usize) -> u64 {
+    let mut z = base ^ ((band_r as u64) << 32) ^ (band_c as u64) ^ 0x9E37_79B9_7F4A_7C15u64;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TiledCrossbar {
+    /// Program a coupling matrix onto a grid of `tile_rows`-row tiles.
+    ///
+    /// Quantization is global (one `max|J|` full scale shared by every
+    /// tile — the same codes the monolithic array would hold), then each
+    /// tile receives its block of cells and samples its own variation
+    /// map from a seed derived from `config.seed` and its grid position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coupling is empty or `tile_rows == 0`.
+    pub fn program<C: Coupling>(
+        coupling: &C,
+        config: CrossbarConfig,
+        tile_rows: usize,
+    ) -> TiledCrossbar {
+        let n = coupling.dimension();
+        assert!(n > 0, "empty coupling matrix");
+        assert!(tile_rows > 0, "tile_rows must be positive");
+        let quant = QuantizedCoupling::from_coupling(coupling, config.quant_bits);
+        let bands = n.div_ceil(tile_rows);
+        // The stripe ADC converts the full chained column: same full
+        // scale as the monolithic array, which is what keeps Ideal-mode
+        // reads bit-identical.
+        let adc = SarAdc::new(config.adc_bits, n as f64);
+        let k = config.quant_bits as usize;
+
+        let mut stripe_mux = Vec::with_capacity(bands);
+        let mut tiles = vec![
+            Tile {
+                row_start: 0,
+                row_count: 0,
+                columns: Vec::new(),
+                vth_offsets: Vec::new(),
+                wires: ArrayWires::new(1, 1, config.wires),
+            };
+            bands * bands
+        ];
+        for band_c in 0..bands {
+            let col_start = band_c * tile_rows;
+            let col_count = tile_rows.min(n - col_start);
+            stripe_mux.push(if config.interleaved_mux {
+                MuxAssignment::interleaved(col_count, config.mux_ratio)
+            } else {
+                MuxAssignment::blocked(col_count, config.mux_ratio)
+            });
+            for band_r in 0..bands {
+                let row_start = band_r * tile_rows;
+                let row_count = tile_rows.min(n - row_start);
+                let tile = &mut tiles[band_r * bands + band_c];
+                tile.row_start = row_start;
+                tile.row_count = row_count;
+                tile.columns = vec![Vec::new(); col_count];
+                tile.wires =
+                    ArrayWires::new(row_count.max(1), (col_count * k).max(1), config.wires);
+            }
+            // Distribute the stripe's cells across its row bands; entries
+            // stay sorted by global row, so per-tile local order equals
+            // the monolithic accumulation order.
+            for local_j in 0..col_count {
+                let j = col_start + local_j;
+                for &(row, pos, neg) in quant.column(j) {
+                    let band_r = row as usize / tile_rows;
+                    let tile = &mut tiles[band_r * bands + band_c];
+                    let local_row = row - (tile.row_start as u32);
+                    tile.columns[local_j].push((local_row, pos, neg));
+                }
+            }
+        }
+        // Per-tile variation maps (write-verify pass per tile).
+        for band_r in 0..bands {
+            for band_c in 0..bands {
+                let tile = &mut tiles[band_r * bands + band_c];
+                let mut sampler =
+                    VariationSampler::new(config.variation, tile_seed(config.seed, band_r, band_c));
+                tile.vth_offsets = tile
+                    .columns
+                    .iter()
+                    .map(|col| {
+                        col.iter()
+                            .map(|_| (sampler.d2d_vth_offset() + sampler.c2c_vth_offset()) as f32)
+                            .collect()
+                    })
+                    .collect();
+            }
+        }
+
+        let mut cell = DgFefet::new(config.device);
+        cell.program(StoredBit::One);
+        let full_scale_current = cell.full_scale_current();
+        let read_rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let read_noise_rel = config.variation.read_noise_rel;
+        TiledCrossbar {
+            config,
+            tile_rows,
+            bands,
+            n,
+            scale: quant.scale(),
+            adc,
+            stripe_mux,
+            tiles,
+            cell,
+            full_scale_current,
+            read_rng,
+            read_noise_rel,
+            stats: ActivityStats::new(),
+        }
+    }
+
+    /// Matrix dimension `n` (spins).
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
+    /// The configured tile height (rows per tile).
+    pub fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    /// Tile grid as `(row_bands, column_stripes)`.
+    pub fn tile_grid(&self) -> (usize, usize) {
+        (self.bands, self.bands)
+    }
+
+    /// Total number of physical tiles instantiated.
+    pub fn tile_count(&self) -> usize {
+        self.bands * self.bands
+    }
+
+    /// The global quantization step (J units per code LSB) shared by
+    /// every tile — the same step the monolithic array would use.
+    pub fn quant_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The configuration used to build this array.
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.config
+    }
+
+    /// Accumulated activity since construction or the last
+    /// [`TiledCrossbar::reset_stats`].
+    pub fn stats(&self) -> &ActivityStats {
+        &self.stats
+    }
+
+    /// Clear the activity counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Normalized ideal-cell current at back-gate voltage `vbg` — the
+    /// hardware annealing factor (shared back-gate DAC drives every
+    /// activated tile's plane).
+    pub fn cell_factor(&self, vbg: f64) -> f64 {
+        ideal_cell_factor(&self.cell, self.full_scale_current, vbg)
+    }
+
+    /// The in-situ incremental-E read `σ_rᵀ J σ_c · factor`: only the
+    /// stripes holding flipped-spin column groups and the row bands
+    /// holding driven rows activate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths differ from the array dimension.
+    pub fn incremental_form(&mut self, sigma_r: &[i8], sigma_c: &[i8], factor: f64) -> f64 {
+        let n = self.dimension();
+        assert_eq!(sigma_r.len(), n, "sigma_r length mismatch");
+        assert_eq!(sigma_c.len(), n, "sigma_c length mismatch");
+        let active: Vec<usize> = (0..n).filter(|&j| sigma_c[j] != 0).collect();
+        let stripes = self.stripe_partition(&active);
+        self.stats.array_ops += 1;
+        // Tiles that participate: stripes holding a selected column group
+        // × row bands holding a driven row.
+        let activated = stripes.len() as u64 * self.driven_band_count(sigma_r);
+        self.stats.tiles_activated += activated;
+        // The BG DAC refresh reaches each activated tile's back-gate
+        // plane (one update for the monolithic/degenerate case).
+        self.stats.bg_updates += activated.max(1);
+        self.read_columns(sigma_r, Some(sigma_c), &active, &stripes, factor)
+    }
+
+    /// The conventional direct-E read `σᵀJσ`: every stripe activates and
+    /// converts on its own ADC bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma.len()` differs from the array dimension.
+    pub fn vmv(&mut self, sigma: &[i8]) -> f64 {
+        let n = self.dimension();
+        assert_eq!(sigma.len(), n, "sigma length mismatch");
+        let active: Vec<usize> = (0..n).collect();
+        let stripes = self.stripe_partition(&active);
+        self.stats.array_ops += 1;
+        self.stats.tiles_activated += stripes.len() as u64 * self.driven_band_count(sigma);
+        self.read_columns(sigma, None, &active, &stripes, 1.0)
+    }
+
+    /// Contiguous per-stripe ranges over the (sorted) active column list:
+    /// `(stripe, start..end)` index ranges into `active`, ascending — the
+    /// single partition both the activation count and the read reuse.
+    fn stripe_partition(&self, active: &[usize]) -> Vec<(usize, std::ops::Range<usize>)> {
+        let mut parts: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        for (idx, &j) in active.iter().enumerate() {
+            let s = j / self.tile_rows;
+            match parts.last_mut() {
+                Some((stripe, range)) if *stripe == s => range.end = idx + 1,
+                _ => parts.push((s, idx..idx + 1)),
+            }
+        }
+        parts
+    }
+
+    /// Row bands holding at least one nonzero row input.
+    fn driven_band_count(&self, rows: &[i8]) -> u64 {
+        rows.chunks(self.tile_rows)
+            .filter(|band| band.iter().any(|&v| v != 0))
+            .count() as u64
+    }
+
+    /// Shared signal chain, mirroring the monolithic
+    /// [`Crossbar::read_columns`](crate::Crossbar) step for step so that
+    /// Ideal-mode outputs are bit-identical; only the *accounting*
+    /// differs (per-stripe ADC banks, per-tile row segments).
+    fn read_columns(
+        &mut self,
+        rows: &[i8],
+        column_select: Option<&[i8]>,
+        active: &[usize],
+        stripes: &[(usize, std::ops::Range<usize>)],
+        factor: f64,
+    ) -> f64 {
+        let k = self.config.quant_bits as usize;
+        let device_mode = self.config.fidelity == Fidelity::DeviceAccurate;
+        let vbg = if device_mode {
+            vbg_for_factor(&self.cell, self.full_scale_current, factor)
+        } else {
+            0.0
+        };
+        // One scratch buffer for per-stripe local indices, reused across
+        // stripes and sign passes.
+        let mut local_scratch: Vec<usize> = Vec::new();
+
+        let mut total_codes = 0.0f64;
+        for &sign in &[1i8, -1i8] {
+            self.stats.row_passes += 1;
+            let driven: Vec<bool> = rows.iter().map(|&r| r == sign).collect();
+            let driven_count = driven.iter().filter(|&&d| d).count() as u64;
+            // Row segments toggle once per activated stripe.
+            self.stats.rows_driven += driven_count * stripes.len() as u64;
+            self.stats.columns_driven += active.len() as u64;
+            self.stats.adc_conversions += (active.len() * 2 * k) as u64;
+            // Stripe banks convert in parallel; the pass serializes on
+            // the busiest stripe.
+            let mut slots = 0usize;
+            for (s, range) in stripes {
+                local_scratch.clear();
+                local_scratch.extend(
+                    active[range.clone()]
+                        .iter()
+                        .map(|&j| j - s * self.tile_rows),
+                );
+                slots = slots.max(self.stripe_mux[*s].slots_for(&local_scratch, k));
+            }
+            self.stats.adc_slots += slots as u64;
+            self.stats.shift_add_ops += (active.len() * 2 * k) as u64;
+            // Cross-stripe digital aggregation of the partial sums.
+            self.stats.shift_add_ops += stripes.len().saturating_sub(1) as u64;
+
+            // Ascending stripes, ascending global index within each — the
+            // monolithic accumulation order, preserving bit-identity.
+            for (stripe, range) in stripes {
+                for &j in &active[range.clone()] {
+                    let col_sign = match column_select {
+                        Some(sel) => sel[j] as f64,
+                        None => rows[j] as f64,
+                    };
+                    if col_sign == 0.0 {
+                        continue;
+                    }
+                    let (pos_val, neg_val) =
+                        self.sense_chained_column(*stripe, j, &driven, factor, vbg, device_mode);
+                    total_codes += sign as f64 * col_sign * (pos_val - neg_val);
+                }
+            }
+        }
+        self.stats.buffer_writes += 1;
+        self.scale * total_codes
+    }
+
+    /// Sense one column group through the stripe's chained bit lines:
+    /// every row band contributes its cells' currents to the shared
+    /// per-bit-slice analog sums, then the stripe ADC converts each sum
+    /// once and the digital side shift-and-adds — one quantization point
+    /// per (plane, bit slice), exactly like the monolithic array.
+    fn sense_chained_column(
+        &mut self,
+        stripe: usize,
+        j: usize,
+        driven: &[bool],
+        factor: f64,
+        vbg: f64,
+        device_mode: bool,
+    ) -> (f64, f64) {
+        let k = self.config.quant_bits as usize;
+        let local_j = j - stripe * self.tile_rows;
+        let mut pos_bit_sums = vec![0.0f64; k];
+        let mut neg_bit_sums = vec![0.0f64; k];
+        let mut activated = 0u64;
+        for band_r in 0..self.bands {
+            let tile = &self.tiles[band_r * self.bands + stripe];
+            let offsets = &tile.vth_offsets[local_j];
+            for (idx, &(local_row, pos, neg)) in tile.columns[local_j].iter().enumerate() {
+                let global_row = tile.row_start + local_row as usize;
+                if !driven[global_row] {
+                    continue;
+                }
+                let (code, sums) = if pos > 0 {
+                    (pos, &mut pos_bit_sums)
+                } else {
+                    (neg, &mut neg_bit_sums)
+                };
+                let cell_current = if device_mode {
+                    device_cell_current(
+                        &self.cell,
+                        offsets[idx] as f64,
+                        vbg,
+                        self.full_scale_current,
+                        tile.wires.ir_attenuation(local_row as usize),
+                        self.read_noise_rel,
+                        &mut self.read_rng,
+                    )
+                } else {
+                    factor
+                };
+                for (b, sum) in sums.iter_mut().enumerate() {
+                    if (code >> b) & 1 == 1 {
+                        *sum += cell_current;
+                        activated += 1;
+                    }
+                }
+            }
+        }
+        self.stats.cells_activated += activated;
+
+        let mut pos_val = 0.0;
+        let mut neg_val = 0.0;
+        for b in 0..k {
+            let weight = (1u64 << b) as f64;
+            pos_val += weight * self.adc.quantize(pos_bit_sums[b]);
+            neg_val += weight * self.adc.quantize(neg_bit_sums[b]);
+        }
+        (pos_val, neg_val)
+    }
+}
+
+impl InSituArray for TiledCrossbar {
+    fn dimension(&self) -> usize {
+        TiledCrossbar::dimension(self)
+    }
+
+    fn incremental_form(&mut self, sigma_r: &[i8], sigma_c: &[i8], factor: f64) -> f64 {
+        TiledCrossbar::incremental_form(self, sigma_r, sigma_c, factor)
+    }
+
+    fn vmv(&mut self, sigma: &[i8]) -> f64 {
+        TiledCrossbar::vmv(self, sigma)
+    }
+
+    fn stats(&self) -> &ActivityStats {
+        TiledCrossbar::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        TiledCrossbar::reset_stats(self);
+    }
+
+    fn cell_factor(&self, vbg: f64) -> f64 {
+        TiledCrossbar::cell_factor(self, vbg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Crossbar;
+    use fecim_device::VariationConfig;
+    use fecim_ising::{DenseCoupling, FlipMask, SpinVector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense(n: usize, seed: u64) -> DenseCoupling {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DenseCoupling::random(n, 0.4, 1.0, &mut rng)
+    }
+
+    fn config(bits: u8) -> CrossbarConfig {
+        CrossbarConfig {
+            quant_bits: bits,
+            adc_bits: 13,
+            ..CrossbarConfig::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn ideal_vmv_is_bit_identical_for_dividing_and_non_dividing_tiles() {
+        let n = 24;
+        let m = dense(n, 3);
+        let mut mono = Crossbar::program(&m, config(4));
+        let mut rng = StdRng::seed_from_u64(4);
+        for tile_rows in [3usize, 4, 5, 7, 8, 24, 100] {
+            let mut tiled = TiledCrossbar::program(&m, config(4), tile_rows);
+            for _ in 0..5 {
+                let s = SpinVector::random(n, &mut rng);
+                let a = mono.vmv(s.as_slice());
+                let b = tiled.vmv(s.as_slice());
+                assert_eq!(a, b, "tile_rows={tile_rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_incremental_is_bit_identical_including_scaled_factor() {
+        let n = 20;
+        let m = dense(n, 7);
+        let mut mono = Crossbar::program(&m, config(6));
+        let mut rng = StdRng::seed_from_u64(8);
+        for tile_rows in [4usize, 6, 7, 20] {
+            let mut tiled = TiledCrossbar::program(&m, config(6), tile_rows);
+            for t in [1usize, 2, 4] {
+                let s = SpinVector::random(n, &mut rng);
+                let mask = FlipMask::random(t, n, &mut rng);
+                let s_new = s.flipped_by(&mask);
+                let r = s_new.rest_vector(&mask);
+                let c = s_new.changed_vector(&mask);
+                for factor in [1.0f64, 0.37] {
+                    let a = mono.incremental_form(&r, &c, factor);
+                    let b = tiled.incremental_form(&r, &c, factor);
+                    assert_eq!(a, b, "tile_rows={tile_rows} t={t} factor={factor}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_tile_degenerates_to_monolithic_stats() {
+        let n = 16;
+        let m = dense(n, 11);
+        let mut mono = Crossbar::program(&m, config(4));
+        let mut tiled = TiledCrossbar::program(&m, config(4), n);
+        assert_eq!(tiled.tile_count(), 1);
+        let mut rng = StdRng::seed_from_u64(12);
+        let s = SpinVector::random(n, &mut rng);
+        let mask = FlipMask::random(2, n, &mut rng);
+        let s_new = s.flipped_by(&mask);
+        let r = s_new.rest_vector(&mask);
+        let c = s_new.changed_vector(&mask);
+        let _ = mono.incremental_form(&r, &c, 1.0);
+        let _ = mono.vmv(s.as_slice());
+        let _ = tiled.incremental_form(&r, &c, 1.0);
+        let _ = tiled.vmv(s.as_slice());
+        assert_eq!(mono.stats(), tiled.stats());
+    }
+
+    #[test]
+    fn activated_tile_count_tracks_flip_locality() {
+        // 16 spins, 4-row tiles → a 4×4 grid. One flipped spin selects one
+        // stripe; a dense σ_r drives all four row bands → 4 tiles.
+        let n = 16;
+        let m = dense(n, 13);
+        let mut tiled = TiledCrossbar::program(&m, config(4), 4);
+        assert_eq!(tiled.tile_grid(), (4, 4));
+        let s = SpinVector::all_up(n);
+        let mask = FlipMask::new(vec![5], n);
+        let s_new = s.flipped_by(&mask);
+        let _ =
+            tiled.incremental_form(&s_new.rest_vector(&mask), &s_new.changed_vector(&mask), 1.0);
+        assert_eq!(tiled.stats().tiles_activated, 4);
+        tiled.reset_stats();
+        // Two flips in distinct stripes → 8 tiles.
+        let mask = FlipMask::new(vec![1, 9], n);
+        let s_new = s.flipped_by(&mask);
+        let _ =
+            tiled.incremental_form(&s_new.rest_vector(&mask), &s_new.changed_vector(&mask), 1.0);
+        assert_eq!(tiled.stats().tiles_activated, 8);
+        tiled.reset_stats();
+        // Direct read activates the whole grid.
+        let _ = tiled.vmv(s.as_slice());
+        assert_eq!(tiled.stats().tiles_activated, 16);
+    }
+
+    #[test]
+    fn per_stripe_adc_banks_avoid_cross_stripe_collisions() {
+        // Groups 0 and 16 share a monolithic interleaved ADC
+        // (16 mod 8 == 0 mod 8), so the in-situ read serializes 2·k per
+        // pass; in 16-group stripes they live on different stripes' banks
+        // and convert fully in parallel (k per pass). Full reads stay
+        // equal: the banks partition the same total ADC count.
+        let n = 64;
+        let m = dense(n, 15);
+        let mut mono = Crossbar::program(&m, config(4));
+        let mut tiled = TiledCrossbar::program(&m, config(4), 16);
+        let s = SpinVector::all_up(n);
+        let mask = FlipMask::new(vec![0, 16], n);
+        let s_new = s.flipped_by(&mask);
+        let r = s_new.rest_vector(&mask);
+        let c = s_new.changed_vector(&mask);
+        let _ = mono.incremental_form(&r, &c, 1.0);
+        let _ = tiled.incremental_form(&r, &c, 1.0);
+        assert_eq!(mono.stats().adc_slots, 2 * 2 * 4, "collision serializes");
+        assert_eq!(
+            tiled.stats().adc_slots,
+            2 * 4,
+            "stripes convert in parallel"
+        );
+        mono.reset_stats();
+        tiled.reset_stats();
+        let _ = mono.vmv(s.as_slice());
+        let _ = tiled.vmv(s.as_slice());
+        assert_eq!(mono.stats().adc_conversions, tiled.stats().adc_conversions);
+        assert_eq!(mono.stats().adc_slots, tiled.stats().adc_slots);
+    }
+
+    #[test]
+    fn device_accurate_tiling_is_deterministic_and_close_to_ideal() {
+        let n = 24;
+        let m = dense(n, 17);
+        let mut cfg = config(8);
+        cfg.adc_bits = 14;
+        cfg.fidelity = Fidelity::DeviceAccurate;
+        cfg.variation = VariationConfig::typical();
+        let mut a = TiledCrossbar::program(&m, cfg.clone(), 7);
+        let mut b = TiledCrossbar::program(&m, cfg.clone(), 7);
+        let mut ideal = TiledCrossbar::program(&m, config(8), 7);
+        let mut rng = StdRng::seed_from_u64(18);
+        for _ in 0..5 {
+            let s = SpinVector::random(n, &mut rng);
+            let mask = FlipMask::random(2, n, &mut rng);
+            let s_new = s.flipped_by(&mask);
+            let r = s_new.rest_vector(&mask);
+            let c = s_new.changed_vector(&mask);
+            let va = a.incremental_form(&r, &c, 1.0);
+            let vb = b.incremental_form(&r, &c, 1.0);
+            assert_eq!(va, vb, "same seed, same tiles, same read");
+            let vi = ideal.incremental_form(&r, &c, 1.0);
+            if vi.abs() > 2.0 {
+                assert_eq!(va.signum(), vi.signum(), "va={va} vi={vi}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_draw_distinct_variation_maps() {
+        // Same coupling block programmed at different grid positions must
+        // see different offsets (per-tile seeds differ).
+        assert_ne!(tile_seed(1, 0, 0), tile_seed(1, 0, 1));
+        assert_ne!(tile_seed(1, 0, 0), tile_seed(1, 1, 0));
+        assert_ne!(tile_seed(1, 1, 0), tile_seed(2, 1, 0));
+    }
+
+    #[test]
+    fn non_divisible_remainder_band_holds_the_tail_rows() {
+        let n = 10;
+        let m = dense(n, 19);
+        let tiled = TiledCrossbar::program(&m, config(4), 4);
+        assert_eq!(tiled.tile_grid(), (3, 3));
+        assert_eq!(tiled.tiles[0].row_count, 4);
+        assert_eq!(tiled.tiles[2 * 3 + 2].row_count, 2);
+        assert_eq!(tiled.tiles[2 * 3 + 2].row_start, 8);
+    }
+
+    #[test]
+    fn zero_flip_mask_returns_zero_and_activates_nothing() {
+        let n = 10;
+        let m = dense(n, 21);
+        let mut tiled = TiledCrossbar::program(&m, config(4), 4);
+        let zeros = vec![0i8; n];
+        let s = SpinVector::all_up(n);
+        assert_eq!(tiled.incremental_form(s.as_slice(), &zeros, 1.0), 0.0);
+        assert_eq!(tiled.stats().tiles_activated, 0);
+        assert_eq!(tiled.stats().adc_conversions, 0);
+    }
+}

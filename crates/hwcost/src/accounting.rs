@@ -171,6 +171,7 @@ mod tests {
             bg_updates: 10,
             shift_add_ops: 100,
             buffer_writes: 10,
+            tiles_activated: 10,
             exp_evaluations: 5,
         }
     }

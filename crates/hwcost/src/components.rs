@@ -78,8 +78,27 @@ impl CostModel {
     /// Cost model for an `n`-spin, `k`-bit crossbar at 22 nm, with wire
     /// energies derived from the physical array geometry.
     pub fn paper_22nm(n: usize, quant_bits: u8) -> CostModel {
-        let physical_cols = n * quant_bits as usize * 2; // two polarity planes
-        let wires = ArrayWires::new(n.max(1), physical_cols.max(1), WireParams::node_22nm());
+        CostModel::at_22nm_geometry(n, quant_bits)
+    }
+
+    /// Cost model for the same matrix mapped onto `tile_rows`-row tiles:
+    /// row/column events are priced at *tile* line lengths (tiles abut
+    /// with low-resistance straps), which is how tiling makes array
+    /// energy scale with activated tiles instead of whole-array `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_rows == 0`.
+    pub fn paper_22nm_tiled(n: usize, quant_bits: u8, tile_rows: usize) -> CostModel {
+        assert!(tile_rows > 0, "tile_rows must be positive");
+        CostModel::at_22nm_geometry(tile_rows.min(n), quant_bits)
+    }
+
+    /// Shared 22 nm database with wire events priced for a
+    /// `rows × (rows·k·2)` physical array segment.
+    fn at_22nm_geometry(rows: usize, quant_bits: u8) -> CostModel {
+        let physical_cols = rows * quant_bits as usize * 2; // two polarity planes
+        let wires = ArrayWires::new(rows.max(1), physical_cols.max(1), WireParams::node_22nm());
         CostModel {
             adc_conversion: EventCost {
                 energy: 2.5e-12,

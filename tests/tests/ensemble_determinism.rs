@@ -6,6 +6,8 @@
 
 use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer, Solver};
 use fecim_anneal::Ensemble;
+use fecim_crossbar::{CrossbarConfig, Fidelity};
+use fecim_device::VariationConfig;
 use fecim_gset::{GeneratorConfig, GsetFamily};
 use fecim_ising::MaxCut;
 
@@ -87,6 +89,40 @@ fn all_architectures_are_ensemble_deterministic() {
             solver.name()
         );
     }
+}
+
+#[test]
+fn tiled_device_accurate_backend_is_ensemble_deterministic() {
+    // The hardest determinism case: the device-accurate tiled backend in
+    // the loop — per-tile variation maps, shared read-noise RNG, IR drop —
+    // must still be bit-identical across thread counts, because every
+    // trial programs its own array from its own seed.
+    let problem = test_problem();
+    let mut cfg = CrossbarConfig::paper_defaults();
+    cfg.fidelity = Fidelity::DeviceAccurate;
+    cfg.variation = VariationConfig::typical();
+    let solver = CimAnnealer::new(150)
+        .with_flips(1)
+        .with_tiled_device_in_loop(cfg, 32);
+
+    let default_threads = best_energies(&solver, &problem, &Ensemble::new(6, 314));
+    let capped = best_energies(
+        &solver,
+        &problem,
+        &Ensemble::new(6, 314).with_max_threads(2),
+    );
+    let sequential = best_energies(
+        &solver,
+        &problem,
+        &Ensemble::new(6, 314).with_max_threads(1),
+    );
+    assert_eq!(default_threads, sequential, "bit-identical under tiling");
+    assert_eq!(default_threads, capped);
+    // The RAYON_NUM_THREADS env path is covered by the dedicated CI step
+    // that re-runs this whole binary under a forced single thread;
+    // mutating the process-global env here would race
+    // `rayon_num_threads_env_does_not_change_results` under the parallel
+    // test harness.
 }
 
 #[test]

@@ -1,0 +1,119 @@
+//! Golden-regression suite: small deterministic snapshots of the
+//! experiment pipeline (a `fig10_success`-style outcome, a
+//! `table1_summary` row, and a tiled device-accurate probe) committed
+//! under `tests/goldens/` and diffed byte-for-byte against fresh runs.
+//!
+//! Every quantity here is derived from seeded RNG streams, so on a given
+//! platform any drift means a behavioral change — a future perf PR
+//! cannot silently alter results. The comparison is byte-for-byte and
+//! some values pass through libm transcendentals (`exp`/`ln`/`cos` in
+//! the device model and noise draws), which are not correctly rounded
+//! and may differ by ulps across libm implementations: the committed
+//! goldens are pinned on the Linux/x86-64 CI toolchain, which is the
+//! authority. If a golden fails on another platform but CI is green,
+//! that is libm skew, not a regression — do not regenerate from such a
+//! machine. When a change is *intended*, regenerate (on a CI-equivalent
+//! platform) with
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p fecim-tests --test golden_figures
+//! ```
+//!
+//! and review the JSON diff like any other code change.
+
+use std::path::{Path, PathBuf};
+
+use fecim::experiment::{run_experiment, ExperimentConfig, Scale};
+use fecim::report::this_work_row;
+use fecim::CimAnnealer;
+use fecim_crossbar::{CrossbarConfig, Fidelity};
+use fecim_device::VariationConfig;
+use fecim_gset::{GeneratorConfig, GsetFamily};
+
+fn goldens_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens")
+}
+
+/// Compare `value` against the committed golden `name`.json (or rewrite
+/// it when `GOLDEN_REGEN` is set).
+fn check_golden(name: &str, value: &serde_json::Value) {
+    let dir = goldens_dir();
+    let path = dir.join(format!("{name}.json"));
+    let mut current = serde_json::to_string_pretty(value).expect("golden value serializes");
+    current.push('\n');
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all(&dir).expect("create goldens dir");
+        std::fs::write(&path, &current).expect("write golden");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nrun `GOLDEN_REGEN=1 cargo test -p fecim-tests --test \
+             golden_figures` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed, current,
+        "golden `{name}` drifted: the pipeline's numeric behavior changed.\nIf the change is \
+         intentional, regenerate with GOLDEN_REGEN=1 and commit the reviewed diff."
+    );
+}
+
+/// The golden experiment: the two smallest quick-scale groups with a
+/// tiled (32-row) hardware mapping, 2 runs per instance at the default
+/// seed — seconds even in debug builds, yet exercising the full
+/// ensemble → scoring → hardware-cost pipeline.
+fn golden_experiment_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::new(Scale::Quick);
+    config.runs_per_instance = 2;
+    config.reference_starts = 2;
+    config.max_spins = Some(100);
+    config.tile_rows = Some(32);
+    config
+}
+
+#[test]
+fn fig10_outcome_and_table1_row_match_goldens() {
+    let outcome = run_experiment(golden_experiment_config());
+    assert_eq!(outcome.groups.len(), 2, "80- and 100-spin quick groups");
+    check_golden(
+        "fig10_quick",
+        &serde_json::to_value(&outcome).expect("outcome serializes"),
+    );
+    check_golden(
+        "table1_row",
+        &serde_json::to_value(&this_work_row(&outcome)).expect("row serializes"),
+    );
+}
+
+#[test]
+fn tiled_device_accurate_probe_matches_golden() {
+    // Locks the device-accurate tiled read path: per-tile variation
+    // seeds, read noise stream, IR attenuation and per-tile activity all
+    // feed the recorded numbers.
+    let graph = GeneratorConfig::new(96, 0x601D)
+        .with_family(GsetFamily::RandomUnit)
+        .with_mean_degree(8.0)
+        .generate();
+    let problem = graph.to_max_cut();
+    let mut cfg = CrossbarConfig::paper_defaults();
+    cfg.fidelity = Fidelity::DeviceAccurate;
+    cfg.variation = VariationConfig::typical();
+    let report = CimAnnealer::new(150)
+        .with_flips(2)
+        .with_tiled_device_in_loop(cfg, 32)
+        .solve(&problem, 2025)
+        .expect("max-cut always encodes");
+    let activity = report.run.activity.expect("device runs record activity");
+    let snapshot = serde_json::json!({
+        "best_energy": report.best_energy,
+        "objective": report.objective,
+        "accepted": report.run.accepted,
+        "activity": activity,
+        "energy_total_j": report.energy.total(),
+        "time_total_s": report.time.total(),
+    });
+    check_golden("tiled_probe", &snapshot);
+}

@@ -1,12 +1,32 @@
 //! Integration tests for the extended solver features: time-to-target
-//! tracking, the MESA baseline, tabu-search references, SK spin glasses,
-//! vertex cover, and the area model.
+//! tracking, the MESA baseline, tabu-search references, the full set of
+//! `ising::problems` encodings (TSP, knapsack, coloring, spin glass,
+//! vertex cover), and the area model.
 
 use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer};
 use fecim_anneal::{multi_start_local_search, multi_start_tabu};
 use fecim_gset::{GeneratorConfig, GsetFamily};
 use fecim_hwcost::{annealer_area, AreaModel};
-use fecim_ising::{CopProblem, SherringtonKirkpatrick, VertexCover};
+use fecim_ising::{
+    CopProblem, Coupling, GraphColoring, Knapsack, SherringtonKirkpatrick, TravellingSalesman,
+    VertexCover,
+};
+
+/// The engine's reported best energy must be the exact `Coupling::energy`
+/// of the best embedded configuration it returns — for every encoding,
+/// with or without ancilla-embedded linear terms.
+fn assert_energy_consistent(problem: &dyn CopProblem, report: &fecim::SolveReport) {
+    let model = problem.to_ising().expect("encodes");
+    let quadratic = model.to_quadratic_only();
+    let recomputed = quadratic.couplings().energy(&report.run.best_spins);
+    assert!(
+        (recomputed - report.run.best_energy).abs() < 1e-6,
+        "{}: engine best {} vs Coupling::energy {}",
+        problem.name(),
+        report.run.best_energy,
+        recomputed
+    );
+}
 
 fn unit_graph(n: usize, seed: u64) -> fecim_gset::Graph {
     GeneratorConfig::new(n, seed)
@@ -124,6 +144,65 @@ fn sk_spin_glass_solvable_through_the_full_stack() {
     let density = report.objective.unwrap();
     assert!(density < -0.55, "density {density}");
     assert!(density > -0.85, "density {density} unphysically low");
+    assert_energy_consistent(&sk, &report);
+}
+
+#[test]
+fn travelling_salesman_decodes_to_a_feasible_tour() {
+    // 4 cities on a unit square: the annealer must land on a valid
+    // permutation (decode succeeds) whose length is between the optimal
+    // perimeter (4.0) and the worst crossing tour (2 + 2√2).
+    let pts = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
+    let mut d = vec![0.0; 16];
+    for i in 0..4 {
+        for j in 0..4 {
+            let dx: f64 = pts[i].0 - pts[j].0;
+            let dy: f64 = pts[i].1 - pts[j].1;
+            d[i * 4 + j] = (dx * dx + dy * dy).sqrt();
+        }
+    }
+    let tsp = TravellingSalesman::new(4, d).unwrap();
+    let report = CimAnnealer::new(8000).with_flips(1).solve(&tsp, 2).unwrap();
+    assert!(report.feasible, "must decode to a permutation");
+    let tour = tsp.decode(&report.best_spins).expect("feasible decodes");
+    assert_eq!(tour.len(), 4);
+    let len = report.objective.unwrap();
+    assert!((len - tsp.tour_length(&tour)).abs() < 1e-9);
+    assert!(
+        len >= 4.0 - 1e-9 && len <= 2.0 + 2.0 * 2.0f64.sqrt() + 1e-9,
+        "len={len}"
+    );
+    assert_energy_consistent(&tsp, &report);
+}
+
+#[test]
+fn knapsack_respects_capacity_and_approaches_dp_optimum() {
+    let k = Knapsack::new(vec![10, 13, 7, 8], vec![3, 4, 2, 3], 7).unwrap();
+    let report = CimAnnealer::new(6000).with_flips(1).solve(&k, 4).unwrap();
+    assert!(report.feasible, "selection must fit the capacity");
+    assert!(k.selection_weight(&report.best_spins) <= k.capacity());
+    let value = report.objective.unwrap();
+    let optimum = k.optimal_value() as f64;
+    assert!(value <= optimum, "cannot beat the DP optimum");
+    assert!(value >= 0.8 * optimum, "value {value} vs optimum {optimum}");
+    assert_energy_consistent(&k, &report);
+}
+
+#[test]
+fn graph_coloring_finds_a_proper_coloring() {
+    // A 5-cycle is 3-colorable; every vertex must get exactly one color
+    // and no edge may be monochromatic.
+    let edges: Vec<(usize, usize)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+    let coloring = GraphColoring::new(5, 3, edges).unwrap();
+    let report = CimAnnealer::new(8000)
+        .with_flips(1)
+        .solve(&coloring, 6)
+        .unwrap();
+    assert!(report.feasible, "must be a proper coloring");
+    assert_eq!(coloring.violation_count(&report.best_spins), 0);
+    let colors = coloring.decode(&report.best_spins);
+    assert!(colors.iter().all(|c| c.is_some()));
+    assert_energy_consistent(&coloring, &report);
 }
 
 #[test]

@@ -1,0 +1,161 @@
+//! Adversarial contract of the tiled crossbar: in `Fidelity::Ideal` mode
+//! the tiled composition must be **bit-identical** to the monolithic
+//! array — same global quantization, one ADC quantization point per
+//! column/bit-slice on the chained stripe lines — for any tile size,
+//! whether or not it divides `n`. Plus the G-set-scale acceptance run:
+//! an `n ≥ 800` instance device-in-the-loop through 256-row tiles.
+
+use proptest::prelude::*;
+
+use fecim::CimAnnealer;
+use fecim_crossbar::{Crossbar, CrossbarConfig, TiledCrossbar};
+use fecim_gset::{GeneratorConfig, GsetFamily};
+use fecim_ising::{CsrCoupling, FlipMask, SpinVector};
+
+/// Strategy: a random symmetric coupling (as triplets) over `n` spins.
+fn coupling_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (4..=max_n).prop_flat_map(|n| {
+        let triplet =
+            (0..n, 0..n, -2.0f64..2.0).prop_filter_map("no self-loops", move |(i, j, w)| {
+                if i == j {
+                    None
+                } else {
+                    Some((i.min(j), i.max(j), w))
+                }
+            });
+        (Just(n), proptest::collection::vec(triplet, 0..3 * n))
+    })
+}
+
+/// Tile sizes exercised against an `n`-spin instance: one that divides
+/// `n`, several that do not, the degenerate single tile, and a
+/// larger-than-array tile.
+fn tile_sizes(n: usize) -> Vec<usize> {
+    let mut sizes = vec![
+        (n / 2).max(1), // divides n when n is even; remainder band otherwise
+        3,
+        5,
+        7,
+        n,
+        n + 3,
+    ];
+    sizes.retain(|&t| t >= 1);
+    sizes.dedup();
+    sizes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TiledCrossbar::vmv equals Crossbar::vmv exactly in Ideal fidelity,
+    /// for dividing and non-dividing tile sizes.
+    #[test]
+    fn tiled_vmv_is_exactly_monolithic(
+        (n, triplets) in coupling_strategy(24),
+        seed in 0u64..1000,
+    ) {
+        let coupling = CsrCoupling::from_triplets(n, &triplets).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spins = SpinVector::random(n, &mut rng);
+        let mut mono = Crossbar::program(&coupling, CrossbarConfig::paper_defaults());
+        let expected = mono.vmv(spins.as_slice());
+        for tile_rows in tile_sizes(n) {
+            let mut tiled =
+                TiledCrossbar::program(&coupling, CrossbarConfig::paper_defaults(), tile_rows);
+            let got = tiled.vmv(spins.as_slice());
+            prop_assert_eq!(
+                got, expected,
+                "tile_rows={} n={}: {} != {}", tile_rows, n, got, expected
+            );
+        }
+    }
+
+    /// TiledCrossbar::incremental_form equals the monolithic read exactly
+    /// in Ideal fidelity, for random flip masks and a scaled annealing
+    /// factor.
+    #[test]
+    fn tiled_incremental_is_exactly_monolithic(
+        (n, triplets) in coupling_strategy(24),
+        seed in 0u64..1000,
+        flips in 1usize..8,
+    ) {
+        let coupling = CsrCoupling::from_triplets(n, &triplets).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spins = SpinVector::random(n, &mut rng);
+        let mask = FlipMask::random(flips.min(n), n, &mut rng);
+        let s_new = spins.flipped_by(&mask);
+        let r = s_new.rest_vector(&mask);
+        let c = s_new.changed_vector(&mask);
+        let mut mono = Crossbar::program(&coupling, CrossbarConfig::paper_defaults());
+        for tile_rows in tile_sizes(n) {
+            let mut tiled =
+                TiledCrossbar::program(&coupling, CrossbarConfig::paper_defaults(), tile_rows);
+            for factor in [1.0f64, 0.41] {
+                let expected = mono.incremental_form(&r, &c, factor);
+                let got = tiled.incremental_form(&r, &c, factor);
+                prop_assert_eq!(
+                    got, expected,
+                    "tile_rows={} n={} factor={}", tile_rows, n, factor
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gset_scale_instance_runs_through_256_row_tiles() {
+    // The acceptance run: the paper's smallest G-set group (n = 800)
+    // device-in-the-loop through the tiled array at the default 256-row
+    // tile — a 4×4 grid no single physical array could hold.
+    let n = 800;
+    let graph = GeneratorConfig::new(n, 0x6E57)
+        .with_family(GsetFamily::RandomUnit)
+        .with_mean_degree(6.0)
+        .generate();
+    let problem = graph.to_max_cut();
+    let solver = CimAnnealer::new(40)
+        .with_flips(2)
+        .with_tiled_device_in_loop(CrossbarConfig::paper_defaults(), 256);
+    let report = solver.solve(&problem, 7).expect("max-cut always encodes");
+    let activity = report.run.activity.expect("device runs record activity");
+    assert!(report.feasible);
+    assert!(activity.tiles_activated > 0, "tiles activated");
+    // The in-situ iterations light at most t stripes × 4 row bands = 8
+    // tiles; only the initial full VMV calibration touches all 16.
+    assert!(activity.array_ops >= 40);
+    let per_incremental = (activity.tiles_activated - 16) as f64 / (activity.array_ops - 1) as f64;
+    assert!(
+        per_incremental <= 8.0,
+        "incremental reads stay tile-local: {per_incremental}"
+    );
+    assert!(report.energy.total() > 0.0);
+    assert!(report.time.total() > 0.0);
+}
+
+#[test]
+fn non_divisible_gset_scale_tiling_matches_monolithic_solve() {
+    // 900 spins on 256-row tiles (remainder band of 132 rows): the whole
+    // Ideal-fidelity solve trajectory must equal the monolithic
+    // device-in-the-loop run bit for bit.
+    let n = 900;
+    let graph = GeneratorConfig::new(n, 0x6E58)
+        .with_family(GsetFamily::RandomUnit)
+        .with_mean_degree(4.0)
+        .generate();
+    let problem = graph.to_max_cut();
+    let tiled = CimAnnealer::new(25)
+        .with_flips(2)
+        .with_tiled_device_in_loop(CrossbarConfig::paper_defaults(), 256)
+        .solve(&problem, 3)
+        .unwrap();
+    let mono = CimAnnealer::new(25)
+        .with_flips(2)
+        .with_device_in_loop(CrossbarConfig::paper_defaults())
+        .solve(&problem, 3)
+        .unwrap();
+    assert_eq!(tiled.best_energy, mono.best_energy);
+    assert_eq!(tiled.best_spins, mono.best_spins);
+    assert_eq!(tiled.run.accepted, mono.run.accepted);
+}
