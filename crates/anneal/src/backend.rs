@@ -10,7 +10,9 @@
 //! (`fecim_crossbar::TiledCrossbar`), which is how instances larger than
 //! one physical array run device-in-the-loop.
 
-use fecim_crossbar::{ActivityStats, Crossbar, CrossbarConfig, InSituArray, TiledCrossbar};
+use fecim_crossbar::{
+    ActivityStats, BatchInstance, Crossbar, CrossbarConfig, InSituArray, TiledCrossbar,
+};
 use fecim_ising::{CsrCoupling, FlipMask, LocalFieldState, SpinVector};
 
 /// Source of energies for the annealing engines.
@@ -119,6 +121,13 @@ pub type CrossbarBackend<'a> = DeviceBackend<'a, Crossbar>;
 /// physically plausible tiles.
 pub type TiledBackend<'a> = DeviceBackend<'a, TiledCrossbar>;
 
+/// Device-in-the-loop backend over one instance of a *shared*
+/// [`BatchedTiledCrossbar`](fecim_crossbar::BatchedTiledCrossbar) grid:
+/// the solver drives its own replica while sibling replicas occupy the
+/// same physical tiles from other threads — the multi-problem batching
+/// mode of [`Ensemble::run_batched`](crate::Ensemble::run_batched).
+pub type BatchedBackend<'a> = DeviceBackend<'a, BatchInstance>;
+
 impl<'a, A: InSituArray> DeviceBackend<'a, A> {
     fn from_array(
         mut array: A,
@@ -177,6 +186,26 @@ impl<'a> TiledBackend<'a> {
 
     /// The underlying tiled array (tile grid, activity, configuration).
     pub fn tiled(&self) -> &TiledCrossbar {
+        &self.array
+    }
+}
+
+impl<'a> BatchedBackend<'a> {
+    /// Drive the grid instance behind `handle`, starting from `initial`.
+    ///
+    /// The handle's instance must have been programmed with `coupling`
+    /// (the caller built the grid); `initial.len()` must equal the
+    /// instance dimension.
+    pub fn new(
+        coupling: &'a CsrCoupling,
+        initial: SpinVector,
+        handle: BatchInstance,
+    ) -> BatchedBackend<'a> {
+        DeviceBackend::from_array(handle, coupling, initial)
+    }
+
+    /// The shared-grid handle this backend reads through.
+    pub fn handle(&self) -> &BatchInstance {
         &self.array
     }
 }

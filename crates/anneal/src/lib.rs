@@ -41,7 +41,9 @@ mod schedule;
 mod tabu;
 mod trace;
 
-pub use backend::{CrossbarBackend, DeviceBackend, EnergyBackend, ExactBackend, TiledBackend};
+pub use backend::{
+    BatchedBackend, CrossbarBackend, DeviceBackend, EnergyBackend, ExactBackend, TiledBackend,
+};
 pub use engine::{run_direct, run_in_situ, suggest_einc_scale, Acceptance, AnnealConfig};
 pub use ensemble::Ensemble;
 pub use local_search::{local_search, multi_start_local_search};

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use fecim_crossbar::{Crossbar, CrossbarConfig, Fidelity, TiledCrossbar};
+use fecim_crossbar::{Crossbar, CrossbarConfig, Fidelity, SensingMode, TiledCrossbar};
 use fecim_ising::{CsrCoupling, DenseCoupling, FlipMask, SpinVector};
 
 fn instance(n: usize, seed: u64) -> (CsrCoupling, SpinVector, FlipMask) {
@@ -82,6 +82,44 @@ fn bench_tiled_reads(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_sensing(c: &mut Criterion) {
+    // The acceptance number for per-stripe rayon fan-out: paper-scale
+    // (n ≥ 800) direct reads with stripes sensed in parallel vs the
+    // serial sequencer. Results are bit-identical (ordered reduction);
+    // only wall-clock differs. Two workloads: a dense Ideal read (the
+    // coupling-bound case) and a device-accurate noiseless read (per-cell
+    // FeFET evaluation, the simulation-bound case).
+    let mut group = c.benchmark_group("tiled_sensing_n896");
+    group.sample_size(20);
+    let n = 896;
+    let mut rng = StdRng::seed_from_u64(42);
+    let coupling = CsrCoupling::from_dense(&DenseCoupling::random(n, 0.35, 1.0, &mut rng));
+    let spins = SpinVector::random(n, &mut rng);
+    let mut device_cfg = CrossbarConfig::paper_defaults();
+    device_cfg.fidelity = Fidelity::DeviceAccurate; // variation off, noise off: parallel-safe
+    for (label, cfg) in [
+        ("ideal", CrossbarConfig::paper_defaults()),
+        ("device", device_cfg),
+    ] {
+        let mut sequential = TiledCrossbar::program(&coupling, cfg.clone(), 128)
+            .with_sensing_mode(SensingMode::Sequential);
+        let mut parallel =
+            TiledCrossbar::program(&coupling, cfg, 128).with_sensing_mode(SensingMode::Parallel);
+        assert_eq!(
+            sequential.vmv(spins.as_slice()),
+            parallel.vmv(spins.as_slice()),
+            "modes must agree bit for bit"
+        );
+        group.bench_function(BenchmarkId::new("vmv_sequential", label), |b| {
+            b.iter(|| sequential.vmv(spins.as_slice()))
+        });
+        group.bench_function(BenchmarkId::new("vmv_parallel", label), |b| {
+            b.iter(|| parallel.vmv(spins.as_slice()))
+        });
+    }
+    group.finish();
+}
+
 fn bench_programming(c: &mut Criterion) {
     let mut group = c.benchmark_group("crossbar_programming");
     group.sample_size(10);
@@ -99,6 +137,7 @@ criterion_group!(
     bench_reads,
     bench_fidelity,
     bench_tiled_reads,
+    bench_parallel_sensing,
     bench_programming
 );
 criterion_main!(benches);

@@ -26,6 +26,7 @@ use fecim_ising::{CopProblem, MaxCut, SpinVector};
 /// ablation goes through this `&dyn Solver` entry point.
 fn sweep(label: &str, solver: &dyn Solver, problem: &MaxCut, reference: f64, ensemble: &Ensemble) {
     let cuts: Vec<f64> = normalized_ensemble(solver, problem, reference, ensemble)
+        .unwrap_or_else(|e| fecim_bench::fail_exit(&e))
         .into_iter()
         .map(|(cut, _)| cut)
         .collect();
@@ -43,7 +44,9 @@ fn main() {
         .with_mean_degree(if n >= 800 { 48.0 } else { 12.0 })
         .generate();
     let problem = graph.to_max_cut();
-    let model = problem.to_ising().expect("max-cut encodes");
+    let model = problem
+        .to_ising()
+        .unwrap_or_else(|e| fecim_bench::fail_exit(&e));
     let coupling = model.couplings();
     let (_, ref_energy) = multi_start_local_search(coupling, 10, 9);
     let reference = problem.cut_from_energy(ref_energy);

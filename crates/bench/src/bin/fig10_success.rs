@@ -20,7 +20,7 @@ fn main() {
         config.scale, config.runs_per_instance
     );
     let started = std::time::Instant::now();
-    let outcome = run_experiment(config);
+    let outcome = run_experiment(config).unwrap_or_else(|e| fecim_bench::fail_exit(&e));
     println!("{}", format_outcome(&outcome));
     println!(
         "average success: this work {:.0}%, baselines {:.0}% (paper: 98% vs 50%)",

@@ -28,6 +28,7 @@ fn normalized_cuts(
     ensemble: &Ensemble,
 ) -> Vec<f64> {
     normalized_ensemble(solver, problem, reference, ensemble)
+        .unwrap_or_else(|e| fecim_bench::fail_exit(&e))
         .into_iter()
         .map(|(cut, _)| cut)
         .collect()
@@ -64,7 +65,9 @@ fn main() {
     for inst in &instances {
         let graph = inst.graph();
         let problem = graph.to_max_cut();
-        let model = problem.to_ising().unwrap();
+        let model = problem
+            .to_ising()
+            .unwrap_or_else(|e| fecim_bench::fail_exit(&e));
         let (_, ref_energy) = multi_start_local_search(model.couplings(), 8, 2025);
         let reference = problem.cut_from_energy(ref_energy);
         let iters = inst.group.iteration_budget().min(20_000);

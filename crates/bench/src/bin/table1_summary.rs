@@ -25,7 +25,7 @@ fn main() {
         "=== Table 1: summary of COP solvers ({:?} scale) ===\n",
         config.scale
     );
-    let outcome = run_experiment(config);
+    let outcome = run_experiment(config).unwrap_or_else(|e| fecim_bench::fail_exit(&e));
     println!("{}", format_table1(&outcome));
     println!("paper 'This Work' row: O(n), no e^x, DG FeFET, 3000 node, 4.6 ms, 0.9 uJ, 98%");
     if let Some(tile_rows) = config.tile_rows {

@@ -39,7 +39,9 @@ fn main() {
         .with_mean_degree(degree)
         .generate();
     let problem = graph.to_max_cut();
-    let model = problem.to_ising().expect("max-cut always encodes");
+    let model = problem
+        .to_ising()
+        .unwrap_or_else(|e| fecim_bench::fail_exit(&e));
     let (_, ref_energy) = multi_start_local_search(model.couplings(), 8, 2025);
     let reference = problem.cut_from_energy(ref_energy);
 

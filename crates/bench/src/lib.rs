@@ -23,30 +23,50 @@ pub enum HarnessScale {
     Paper,
 }
 
-/// Parse `--scale quick|paper` from `std::env::args` (default quick).
+/// Print a usage message to stderr and exit with status 2 (the
+/// conventional bad-arguments code) — criterion/CI logs get one readable
+/// line instead of a panic backtrace.
+pub fn usage_exit(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+/// Print a runtime error to stderr and exit with status 1. For harness
+/// binaries whose inputs were fine but whose pipeline failed (e.g. an
+/// instance that cannot encode).
+pub fn fail_exit(message: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
+/// Parse `--scale quick|paper` from an argument list (default quick).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics with a usage message on an unknown scale value.
-pub fn parse_scale() -> HarnessScale {
-    let args: Vec<String> = std::env::args().collect();
+/// Returns a usage message on an unknown scale value.
+pub fn scale_from_args(args: &[String]) -> Result<HarnessScale, String> {
     for (i, a) in args.iter().enumerate() {
-        if a == "--scale" {
-            match args.get(i + 1).map(String::as_str) {
-                Some("quick") => return HarnessScale::Quick,
-                Some("paper") => return HarnessScale::Paper,
-                other => panic!("usage: --scale quick|paper (got {other:?})"),
-            }
-        }
-        if let Some(rest) = a.strip_prefix("--scale=") {
-            match rest {
-                "quick" => return HarnessScale::Quick,
-                "paper" => return HarnessScale::Paper,
-                other => panic!("usage: --scale quick|paper (got {other:?})"),
-            }
+        let value = if a == "--scale" {
+            Some(args.get(i + 1).map(String::as_str))
+        } else {
+            a.strip_prefix("--scale=").map(Some)
+        };
+        if let Some(value) = value {
+            return match value {
+                Some("quick") => Ok(HarnessScale::Quick),
+                Some("paper") => Ok(HarnessScale::Paper),
+                other => Err(format!("usage: --scale quick|paper (got {other:?})")),
+            };
         }
     }
-    HarnessScale::Quick
+    Ok(HarnessScale::Quick)
+}
+
+/// Parse `--scale quick|paper` from `std::env::args` (default quick);
+/// prints usage to stderr and exits with status 2 on a bad value.
+pub fn parse_scale() -> HarnessScale {
+    scale_from_args(&std::env::args().collect::<Vec<_>>())
+        .unwrap_or_else(|usage| usage_exit(&usage))
 }
 
 /// `true` when the flag is present in `std::env::args`.
@@ -54,29 +74,75 @@ pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
-/// Parse `--tile-rows N` (or `--tile-rows=N`) from `std::env::args`:
+/// Parse `--tile-rows N` (or `--tile-rows=N`) from an argument list:
 /// the physical tile height for tiled-mapping runs (`None` = monolithic).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics with a usage message on a missing or non-positive value.
-pub fn parse_tile_rows() -> Option<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    let parse = |v: Option<&str>| -> usize {
+/// Returns a usage message on a missing or non-positive value.
+pub fn tile_rows_from_args(args: &[String]) -> Result<Option<usize>, String> {
+    let parse = |v: Option<&str>| -> Result<usize, String> {
         match v.and_then(|s| s.parse::<usize>().ok()) {
-            Some(n) if n > 0 => n,
-            _ => panic!("usage: --tile-rows <positive integer> (got {v:?})"),
+            Some(n) if n > 0 => Ok(n),
+            _ => Err(format!("usage: --tile-rows <positive integer> (got {v:?})")),
         }
     };
     for (i, a) in args.iter().enumerate() {
         if a == "--tile-rows" {
-            return Some(parse(args.get(i + 1).map(String::as_str)));
+            return parse(args.get(i + 1).map(String::as_str)).map(Some);
         }
         if let Some(rest) = a.strip_prefix("--tile-rows=") {
-            return Some(parse(Some(rest)));
+            return parse(Some(rest)).map(Some);
         }
     }
-    None
+    Ok(None)
+}
+
+/// Parse `--tile-rows N` from `std::env::args`; prints usage to stderr
+/// and exits with status 2 on a bad value.
+pub fn parse_tile_rows() -> Option<usize> {
+    tile_rows_from_args(&std::env::args().collect::<Vec<_>>())
+        .unwrap_or_else(|usage| usage_exit(&usage))
+}
+
+/// Parse `--batch-sizes a,b,c` (or `--batch-sizes=a,b,c`) from an
+/// argument list: the shared-grid batch sizes a batching sweep should
+/// exercise. Defaults to `1,2,4,8`.
+///
+/// # Errors
+///
+/// Returns a usage message on an empty list or a non-positive entry.
+pub fn batch_sizes_from_args(args: &[String]) -> Result<Vec<usize>, String> {
+    let parse = |v: Option<&str>| -> Result<Vec<usize>, String> {
+        let usage =
+            || format!("usage: --batch-sizes <comma-separated positive integers> (got {v:?})");
+        let list = v.ok_or_else(usage)?;
+        let sizes: Vec<usize> = list
+            .split(',')
+            .map(|s| s.trim().parse::<usize>().ok().filter(|&n| n > 0))
+            .collect::<Option<_>>()
+            .ok_or_else(usage)?;
+        if sizes.is_empty() {
+            return Err(usage());
+        }
+        Ok(sizes)
+    };
+    for (i, a) in args.iter().enumerate() {
+        if a == "--batch-sizes" {
+            return parse(args.get(i + 1).map(String::as_str));
+        }
+        if let Some(rest) = a.strip_prefix("--batch-sizes=") {
+            return parse(Some(rest));
+        }
+    }
+    Ok(vec![1, 2, 4, 8])
+}
+
+/// Parse `--batch-sizes` from `std::env::args`; prints usage to stderr
+/// and exits with status 2 on a bad value.
+pub fn parse_batch_sizes() -> Vec<usize> {
+    batch_sizes_from_args(&std::env::args().collect::<Vec<_>>())
+        .unwrap_or_else(|usage| usage_exit(&usage))
 }
 
 /// Render an ASCII bar series `(x, y)` for terminal figures.
@@ -133,5 +199,57 @@ mod tests {
         assert_eq!(parse_scale(), HarnessScale::Quick);
         // No --tile-rows in the test harness args → monolithic.
         assert_eq!(parse_tile_rows(), None);
+        // No --batch-sizes → the default sweep.
+        assert_eq!(parse_batch_sizes(), vec![1, 2, 4, 8]);
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_parsing_returns_usage_errors_instead_of_panicking() {
+        // Valid forms.
+        assert_eq!(
+            scale_from_args(&args(&["bin", "--scale", "paper"])),
+            Ok(HarnessScale::Paper)
+        );
+        assert_eq!(
+            scale_from_args(&args(&["bin", "--scale=quick"])),
+            Ok(HarnessScale::Quick)
+        );
+        assert_eq!(
+            tile_rows_from_args(&args(&["bin", "--tile-rows", "256"])),
+            Ok(Some(256))
+        );
+        assert_eq!(
+            batch_sizes_from_args(&args(&["bin", "--batch-sizes=1, 3,9"])),
+            Ok(vec![1, 3, 9])
+        );
+        // Invalid forms come back as Err(usage), never a panic.
+        for bad in [
+            args(&["bin", "--scale", "fast"]),
+            args(&["bin", "--scale"]),
+            args(&["bin", "--scale=hour"]),
+        ] {
+            let err = scale_from_args(&bad).expect_err("usage error");
+            assert!(err.contains("usage: --scale"), "{err}");
+        }
+        for bad in [
+            args(&["bin", "--tile-rows"]),
+            args(&["bin", "--tile-rows", "0"]),
+            args(&["bin", "--tile-rows=many"]),
+        ] {
+            let err = tile_rows_from_args(&bad).expect_err("usage error");
+            assert!(err.contains("usage: --tile-rows"), "{err}");
+        }
+        for bad in [
+            args(&["bin", "--batch-sizes"]),
+            args(&["bin", "--batch-sizes", "2,0"]),
+            args(&["bin", "--batch-sizes="]),
+        ] {
+            let err = batch_sizes_from_args(&bad).expect_err("usage error");
+            assert!(err.contains("usage: --batch-sizes"), "{err}");
+        }
     }
 }

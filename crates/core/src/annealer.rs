@@ -42,6 +42,21 @@ pub enum FactorChoice {
 }
 
 impl FactorChoice {
+    /// Check that this choice can actually produce a factor — in
+    /// particular that a [`FactorChoice::Table`] curve has enough
+    /// strictly-increasing, non-negative samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns the curve's [`fecim_device::CurveError`] when it cannot
+    /// define an annealing factor.
+    pub fn validate(&self) -> Result<(), fecim_device::CurveError> {
+        if let FactorChoice::Table(points) = self {
+            TableFactor::try_new(points.clone())?;
+        }
+        Ok(())
+    }
+
     fn build(&self) -> Box<dyn AnnealFactor> {
         match self {
             FactorChoice::PaperFractional => Box::new(FractionalFactor::paper()),
@@ -109,7 +124,17 @@ impl CimAnnealer {
     }
 
     /// Select the annealing-factor implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the curve's [`fecim_device::CurveError`] description
+    /// when a [`FactorChoice::Table`] calibration curve is empty,
+    /// unsorted, or negative — the misconfiguration surfaces here, at
+    /// build time, instead of deep inside a run.
     pub fn with_factor(mut self, factor: FactorChoice) -> CimAnnealer {
+        if let Err(e) = factor.validate() {
+            panic!("invalid annealing factor: {e}");
+        }
         self.factor = factor;
         self
     }
@@ -191,22 +216,22 @@ impl CimAnnealer {
     pub fn anneal_model(&self, model: &IsingModel, seed: u64) -> (RunResult, SpinVector) {
         Solver::anneal_model(self, model, seed)
     }
-}
 
-impl Solver for CimAnnealer {
-    fn name(&self) -> &str {
-        "in-situ (this work)"
-    }
-
-    fn kind(&self) -> AnnealerKind {
-        AnnealerKind::InSitu
-    }
-
-    fn iterations(&self) -> usize {
-        self.iterations
-    }
-
-    fn run_engine(&self, coupling: &CsrCoupling, initial: SpinVector, seed: u64) -> RunResult {
+    /// Run the in-situ flow against a caller-supplied energy backend —
+    /// the hook behind shared-grid batching
+    /// ([`solve_batched_ensemble`](crate::solve_batched_ensemble) builds
+    /// one [`fecim_anneal::BatchedBackend`] per ensemble replica), and
+    /// useful for any custom array model implementing
+    /// [`fecim_anneal::EnergyBackend`]. Schedule, annealing factor and
+    /// `E_inc` normalization come from this solver's configuration,
+    /// exactly as in [`Solver::run_engine`]; the backend decides where
+    /// the measurements come from.
+    pub fn anneal_with_backend<B: fecim_anneal::EnergyBackend>(
+        &self,
+        coupling: &CsrCoupling,
+        backend: &mut B,
+        seed: u64,
+    ) -> RunResult {
         let n = coupling.dimension();
         let factor = self.factor.build();
         let schedule = SteppedSchedule::over_iterations(self.factor.t_max(), 70, self.iterations);
@@ -227,19 +252,37 @@ impl Solver for CimAnnealer {
         if let Some(target) = self.target_energy {
             config = config.with_target_energy(target);
         }
+        run_in_situ(backend, &schedule, factor.as_ref(), scale, config)
+    }
+}
+
+impl Solver for CimAnnealer {
+    fn name(&self) -> &str {
+        "in-situ (this work)"
+    }
+
+    fn kind(&self) -> AnnealerKind {
+        AnnealerKind::InSitu
+    }
+
+    fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn run_engine(&self, coupling: &CsrCoupling, initial: SpinVector, seed: u64) -> RunResult {
         match (&self.device_in_loop, self.tile_rows) {
             (None, _) => {
                 let mut backend = ExactBackend::new(coupling, initial);
-                run_in_situ(&mut backend, &schedule, factor.as_ref(), scale, config)
+                self.anneal_with_backend(coupling, &mut backend, seed)
             }
             (Some(xb_config), None) => {
                 let mut backend = CrossbarBackend::new(coupling, initial, xb_config.clone());
-                run_in_situ(&mut backend, &schedule, factor.as_ref(), scale, config)
+                self.anneal_with_backend(coupling, &mut backend, seed)
             }
             (Some(xb_config), Some(tile_rows)) => {
                 let mut backend =
                     TiledBackend::new(coupling, initial, xb_config.clone(), tile_rows);
-                run_in_situ(&mut backend, &schedule, factor.as_ref(), scale, config)
+                self.anneal_with_backend(coupling, &mut backend, seed)
             }
         }
     }
@@ -255,6 +298,7 @@ impl Solver for CimAnnealer {
             flips: self.flips,
             mux_ratio: self.mux_ratio,
             tile_rows: self.tile_rows,
+            batch_instances: 1,
         };
         // Prefer measured activity (device-in-loop) over the analytic model.
         match &run.activity {
@@ -368,6 +412,24 @@ mod tests {
             .with_factor(FactorChoice::Device);
         let report = solver.solve(&problem, 9).unwrap();
         assert!(report.objective.unwrap() >= 10.0);
+    }
+
+    #[test]
+    fn empty_table_curve_fails_at_configuration_time_with_context() {
+        let err = std::panic::catch_unwind(|| {
+            let _ = CimAnnealer::new(100).with_factor(FactorChoice::Table(Vec::new()));
+        })
+        .expect_err("empty curve must be rejected");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            message.contains("at least 2 points"),
+            "descriptive message, got: {message}"
+        );
+        assert!(FactorChoice::Table(Vec::new()).validate().is_err());
+        assert!(FactorChoice::PaperFractional.validate().is_ok());
+        assert!(FactorChoice::Table(vec![(0.0, 0.1), (700.0, 1.0)])
+            .validate()
+            .is_ok());
     }
 
     #[test]

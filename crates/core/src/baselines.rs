@@ -223,6 +223,7 @@ impl Solver for DirectAnnealer {
             flips: self.flips,
             mux_ratio: self.mux_ratio,
             tile_rows: self.tile_rows,
+            batch_instances: 1,
         };
         match &run.activity {
             Some(stats) => (

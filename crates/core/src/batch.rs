@@ -1,0 +1,308 @@
+//! Shared-grid batched solving: a whole device-in-the-loop ensemble on
+//! ONE physical tile grid.
+//!
+//! A single in-situ iteration activates only the flipped stripes of one
+//! instance's block; everything else idles. [`solve_batched_ensemble`]
+//! turns that slack into throughput: the ensemble's replicas are packed
+//! side by side onto one [`BatchedTiledCrossbar`] (block-diagonal along
+//! the stripe axis), every replica anneals against its own
+//! [`BatchedBackend`] handle, and replicas convert concurrently on
+//! disjoint ADC banks — the grid serves `trials` solves in the hardware
+//! time of roughly one.
+//!
+//! In [`Fidelity::Ideal`](fecim_crossbar::Fidelity::Ideal) mode each
+//! replica's trajectory is bit-identical to the same trial run unbatched
+//! through [`CimAnnealer::with_tiled_device_in_loop`] — batching is a
+//! placement change, not an algorithm change — which is exactly what the
+//! equivalence tests pin.
+
+use std::sync::PoisonError;
+
+use serde::{Deserialize, Serialize};
+
+use fecim_anneal::{BatchedBackend, Ensemble, RunResult};
+use fecim_crossbar::{BatchedTiledCrossbar, CrossbarConfig};
+use fecim_hwcost::{energy_of, time_of, AnnealerKind, CostModel, ExpUnit};
+use fecim_ising::{CopProblem, Coupling, IsingError, SpinVector};
+
+use crate::annealer::{CimAnnealer, SolveReport};
+use crate::solver::INIT_SEED_SALT;
+
+/// Grid-level summary of one batched ensemble solve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BatchGridSummary {
+    /// Replicas that shared the grid.
+    pub instances: usize,
+    /// Physical tile height of every block.
+    pub tile_rows: usize,
+    /// Shared-grid dimensions `(row_bands, column_stripes)`.
+    pub grid: (usize, usize),
+    /// Physical tiles the shared grid instantiates.
+    pub physical_tiles: usize,
+    /// Fraction of the grid's tile-cycles activated when every replica
+    /// iterates concurrently (lockstep estimate: summed per-instance
+    /// activations over the grid's capacity for the longest replica's
+    /// cycle count).
+    pub concurrent_utilization: f64,
+    /// Total hardware energy across all replicas, joules (attributed
+    /// per replica in the individual [`SolveReport`]s).
+    pub total_energy: f64,
+    /// Hardware latency of the batch: replicas run concurrently on
+    /// disjoint banks, so the batch finishes with its slowest replica.
+    pub batch_time: f64,
+    /// Hardware latency if the same grid served the replicas one at a
+    /// time (the unbatched alternative): the sum of replica latencies.
+    pub serial_time: f64,
+    /// Solves per second of simulated hardware time under batching.
+    pub instances_per_second: f64,
+}
+
+/// Outcome of [`solve_batched_ensemble`]: the per-replica reports (trial
+/// order, bit-identical to unbatched runs in Ideal fidelity) plus the
+/// shared-grid summary.
+#[derive(Debug, Clone)]
+pub struct BatchedEnsembleOutcome {
+    /// One report per ensemble trial, in trial order.
+    pub reports: Vec<SolveReport>,
+    /// Grid-level sharing summary.
+    pub grid: BatchGridSummary,
+}
+
+/// Solve `ensemble.trials()` device-in-the-loop replicas of `problem` on
+/// one shared physical grid.
+///
+/// `solver` supplies the annealing flow (iterations, flips, factor,
+/// schedule); its own device-in-loop setting is ignored — the backend is
+/// always this function's shared grid, programmed from `config` on
+/// `tile_rows`-row tiles. Per-trial seeds and the initial-configuration
+/// draw match [`Solver::anneal_model`], so in Ideal fidelity trial `i`
+/// reproduces `solver.with_tiled_device_in_loop(config, tile_rows)`
+/// solving the same problem with seed `base_seed + i`, bit for bit.
+///
+/// # Errors
+///
+/// Propagates encoding errors from the problem's Ising transformation.
+///
+/// # Panics
+///
+/// Panics if `ensemble` plans zero trials or `tile_rows == 0`.
+pub fn solve_batched_ensemble(
+    solver: &CimAnnealer,
+    problem: &(dyn CopProblem + Sync),
+    config: CrossbarConfig,
+    tile_rows: usize,
+    ensemble: &Ensemble,
+) -> Result<BatchedEnsembleOutcome, IsingError> {
+    assert!(ensemble.trials() > 0, "need at least one trial");
+    let model = problem.to_ising()?;
+    let quadratic = model.to_quadratic_only();
+    let coupling = quadratic.couplings();
+    let n = coupling.dimension();
+    let quant_bits = config.quant_bits;
+
+    let grid = BatchedTiledCrossbar::replicate(coupling, ensemble.trials(), config, tile_rows)
+        .into_shared();
+    let runs: Vec<RunResult> = ensemble.run_batched(&grid, |_, seed, handle| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ INIT_SEED_SALT);
+        let initial = SpinVector::random(n, &mut rng);
+        let mut backend = BatchedBackend::new(coupling, initial, handle);
+        solver.anneal_with_backend(coupling, &mut backend, seed)
+    });
+
+    // Price every replica at tile-scale geometry from its own measured
+    // activity; the batch shares the grid but not the attribution.
+    let cost_model = CostModel::paper_22nm_tiled(model.dimension(), quant_bits, tile_rows);
+    let mut reports = Vec::with_capacity(runs.len());
+    let mut total_energy = 0.0f64;
+    let mut batch_time = 0.0f64;
+    let mut serial_time = 0.0f64;
+    for run in runs {
+        let spins = if model.is_quadratic_only() {
+            run.best_spins.clone()
+        } else {
+            model.project_from_quadratic(&run.best_spins)
+        };
+        let objective = problem.native_objective(&spins);
+        let feasible = problem.is_feasible(&spins);
+        let stats = run
+            .activity
+            .expect("batched backends always record activity");
+        let energy = energy_of(&stats, &cost_model, ExpUnit::Asic);
+        let time = time_of(&stats, &cost_model, ExpUnit::Asic);
+        total_energy += energy.total();
+        batch_time = batch_time.max(time.total());
+        serial_time += time.total();
+        reports.push(SolveReport {
+            kind: AnnealerKind::InSitu,
+            best_energy: run.best_energy,
+            objective: Some(objective),
+            feasible,
+            best_spins: spins,
+            energy,
+            time,
+            run,
+        });
+    }
+
+    let grid = grid.lock().unwrap_or_else(PoisonError::into_inner);
+    let (bands, stripes) = grid.grid();
+    let physical_tiles = grid.physical_tiles();
+    let summary = BatchGridSummary {
+        instances: grid.instance_count(),
+        tile_rows,
+        grid: (bands, stripes),
+        physical_tiles,
+        concurrent_utilization: concurrent_utilization(&grid),
+        total_energy,
+        batch_time,
+        serial_time,
+        instances_per_second: if batch_time > 0.0 {
+            grid.instance_count() as f64 / batch_time
+        } else {
+            0.0
+        },
+    };
+    Ok(BatchedEnsembleOutcome {
+        reports,
+        grid: summary,
+    })
+}
+
+/// Lockstep utilization estimate: replicas iterate concurrently, so the
+/// grid runs for the busiest replica's cycle count and every instance's
+/// activated tiles land inside that window.
+fn concurrent_utilization(grid: &BatchedTiledCrossbar) -> f64 {
+    let mut activated = 0u64;
+    let mut worst_cycles = 0u64;
+    for i in 0..grid.instance_count() {
+        let stats = grid.instance_stats(i);
+        activated += stats.tiles_activated;
+        worst_cycles = worst_cycles.max(stats.array_ops);
+    }
+    let capacity = worst_cycles * grid.physical_tiles() as u64;
+    if capacity == 0 {
+        return 0.0;
+    }
+    activated as f64 / capacity as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fecim_ising::MaxCut;
+
+    fn ring_problem(n: usize) -> MaxCut {
+        MaxCut::new(n, (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect()).unwrap()
+    }
+
+    #[test]
+    fn batched_ensemble_matches_unbatched_tiled_solves_bit_for_bit() {
+        let problem = ring_problem(24);
+        let solver = CimAnnealer::new(150).with_flips(1);
+        let ensemble = Ensemble::new(3, 41);
+        let batched = solve_batched_ensemble(
+            &solver,
+            &problem,
+            CrossbarConfig::paper_defaults(),
+            8,
+            &ensemble,
+        )
+        .expect("ring encodes");
+        assert_eq!(batched.reports.len(), 3);
+        let unbatched_solver = CimAnnealer::new(150)
+            .with_flips(1)
+            .with_tiled_device_in_loop(CrossbarConfig::paper_defaults(), 8);
+        for (i, seed) in ensemble.seeds().enumerate() {
+            let solo = unbatched_solver
+                .solve(&problem, seed)
+                .expect("ring encodes");
+            assert_eq!(
+                batched.reports[i].best_energy, solo.best_energy,
+                "trial {i}"
+            );
+            assert_eq!(batched.reports[i].best_spins, solo.best_spins, "trial {i}");
+            assert_eq!(
+                batched.reports[i].run.accepted, solo.run.accepted,
+                "trial {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_summary_reports_sharing_win() {
+        let problem = ring_problem(16);
+        let solver = CimAnnealer::new(80).with_flips(1);
+        let ensemble = Ensemble::new(4, 7);
+        let out = solve_batched_ensemble(
+            &solver,
+            &problem,
+            CrossbarConfig::paper_defaults(),
+            4,
+            &ensemble,
+        )
+        .expect("ring encodes");
+        let g = &out.grid;
+        assert_eq!(g.instances, 4);
+        assert_eq!(g.grid.0, 4);
+        assert_eq!(g.grid.1, 16, "4 replicas × 4 stripes each");
+        assert_eq!(g.physical_tiles, 64);
+        // Concurrency: the batch finishes with its slowest replica, far
+        // sooner than serving replicas one at a time.
+        assert!(g.batch_time > 0.0);
+        assert!(
+            g.serial_time > 3.0 * g.batch_time,
+            "serial {} vs batch {}",
+            g.serial_time,
+            g.batch_time
+        );
+        assert!(g.instances_per_second > 0.0);
+        assert!(g.concurrent_utilization > 0.0 && g.concurrent_utilization <= 1.0);
+        // Per-replica attribution survives batching.
+        for r in &out.reports {
+            assert!(r.energy.total() > 0.0);
+            assert!(r.run.activity.is_some());
+        }
+        let attributed: f64 = out.reports.iter().map(|r| r.energy.total()).sum();
+        assert!((attributed - g.total_energy).abs() < 1e-12 * g.total_energy.abs().max(1.0));
+    }
+
+    #[test]
+    fn batched_ensemble_propagates_encoding_errors() {
+        use fecim_ising::{IsingModel, ObjectiveSense, SpinVector};
+
+        #[derive(Debug)]
+        struct Unencodable;
+        impl CopProblem for Unencodable {
+            fn spin_count(&self) -> usize {
+                4
+            }
+            fn to_ising(&self) -> Result<IsingModel, IsingError> {
+                Err(IsingError::InvalidProblem("no Ising form".into()))
+            }
+            fn native_objective(&self, _: &SpinVector) -> f64 {
+                0.0
+            }
+            fn objective_sense(&self) -> ObjectiveSense {
+                ObjectiveSense::Maximize
+            }
+            fn is_feasible(&self, _: &SpinVector) -> bool {
+                true
+            }
+            fn name(&self) -> &str {
+                "unencodable"
+            }
+        }
+
+        let solver = CimAnnealer::new(10);
+        let err = solve_batched_ensemble(
+            &solver,
+            &Unencodable,
+            CrossbarConfig::paper_defaults(),
+            4,
+            &Ensemble::new(2, 1),
+        )
+        .expect_err("must propagate, not panic");
+        assert!(matches!(err, IsingError::InvalidProblem(_)));
+    }
+}

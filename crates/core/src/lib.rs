@@ -64,6 +64,7 @@
 
 mod annealer;
 mod baselines;
+mod batch;
 pub mod experiment;
 mod mesa_solver;
 pub mod report;
@@ -71,6 +72,7 @@ mod solver;
 
 pub use annealer::{CimAnnealer, FactorChoice, SolveReport};
 pub use baselines::DirectAnnealer;
+pub use batch::{solve_batched_ensemble, BatchGridSummary, BatchedEnsembleOutcome};
 pub use experiment::{
     cost_trend, run_experiment, AlgoStats, ExperimentConfig, ExperimentOutcome, GroupOutcome,
     HardwareCost, Scale, TrendPoint,

@@ -131,23 +131,36 @@ pub trait Solver: Send + Sync {
 /// sweeps. Dispatches through `&dyn Solver`, so any architecture plugs
 /// in unchanged.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the problem fails to encode or does not score a native
-/// objective (both impossible for the COP types in this workspace).
+/// Returns the problem's encoding error instead of panicking when the
+/// instance has no Ising form (and an [`IsingError::InvalidProblem`] if
+/// a solve ever came back without a native objective — impossible for
+/// the COP types in this workspace, but a solver bug must surface as an
+/// error, not a crash inside a worker thread).
 pub fn normalized_ensemble(
     solver: &dyn Solver,
     problem: &(dyn CopProblem + Sync),
     reference: f64,
     ensemble: &Ensemble,
-) -> Vec<(f64, Option<usize>)> {
-    ensemble.run(|seed| {
-        let report = solver.solve(problem, seed).expect("valid problem");
-        (
-            report.objective.expect("COP solves score an objective") / reference,
-            report.run.first_target_hit,
-        )
-    })
+) -> Result<Vec<(f64, Option<usize>)>, IsingError> {
+    // Encoding is deterministic: validate once before fanning out so a
+    // bad instance fails fast instead of `trials` times.
+    problem.to_ising()?;
+    ensemble
+        .run(|seed| {
+            let report = solver.solve(problem, seed)?;
+            let objective = report.objective.ok_or_else(|| {
+                IsingError::InvalidProblem(format!(
+                    "solver `{}` returned no native objective for `{}`",
+                    solver.name(),
+                    problem.name()
+                ))
+            })?;
+            Ok((objective / reference, report.run.first_target_hit))
+        })
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]
@@ -195,6 +208,50 @@ mod tests {
         assert_eq!(report.objective, None);
         assert!(report.feasible);
         assert!(report.energy.total() > 0.0);
+    }
+
+    #[test]
+    fn unencodable_problems_error_instead_of_panicking() {
+        use fecim_anneal::Ensemble;
+        use fecim_ising::{IsingError, ObjectiveSense};
+
+        #[derive(Debug)]
+        struct NoIsingForm;
+        impl fecim_ising::CopProblem for NoIsingForm {
+            fn spin_count(&self) -> usize {
+                3
+            }
+            fn to_ising(&self) -> Result<fecim_ising::IsingModel, IsingError> {
+                Err(IsingError::InvalidProblem(
+                    "this model has no Ising form".into(),
+                ))
+            }
+            fn native_objective(&self, _: &fecim_ising::SpinVector) -> f64 {
+                0.0
+            }
+            fn objective_sense(&self) -> ObjectiveSense {
+                ObjectiveSense::Maximize
+            }
+            fn is_feasible(&self, _: &fecim_ising::SpinVector) -> bool {
+                true
+            }
+            fn name(&self) -> &str {
+                "no-ising-form"
+            }
+        }
+
+        let problem = NoIsingForm;
+        for solver in [
+            &CimAnnealer::new(50) as &dyn Solver,
+            &DirectAnnealer::cim_asic(50),
+            &MesaAnnealer::new(50),
+        ] {
+            let err = solver.solve(&problem, 1).expect_err("must not panic");
+            assert!(matches!(err, IsingError::InvalidProblem(_)), "{err}");
+        }
+        let err = normalized_ensemble(&CimAnnealer::new(50), &problem, 1.0, &Ensemble::new(4, 9))
+            .expect_err("ensemble must propagate, not panic");
+        assert!(matches!(err, IsingError::InvalidProblem(_)));
     }
 
     #[test]

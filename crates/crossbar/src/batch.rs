@@ -1,0 +1,744 @@
+//! Multi-problem batching: several instances' coupling blocks packed onto
+//! one physical tile grid.
+//!
+//! An in-situ incremental read activates only the `t` stripes holding the
+//! flipped column groups (× the driven row bands) — on a grid sized for
+//! one instance, everything else idles. [`BatchedTiledCrossbar`] exploits
+//! that slack the way scaled in-memory annealers do: instance `i`'s tiles
+//! occupy their own stripe span of a shared grid, so while instance A
+//! converts on its stripes' ADC banks, instances B and C convert on
+//! theirs *in the same grid cycle*. The placement is block-diagonal along
+//! the stripe axis: no two instances share a stripe, hence no two share
+//! an ADC bank, row segment, or back-gate plane — reads of distinct
+//! instances are physically concurrent and numerically independent.
+//!
+//! Consequences the tests pin down:
+//!
+//! * **Exact equivalence** — each instance's block behaves exactly like a
+//!   standalone [`TiledCrossbar`] over the same coupling; in
+//!   [`Fidelity::Ideal`](crate::Fidelity::Ideal) mode a batched read is
+//!   bit-identical to the per-instance monolithic
+//!   [`Crossbar`](crate::Crossbar) read.
+//! * **Determinism** — [`BatchedTiledCrossbar::read_batch`] fans
+//!   instances out across threads, but instances are independent
+//!   sub-arrays with their own seeds and noise streams, so results do not
+//!   depend on scheduling. In device-accurate mode each instance draws
+//!   its variation maps from a seed derived from the config seed and its
+//!   batch index (distinct replicas see distinct silicon).
+//! * **Attribution** — activity is recorded per instance (each block
+//!   keeps its own [`ActivityStats`]), so hardware energy is attributable
+//!   to the instance that caused it, while [`BatchStats`] tracks
+//!   grid-level sharing (reads per batch, activated tiles vs. tiles
+//!   available).
+//!
+//! For driving a shared grid from concurrently running solvers (one
+//! replica per thread, as `fecim_anneal::Ensemble` does), clone per-
+//! instance [`BatchInstance`] handles from the shared grid: each handle
+//! implements [`InSituArray`] and serializes *simulator* access through a
+//! mutex while the modeled hardware timing remains concurrent (disjoint
+//! banks).
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use rayon::prelude::*;
+
+use fecim_ising::Coupling;
+
+use crate::array::{CrossbarConfig, InSituArray};
+use crate::stats::ActivityStats;
+use crate::tiled::{SensingMode, TiledCrossbar};
+
+/// Deterministic per-instance seed: splitmix64 finalizer over the config
+/// seed and the batch slot, so replicas of the same coupling still draw
+/// independent variation maps (distinct physical tiles host them).
+fn instance_seed(base: u64, index: usize) -> u64 {
+    crate::tiled::splitmix64_finalize(base ^ ((index as u64) << 17) ^ 0xD1B5_4A32_D192_ED03)
+}
+
+/// One instance's block on the shared grid.
+#[derive(Debug, Clone)]
+struct InstanceSlot {
+    array: TiledCrossbar,
+    /// First grid stripe owned by this instance (placement record; the
+    /// block-diagonal layout guarantees spans never overlap).
+    stripe_offset: usize,
+}
+
+/// Grid-level sharing counters of a [`BatchedTiledCrossbar`].
+///
+/// Per-instance activity lives in each instance's own [`ActivityStats`]
+/// ([`BatchedTiledCrossbar::instance_stats`]); this struct only measures
+/// how well concurrent instances fill the shared grid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Grid cycles issued: one per [`BatchedTiledCrossbar::read_batch`]
+    /// call, one per single-instance read.
+    pub grid_cycles: u64,
+    /// Individual reads executed across all cycles.
+    pub reads: u64,
+    /// Tiles activated across all cycles (sum over instances).
+    pub tiles_activated: u64,
+    /// Tile slots offered: physical tiles × grid cycles.
+    pub tile_slots_offered: u64,
+    /// Largest number of distinct instances served by one grid cycle.
+    pub peak_concurrent_instances: usize,
+}
+
+impl BatchStats {
+    /// Fraction of offered tile slots that actually activated — the
+    /// throughput headroom argument: a lone instance leaves this low,
+    /// batching raises it toward 1.
+    pub fn grid_utilization(&self) -> f64 {
+        if self.tile_slots_offered == 0 {
+            return 0.0;
+        }
+        self.tiles_activated as f64 / self.tile_slots_offered as f64
+    }
+
+    fn reset(&mut self) {
+        *self = BatchStats::default();
+    }
+}
+
+/// One read request inside a [`BatchedTiledCrossbar::read_batch`] cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRead<'a> {
+    /// Which instance's block to read.
+    pub instance: usize,
+    /// Row drive vector (`σ_r` for incremental reads, `σ` for VMV).
+    pub sigma_r: &'a [i8],
+    /// Column select `σ_c` for an incremental read; `None` runs the
+    /// direct VMV read instead.
+    pub sigma_c: Option<&'a [i8]>,
+    /// Back-gate annealing factor (ignored by VMV reads).
+    pub factor: f64,
+}
+
+/// Several problem instances sharing one physical tile grid.
+///
+/// See the module docs for the placement and concurrency model. Build
+/// with [`BatchedTiledCrossbar::new`] + [`push_instance`]
+/// (heterogeneous problems) or [`replicate`] (an ensemble of one
+/// problem), then read per instance or per batch.
+///
+/// [`push_instance`]: BatchedTiledCrossbar::push_instance
+/// [`replicate`]: BatchedTiledCrossbar::replicate
+#[derive(Debug, Clone)]
+pub struct BatchedTiledCrossbar {
+    config: CrossbarConfig,
+    tile_rows: usize,
+    slots: Vec<InstanceSlot>,
+    /// Stripes of the shared grid (sum of instance stripe spans).
+    total_stripes: usize,
+    /// Row bands of the shared grid (worst instance).
+    max_bands: usize,
+    batch: BatchStats,
+}
+
+impl BatchedTiledCrossbar {
+    /// An empty grid that will place every pushed instance on
+    /// `tile_rows`-row tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_rows == 0`.
+    pub fn new(config: CrossbarConfig, tile_rows: usize) -> BatchedTiledCrossbar {
+        assert!(tile_rows > 0, "tile_rows must be positive");
+        BatchedTiledCrossbar {
+            config,
+            tile_rows,
+            slots: Vec::new(),
+            total_stripes: 0,
+            max_bands: 0,
+            batch: BatchStats::default(),
+        }
+    }
+
+    /// Program `coupling` onto the next free stripe span and return the
+    /// new instance's index. The instance draws its variation maps from a
+    /// seed derived from the config seed and this index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coupling is empty (forwarded from
+    /// [`TiledCrossbar::program`]).
+    pub fn push_instance<C: Coupling>(&mut self, coupling: &C) -> usize {
+        let index = self.slots.len();
+        let mut config = self.config.clone();
+        config.seed = instance_seed(self.config.seed, index);
+        let array = TiledCrossbar::program(coupling, config, self.tile_rows);
+        let (bands, stripes) = array.tile_grid();
+        self.slots.push(InstanceSlot {
+            array,
+            stripe_offset: self.total_stripes,
+        });
+        self.total_stripes += stripes;
+        self.max_bands = self.max_bands.max(bands);
+        index
+    }
+
+    /// A grid holding `count` replicas of one coupling — the ensemble
+    /// sharing layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`, `tile_rows == 0`, or the coupling is empty.
+    pub fn replicate<C: Coupling>(
+        coupling: &C,
+        count: usize,
+        config: CrossbarConfig,
+        tile_rows: usize,
+    ) -> BatchedTiledCrossbar {
+        assert!(count > 0, "need at least one instance");
+        let mut grid = BatchedTiledCrossbar::new(config, tile_rows);
+        for _ in 0..count {
+            grid.push_instance(coupling);
+        }
+        grid
+    }
+
+    /// Number of instances packed onto the grid.
+    pub fn instance_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The physical tile height shared by every instance.
+    pub fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    /// Shared-grid dimensions as `(row_bands, column_stripes)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.max_bands, self.total_stripes)
+    }
+
+    /// Physical tiles the shared grid instantiates (its bounding
+    /// rectangle; short instances leave their tall columns partly empty).
+    pub fn physical_tiles(&self) -> usize {
+        self.max_bands * self.total_stripes
+    }
+
+    /// First grid stripe owned by `instance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range.
+    pub fn stripe_offset(&self, instance: usize) -> usize {
+        self.slot(instance).stripe_offset
+    }
+
+    /// The instance's underlying tiled array (configuration, tile grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range.
+    pub fn instance(&self, instance: usize) -> &TiledCrossbar {
+        &self.slot(instance).array
+    }
+
+    /// Activity attributed to one instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range.
+    pub fn instance_stats(&self, instance: usize) -> &ActivityStats {
+        self.slot(instance).array.stats()
+    }
+
+    /// Activity summed over every instance.
+    pub fn aggregate_stats(&self) -> ActivityStats {
+        let mut total = ActivityStats::new();
+        for slot in &self.slots {
+            total.merge(slot.array.stats());
+        }
+        total
+    }
+
+    /// Grid-level sharing counters.
+    pub fn batch_stats(&self) -> &BatchStats {
+        &self.batch
+    }
+
+    /// Clear per-instance and grid-level counters.
+    pub fn reset_stats(&mut self) {
+        for slot in &mut self.slots {
+            slot.array.reset_stats();
+        }
+        self.batch.reset();
+    }
+
+    /// Clear one instance's counters (grid-level counters keep running).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range.
+    pub fn reset_instance_stats(&mut self, instance: usize) {
+        self.slot_mut(instance).array.reset_stats();
+    }
+
+    /// Set the per-stripe sensing schedule of every instance (see
+    /// [`SensingMode`]).
+    pub fn set_sensing_mode(&mut self, mode: SensingMode) {
+        for slot in &mut self.slots {
+            slot.array.set_sensing_mode(mode);
+        }
+    }
+
+    /// In-situ incremental read of one instance's block (see
+    /// [`TiledCrossbar::incremental_form`]); the rest of the grid idles
+    /// for the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range or the vector lengths differ
+    /// from that instance's dimension.
+    pub fn incremental_form(
+        &mut self,
+        instance: usize,
+        sigma_r: &[i8],
+        sigma_c: &[i8],
+        factor: f64,
+    ) -> f64 {
+        let before = self.slot(instance).array.stats().tiles_activated;
+        let value = self
+            .slot_mut(instance)
+            .array
+            .incremental_form(sigma_r, sigma_c, factor);
+        let after = self.slot(instance).array.stats().tiles_activated;
+        self.account_cycle(1, 1, after - before);
+        value
+    }
+
+    /// Direct VMV read of one instance's block (see
+    /// [`TiledCrossbar::vmv`]); the rest of the grid idles for the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range or `sigma` has the wrong
+    /// length.
+    pub fn vmv(&mut self, instance: usize, sigma: &[i8]) -> f64 {
+        let before = self.slot(instance).array.stats().tiles_activated;
+        let value = self.slot_mut(instance).array.vmv(sigma);
+        let after = self.slot(instance).array.stats().tiles_activated;
+        self.account_cycle(1, 1, after - before);
+        value
+    }
+
+    /// Execute one shared grid cycle: every request runs against its
+    /// instance's block, distinct instances in parallel across threads
+    /// (they occupy disjoint stripes, so the hardware converts them
+    /// concurrently). Results come back in request order and are
+    /// bit-identical to issuing the same reads one instance at a time.
+    ///
+    /// Multiple requests against the *same* instance are legal and run
+    /// sequentially in request order (they share stripes, so the hardware
+    /// would serialize them too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request names an out-of-range instance or carries
+    /// wrong-length vectors.
+    pub fn read_batch(&mut self, reads: &[BatchRead<'_>]) -> Vec<f64> {
+        for read in reads {
+            assert!(
+                read.instance < self.slots.len(),
+                "batch read instance {} out of range for {} instances",
+                read.instance,
+                self.slots.len()
+            );
+        }
+        let mut per_instance: Vec<Vec<usize>> = vec![Vec::new(); self.slots.len()];
+        for (read_idx, read) in reads.iter().enumerate() {
+            per_instance[read.instance].push(read_idx);
+        }
+        let concurrent = per_instance.iter().filter(|ops| !ops.is_empty()).count();
+        let tiles_before: u64 = self
+            .slots
+            .iter()
+            .map(|s| s.array.stats().tiles_activated)
+            .sum();
+
+        // Fan out one task per instance touched; tasks own disjoint
+        // `&mut` blocks, so no lock sits anywhere near the sensing loops.
+        let jobs: Vec<(&mut TiledCrossbar, Vec<usize>)> = self
+            .slots
+            .iter_mut()
+            .zip(per_instance)
+            .filter(|(_, ops)| !ops.is_empty())
+            .map(|(slot, ops)| (&mut slot.array, ops))
+            .collect();
+        let outcomes: Vec<Vec<(usize, f64)>> = jobs
+            .into_par_iter()
+            .map(|(array, ops)| {
+                ops.into_iter()
+                    .map(|read_idx| {
+                        let read = &reads[read_idx];
+                        let value = match read.sigma_c {
+                            Some(sigma_c) => {
+                                array.incremental_form(read.sigma_r, sigma_c, read.factor)
+                            }
+                            None => array.vmv(read.sigma_r),
+                        };
+                        (read_idx, value)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut results = vec![0.0f64; reads.len()];
+        for (read_idx, value) in outcomes.into_iter().flatten() {
+            results[read_idx] = value;
+        }
+        let tiles_after: u64 = self
+            .slots
+            .iter()
+            .map(|s| s.array.stats().tiles_activated)
+            .sum();
+        self.account_cycle(reads.len() as u64, concurrent, tiles_after - tiles_before);
+        results
+    }
+
+    /// Move the grid behind a shared handle for concurrently running
+    /// drivers; pair with [`BatchedTiledCrossbar::handles`].
+    pub fn into_shared(self) -> Arc<Mutex<BatchedTiledCrossbar>> {
+        Arc::new(Mutex::new(self))
+    }
+
+    /// One [`BatchInstance`] handle per instance of a shared grid, in
+    /// instance order.
+    pub fn handles(shared: &Arc<Mutex<BatchedTiledCrossbar>>) -> Vec<BatchInstance> {
+        let count = lock_shared(shared).instance_count();
+        (0..count)
+            .map(|index| BatchInstance::new(Arc::clone(shared), index))
+            .collect()
+    }
+
+    fn slot(&self, instance: usize) -> &InstanceSlot {
+        assert!(
+            instance < self.slots.len(),
+            "instance {instance} out of range for {} instances",
+            self.slots.len()
+        );
+        &self.slots[instance]
+    }
+
+    fn slot_mut(&mut self, instance: usize) -> &mut InstanceSlot {
+        assert!(
+            instance < self.slots.len(),
+            "instance {instance} out of range for {} instances",
+            self.slots.len()
+        );
+        &mut self.slots[instance]
+    }
+
+    fn account_cycle(&mut self, reads: u64, concurrent: usize, tiles_activated: u64) {
+        self.batch.grid_cycles += 1;
+        self.batch.reads += reads;
+        self.batch.tiles_activated += tiles_activated;
+        self.batch.tile_slots_offered += self.physical_tiles() as u64;
+        self.batch.peak_concurrent_instances = self.batch.peak_concurrent_instances.max(concurrent);
+    }
+}
+
+/// Recover the guard even from a poisoned mutex: the grid is plain data,
+/// so a panicking peer cannot leave it logically torn mid-read (every
+/// read completes or unwinds before the guard drops), and propagating the
+/// poison would turn one failed replica into a panic in every other.
+fn lock_shared(shared: &Arc<Mutex<BatchedTiledCrossbar>>) -> MutexGuard<'_, BatchedTiledCrossbar> {
+    shared.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A per-instance handle onto a shared [`BatchedTiledCrossbar`]: looks
+/// like an exclusive [`InSituArray`], so a device-in-the-loop solver can
+/// drive its replica while sibling replicas share the same grid from
+/// other threads.
+///
+/// Simulator access is serialized through the grid's mutex per read; the
+/// modeled hardware cost is not (instances convert on disjoint ADC
+/// banks). Each handle caches its instance's [`ActivityStats`] after
+/// every read so `stats()` can hand out a reference without holding the
+/// lock.
+#[derive(Debug, Clone)]
+pub struct BatchInstance {
+    shared: Arc<Mutex<BatchedTiledCrossbar>>,
+    index: usize,
+    dimension: usize,
+    stats: ActivityStats,
+}
+
+impl BatchInstance {
+    /// Handle onto instance `index` of `shared`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the grid.
+    pub fn new(shared: Arc<Mutex<BatchedTiledCrossbar>>, index: usize) -> BatchInstance {
+        let (dimension, stats) = {
+            let grid = lock_shared(&shared);
+            let array = grid.instance(index);
+            (array.dimension(), *array.stats())
+        };
+        BatchInstance {
+            shared,
+            index,
+            dimension,
+            stats,
+        }
+    }
+
+    /// Which instance of the shared grid this handle drives.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The shared grid behind this handle.
+    pub fn shared(&self) -> &Arc<Mutex<BatchedTiledCrossbar>> {
+        &self.shared
+    }
+}
+
+impl InSituArray for BatchInstance {
+    fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    fn incremental_form(&mut self, sigma_r: &[i8], sigma_c: &[i8], factor: f64) -> f64 {
+        let mut grid = lock_shared(&self.shared);
+        let value = grid.incremental_form(self.index, sigma_r, sigma_c, factor);
+        self.stats = *grid.instance_stats(self.index);
+        value
+    }
+
+    fn vmv(&mut self, sigma: &[i8]) -> f64 {
+        let mut grid = lock_shared(&self.shared);
+        let value = grid.vmv(self.index, sigma);
+        self.stats = *grid.instance_stats(self.index);
+        value
+    }
+
+    fn stats(&self) -> &ActivityStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        lock_shared(&self.shared).reset_instance_stats(self.index);
+        self.stats.reset();
+    }
+
+    fn cell_factor(&self, vbg: f64) -> f64 {
+        lock_shared(&self.shared)
+            .instance(self.index)
+            .cell_factor(vbg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{Crossbar, Fidelity};
+    use fecim_device::VariationConfig;
+    use fecim_ising::{DenseCoupling, FlipMask, SpinVector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense(n: usize, seed: u64) -> DenseCoupling {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DenseCoupling::random(n, 0.4, 1.0, &mut rng)
+    }
+
+    fn config() -> CrossbarConfig {
+        CrossbarConfig::paper_defaults()
+    }
+
+    #[test]
+    fn batched_reads_match_per_instance_monolithic_reads() {
+        let n = 20;
+        let problems = [dense(n, 1), dense(n, 2), dense(n, 3)];
+        let mut grid = BatchedTiledCrossbar::new(config(), 7);
+        for p in &problems {
+            grid.push_instance(p);
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let spins: Vec<SpinVector> = (0..3).map(|_| SpinVector::random(n, &mut rng)).collect();
+        let masks: Vec<FlipMask> = (0..3).map(|_| FlipMask::random(2, n, &mut rng)).collect();
+        let flipped: Vec<SpinVector> = spins
+            .iter()
+            .zip(&masks)
+            .map(|(s, m)| s.flipped_by(m))
+            .collect();
+        let rests: Vec<Vec<i8>> = flipped
+            .iter()
+            .zip(&masks)
+            .map(|(s, m)| s.rest_vector(m))
+            .collect();
+        let changed: Vec<Vec<i8>> = flipped
+            .iter()
+            .zip(&masks)
+            .map(|(s, m)| s.changed_vector(m))
+            .collect();
+        let reads: Vec<BatchRead> = (0..3)
+            .map(|i| BatchRead {
+                instance: i,
+                sigma_r: &rests[i],
+                sigma_c: Some(&changed[i]),
+                factor: 0.7,
+            })
+            .collect();
+        let batched = grid.read_batch(&reads);
+        for i in 0..3 {
+            let mut mono = Crossbar::program(&problems[i], config());
+            let expected = mono.incremental_form(&rests[i], &changed[i], 0.7);
+            assert_eq!(batched[i], expected, "instance {i}");
+        }
+        assert_eq!(grid.batch_stats().grid_cycles, 1);
+        assert_eq!(grid.batch_stats().reads, 3);
+        assert_eq!(grid.batch_stats().peak_concurrent_instances, 3);
+    }
+
+    #[test]
+    fn batching_raises_grid_utilization() {
+        let n = 16;
+        let p = dense(n, 5);
+        let mut solo = BatchedTiledCrossbar::replicate(&p, 4, config(), 4);
+        let mut shared = solo.clone();
+        let s = SpinVector::all_up(n);
+        let mask = FlipMask::new(vec![3], n);
+        let s_new = s.flipped_by(&mask);
+        let r = s_new.rest_vector(&mask);
+        let c = s_new.changed_vector(&mask);
+        // Four cycles each serving one instance…
+        for i in 0..4 {
+            let _ = solo.incremental_form(i, &r, &c, 1.0);
+        }
+        // …vs one cycle serving all four.
+        let reads: Vec<BatchRead> = (0..4)
+            .map(|i| BatchRead {
+                instance: i,
+                sigma_r: &r,
+                sigma_c: Some(&c),
+                factor: 1.0,
+            })
+            .collect();
+        let _ = shared.read_batch(&reads);
+        assert_eq!(
+            solo.batch_stats().tiles_activated,
+            shared.batch_stats().tiles_activated
+        );
+        let solo_util = solo.batch_stats().grid_utilization();
+        let shared_util = shared.batch_stats().grid_utilization();
+        assert!(
+            (shared_util / solo_util - 4.0).abs() < 1e-9,
+            "batch of 4 quadruples utilization: {solo_util} vs {shared_util}"
+        );
+    }
+
+    #[test]
+    fn placement_is_block_diagonal_along_stripes() {
+        let p20 = dense(20, 6);
+        let p9 = dense(9, 7);
+        let mut grid = BatchedTiledCrossbar::new(config(), 5);
+        grid.push_instance(&p20); // 4 stripes × 4 bands
+        grid.push_instance(&p9); // 2 stripes × 2 bands
+        assert_eq!(grid.instance_count(), 2);
+        assert_eq!(grid.stripe_offset(0), 0);
+        assert_eq!(grid.stripe_offset(1), 4);
+        assert_eq!(grid.grid(), (4, 6));
+        assert_eq!(grid.physical_tiles(), 24);
+    }
+
+    #[test]
+    fn replicas_draw_distinct_variation_maps() {
+        let n = 12;
+        let p = dense(n, 8);
+        let mut cfg = config();
+        cfg.fidelity = Fidelity::DeviceAccurate;
+        cfg.variation = VariationConfig::typical();
+        cfg.variation.read_noise_rel = 0.0; // isolate the programmed maps
+        let mut grid = BatchedTiledCrossbar::replicate(&p, 2, cfg, 6);
+        let s = SpinVector::all_up(n);
+        let a = grid.vmv(0, s.as_slice());
+        let b = grid.vmv(1, s.as_slice());
+        assert_ne!(a, b, "replicas must not share silicon");
+        // …but every replica is individually reproducible: rebuilding
+        // from the same base config derives the same per-instance seeds.
+        let cfg2 = grid.instance(0).config().clone();
+        let mut again = BatchedTiledCrossbar::new(
+            CrossbarConfig {
+                seed: config().seed,
+                ..cfg2
+            },
+            6,
+        );
+        again.push_instance(&p);
+        again.push_instance(&p);
+        assert_eq!(a, again.vmv(0, s.as_slice()));
+        assert_eq!(b, again.vmv(1, s.as_slice()));
+    }
+
+    #[test]
+    fn handles_drive_their_instances_independently() {
+        let n = 14;
+        let p = dense(n, 9);
+        let shared = BatchedTiledCrossbar::replicate(&p, 3, config(), 7).into_shared();
+        let mut handles = BatchedTiledCrossbar::handles(&shared);
+        assert_eq!(handles.len(), 3);
+        let s = SpinVector::all_up(n);
+        let mut mono = Crossbar::program(&p, config());
+        let expected = mono.vmv(s.as_slice());
+        for h in &mut handles {
+            assert_eq!(h.dimension(), n);
+            assert_eq!(h.vmv(s.as_slice()), expected);
+            assert_eq!(h.stats().array_ops, 1);
+        }
+        // Per-instance attribution: each block saw exactly one read.
+        let grid = lock_shared(&shared);
+        for i in 0..3 {
+            assert_eq!(grid.instance_stats(i).array_ops, 1);
+        }
+        assert_eq!(grid.aggregate_stats().array_ops, 3);
+        assert_eq!(grid.batch_stats().grid_cycles, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_instance_is_rejected() {
+        let p = dense(8, 10);
+        let mut grid = BatchedTiledCrossbar::replicate(&p, 1, config(), 4);
+        let s = SpinVector::all_up(8);
+        let _ = grid.vmv(1, s.as_slice());
+    }
+
+    #[test]
+    fn same_instance_reads_in_one_batch_stay_ordered() {
+        // Two reads against one instance serialize in request order —
+        // results equal issuing them back to back.
+        let n = 10;
+        let p = dense(n, 11);
+        let mut grid = BatchedTiledCrossbar::replicate(&p, 2, config(), 5);
+        let mut reference = BatchedTiledCrossbar::replicate(&p, 2, config(), 5);
+        let s = SpinVector::all_up(n);
+        let mask = FlipMask::new(vec![2], n);
+        let s_new = s.flipped_by(&mask);
+        let r = s_new.rest_vector(&mask);
+        let c = s_new.changed_vector(&mask);
+        let reads = [
+            BatchRead {
+                instance: 0,
+                sigma_r: &r,
+                sigma_c: Some(&c),
+                factor: 1.0,
+            },
+            BatchRead {
+                instance: 0,
+                sigma_r: s.as_slice(),
+                sigma_c: None,
+                factor: 1.0,
+            },
+        ];
+        let out = grid.read_batch(&reads);
+        let a = reference.incremental_form(0, &r, &c, 1.0);
+        let b = reference.vmv(0, s.as_slice());
+        assert_eq!(out, vec![a, b]);
+        assert_eq!(grid.batch_stats().peak_concurrent_instances, 1);
+    }
+}

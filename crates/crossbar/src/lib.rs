@@ -28,6 +28,7 @@
 
 mod adc;
 mod array;
+mod batch;
 mod parasitics;
 mod periphery;
 mod quant;
@@ -36,8 +37,9 @@ mod tiled;
 
 pub use adc::{MuxAssignment, SarAdc};
 pub use array::{Crossbar, CrossbarConfig, Fidelity, InSituArray};
+pub use batch::{BatchInstance, BatchRead, BatchStats, BatchedTiledCrossbar};
 pub use parasitics::{ArrayWires, WireParams};
 pub use periphery::{split_input_phases, ShiftAdd, SpinEncoder, TemperatureEncoder};
 pub use quant::QuantizedCoupling;
 pub use stats::ActivityStats;
-pub use tiled::{TiledCrossbar, DEFAULT_TILE_ROWS};
+pub use tiled::{SensingMode, TiledCrossbar, DEFAULT_TILE_ROWS};

@@ -38,9 +38,34 @@
 //! column group activate ([`ActivityStats::tiles_activated`]), row
 //! segments toggle per activated tile, and ADC serialization is the
 //! worst stripe rather than the whole-array bank.
+//!
+//! ## Parallel sensing
+//!
+//! Column stripes convert on physically independent SAR ADC banks, so the
+//! simulator mirrors that independence in wall-clock: large reads fan the
+//! per-stripe sensing work out across threads ([`SensingMode`]). The unit
+//! of parallel work is a *(sign pass, stripe, column chunk)* — a chained
+//! column sense spans every row-band tile of its stripe as one analog sum
+//! with a single quantization point, so it cannot be split further without
+//! changing the physics. Determinism is by construction, not by luck:
+//! every chunk's per-column terms are computed independently and then
+//! accumulated on the calling thread in exactly the sequential order
+//! (sign pass, then stripe-ascending, then column-ascending), so results
+//! are **bit-identical at any thread count** and still bit-identical to
+//! the monolithic [`Crossbar`](crate::Crossbar) in [`Fidelity::Ideal`]
+//! mode. Activity counters are likewise accumulated after the join on the
+//! owner thread — no locks or atomics serialize the hot sensing loop.
+//!
+//! One read shape stays sequential: [`Fidelity::DeviceAccurate`] with a
+//! nonzero `read_noise_rel`. The read-noise stream is a single seeded
+//! generator consumed in row-major sense order (one physical noise
+//! process per array); splitting it across threads would reorder the
+//! draws and change simulated results, so noisy reads keep the serial
+//! sequencer regardless of the configured mode.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use fecim_device::{DgFefet, StoredBit, VariationSampler};
 use fecim_ising::Coupling;
@@ -56,6 +81,36 @@ use crate::stats::ActivityStats;
 /// Default physical tile height (rows), matching common FeFET macro
 /// sizes.
 pub const DEFAULT_TILE_ROWS: usize = 256;
+
+/// Smallest sensed-column count for which [`SensingMode::Auto`] fans out:
+/// below this the thread-dispatch overhead dwarfs the sensing work (the
+/// in-situ incremental read touches only `t ≈ 2` columns and must stay on
+/// the calling thread).
+const AUTO_PARALLEL_MIN_COLUMNS: usize = 64;
+
+/// Floor on columns per parallel work chunk: small enough to
+/// load-balance stripes of uneven occupancy, large enough that a chunk
+/// amortizes its dispatch. The actual chunk adapts upward so a read
+/// produces only a few chunks per worker (see `read_columns`).
+const PARALLEL_COLUMN_CHUNK: usize = 32;
+
+/// How [`TiledCrossbar`] schedules per-stripe sensing across threads.
+///
+/// Whatever the mode, results are bit-identical: the parallel reduction
+/// replays the sequential accumulation order. The mode only trades
+/// wall-clock for thread dispatch overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SensingMode {
+    /// Sense every stripe on the calling thread, in stripe order.
+    Sequential,
+    /// Fan out across threads when the read senses enough columns to
+    /// amortize the dispatch cost (the default).
+    #[default]
+    Auto,
+    /// Fan out for every parallelizable read regardless of size
+    /// (benchmarking and adversarial determinism tests).
+    Parallel,
+}
 
 /// One fixed-size physical tile: the block of couplings with rows in
 /// `[row_start, row_start + row_count)` and column groups in its stripe.
@@ -102,17 +157,35 @@ pub struct TiledCrossbar {
     full_scale_current: f64,
     read_rng: StdRng,
     read_noise_rel: f64,
+    sensing: SensingMode,
     stats: ActivityStats,
+}
+
+/// Read-level sensing context shared by every column sense of one read:
+/// the annealing factor, the back-gate bias it implies, and the fidelity
+/// switch.
+#[derive(Debug, Clone, Copy)]
+struct SenseContext {
+    factor: f64,
+    vbg: f64,
+    device_mode: bool,
+}
+
+/// The splitmix64 finalizer: the one bit-mixing primitive behind every
+/// derived seed in this crate (per-tile variation maps here, per-batch
+/// instance seeds in `batch`), so the avalanche behavior can only ever
+/// change in one place.
+pub(crate) fn splitmix64_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Deterministic per-tile seed: a splitmix64 finalizer over the config
 /// seed and the tile's grid coordinates, so every tile draws an
 /// independent — but fully reproducible — variation map.
 fn tile_seed(base: u64, band_r: usize, band_c: usize) -> u64 {
-    let mut z = base ^ ((band_r as u64) << 32) ^ (band_c as u64) ^ 0x9E37_79B9_7F4A_7C15u64;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    splitmix64_finalize(base ^ ((band_r as u64) << 32) ^ (band_c as u64) ^ 0x9E37_79B9_7F4A_7C15)
 }
 
 impl TiledCrossbar {
@@ -220,8 +293,26 @@ impl TiledCrossbar {
             full_scale_current,
             read_rng,
             read_noise_rel,
+            sensing: SensingMode::default(),
             stats: ActivityStats::new(),
         }
+    }
+
+    /// Override how sensing work is scheduled across threads (results are
+    /// bit-identical in every mode; see [`SensingMode`]).
+    pub fn with_sensing_mode(mut self, mode: SensingMode) -> TiledCrossbar {
+        self.sensing = mode;
+        self
+    }
+
+    /// Set the sensing schedule in place (see [`SensingMode`]).
+    pub fn set_sensing_mode(&mut self, mode: SensingMode) {
+        self.sensing = mode;
+    }
+
+    /// The configured sensing schedule.
+    pub fn sensing_mode(&self) -> SensingMode {
+        self.sensing
     }
 
     /// Matrix dimension `n` (spins).
@@ -339,6 +430,12 @@ impl TiledCrossbar {
     /// [`Crossbar::read_columns`](crate::Crossbar) step for step so that
     /// Ideal-mode outputs are bit-identical; only the *accounting*
     /// differs (per-stripe ADC banks, per-tile row segments).
+    ///
+    /// Large reads fan the sensing out across threads per
+    /// (sign pass, stripe, column chunk); see the module docs for the
+    /// determinism argument. Counter accumulation happens on the calling
+    /// thread after the join, so [`ActivityStats`] stays a plain struct
+    /// and no lock sits inside the sensing loop.
     fn read_columns(
         &mut self,
         rows: &[i8],
@@ -349,19 +446,29 @@ impl TiledCrossbar {
     ) -> f64 {
         let k = self.config.quant_bits as usize;
         let device_mode = self.config.fidelity == Fidelity::DeviceAccurate;
-        let vbg = if device_mode {
-            vbg_for_factor(&self.cell, self.full_scale_current, factor)
-        } else {
-            0.0
+        let ctx = SenseContext {
+            factor,
+            vbg: if device_mode {
+                vbg_for_factor(&self.cell, self.full_scale_current, factor)
+            } else {
+                0.0
+            },
+            device_mode,
         };
         // One scratch buffer for per-stripe local indices, reused across
         // stripes and sign passes.
         let mut local_scratch: Vec<usize> = Vec::new();
 
-        let mut total_codes = 0.0f64;
-        for &sign in &[1i8, -1i8] {
+        // Per-sign row-drive maps, computed up front so both the stats
+        // prologue and the (possibly parallel) sensing share them.
+        let signs = [1i8, -1i8];
+        let driven_maps: Vec<Vec<bool>> = signs
+            .iter()
+            .map(|&sign| rows.iter().map(|&r| r == sign).collect())
+            .collect();
+
+        for driven in &driven_maps {
             self.stats.row_passes += 1;
-            let driven: Vec<bool> = rows.iter().map(|&r| r == sign).collect();
             let driven_count = driven.iter().filter(|&&d| d).count() as u64;
             // Row segments toggle once per activated stripe.
             self.stats.rows_driven += driven_count * stripes.len() as u64;
@@ -383,24 +490,107 @@ impl TiledCrossbar {
             self.stats.shift_add_ops += (active.len() * 2 * k) as u64;
             // Cross-stripe digital aggregation of the partial sums.
             self.stats.shift_add_ops += stripes.len().saturating_sub(1) as u64;
+        }
 
-            // Ascending stripes, ascending global index within each — the
-            // monolithic accumulation order, preserving bit-identity.
-            for (stripe, range) in stripes {
-                for &j in &active[range.clone()] {
-                    let col_sign = match column_select {
-                        Some(sel) => sel[j] as f64,
-                        None => rows[j] as f64,
-                    };
-                    if col_sign == 0.0 {
-                        continue;
+        // A noisy device-accurate read consumes the single read-noise
+        // stream in sense order and must stay on the serial sequencer.
+        let noisy = device_mode && self.read_noise_rel > 0.0;
+        let fan_out = !noisy
+            && match self.sensing {
+                SensingMode::Sequential => false,
+                SensingMode::Auto => active.len() >= AUTO_PARALLEL_MIN_COLUMNS,
+                SensingMode::Parallel => !active.is_empty(),
+            }
+            && rayon::current_num_threads() > 1;
+
+        let mut total_codes = 0.0f64;
+        let mut cells_activated = 0u64;
+        if fan_out {
+            // One work item per (sign pass, stripe, column chunk), in the
+            // exact sequential visiting order. Chunks grow with the read
+            // so each worker sees only a handful of dispatches (chunk
+            // boundaries never affect results — the reduction below is
+            // order-exact either way).
+            let chunk_cols =
+                PARALLEL_COLUMN_CHUNK.max(active.len().div_ceil(4 * rayon::current_num_threads()));
+            let mut items: Vec<(usize, usize, std::ops::Range<usize>)> = Vec::new();
+            for sign_idx in 0..signs.len() {
+                for (stripe, range) in stripes {
+                    let mut start = range.start;
+                    while start < range.end {
+                        let end = (start + chunk_cols).min(range.end);
+                        items.push((sign_idx, *stripe, start..end));
+                        start = end;
                     }
-                    let (pos_val, neg_val) =
-                        self.sense_chained_column(*stripe, j, &driven, factor, vbg, device_mode);
-                    total_codes += sign as f64 * col_sign * (pos_val - neg_val);
                 }
             }
+            let this: &TiledCrossbar = self;
+            // Chunk outputs come back in item order (the shim preserves
+            // input order); each is the chunk's sensed per-column terms
+            // plus its activated-cell count.
+            let chunks: Vec<(Vec<f64>, u64)> = items
+                .into_par_iter()
+                .map(|(sign_idx, stripe, cols)| {
+                    // The no-noise guarantee above makes this generator
+                    // dead weight — it satisfies the signature only.
+                    let mut unused_rng = StdRng::seed_from_u64(0);
+                    let sign = signs[sign_idx];
+                    let driven = &driven_maps[sign_idx];
+                    let mut terms = Vec::with_capacity(cols.len());
+                    let mut activated = 0u64;
+                    for &j in &active[cols] {
+                        let col_sign = match column_select {
+                            Some(sel) => sel[j] as f64,
+                            None => rows[j] as f64,
+                        };
+                        if col_sign == 0.0 {
+                            continue;
+                        }
+                        let (pos_val, neg_val, cells) =
+                            this.sense_chained_column(stripe, j, driven, ctx, &mut unused_rng);
+                        activated += cells;
+                        terms.push(sign as f64 * col_sign * (pos_val - neg_val));
+                    }
+                    (terms, activated)
+                })
+                .collect();
+            // Deterministic reduction: replay the sequential accumulation
+            // order term by term (sign pass, stripe-ascending,
+            // column-ascending) so the sum is bit-identical to the serial
+            // path at any thread count.
+            for (terms, activated) in chunks {
+                for term in terms {
+                    total_codes += term;
+                }
+                cells_activated += activated;
+            }
+        } else {
+            // Serial path; the read-noise stream advances in the same
+            // row-major sense order as always. The generator is swapped
+            // out of `self` so the `&self` sense method can run while the
+            // stats below stay mutable.
+            let mut rng = std::mem::replace(&mut self.read_rng, StdRng::seed_from_u64(0));
+            for (sign_idx, &sign) in signs.iter().enumerate() {
+                let driven = &driven_maps[sign_idx];
+                for (stripe, range) in stripes {
+                    for &j in &active[range.clone()] {
+                        let col_sign = match column_select {
+                            Some(sel) => sel[j] as f64,
+                            None => rows[j] as f64,
+                        };
+                        if col_sign == 0.0 {
+                            continue;
+                        }
+                        let (pos_val, neg_val, cells) =
+                            self.sense_chained_column(*stripe, j, driven, ctx, &mut rng);
+                        cells_activated += cells;
+                        total_codes += sign as f64 * col_sign * (pos_val - neg_val);
+                    }
+                }
+            }
+            self.read_rng = rng;
         }
+        self.stats.cells_activated += cells_activated;
         self.stats.buffer_writes += 1;
         self.scale * total_codes
     }
@@ -410,15 +600,19 @@ impl TiledCrossbar {
     /// per-bit-slice analog sums, then the stripe ADC converts each sum
     /// once and the digital side shift-and-adds — one quantization point
     /// per (plane, bit slice), exactly like the monolithic array.
+    ///
+    /// Takes `&self` so stripe banks can sense concurrently; the caller
+    /// owns the noise generator (only consulted when `read_noise_rel > 0`,
+    /// which forces the serial path) and accumulates the returned
+    /// activated-cell count into the stats.
     fn sense_chained_column(
-        &mut self,
+        &self,
         stripe: usize,
         j: usize,
         driven: &[bool],
-        factor: f64,
-        vbg: f64,
-        device_mode: bool,
-    ) -> (f64, f64) {
+        ctx: SenseContext,
+        rng: &mut StdRng,
+    ) -> (f64, f64, u64) {
         let k = self.config.quant_bits as usize;
         let local_j = j - stripe * self.tile_rows;
         let mut pos_bit_sums = vec![0.0f64; k];
@@ -437,18 +631,18 @@ impl TiledCrossbar {
                 } else {
                     (neg, &mut neg_bit_sums)
                 };
-                let cell_current = if device_mode {
+                let cell_current = if ctx.device_mode {
                     device_cell_current(
                         &self.cell,
                         offsets[idx] as f64,
-                        vbg,
+                        ctx.vbg,
                         self.full_scale_current,
                         tile.wires.ir_attenuation(local_row as usize),
                         self.read_noise_rel,
-                        &mut self.read_rng,
+                        rng,
                     )
                 } else {
-                    factor
+                    ctx.factor
                 };
                 for (b, sum) in sums.iter_mut().enumerate() {
                     if (code >> b) & 1 == 1 {
@@ -458,7 +652,6 @@ impl TiledCrossbar {
                 }
             }
         }
-        self.stats.cells_activated += activated;
 
         let mut pos_val = 0.0;
         let mut neg_val = 0.0;
@@ -467,7 +660,7 @@ impl TiledCrossbar {
             pos_val += weight * self.adc.quantize(pos_bit_sums[b]);
             neg_val += weight * self.adc.quantize(neg_bit_sums[b]);
         }
-        (pos_val, neg_val)
+        (pos_val, neg_val, activated)
     }
 }
 
@@ -684,6 +877,78 @@ mod tests {
         assert_eq!(tiled.tiles[0].row_count, 4);
         assert_eq!(tiled.tiles[2 * 3 + 2].row_count, 2);
         assert_eq!(tiled.tiles[2 * 3 + 2].row_start, 8);
+    }
+
+    #[test]
+    fn parallel_sensing_is_bit_identical_to_sequential_and_monolithic() {
+        let n = 96;
+        let m = dense(n, 23);
+        let mut mono = Crossbar::program(&m, config(4));
+        let mut seq =
+            TiledCrossbar::program(&m, config(4), 16).with_sensing_mode(SensingMode::Sequential);
+        let mut par =
+            TiledCrossbar::program(&m, config(4), 16).with_sensing_mode(SensingMode::Parallel);
+        let mut rng = StdRng::seed_from_u64(24);
+        for _ in 0..4 {
+            let s = SpinVector::random(n, &mut rng);
+            let e_mono = mono.vmv(s.as_slice());
+            assert_eq!(seq.vmv(s.as_slice()), e_mono);
+            assert_eq!(par.vmv(s.as_slice()), e_mono);
+            let mask = FlipMask::random(3, n, &mut rng);
+            let s_new = s.flipped_by(&mask);
+            let r = s_new.rest_vector(&mask);
+            let c = s_new.changed_vector(&mask);
+            let i_mono = mono.incremental_form(&r, &c, 0.37);
+            assert_eq!(seq.incremental_form(&r, &c, 0.37), i_mono);
+            assert_eq!(par.incremental_form(&r, &c, 0.37), i_mono);
+        }
+        // The accounting is schedule-independent too.
+        assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn noisy_device_reads_keep_the_serial_noise_stream() {
+        // DeviceAccurate with read noise must ignore a parallel request:
+        // the single noise stream is consumed in sense order, so forced
+        // parallel and sequential modes read identically.
+        let n = 48;
+        let mut cfg = config(6);
+        cfg.fidelity = Fidelity::DeviceAccurate;
+        cfg.variation = VariationConfig::typical();
+        assert!(
+            cfg.variation.read_noise_rel > 0.0,
+            "typical config is noisy"
+        );
+        let m = dense(n, 25);
+        let mut seq =
+            TiledCrossbar::program(&m, cfg.clone(), 8).with_sensing_mode(SensingMode::Sequential);
+        let mut par = TiledCrossbar::program(&m, cfg, 8).with_sensing_mode(SensingMode::Parallel);
+        let mut rng = StdRng::seed_from_u64(26);
+        for _ in 0..3 {
+            let s = SpinVector::random(n, &mut rng);
+            assert_eq!(seq.vmv(s.as_slice()), par.vmv(s.as_slice()));
+        }
+    }
+
+    #[test]
+    fn noiseless_device_accurate_reads_parallelize_bit_identically() {
+        // Variation without read noise draws nothing at read time, so the
+        // parallel fan-out is allowed and must not change results.
+        let n = 64;
+        let mut cfg = config(6);
+        cfg.fidelity = Fidelity::DeviceAccurate;
+        cfg.variation = VariationConfig::typical();
+        cfg.variation.read_noise_rel = 0.0;
+        let m = dense(n, 27);
+        let mut seq =
+            TiledCrossbar::program(&m, cfg.clone(), 16).with_sensing_mode(SensingMode::Sequential);
+        let mut par = TiledCrossbar::program(&m, cfg, 16).with_sensing_mode(SensingMode::Parallel);
+        let mut rng = StdRng::seed_from_u64(28);
+        for _ in 0..3 {
+            let s = SpinVector::random(n, &mut rng);
+            assert_eq!(seq.vmv(s.as_slice()), par.vmv(s.as_slice()));
+        }
+        assert_eq!(seq.stats(), par.stats());
     }
 
     #[test]

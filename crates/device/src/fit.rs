@@ -95,8 +95,9 @@ pub fn fit_fractional(samples: &[(f64, f64)]) -> Result<FractionalFit, FitError>
         }
     }
     // Initial guess from the endpoints: assume d slightly below min(y).
+    // (The length check above guarantees both endpoints exist.)
     let (t0, y0) = samples[0];
-    let (t1, y1) = *samples.last().expect("nonempty");
+    let (t1, y1) = samples[samples.len() - 1];
     let ymin = samples
         .iter()
         .map(|&(_, y)| y)
@@ -276,6 +277,11 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_inputs() {
+        // An empty calibration curve is an error, never a panic.
+        assert!(matches!(
+            fit_fractional(&[]),
+            Err(FitError::TooFewSamples(0))
+        ));
         assert!(matches!(
             fit_fractional(&[(0.0, 1.0)]),
             Err(FitError::TooFewSamples(1))

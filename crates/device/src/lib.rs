@@ -34,7 +34,7 @@ mod preisach;
 mod reliability;
 mod variation;
 
-pub use anneal_factor::{AnnealFactor, DeviceFactor, FractionalFactor, TableFactor};
+pub use anneal_factor::{AnnealFactor, CurveError, DeviceFactor, FractionalFactor, TableFactor};
 pub use dg_fefet::{DgFefet, DgFefetParams};
 pub use fefet::{Fefet, FefetParams, StoredBit, THERMAL_VOLTAGE};
 pub use fit::{fit_fractional, FitError, FractionalFit};

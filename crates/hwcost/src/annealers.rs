@@ -80,6 +80,12 @@ pub struct IterationProfile {
     /// planes and tile activations then scale with the activated-tile
     /// subset instead of whole-array `n`.
     pub tile_rows: Option<usize>,
+    /// Problem instances sharing the physical grid (multi-problem
+    /// batching): the grid is sized for all of them side by side along
+    /// the stripe axis, and one *batched* iteration steps every instance
+    /// concurrently on its own stripes' ADC banks. `1` = the classic
+    /// single-instance mapping.
+    pub batch_instances: usize,
 }
 
 impl IterationProfile {
@@ -92,6 +98,7 @@ impl IterationProfile {
             flips: 2,
             mux_ratio: 8,
             tile_rows: None,
+            batch_instances: 1,
         }
     }
 
@@ -108,6 +115,18 @@ impl IterationProfile {
         }
     }
 
+    /// This profile with `instances` problems batched onto one shared
+    /// grid (block-diagonal along the stripe axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances == 0`.
+    pub fn batched(mut self, instances: usize) -> IterationProfile {
+        assert!(instances > 0, "need at least one instance");
+        self.batch_instances = instances;
+        self
+    }
+
     /// Tile grid implied by the mapping: `(row_bands, column_stripes)`,
     /// `(1, 1)` for the monolithic array.
     pub fn tile_grid(&self) -> (usize, usize) {
@@ -120,16 +139,38 @@ impl IterationProfile {
         }
     }
 
-    /// Tiles activated by one iteration of `kind`: the in-situ read
-    /// touches only the stripes holding the `t` flipped column groups
-    /// (all row bands, since `σ_r` is dense); the direct-E baselines
-    /// activate the whole grid.
+    /// Tiles activated by one iteration of `kind` *per instance*: the
+    /// in-situ read touches only the stripes holding the `t` flipped
+    /// column groups (all row bands, since `σ_r` is dense); the direct-E
+    /// baselines activate the instance's whole block.
     pub fn activated_tiles(&self, kind: AnnealerKind) -> u64 {
         let (row_bands, col_stripes) = self.tile_grid();
         match kind {
             AnnealerKind::InSitu => (self.flips.min(col_stripes) * row_bands) as u64,
             AnnealerKind::CimFpga | AnnealerKind::CimAsic => (row_bands * col_stripes) as u64,
         }
+    }
+
+    /// Physical tiles of the shared grid under this mapping: one
+    /// instance's tile block × the batch size (instances sit side by
+    /// side along the stripe axis).
+    pub fn grid_tiles(&self) -> u64 {
+        let (row_bands, col_stripes) = self.tile_grid();
+        (row_bands * col_stripes) as u64 * self.batch_instances as u64
+    }
+
+    /// Fraction of the shared grid's tiles a fully batched iteration
+    /// activates (every instance stepping concurrently on its own
+    /// stripes). With `batch_instances == 1` this is the classic
+    /// activated/total ratio; serving the same grid one instance per
+    /// cycle instead would divide it by the batch size — the
+    /// multi-problem throughput argument.
+    pub fn batch_utilization(&self, kind: AnnealerKind) -> f64 {
+        let grid = self.grid_tiles();
+        if grid == 0 {
+            return 0.0;
+        }
+        (self.activated_tiles(kind) * self.batch_instances as u64) as f64 / grid as f64
     }
 
     /// Analytic activity of ONE annealing iteration of `kind`.
@@ -325,6 +366,29 @@ mod tests {
         );
         // ADC energy (activity-count based) is unchanged by the mapping.
         assert_eq!(e_tiled.adc, e_mono.adc);
+    }
+
+    #[test]
+    fn batched_profile_scales_grid_not_per_instance_activity() {
+        let solo = IterationProfile::paper_tiled(800, 256);
+        let batched = solo.batched(4);
+        // Per-instance activity is mapping-invariant…
+        assert_eq!(
+            solo.activity(AnnealerKind::InSitu),
+            batched.activity(AnnealerKind::InSitu)
+        );
+        // …while the shared grid grows with the batch.
+        assert_eq!(solo.grid_tiles(), 16);
+        assert_eq!(batched.grid_tiles(), 64);
+        // A fully batched cycle keeps the activated fraction (8/16); the
+        // same grid serving one instance per cycle would sit at 8/64.
+        let util = batched.batch_utilization(AnnealerKind::InSitu);
+        assert!((util - 0.5).abs() < 1e-12, "util={util}");
+        assert_eq!(
+            solo.batch_utilization(AnnealerKind::InSitu),
+            util,
+            "full batching restores the solo activated fraction"
+        );
     }
 
     #[test]

@@ -34,12 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cuts: Vec<Vec<f64>> = solvers
             .iter()
             .map(|solver| {
-                normalized_ensemble(*solver, &problem, reference, &ensemble)
-                    .into_iter()
-                    .map(|(cut, _)| cut)
-                    .collect()
+                Ok(
+                    normalized_ensemble(*solver, &problem, reference, &ensemble)?
+                        .into_iter()
+                        .map(|(cut, _)| cut)
+                        .collect(),
+                )
             })
-            .collect();
+            .collect::<Result<_, fecim_ising::IsingError>>()?;
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         println!(
             "{:>10} {:>6} {:>7} | {:>13.3} / {:>4.0}% | {:>13.3} / {:>4.0}%",

@@ -1,0 +1,219 @@
+//! Adversarial contracts of the two new scaling mechanisms:
+//!
+//! 1. **Parallel per-stripe sensing** is bit-identical across
+//!    `RAYON_NUM_THREADS` ∈ {1, 2, 8} and across sensing modes, and in
+//!    Ideal fidelity still bit-identical to the monolithic `Crossbar` —
+//!    the parallel reduction replays the serial accumulation order, so
+//!    scheduling must never leak into results.
+//! 2. **Multi-problem batching**: reads against a shared
+//!    `BatchedTiledCrossbar` grid match per-instance monolithic reads in
+//!    Ideal fidelity, and a batched device-in-the-loop ensemble solve
+//!    matches the unbatched tiled solver trial for trial.
+//!
+//! The thread-count loop mutates `RAYON_NUM_THREADS` (read per dispatch
+//! by the rayon shim). Mutating the environment while another thread
+//! reads it is a data race (glibc `setenv`/`getenv`), so every test in
+//! this binary serializes through [`EnvGuard`]: one lock shared by
+//! mutators and readers alike, with the inherited value (CI pins it to
+//! 1 or 8) restored on drop even when an assertion fails mid-case.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use proptest::prelude::*;
+
+use fecim::{solve_batched_ensemble, CimAnnealer};
+use fecim_anneal::Ensemble;
+use fecim_crossbar::{
+    BatchRead, BatchedTiledCrossbar, Crossbar, CrossbarConfig, SensingMode, TiledCrossbar,
+};
+use fecim_ising::{CsrCoupling, FlipMask, SpinVector};
+
+/// Serializes `RAYON_NUM_THREADS` access across this binary's tests and
+/// restores the inherited value on drop (assertion failures included).
+struct EnvGuard {
+    _lock: MutexGuard<'static, ()>,
+    inherited: Option<String>,
+}
+
+impl EnvGuard {
+    fn acquire() -> EnvGuard {
+        static LOCK: Mutex<()> = Mutex::new(());
+        // A panicked holder (failed assertion) left the env restored via
+        // Drop, so the poisoned state carries no torn data.
+        let lock = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        EnvGuard {
+            _lock: lock,
+            inherited: std::env::var("RAYON_NUM_THREADS").ok(),
+        }
+    }
+
+    fn set_threads(&self, threads: &str) {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+    }
+}
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        match &self.inherited {
+            Some(value) => std::env::set_var("RAYON_NUM_THREADS", value),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+    }
+}
+
+/// Strategy: a random symmetric coupling (as triplets) over `n` spins,
+/// dense enough that multi-stripe reads have real work per stripe.
+fn coupling_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (12..=max_n).prop_flat_map(|n| {
+        let triplet =
+            (0..n, 0..n, -2.0f64..2.0).prop_filter_map("no self-loops", move |(i, j, w)| {
+                if i == j {
+                    None
+                } else {
+                    Some((i.min(j), i.max(j), w))
+                }
+            });
+        (Just(n), proptest::collection::vec(triplet, n..6 * n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel sensing is bit-identical to sequential sensing and to the
+    /// monolithic array at every tested thread count.
+    #[test]
+    fn parallel_sensing_is_thread_count_invariant(
+        (n, triplets) in coupling_strategy(48),
+        seed in 0u64..1000,
+        flips in 1usize..6,
+    ) {
+        let env = EnvGuard::acquire();
+        let coupling = CsrCoupling::from_triplets(n, &triplets).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spins = SpinVector::random(n, &mut rng);
+        let mask = FlipMask::random(flips.min(n), n, &mut rng);
+        let s_new = spins.flipped_by(&mask);
+        let r = s_new.rest_vector(&mask);
+        let c = s_new.changed_vector(&mask);
+
+        let mut mono = Crossbar::program(&coupling, CrossbarConfig::paper_defaults());
+        let vmv_expected = mono.vmv(spins.as_slice());
+        let inc_expected = mono.incremental_form(&r, &c, 0.41);
+
+        let tile_rows = (n / 3).max(1);
+        let mut sequential =
+            TiledCrossbar::program(&coupling, CrossbarConfig::paper_defaults(), tile_rows)
+                .with_sensing_mode(SensingMode::Sequential);
+        prop_assert_eq!(sequential.vmv(spins.as_slice()), vmv_expected);
+        prop_assert_eq!(sequential.incremental_form(&r, &c, 0.41), inc_expected);
+
+        for threads in ["1", "2", "8"] {
+            env.set_threads(threads);
+            let mut parallel =
+                TiledCrossbar::program(&coupling, CrossbarConfig::paper_defaults(), tile_rows)
+                    .with_sensing_mode(SensingMode::Parallel);
+            prop_assert_eq!(
+                parallel.vmv(spins.as_slice()), vmv_expected,
+                "vmv drifted at RAYON_NUM_THREADS={}", threads
+            );
+            prop_assert_eq!(
+                parallel.incremental_form(&r, &c, 0.41), inc_expected,
+                "incremental drifted at RAYON_NUM_THREADS={}", threads
+            );
+        }
+    }
+
+    /// Batched multi-instance reads match per-instance monolithic reads
+    /// in Ideal fidelity, whatever the thread count driving the batch.
+    #[test]
+    fn batched_reads_match_monolithic_reads(
+        (n, triplets) in coupling_strategy(32),
+        seed in 0u64..1000,
+    ) {
+        let env = EnvGuard::acquire();
+        let coupling = CsrCoupling::from_triplets(n, &triplets).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let instances = 3usize;
+        let spins: Vec<SpinVector> =
+            (0..instances).map(|_| SpinVector::random(n, &mut rng)).collect();
+        let mut mono = Crossbar::program(&coupling, CrossbarConfig::paper_defaults());
+        let expected: Vec<f64> = spins.iter().map(|s| mono.vmv(s.as_slice())).collect();
+
+        for threads in ["1", "8"] {
+            env.set_threads(threads);
+            let mut grid = BatchedTiledCrossbar::replicate(
+                &coupling,
+                instances,
+                CrossbarConfig::paper_defaults(),
+                (n / 2).max(1),
+            );
+            let reads: Vec<BatchRead> = (0..instances)
+                .map(|i| BatchRead {
+                    instance: i,
+                    sigma_r: spins[i].as_slice(),
+                    sigma_c: None,
+                    factor: 1.0,
+                })
+                .collect();
+            let got = grid.read_batch(&reads);
+            prop_assert_eq!(
+                &got, &expected,
+                "batched reads drifted at RAYON_NUM_THREADS={}", threads
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_gset_scale_ensemble_matches_unbatched_solves() {
+    // The solver-level contract at G-set scale: three replicas of an
+    // n = 800 instance share one 256-row-tile grid; every trial's whole
+    // Ideal-fidelity trajectory must equal the unbatched tiled run.
+    // This test only *reads* the thread count, but its dispatches must
+    // not race a sibling test's env mutation — take the same guard.
+    let _env = EnvGuard::acquire();
+    let n = 800;
+    let graph = fecim_gset::GeneratorConfig::new(n, 0xBA7C)
+        .with_family(fecim_gset::GsetFamily::RandomUnit)
+        .with_mean_degree(6.0)
+        .generate();
+    let problem = graph.to_max_cut();
+    let solver = CimAnnealer::new(30).with_flips(2);
+    let ensemble = Ensemble::new(3, 77);
+    let batched = solve_batched_ensemble(
+        &solver,
+        &problem,
+        CrossbarConfig::paper_defaults(),
+        256,
+        &ensemble,
+    )
+    .expect("max-cut encodes");
+    assert_eq!(batched.reports.len(), 3);
+    assert_eq!(batched.grid.instances, 3);
+    assert_eq!(batched.grid.grid, (4, 12), "three 4x4 blocks side by side");
+    let unbatched = CimAnnealer::new(30)
+        .with_flips(2)
+        .with_tiled_device_in_loop(CrossbarConfig::paper_defaults(), 256);
+    for (i, seed) in ensemble.seeds().enumerate() {
+        let solo = unbatched.solve(&problem, seed).expect("max-cut encodes");
+        assert_eq!(
+            batched.reports[i].best_energy, solo.best_energy,
+            "trial {i}"
+        );
+        assert_eq!(batched.reports[i].best_spins, solo.best_spins, "trial {i}");
+        assert_eq!(
+            batched.reports[i].run.accepted, solo.run.accepted,
+            "trial {i}"
+        );
+    }
+    // Sharing really happened: one grid, per-replica attribution intact.
+    assert!(batched.grid.concurrent_utilization > 0.0);
+    assert!(batched.grid.serial_time > batched.grid.batch_time);
+    for report in &batched.reports {
+        assert!(report.run.activity.is_some());
+        assert!(report.energy.total() > 0.0);
+    }
+}

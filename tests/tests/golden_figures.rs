@@ -76,7 +76,7 @@ fn golden_experiment_config() -> ExperimentConfig {
 
 #[test]
 fn fig10_outcome_and_table1_row_match_goldens() {
-    let outcome = run_experiment(golden_experiment_config());
+    let outcome = run_experiment(golden_experiment_config()).expect("quick suite encodes");
     assert_eq!(outcome.groups.len(), 2, "80- and 100-spin quick groups");
     check_golden(
         "fig10_quick",
