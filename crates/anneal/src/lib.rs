@@ -4,7 +4,7 @@
 //! (Qian et al., DAC 2025): the proposed in-situ flow (Algorithm 1 —
 //! incremental-E measurement, fractional annealing factor, stepped
 //! back-gate temperature descent), the direct-E Metropolis baseline the
-//! CiM/FPGA and CiM/ASIC annealers run, MESA (ref [7]), greedy local
+//! CiM/FPGA and CiM/ASIC annealers run, MESA (ref \[7\]), greedy local
 //! search for reference optima, and the rayon-backed [`Ensemble`] runner
 //! for success-probability experiments (deterministic at any thread
 //! count).

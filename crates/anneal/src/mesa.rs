@@ -32,7 +32,7 @@ pub struct MesaConfig {
 }
 
 impl MesaConfig {
-    /// Defaults matching the MESA description of ref [7]: 4 epochs, 0.5×
+    /// Defaults matching the MESA description of ref \[7\]: 4 epochs, 0.5×
     /// re-heating, single-spin flips.
     pub fn new(total_iterations: usize, t0: f64, seed: u64) -> MesaConfig {
         let epochs = 4;

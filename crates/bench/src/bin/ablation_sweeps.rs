@@ -8,9 +8,16 @@
 //! 4. **ADC resolution / weight bits** — device-in-the-loop quality.
 //! 5. **Device variation σ_VTH** — robustness of the in-situ flow.
 //!
+//! Solver-level sweeps (2–6) are `SolveRequest`s executed by a
+//! `Session`; device sweeps carry their custom `CrossbarConfig` via
+//! `Session::with_crossbar`. Ablation 1 drives the raw engine directly
+//! (it mirrors the schedule, which no solver configuration exposes).
+//!
 //! `cargo run --release -p fecim-bench --bin ablation_sweeps [--scale quick|paper]`
 
-use fecim::{normalized_ensemble, CimAnnealer, FactorChoice, Solver};
+use fecim::{
+    BackendPlan, CimAnnealer, FactorChoice, ProblemSpec, RunPlan, Session, SolveRequest, SolverSpec,
+};
 use fecim_anneal::{
     multi_start_local_search, run_in_situ, success_rate, AnnealConfig, Ensemble, ExactBackend,
     SteppedSchedule,
@@ -19,17 +26,16 @@ use fecim_bench::{parse_scale, HarnessScale};
 use fecim_crossbar::{CrossbarConfig, Fidelity};
 use fecim_device::{FractionalFactor, VariationConfig};
 use fecim_gset::{GeneratorConfig, GsetFamily};
-use fecim_ising::{CopProblem, MaxCut, SpinVector};
+use fecim_ising::{CopProblem, SpinVector};
 
-/// Run one sweep point: a parallel ensemble of `solver` on `problem`,
-/// reported as mean normalized cut + success rate. Every solver-level
-/// ablation goes through this `&dyn Solver` entry point.
-fn sweep(label: &str, solver: &dyn Solver, problem: &MaxCut, reference: f64, ensemble: &Ensemble) {
-    let cuts: Vec<f64> = normalized_ensemble(solver, problem, reference, ensemble)
+/// Run one sweep point, reported as mean normalized cut + success rate.
+/// Every solver-level ablation goes through this request entry point.
+fn sweep(label: &str, session: &Session, request: &SolveRequest) {
+    let cuts: Vec<f64> = session
+        .run(request)
         .unwrap_or_else(|e| fecim_bench::fail_exit(&e))
-        .into_iter()
-        .map(|(cut, _)| cut)
-        .collect();
+        .normalized_objectives()
+        .expect("request carries a reference");
     report(label, &cuts);
 }
 
@@ -51,7 +57,21 @@ fn main() {
     let (_, ref_energy) = multi_start_local_search(coupling, 10, 9);
     let reference = problem.cut_from_energy(ref_energy);
     println!("instance: n={n}, iters={iterations}, runs={runs}, reference cut {reference}\n");
+    let spec = ProblemSpec::from_graph(&graph);
+    let session = Session::new();
     let ensemble = Ensemble::new(runs, 31337);
+    // Every solver-level sweep point is the same request shape; only the
+    // solver, backend, and ensemble size vary per ablation.
+    let request = |solver: SolverSpec, backend: BackendPlan, trials: usize, base_seed: u64| {
+        SolveRequest::new(spec.clone(), solver)
+            .with_backend(backend)
+            .with_run(RunPlan::Ensemble {
+                trials,
+                base_seed,
+                threads: None,
+            })
+            .with_reference(reference)
+    };
 
     // --- 1. schedule direction × calibration ------------------------------
     // The factor direction and the E_inc full-scale calibration interact:
@@ -107,10 +127,8 @@ fn main() {
         let solver = CimAnnealer::new(iterations).with_einc_scale(base / divisor);
         sweep(
             &format!("divisor {divisor:>5}"),
-            &solver,
-            &problem,
-            reference,
-            &ensemble,
+            &session,
+            &request(SolverSpec::Cim(solver), BackendPlan::Analytic, runs, 31337),
         );
     }
 
@@ -120,28 +138,30 @@ fn main() {
         let solver = CimAnnealer::new(iterations).with_flips(flips);
         sweep(
             &format!("t = {flips} (n/t = {:>4.0})", n as f64 / flips as f64),
-            &solver,
-            &problem,
-            reference,
-            &ensemble,
+            &session,
+            &request(SolverSpec::Cim(solver), BackendPlan::Analytic, runs, 31337),
         );
     }
 
     // --- 4. ADC / weight precision (device in the loop) --------------------
     println!("\n=== ablation 4: quantization (device-in-the-loop) ===");
     let dl_runs = runs.min(5);
-    let dl_ensemble = Ensemble::new(dl_runs, 512);
     for (adc_bits, quant_bits) in [(13u8, 4u8), (8, 4), (6, 4), (13, 2), (13, 1)] {
         let mut cfg = CrossbarConfig::paper_defaults();
         cfg.adc_bits = adc_bits;
         cfg.quant_bits = quant_bits;
-        let solver = CimAnnealer::new(iterations).with_device_in_loop(cfg);
         sweep(
             &format!("ADC {adc_bits}b / J {quant_bits}b"),
-            &solver,
-            &problem,
-            reference,
-            &dl_ensemble,
+            &Session::new().with_crossbar(cfg),
+            &request(
+                SolverSpec::Cim(CimAnnealer::new(iterations)),
+                BackendPlan::DeviceInLoop {
+                    fidelity: Fidelity::Ideal,
+                    tile_rows: None,
+                },
+                dl_runs,
+                512,
+            ),
         );
     }
 
@@ -155,13 +175,18 @@ fn main() {
             sigma_vth_c2c: sigma / 2.0,
             read_noise_rel: 0.02,
         };
-        let solver = CimAnnealer::new(iterations).with_device_in_loop(cfg);
         sweep(
             &format!("sigma {sigma:.3} V"),
-            &solver,
-            &problem,
-            reference,
-            &dl_ensemble,
+            &Session::new().with_crossbar(cfg),
+            &request(
+                SolverSpec::Cim(CimAnnealer::new(iterations)),
+                BackendPlan::DeviceInLoop {
+                    fidelity: Fidelity::DeviceAccurate,
+                    tile_rows: None,
+                },
+                dl_runs,
+                512,
+            ),
         );
     }
 
@@ -172,7 +197,11 @@ fn main() {
         ("physical DG FeFET", FactorChoice::Device),
     ] {
         let solver = CimAnnealer::new(iterations).with_factor(factor);
-        sweep(label, &solver, &problem, reference, &ensemble);
+        sweep(
+            label,
+            &session,
+            &request(SolverSpec::Cim(solver), BackendPlan::Analytic, runs, 31337),
+        );
     }
 }
 

@@ -8,14 +8,15 @@
 //! hardware speedup, grid utilization, and host wall-clock solves/sec —
 //! plus a bit-identity check against the unbatched tiled solver, since
 //! Ideal-fidelity batching is a placement change, not an algorithm
-//! change.
+//! change. Every run is submitted as a `SolveRequest` with a
+//! `BackendPlan::Batched` plan and executed by one `Session`.
 //!
 //! `cargo run --release -p fecim-bench --bin batch_sweep \
 //!     [--scale quick|paper] [--batch-sizes 1,2,4,8] [--tile-rows N]`
 
-use fecim::{solve_batched_ensemble, CimAnnealer};
-use fecim_anneal::{multi_start_local_search, success_rate, Ensemble};
-use fecim_crossbar::CrossbarConfig;
+use fecim::{BackendPlan, CimAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolverSpec};
+use fecim_anneal::{multi_start_local_search, success_rate};
+use fecim_crossbar::Fidelity;
 use fecim_gset::{GeneratorConfig, GsetFamily};
 use fecim_ising::CopProblem;
 
@@ -37,14 +38,21 @@ fn main() {
         .unwrap_or_else(|e| fecim_bench::fail_exit(&e));
     let (_, ref_energy) = multi_start_local_search(model.couplings(), 8, 2025);
     let reference = problem.cut_from_energy(ref_energy);
-    let solver = CimAnnealer::new(iterations);
-    let config = CrossbarConfig::paper_defaults();
+    let spec = ProblemSpec::from_graph(&graph);
+    let solver = SolverSpec::Cim(CimAnnealer::new(iterations));
+    let session = Session::new();
 
     // Bit-identity reference: the first trial solved unbatched through
     // the same tiles.
-    let solo = CimAnnealer::new(iterations)
-        .with_tiled_device_in_loop(config.clone(), tile_rows)
-        .solve(&problem, 2025)
+    let solo = session
+        .run(
+            &SolveRequest::new(spec.clone(), solver.clone())
+                .with_backend(BackendPlan::DeviceInLoop {
+                    fidelity: Fidelity::Ideal,
+                    tile_rows: Some(tile_rows),
+                })
+                .with_run(RunPlan::Single { seed: 2025 }),
+        )
         .unwrap_or_else(|e| fecim_bench::fail_exit(&e));
 
     println!(
@@ -64,24 +72,32 @@ fn main() {
 
     let mut rows = Vec::new();
     for &batch in &batch_sizes {
-        let ensemble = Ensemble::new(batch, 2025);
+        let request = SolveRequest::new(spec.clone(), solver.clone())
+            .with_backend(BackendPlan::Batched {
+                tile_rows,
+                instances: batch,
+            })
+            .with_run(RunPlan::Ensemble {
+                trials: batch,
+                base_seed: 2025,
+                threads: None,
+            })
+            .with_reference(reference);
         let started = std::time::Instant::now();
-        let outcome =
-            solve_batched_ensemble(&solver, &problem, config.clone(), tile_rows, &ensemble)
-                .unwrap_or_else(|e| fecim_bench::fail_exit(&e));
+        let outcome = session
+            .run(&request)
+            .unwrap_or_else(|e| fecim_bench::fail_exit(&e));
         let wall = started.elapsed().as_secs_f64();
         assert_eq!(
-            outcome.reports[0].best_energy, solo.best_energy,
+            outcome.reports[0].best_energy, solo.reports[0].best_energy,
             "batched trial 0 must equal the unbatched tiled solve bit for bit"
         );
         let cuts: Vec<f64> = outcome
-            .reports
-            .iter()
-            .map(|r| r.objective.unwrap_or(f64::NAN) / reference)
-            .collect();
+            .normalized_objectives()
+            .expect("request carries a reference");
         let mean_cut = cuts.iter().sum::<f64>() / cuts.len() as f64;
         let sr = success_rate(&cuts, 0.9, true);
-        let g = &outcome.grid;
+        let g = &outcome.grids[0];
         let hw_speedup = if g.batch_time > 0.0 {
             g.serial_time / g.batch_time
         } else {

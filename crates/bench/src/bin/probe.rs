@@ -1,6 +1,7 @@
 //! Calibration probe (development tool): sweeps the in-situ annealer's
 //! E_inc normalization divisor and flip count against the CiM/ASIC
-//! baseline.
+//! baseline. Every sweep point is a `SolveRequest` executed by one
+//! `Session`.
 //!
 //! * default: the quick suite;
 //! * `--paper`: the first six 800/1000-node paper instances;
@@ -14,24 +15,36 @@
 //! device-in-the-loop through the tiled array and prints the measured
 //! per-tile activity (activated tiles, ADC conversions/slots).
 
-use fecim::{normalized_ensemble, CimAnnealer, DirectAnnealer, Solver};
-use fecim_anneal::{multi_start_local_search, success_rate, Ensemble};
-use fecim_crossbar::CrossbarConfig;
+use fecim::{
+    BackendPlan, CimAnnealer, DirectAnnealer, ProblemSpec, RunPlan, Session, SolveRequest,
+    SolverSpec,
+};
+use fecim_anneal::{multi_start_local_search, success_rate};
+use fecim_crossbar::Fidelity;
 use fecim_gset::quick_suite;
 use fecim_ising::CopProblem;
 
-/// Normalized-cut ensemble of any solver on a Max-Cut instance.
+/// Normalized-cut ensemble of any solver spec on a Max-Cut instance.
 fn normalized_cuts(
-    solver: &dyn Solver,
-    problem: &(dyn CopProblem + Sync),
+    session: &Session,
+    spec: &ProblemSpec,
+    solver: SolverSpec,
     reference: f64,
-    ensemble: &Ensemble,
+    runs: usize,
+    base_seed: u64,
 ) -> Vec<f64> {
-    normalized_ensemble(solver, problem, reference, ensemble)
+    let request = SolveRequest::new(spec.clone(), solver)
+        .with_run(RunPlan::Ensemble {
+            trials: runs,
+            base_seed,
+            threads: None,
+        })
+        .with_reference(reference);
+    session
+        .run(&request)
         .unwrap_or_else(|e| fecim_bench::fail_exit(&e))
-        .into_iter()
-        .map(|(cut, _)| cut)
-        .collect()
+        .normalized_objectives()
+        .expect("request carries a reference")
 }
 
 fn main() {
@@ -62,6 +75,7 @@ fn main() {
         quick_suite(0.1)
     };
     let runs = 10;
+    let session = Session::new();
     for inst in &instances {
         let graph = inst.graph();
         let problem = graph.to_max_cut();
@@ -71,7 +85,7 @@ fn main() {
         let (_, ref_energy) = multi_start_local_search(model.couplings(), 8, 2025);
         let reference = problem.cut_from_energy(ref_energy);
         let iters = inst.group.iteration_budget().min(20_000);
-        let ensemble = Ensemble::new(runs, 2025);
+        let spec = ProblemSpec::from_graph(&graph);
 
         let mut line = format!(
             "{:8} n={:4} iters={:6} ref={:8.1} |",
@@ -80,28 +94,28 @@ fn main() {
             iters,
             reference
         );
-        // Candidate in-situ configurations, dispatched as `&dyn Solver`.
-        let mut candidates: Vec<(String, Box<dyn Solver>)> = Vec::new();
+        // Candidate in-situ configurations, each shipped as a request.
+        let mut candidates: Vec<(String, SolverSpec)> = Vec::new();
         for (label, divisor, flips) in [("d80/t2", 80.0, 2), ("d160/t2", 160.0, 2)] {
             let base_scale = fecim_anneal::suggest_einc_scale(model.couplings(), flips);
             candidates.push((
                 label.to_string(),
-                Box::new(
+                SolverSpec::Cim(
                     CimAnnealer::new(iters)
                         .with_flips(flips)
                         .with_einc_scale(base_scale / divisor),
                 ),
             ));
         }
-        for (label, solver) in &candidates {
-            let cuts = normalized_cuts(solver.as_ref(), &problem, reference, &ensemble);
+        for (label, solver) in candidates {
+            let cuts = normalized_cuts(&session, &spec, solver, reference, runs, 2025);
             let sr = success_rate(&cuts, 0.9, true);
             let mean = cuts.iter().sum::<f64>() / cuts.len() as f64;
             line.push_str(&format!(" {label}:{mean:.3}/{:.0}%", sr * 100.0));
         }
         // Baseline for comparison.
-        let base = DirectAnnealer::cim_asic(iters);
-        let cuts = normalized_cuts(&base, &problem, reference, &ensemble);
+        let base = SolverSpec::Direct(DirectAnnealer::cim_asic(iters));
+        let cuts = normalized_cuts(&session, &spec, base, reference, runs, 2025);
         let sr = success_rate(&cuts, 0.9, true);
         let mean = cuts.iter().sum::<f64>() / cuts.len() as f64;
         line.push_str(&format!(" | base:{mean:.3}/{:.0}%", sr * 100.0));
@@ -111,13 +125,21 @@ fn main() {
     if let Some(tile_rows) = fecim_bench::parse_tile_rows() {
         let inst = instances.first().expect("suite is nonempty");
         let graph = inst.graph();
-        let problem = graph.to_max_cut();
         let n = graph.vertex_count();
         let iters = inst.group.iteration_budget().min(2_000);
-        let report = CimAnnealer::new(iters)
-            .with_tiled_device_in_loop(CrossbarConfig::paper_defaults(), tile_rows)
-            .solve(&problem, 2025)
-            .expect("max-cut always encodes");
+        let request = SolveRequest::new(
+            ProblemSpec::from_graph(&graph),
+            SolverSpec::Cim(CimAnnealer::new(iters)),
+        )
+        .with_backend(BackendPlan::DeviceInLoop {
+            fidelity: Fidelity::Ideal,
+            tile_rows: Some(tile_rows),
+        })
+        .with_run(RunPlan::Single { seed: 2025 });
+        let response = session
+            .run(&request)
+            .unwrap_or_else(|e| fecim_bench::fail_exit(&e));
+        let report = &response.reports[0];
         let a = report
             .run
             .activity

@@ -7,7 +7,8 @@
 //! solve trajectory is bit-identical across tile sizes (tiling is a
 //! physical re-partition, not an algorithm change), so the success
 //! column doubles as a regression check while energy/activity show the
-//! mapping trade-off.
+//! mapping trade-off. Each tile size is one `SolveRequest` with a
+//! `BackendPlan::DeviceInLoop` plan, executed by one `Session`.
 //!
 //! `cargo run --release -p fecim-bench --bin tiling_sweep \
 //!     [--scale quick|paper] [--device-accurate]`
@@ -16,10 +17,9 @@
 //! maps and read noise (typical magnitudes), where tile size *does*
 //! change outcomes.
 
-use fecim::CimAnnealer;
-use fecim_anneal::{multi_start_local_search, success_rate, Ensemble};
-use fecim_crossbar::{CrossbarConfig, Fidelity};
-use fecim_device::VariationConfig;
+use fecim::{BackendPlan, CimAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolverSpec};
+use fecim_anneal::{multi_start_local_search, success_rate};
+use fecim_crossbar::Fidelity;
 use fecim_gset::{GeneratorConfig, GsetFamily};
 use fecim_ising::CopProblem;
 
@@ -44,12 +44,16 @@ fn main() {
         .unwrap_or_else(|e| fecim_bench::fail_exit(&e));
     let (_, ref_energy) = multi_start_local_search(model.couplings(), 8, 2025);
     let reference = problem.cut_from_energy(ref_energy);
+    let spec = ProblemSpec::from_graph(&graph);
 
-    let mut config = CrossbarConfig::paper_defaults();
-    if device_accurate {
-        config.fidelity = Fidelity::DeviceAccurate;
-        config.variation = VariationConfig::typical();
-    }
+    // DeviceAccurate plans default to typical variation magnitudes —
+    // exactly the legacy `VariationConfig::typical()` configuration.
+    let fidelity = if device_accurate {
+        Fidelity::DeviceAccurate
+    } else {
+        Fidelity::Ideal
+    };
+    let session = Session::new();
     println!(
         "=== tile-size sweep: n={n}, {iterations} iters, {runs} runs, ref cut {reference:.1}, {} ===\n",
         if device_accurate {
@@ -65,23 +69,36 @@ fn main() {
 
     let mut rows = Vec::new();
     for &tile_rows in &tile_sizes {
-        let solver =
-            CimAnnealer::new(iterations).with_tiled_device_in_loop(config.clone(), tile_rows);
-        let ensemble = Ensemble::new(runs, 2025);
-        let results = ensemble.run(|seed| {
-            let report = solver.solve(&problem, seed).expect("valid problem");
-            let activity = report.run.activity.expect("device runs record stats");
-            (
-                report.objective.expect("max-cut scores a cut") / reference,
-                report.energy.total(),
-                activity.tiles_activated as f64 / activity.array_ops.max(1) as f64,
-            )
-        });
-        let cuts: Vec<f64> = results.iter().map(|r| r.0).collect();
+        let request =
+            SolveRequest::new(spec.clone(), SolverSpec::Cim(CimAnnealer::new(iterations)))
+                .with_backend(BackendPlan::DeviceInLoop {
+                    fidelity,
+                    tile_rows: Some(tile_rows),
+                })
+                .with_run(RunPlan::Ensemble {
+                    trials: runs,
+                    base_seed: 2025,
+                    threads: None,
+                })
+                .with_reference(reference);
+        let response = session
+            .run(&request)
+            .unwrap_or_else(|e| fecim_bench::fail_exit(&e));
+        let cuts: Vec<f64> = response
+            .normalized_objectives()
+            .expect("request carries a reference");
         let sr = success_rate(&cuts, 0.9, true);
         let mean_cut = cuts.iter().sum::<f64>() / cuts.len() as f64;
-        let mean_energy = results.iter().map(|r| r.1).sum::<f64>() / results.len() as f64;
-        let tiles_per_iter = results.iter().map(|r| r.2).sum::<f64>() / results.len() as f64;
+        let mean_energy = response.summary.total_energy / response.reports.len() as f64;
+        let tiles_per_iter = response
+            .reports
+            .iter()
+            .map(|report| {
+                let activity = report.run.activity.expect("device runs record stats");
+                activity.tiles_activated as f64 / activity.array_ops.max(1) as f64
+            })
+            .sum::<f64>()
+            / response.reports.len() as f64;
         let bands = n.div_ceil(tile_rows);
         println!(
             "{tile_rows:>10} {:>8} {mean_cut:>12.4} {:>11.0}% {tiles_per_iter:>14.2} {mean_energy:>12.3e}",

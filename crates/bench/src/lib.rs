@@ -1,8 +1,8 @@
 //! # fecim-bench
 //!
 //! The benchmark harness that regenerates every table and figure of the
-//! paper's evaluation (see `DESIGN.md` §3 for the experiment index and
-//! `EXPERIMENTS.md` for recorded paper-vs-measured results).
+//! paper's evaluation (see `DESIGN.md` §3 in the repository root for
+//! the experiment index).
 //!
 //! * Criterion benches (`cargo bench -p fecim-bench`): kernel complexity
 //!   (Fig. 4/5 claim), crossbar reads, device evaluation, engine

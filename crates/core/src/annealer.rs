@@ -17,7 +17,7 @@ use fecim_ising::{CopProblem, Coupling, CsrCoupling, IsingError, IsingModel, Spi
 use crate::solver::Solver;
 
 /// Which annealing-factor implementation drives the acceptance test.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FactorChoice {
     /// The paper's analytic constants `1/(−0.006T+5) − 0.2` (Fig. 6c).
     PaperFractional,
@@ -78,7 +78,7 @@ impl FactorChoice {
 }
 
 /// Configuration of the CiM in-situ annealer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CimAnnealer {
     iterations: usize,
     flips: usize,
@@ -107,8 +107,8 @@ impl CimAnnealer {
             tile_rows: None,
             trace_every: None,
             target_energy: None,
-            quant_bits: 4,
-            mux_ratio: 8,
+            quant_bits: crate::solver::DEFAULT_QUANT_BITS,
+            mux_ratio: crate::solver::DEFAULT_MUX_RATIO,
         }
     }
 
@@ -183,6 +183,17 @@ impl CimAnnealer {
     /// Record a trace point every `every` iterations.
     pub fn with_trace(mut self, every: usize) -> CimAnnealer {
         self.trace_every = Some(every.max(1));
+        self
+    }
+
+    /// Strip any device backend and restore the software-exact defaults
+    /// — the [`Session`](crate::Session) hook that makes the request's
+    /// `BackendPlan` authoritative over knobs already on the solver.
+    pub(crate) fn with_analytic_backend(mut self) -> CimAnnealer {
+        self.device_in_loop = None;
+        self.tile_rows = None;
+        self.quant_bits = crate::solver::DEFAULT_QUANT_BITS;
+        self.mux_ratio = crate::solver::DEFAULT_MUX_RATIO;
         self
     }
 

@@ -17,7 +17,7 @@ use crate::solver::Solver;
 
 /// Baseline direct-E CiM annealer (conventional FeFET crossbar + digital
 /// Metropolis acceptance with a hardware `eˣ` unit).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DirectAnnealer {
     iterations: usize,
     flips: usize,
@@ -56,8 +56,8 @@ impl DirectAnnealer {
             tile_rows: None,
             trace_every: None,
             target_energy: None,
-            quant_bits: 4,
-            mux_ratio: 8,
+            quant_bits: crate::solver::DEFAULT_QUANT_BITS,
+            mux_ratio: crate::solver::DEFAULT_MUX_RATIO,
         }
     }
 
@@ -125,6 +125,17 @@ impl DirectAnnealer {
     /// Record a trace point every `every` iterations.
     pub fn with_trace(mut self, every: usize) -> DirectAnnealer {
         self.trace_every = Some(every.max(1));
+        self
+    }
+
+    /// Strip any device backend and restore the software-exact defaults
+    /// — the [`Session`](crate::Session) hook that makes the request's
+    /// `BackendPlan` authoritative over knobs already on the solver.
+    pub(crate) fn with_analytic_backend(mut self) -> DirectAnnealer {
+        self.device_in_loop = None;
+        self.tile_rows = None;
+        self.quant_bits = crate::solver::DEFAULT_QUANT_BITS;
+        self.mux_ratio = crate::solver::DEFAULT_MUX_RATIO;
         self
     }
 

@@ -75,7 +75,7 @@ pub struct BatchedEnsembleOutcome {
 /// schedule); its own device-in-loop setting is ignored — the backend is
 /// always this function's shared grid, programmed from `config` on
 /// `tile_rows`-row tiles. Per-trial seeds and the initial-configuration
-/// draw match [`Solver::anneal_model`], so in Ideal fidelity trial `i`
+/// draw match [`Solver::anneal_model`](crate::Solver::anneal_model), so in Ideal fidelity trial `i`
 /// reproduces `solver.with_tiled_device_in_loop(config, tile_rows)`
 /// solving the same problem with seed `base_seed + i`, bit for bit.
 ///
@@ -86,7 +86,25 @@ pub struct BatchedEnsembleOutcome {
 /// # Panics
 ///
 /// Panics if `ensemble` plans zero trials or `tile_rows == 0`.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `SolveRequest` with `BackendPlan::Batched { tile_rows, instances }`, run it \
+            through `fecim::Session::run`, and read `SolveResponse::{reports, grids}`"
+)]
 pub fn solve_batched_ensemble(
+    solver: &CimAnnealer,
+    problem: &(dyn CopProblem + Sync),
+    config: CrossbarConfig,
+    tile_rows: usize,
+    ensemble: &Ensemble,
+) -> Result<BatchedEnsembleOutcome, IsingError> {
+    batched_ensemble(solver, problem, config, tile_rows, ensemble)
+}
+
+/// The machinery behind the deprecated [`solve_batched_ensemble`]
+/// wrapper; the [`Session`](crate::Session) batched route calls this
+/// directly, one grid per `instances`-wide chunk of the run plan.
+pub(crate) fn batched_ensemble(
     solver: &CimAnnealer,
     problem: &(dyn CopProblem + Sync),
     config: CrossbarConfig,
@@ -201,7 +219,7 @@ mod tests {
         let problem = ring_problem(24);
         let solver = CimAnnealer::new(150).with_flips(1);
         let ensemble = Ensemble::new(3, 41);
-        let batched = solve_batched_ensemble(
+        let batched = batched_ensemble(
             &solver,
             &problem,
             CrossbarConfig::paper_defaults(),
@@ -234,7 +252,7 @@ mod tests {
         let problem = ring_problem(16);
         let solver = CimAnnealer::new(80).with_flips(1);
         let ensemble = Ensemble::new(4, 7);
-        let out = solve_batched_ensemble(
+        let out = batched_ensemble(
             &solver,
             &problem,
             CrossbarConfig::paper_defaults(),
@@ -295,7 +313,7 @@ mod tests {
         }
 
         let solver = CimAnnealer::new(10);
-        let err = solve_batched_ensemble(
+        let err = batched_ensemble(
             &solver,
             &Unencodable,
             CrossbarConfig::paper_defaults(),

@@ -4,22 +4,22 @@
 //! scoring against 90 %-of-optimum targets, and hardware energy/time
 //! accounting — the data behind Figs. 8, 9, 10 and Table 1.
 //!
-//! Solvers are dispatched through the [`Solver`](crate::Solver) trait
-//! (via [`normalized_ensemble`](crate::normalized_ensemble)), so the
-//! protocol never names a concrete annealer beyond the two architecture
-//! choices it compares; swapping either is a one-line change in
-//! [`run_experiment`]'s solver construction.
+//! Every measured ensemble is submitted as a [`SolveRequest`] and
+//! executed by a [`Session`], so the protocol never names an execution
+//! path beyond the two architecture choices it compares; swapping either
+//! is a one-line change in [`run_experiment`]'s request construction.
 
 use serde::{Deserialize, Serialize};
 
-use fecim_anneal::{multi_start_local_search, success_rate, Aggregate, Ensemble};
+use fecim_anneal::{multi_start_local_search, success_rate, Aggregate};
 use fecim_gset::{paper_suite, quick_suite, SizeGroup, SuiteInstance};
 use fecim_hwcost::{AnnealerKind, CostModel, IterationProfile};
 use fecim_ising::{CopProblem, IsingError};
 
 use crate::annealer::CimAnnealer;
 use crate::baselines::DirectAnnealer;
-use crate::solver::normalized_ensemble;
+use crate::request::{ProblemSpec, RunPlan, SolveRequest, SolverSpec};
+use crate::session::Session;
 
 /// Evaluation scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -271,6 +271,7 @@ fn run_group(
     let mut in_situ_runs: Vec<(f64, Option<usize>)> = Vec::new();
     let mut baseline_runs: Vec<(f64, Option<usize>)> = Vec::new();
     let mut spins = 0usize;
+    let session = Session::new();
 
     for (inst_idx, inst) in members.iter().enumerate() {
         let graph = inst.graph();
@@ -284,14 +285,28 @@ fn run_group(
         };
         // Target in energy units: the Ising energy of a 90%-of-optimum cut.
         let target_energy = problem.energy_from_cut(config.target_fraction * reference);
-        let ensemble = Ensemble::new(
-            config.runs_per_instance,
-            config.seed ^ ((inst_idx as u64) << 32),
-        );
+        let run = RunPlan::Ensemble {
+            trials: config.runs_per_instance,
+            base_seed: config.seed ^ ((inst_idx as u64) << 32),
+            threads: None,
+        };
+        let spec = ProblemSpec::from_graph(&graph);
         let ours = CimAnnealer::new(iterations).with_target_energy(target_energy);
         let base = DirectAnnealer::cim_asic(iterations).with_target_energy(target_energy);
-        in_situ_runs.extend(normalized_ensemble(&ours, &problem, reference, &ensemble)?);
-        baseline_runs.extend(normalized_ensemble(&base, &problem, reference, &ensemble)?);
+        for (solver, runs) in [
+            (SolverSpec::Cim(ours), &mut in_situ_runs),
+            (SolverSpec::Direct(base), &mut baseline_runs),
+        ] {
+            let request = SolveRequest::new(spec.clone(), solver)
+                .with_run(run)
+                .with_reference(reference);
+            let response = session.run(&request).map_err(|e| e.into_ising())?;
+            runs.extend(
+                response
+                    .normalized_pairs()
+                    .expect("request carries a reference"),
+            );
+        }
     }
 
     let algo_stats = |runs: &[(f64, Option<usize>)]| {

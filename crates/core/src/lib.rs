@@ -7,7 +7,7 @@
 //! annealing flow, and the CiM/FPGA + CiM/ASIC baselines it is evaluated
 //! against.
 //!
-//! The workspace layering (see `DESIGN.md`):
+//! The workspace layering (see `DESIGN.md` in the repository root):
 //!
 //! * [`fecim_ising`] — Ising/QUBO models, COP encodings, incremental-E math;
 //! * [`fecim_gset`] — Gset-style Max-Cut benchmark instances;
@@ -15,49 +15,86 @@
 //! * [`fecim_crossbar`] — the CiM array simulator;
 //! * [`fecim_hwcost`] — 22 nm energy/latency accounting;
 //! * [`fecim_anneal`] — the annealing engines;
-//! * this crate — the user-facing solvers and the paper's experiments.
+//! * this crate — the user-facing job API, solvers and the paper's
+//!   experiments.
 //!
-//! ## Quickstart
+//! ## Quickstart: the job API
+//!
+//! Everything runs through one surface: describe the job as a
+//! serde-serializable [`SolveRequest`] (problem + solver + typed
+//! [`BackendPlan`] + [`RunPlan`]) and hand it to [`Session::run`]:
 //!
 //! ```
-//! use fecim::{CimAnnealer, DirectAnnealer};
-//! use fecim_ising::MaxCut;
+//! use fecim::{
+//!     CimAnnealer, DirectAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolverSpec,
+//! };
 //!
 //! // An 8-vertex ring: optimal cut = 8.
-//! let problem = MaxCut::new(8, (0..8).map(|i| (i, (i + 1) % 8, 1.0)).collect())?;
-//! let ours = CimAnnealer::new(1500).with_flips(1).solve(&problem, 7)?;
-//! let baseline = DirectAnnealer::cim_asic(1500).with_flips(1).solve(&problem, 7)?;
-//! assert!(ours.objective.unwrap() >= 6.0);
+//! let problem = ProblemSpec::MaxCut {
+//!     vertices: 8,
+//!     edges: (0..8).map(|i| (i, (i + 1) % 8, 1.0)).collect(),
+//! };
+//! let session = Session::new();
+//! let ours = session.run(
+//!     &SolveRequest::new(
+//!         problem.clone(),
+//!         SolverSpec::Cim(CimAnnealer::new(1500).with_flips(1)),
+//!     )
+//!     .with_run(RunPlan::Single { seed: 7 }),
+//! )?;
+//! let baseline = session.run(
+//!     &SolveRequest::new(
+//!         problem,
+//!         SolverSpec::Direct(DirectAnnealer::cim_asic(1500).with_flips(1)),
+//!     )
+//!     .with_run(RunPlan::Single { seed: 7 }),
+//! )?;
+//! assert!(ours.summary.best_objective.unwrap() >= 6.0);
 //! // The co-designed annealer runs the same workload far cheaper:
-//! assert!(baseline.energy.total() / ours.energy.total() > 2.0);
-//! # Ok::<(), fecim_ising::IsingError>(())
+//! assert!(baseline.summary.total_energy / ours.summary.total_energy > 2.0);
+//! # Ok::<(), fecim::SessionError>(())
 //! ```
 //!
-//! ## One trait, three architectures
+//! Requests round-trip through JSON unchanged
+//! ([`SolveRequest::to_json`]/[`SolveRequest::from_json`]), and a
+//! deserialized request produces bit-identical Ideal-mode results — a
+//! future HTTP or queue front-end is a serialization boundary, not a
+//! refactor.
 //!
-//! All annealers implement [`Solver`], so experiment code dispatches over
-//! `&dyn Solver` and fans seeded trials out with the rayon-backed
-//! [`Ensemble`](fecim_anneal::Ensemble) runner (results are bit-identical
-//! at any thread count):
+//! ## One request, many execution modes
+//!
+//! The [`BackendPlan`] selects where energy measurements come from
+//! (software-exact, simulated crossbar, tiled arrays, shared-grid
+//! batching) and the [`RunPlan`] scales from one seeded trial to a
+//! parallel ensemble — results are bit-identical at any thread count:
 //!
 //! ```
-//! use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer, Solver};
-//! use fecim_anneal::Ensemble;
-//! use fecim_ising::MaxCut;
+//! use fecim::{CimAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolverSpec};
 //!
-//! let problem = MaxCut::new(8, (0..8).map(|i| (i, (i + 1) % 8, 1.0)).collect())?;
-//! let solvers: [&dyn Solver; 3] = [
-//!     &CimAnnealer::new(500).with_flips(1),
-//!     &DirectAnnealer::cim_asic(500).with_flips(1),
-//!     &MesaAnnealer::new(500),
-//! ];
-//! for solver in solvers {
-//!     let cuts = Ensemble::new(8, 1)
-//!         .run(|seed| solver.solve(&problem, seed).expect("ring encodes").objective.unwrap());
-//!     assert_eq!(cuts.len(), 8);
-//! }
-//! # Ok::<(), fecim_ising::IsingError>(())
+//! let request = SolveRequest::new(
+//!     ProblemSpec::MaxCut {
+//!         vertices: 8,
+//!         edges: (0..8).map(|i| (i, (i + 1) % 8, 1.0)).collect(),
+//!     },
+//!     SolverSpec::Cim(CimAnnealer::new(500).with_flips(1)),
+//! )
+//! .with_run(RunPlan::Ensemble {
+//!     trials: 8,
+//!     base_seed: 1,
+//!     threads: None,
+//! })
+//! .with_reference(8.0);
+//! let response = Session::new().run(&request)?;
+//! assert_eq!(response.reports.len(), 8);
+//! assert_eq!(response.normalized.as_ref().unwrap().len(), 8);
+//! # Ok::<(), fecim::SessionError>(())
 //! ```
+//!
+//! The builder-style solvers ([`CimAnnealer`], [`DirectAnnealer`],
+//! [`MesaAnnealer`]) and the [`Solver`] trait remain the machinery
+//! underneath — [`Solver::solve`] is still the right call for quick
+//! one-off library use — but the free functions `normalized_ensemble`
+//! and `solve_batched_ensemble` are deprecated in favor of requests.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -68,17 +105,25 @@ mod batch;
 pub mod experiment;
 mod mesa_solver;
 pub mod report;
+mod request;
+mod session;
 mod solver;
 
 pub use annealer::{CimAnnealer, FactorChoice, SolveReport};
 pub use baselines::DirectAnnealer;
-pub use batch::{solve_batched_ensemble, BatchGridSummary, BatchedEnsembleOutcome};
+#[allow(deprecated)]
+pub use batch::solve_batched_ensemble;
+pub use batch::{BatchGridSummary, BatchedEnsembleOutcome};
 pub use experiment::{
     cost_trend, run_experiment, AlgoStats, ExperimentConfig, ExperimentOutcome, GroupOutcome,
     HardwareCost, Scale, TrendPoint,
 };
 pub use mesa_solver::MesaAnnealer;
-pub use solver::{normalized_ensemble, Solver};
+pub use request::{BackendPlan, ProblemSpec, RunPlan, SolveRequest, SolverSpec};
+pub use session::{NormalizedTrial, RunSummary, Session, SessionError, SolveResponse};
+#[allow(deprecated)]
+pub use solver::normalized_ensemble;
+pub use solver::Solver;
 
 pub use fecim_anneal as anneal;
 pub use fecim_crossbar as crossbar;

@@ -11,7 +11,7 @@ use fecim_ising::{CopProblem, CsrCoupling, IsingError, SpinVector};
 use crate::annealer::SolveReport;
 use crate::solver::Solver;
 
-/// The MESA baseline solver (ref [7]'s enhanced SA on direct-E hardware).
+/// The MESA baseline solver (ref \[7\]'s enhanced SA on direct-E hardware).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MesaAnnealer {
     iterations: usize,
@@ -20,7 +20,7 @@ pub struct MesaAnnealer {
 }
 
 impl MesaAnnealer {
-    /// MESA with the defaults of ref [7]: 4 epochs, 0.5× re-heating.
+    /// MESA with the defaults of ref \[7\]: 4 epochs, 0.5× re-heating.
     pub fn new(iterations: usize) -> MesaAnnealer {
         MesaAnnealer {
             iterations,

@@ -1,0 +1,414 @@
+//! The serde-serializable job API: one [`SolveRequest`] describes *what*
+//! to solve (a [`ProblemSpec`]), *how* to anneal it (a [`SolverSpec`]),
+//! *where* the energy measurements come from (a typed [`BackendPlan`])
+//! and *how many* seeded trials to run (a [`RunPlan`]).
+//!
+//! A request is plain data: it round-trips through JSON unchanged, so a
+//! network or queue front-end is a serialization boundary, not a
+//! refactor. Execution lives in [`Session::run`](crate::Session::run),
+//! which routes the request to the same solver/ensemble/batched
+//! machinery the builder-style API uses — Ideal-fidelity results are
+//! bit-identical to the legacy entry points.
+
+use serde::{Deserialize, Serialize};
+
+use fecim_crossbar::Fidelity;
+use fecim_gset::{GeneratorConfig, Graph};
+use fecim_ising::{CopProblem, GraphColoring, IsingError, Knapsack, MaxCut};
+
+use crate::annealer::CimAnnealer;
+use crate::baselines::DirectAnnealer;
+use crate::mesa_solver::MesaAnnealer;
+
+/// A serializable description of the combinatorial problem to solve.
+///
+/// Every variant carries only plain data, so a spec can be shipped over
+/// a wire and rebuilt with [`ProblemSpec::build`] on the other side.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProblemSpec {
+    /// An explicit weighted Max-Cut instance.
+    MaxCut {
+        /// Vertex count.
+        vertices: usize,
+        /// Weighted edges `(u, v, w)`.
+        edges: Vec<(usize, usize, f64)>,
+    },
+    /// A Gset-style generated Max-Cut instance (deterministic from the
+    /// generator's seed, so the spec stays tiny at any problem size).
+    Generated(GeneratorConfig),
+    /// A 0/1 knapsack instance.
+    Knapsack {
+        /// Item values.
+        values: Vec<u64>,
+        /// Item weights.
+        weights: Vec<u64>,
+        /// Weight capacity.
+        capacity: u64,
+    },
+    /// A graph `k`-coloring instance (objective: conflict count, lower
+    /// is better).
+    Coloring {
+        /// Vertex count.
+        vertices: usize,
+        /// Number of colors.
+        colors: usize,
+        /// Edges `(u, v)`.
+        edges: Vec<(usize, usize)>,
+    },
+}
+
+impl ProblemSpec {
+    /// The Max-Cut spec of a benchmark graph (explicit edge list, so the
+    /// rebuilt problem is bit-identical to `graph.to_max_cut()`).
+    pub fn from_graph(graph: &Graph) -> ProblemSpec {
+        ProblemSpec::MaxCut {
+            vertices: graph.vertex_count(),
+            edges: graph.edges().to_vec(),
+        }
+    }
+
+    /// Build the concrete [`CopProblem`] this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the problem type's own construction errors (index out
+    /// of range, self-loops, zero colors, …).
+    pub fn build(&self) -> Result<Box<dyn CopProblem + Send + Sync>, IsingError> {
+        Ok(match self {
+            ProblemSpec::MaxCut { vertices, edges } => {
+                Box::new(MaxCut::new(*vertices, edges.clone())?)
+            }
+            ProblemSpec::Generated(config) => Box::new(config.generate().to_max_cut()),
+            ProblemSpec::Knapsack {
+                values,
+                weights,
+                capacity,
+            } => Box::new(Knapsack::new(values.clone(), weights.clone(), *capacity)?),
+            ProblemSpec::Coloring {
+                vertices,
+                colors,
+                edges,
+            } => Box::new(GraphColoring::new(*vertices, *colors, edges.clone())?),
+        })
+    }
+}
+
+/// Which annealer architecture executes the request.
+///
+/// Each variant embeds the full solver configuration (iterations, flips,
+/// annealing factor, schedule knobs, …) — the same builder types the
+/// library API uses, which already serialize. Device-backend settings on
+/// the embedded solver are ignored: the request's [`BackendPlan`] is the
+/// single authority on where energy measurements come from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SolverSpec {
+    /// The proposed ferroelectric CiM in-situ annealer.
+    Cim(CimAnnealer),
+    /// A direct-E baseline (CiM/FPGA or CiM/ASIC exponential unit).
+    Direct(DirectAnnealer),
+    /// The MESA multi-epoch baseline (software schedule on direct-E
+    /// hardware; analytic backend only).
+    Mesa(MesaAnnealer),
+}
+
+impl SolverSpec {
+    /// Human-readable architecture name (mirrors
+    /// [`Solver::name`](crate::Solver::name)).
+    pub fn name(&self) -> &str {
+        match self {
+            SolverSpec::Cim(_) => "in-situ (this work)",
+            SolverSpec::Direct(s) => match s.kind() {
+                fecim_hwcost::AnnealerKind::CimFpga => "CiM/FPGA direct-E baseline",
+                _ => "CiM/ASIC direct-E baseline",
+            },
+            SolverSpec::Mesa(_) => "MESA multi-epoch baseline",
+        }
+    }
+}
+
+/// Where the annealer's energy measurements come from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendPlan {
+    /// Software-exact incremental-E evaluation (no simulated hardware in
+    /// the loop). This is the default, and the mode the quality
+    /// experiments of Figs. 8–10 use.
+    #[default]
+    Analytic,
+    /// Route every energy measurement through the simulated DG FeFET
+    /// crossbar: quantization, ADC conversion, activity statistics, and
+    /// — at [`Fidelity::DeviceAccurate`] — per-cell variation and read
+    /// noise (typical magnitudes unless the
+    /// [`Session`](crate::Session) carries an explicit
+    /// [`CrossbarConfig`](fecim_crossbar::CrossbarConfig)).
+    DeviceInLoop {
+        /// Analog-path fidelity of the simulated array.
+        fidelity: Fidelity,
+        /// Physical tile height for the tiled array composition
+        /// (`None` = one monolithic array; `Some(rows)` maps the
+        /// coupling matrix onto fixed-size tiles, which is how
+        /// beyond-array-size instances run device-in-the-loop).
+        tile_rows: Option<usize>,
+    },
+    /// Shared-grid batching: pack up to `instances` ensemble replicas
+    /// block-diagonally onto ONE physical tile grid and anneal them
+    /// concurrently on disjoint ADC banks (CiM in-situ solver only).
+    /// Ensembles larger than `instances` run as successive grids.
+    Batched {
+        /// Physical tile height of every replica's block.
+        tile_rows: usize,
+        /// Replicas sharing one grid.
+        instances: usize,
+    },
+}
+
+/// How many seeded trials the request runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunPlan {
+    /// One trial with the given seed.
+    Single {
+        /// RNG seed of the trial.
+        seed: u64,
+    },
+    /// A parallel ensemble: trial `i` receives seed `base_seed + i` and
+    /// results come back in trial order — bit-identical at any thread
+    /// count (the [`Ensemble`](fecim_anneal::Ensemble) contract).
+    Ensemble {
+        /// Number of trials.
+        trials: usize,
+        /// Seed of trial 0.
+        base_seed: u64,
+        /// Optional cap on concurrent worker threads (`None` = the rayon
+        /// pool's width). Never changes results, only wall-clock.
+        threads: Option<usize>,
+    },
+}
+
+impl Default for RunPlan {
+    fn default() -> RunPlan {
+        RunPlan::Single { seed: 0 }
+    }
+}
+
+impl RunPlan {
+    /// Number of trials this plan executes.
+    pub fn trials(&self) -> usize {
+        match *self {
+            RunPlan::Single { .. } => 1,
+            RunPlan::Ensemble { trials, .. } => trials,
+        }
+    }
+
+    /// Seed of trial 0.
+    pub fn base_seed(&self) -> u64 {
+        match *self {
+            RunPlan::Single { seed } => seed,
+            RunPlan::Ensemble { base_seed, .. } => base_seed,
+        }
+    }
+
+    /// The requested worker-thread cap, if any.
+    pub fn threads(&self) -> Option<usize> {
+        match *self {
+            RunPlan::Single { .. } => None,
+            RunPlan::Ensemble { threads, .. } => threads,
+        }
+    }
+
+    /// The equivalent [`Ensemble`](fecim_anneal::Ensemble) plan.
+    pub(crate) fn to_ensemble(self) -> fecim_anneal::Ensemble {
+        let ensemble = fecim_anneal::Ensemble::new(self.trials(), self.base_seed());
+        match self.threads() {
+            Some(cap) => ensemble.with_max_threads(cap),
+            None => ensemble,
+        }
+    }
+}
+
+/// One self-contained solve job: problem + solver + backend + run plan,
+/// optionally with a reference objective for normalized scoring.
+///
+/// Requests serialize to JSON and back unchanged (see
+/// [`SolveRequest::to_json`]), and a deserialized request produces
+/// bit-identical Ideal-mode results — the contract a queued or
+/// network-facing deployment builds on.
+///
+/// ```
+/// use fecim::{CimAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolverSpec};
+///
+/// let request = SolveRequest::new(
+///     ProblemSpec::MaxCut {
+///         vertices: 8,
+///         edges: (0..8).map(|i| (i, (i + 1) % 8, 1.0)).collect(),
+///     },
+///     SolverSpec::Cim(CimAnnealer::new(1500).with_flips(1)),
+/// )
+/// .with_run(RunPlan::Single { seed: 7 });
+/// let wire = request.to_json()?;
+/// let response = Session::new().run(&SolveRequest::from_json(&wire)?)?;
+/// assert!(response.summary.best_objective.unwrap() >= 6.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveRequest {
+    /// The problem to solve.
+    pub problem: ProblemSpec,
+    /// The annealer architecture and its configuration.
+    pub solver: SolverSpec,
+    /// Where energy measurements come from (default
+    /// [`BackendPlan::Analytic`]).
+    pub backend: BackendPlan,
+    /// How many seeded trials to run (default one trial, seed 0).
+    pub run: RunPlan,
+    /// Reference objective for normalized scoring: when set, the
+    /// response reports `objective / reference` per trial (the Fig. 10 /
+    /// Table 1 record), alongside the first target-hit iteration.
+    pub reference: Option<f64>,
+}
+
+impl SolveRequest {
+    /// A request with the default backend ([`BackendPlan::Analytic`])
+    /// and run plan (one trial, seed 0).
+    pub fn new(problem: ProblemSpec, solver: SolverSpec) -> SolveRequest {
+        SolveRequest {
+            problem,
+            solver,
+            backend: BackendPlan::default(),
+            run: RunPlan::default(),
+            reference: None,
+        }
+    }
+
+    /// Select the backend plan.
+    pub fn with_backend(mut self, backend: BackendPlan) -> SolveRequest {
+        self.backend = backend;
+        self
+    }
+
+    /// Select the run plan.
+    pub fn with_run(mut self, run: RunPlan) -> SolveRequest {
+        self.run = run;
+        self
+    }
+
+    /// Score trials as `objective / reference` in the response.
+    pub fn with_reference(mut self, reference: f64) -> SolveRequest {
+        self.reference = Some(reference);
+        self
+    }
+
+    /// Serialize the request to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error (practically unreachable for
+    /// these plain-data types).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Rebuild a request from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed or mistyped JSON.
+    pub fn from_json(json: &str) -> Result<SolveRequest, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn problem_spec_from_graph_matches_to_max_cut() {
+        let graph = GeneratorConfig::new(24, 7).generate();
+        let spec = ProblemSpec::from_graph(&graph);
+        let built = spec.build().expect("valid graph builds");
+        let direct = graph.to_max_cut();
+        let model_a = built.to_ising().unwrap();
+        let model_b = fecim_ising::CopProblem::to_ising(&direct).unwrap();
+        assert_eq!(model_a.dimension(), model_b.dimension());
+        assert_eq!(built.name(), direct.name());
+    }
+
+    #[test]
+    fn generated_spec_is_deterministic() {
+        let config = GeneratorConfig::new(16, 99);
+        let a = ProblemSpec::Generated(config).build().unwrap();
+        let b = ProblemSpec::Generated(config).build().unwrap();
+        assert_eq!(
+            a.to_ising().unwrap().dimension(),
+            b.to_ising().unwrap().dimension()
+        );
+    }
+
+    #[test]
+    fn invalid_specs_surface_construction_errors() {
+        let bad_edge = ProblemSpec::MaxCut {
+            vertices: 2,
+            edges: vec![(0, 5, 1.0)],
+        };
+        assert!(bad_edge.build().is_err());
+        let zero_colors = ProblemSpec::Coloring {
+            vertices: 3,
+            colors: 0,
+            edges: vec![(0, 1)],
+        };
+        assert!(zero_colors.build().is_err());
+    }
+
+    #[test]
+    fn run_plan_accessors() {
+        let single = RunPlan::Single { seed: 9 };
+        assert_eq!(single.trials(), 1);
+        assert_eq!(single.base_seed(), 9);
+        assert_eq!(single.threads(), None);
+        let ens = RunPlan::Ensemble {
+            trials: 12,
+            base_seed: 40,
+            threads: Some(2),
+        };
+        assert_eq!(ens.trials(), 12);
+        assert_eq!(ens.base_seed(), 40);
+        assert_eq!(ens.threads(), Some(2));
+        assert_eq!(RunPlan::default(), RunPlan::Single { seed: 0 });
+        assert_eq!(BackendPlan::default(), BackendPlan::Analytic);
+    }
+
+    #[test]
+    fn request_json_roundtrip_is_identity() {
+        let request = SolveRequest::new(
+            ProblemSpec::Knapsack {
+                values: vec![3, 5, 8],
+                weights: vec![1, 2, 3],
+                capacity: 4,
+            },
+            SolverSpec::Cim(CimAnnealer::new(700).with_flips(1)),
+        )
+        .with_backend(BackendPlan::DeviceInLoop {
+            fidelity: Fidelity::Ideal,
+            tile_rows: Some(64),
+        })
+        .with_run(RunPlan::Ensemble {
+            trials: 4,
+            base_seed: 11,
+            threads: None,
+        })
+        .with_reference(12.0);
+        let wire = request.to_json().expect("serializes");
+        let back = SolveRequest::from_json(&wire).expect("parses");
+        assert_eq!(back, request);
+    }
+
+    #[test]
+    fn solver_spec_names_match_solver_trait() {
+        use crate::Solver;
+        let cim = CimAnnealer::new(10);
+        assert_eq!(SolverSpec::Cim(cim.clone()).name(), Solver::name(&cim));
+        let fpga = DirectAnnealer::cim_fpga(10);
+        assert_eq!(SolverSpec::Direct(fpga.clone()).name(), Solver::name(&fpga));
+        let mesa = MesaAnnealer::new(10);
+        assert_eq!(SolverSpec::Mesa(mesa).name(), Solver::name(&mesa));
+    }
+}

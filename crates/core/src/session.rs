@@ -1,0 +1,652 @@
+//! The [`Session`] facade: one execution entry point for every
+//! [`SolveRequest`], replacing the accreted set of free functions
+//! (`solve`, `normalized_ensemble`, `solve_batched_ensemble`) with a
+//! single `run(request) -> SolveResponse` surface.
+//!
+//! A session routes the request's typed [`BackendPlan`] to the existing
+//! machinery:
+//!
+//! * [`BackendPlan::Analytic`] — software-exact incremental-E solves
+//!   through the [`Solver`] pipeline;
+//! * [`BackendPlan::DeviceInLoop`] — the same pipeline with the
+//!   (optionally tiled) simulated crossbar in the measurement loop;
+//! * [`BackendPlan::Batched`] — shared-grid batched ensembles on one
+//!   physical tile grid.
+//!
+//! In Ideal fidelity every route is bit-identical to the legacy entry
+//! point it subsumes — pinned by the `session_api` equivalence tests.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use fecim_crossbar::{CrossbarConfig, Fidelity};
+use fecim_device::VariationConfig;
+use fecim_ising::{CopProblem, IsingError, ObjectiveSense};
+
+use crate::annealer::SolveReport;
+use crate::batch::{batched_ensemble, BatchGridSummary};
+use crate::request::{BackendPlan, SolveRequest, SolverSpec};
+use crate::solver::Solver;
+
+/// Error raised while validating or executing a [`SolveRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The request combines options the machinery cannot serve (e.g. a
+    /// batched backend with a baseline solver, or zero trials).
+    InvalidRequest(String),
+    /// The problem spec failed to build or encode into Ising form.
+    Problem(IsingError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            SessionError::Problem(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::InvalidRequest(_) => None,
+            SessionError::Problem(e) => Some(e),
+        }
+    }
+}
+
+impl From<IsingError> for SessionError {
+    fn from(e: IsingError) -> SessionError {
+        SessionError::Problem(e)
+    }
+}
+
+impl SessionError {
+    /// Collapse into the workspace's [`IsingError`] (request-shape
+    /// errors become [`IsingError::InvalidProblem`]) — for callers whose
+    /// signatures predate the job API.
+    pub fn into_ising(self) -> IsingError {
+        match self {
+            SessionError::InvalidRequest(msg) => IsingError::InvalidProblem(msg),
+            SessionError::Problem(e) => e,
+        }
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> SessionError {
+    SessionError::InvalidRequest(msg.into())
+}
+
+/// Normalized score of one trial (present when the request carries a
+/// `reference` objective).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedTrial {
+    /// Native objective divided by the request's reference.
+    pub objective: f64,
+    /// First iteration whose best energy reached the solver's configured
+    /// target (`None` when the target was never hit or none was set) —
+    /// the Table 1 time-to-solution numerator.
+    pub first_target_hit: Option<usize>,
+}
+
+/// Aggregate view of a finished request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Trials executed.
+    pub trials: usize,
+    /// Trials whose best solution satisfied the problem's constraints.
+    pub feasible_trials: usize,
+    /// Best exact Ising energy over all trials (lower is better).
+    pub best_energy: f64,
+    /// Best native objective over all trials, honoring the problem's
+    /// objective sense (`None` when solving a raw model).
+    pub best_objective: Option<f64>,
+    /// Mean native objective over all trials.
+    pub mean_objective: Option<f64>,
+    /// Total simulated hardware energy across trials, joules.
+    pub total_energy: f64,
+    /// Summed per-trial hardware latency, seconds (the serial-service
+    /// time; batched grids additionally report their concurrent
+    /// `batch_time` per [`BatchGridSummary`]).
+    pub total_time: f64,
+}
+
+/// Outcome of [`Session::run`]: per-trial reports (with hardware
+/// energy/time attribution and, on device backends, measured
+/// [`ActivityStats`](fecim_crossbar::ActivityStats)), optional
+/// normalized scores, shared-grid summaries, and the aggregate summary.
+///
+/// Fully serde-serializable, like the request that produced it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveResponse {
+    /// One report per trial, in trial order.
+    pub reports: Vec<SolveReport>,
+    /// Per-trial normalized scores (set when the request has a
+    /// `reference`).
+    pub normalized: Option<Vec<NormalizedTrial>>,
+    /// Shared-grid summaries, one per physical grid the batched backend
+    /// instantiated (empty for unbatched backends).
+    pub grids: Vec<BatchGridSummary>,
+    /// Aggregate summary.
+    pub summary: RunSummary,
+}
+
+impl SolveResponse {
+    /// The legacy `(normalized objective, first target hit)` pairs of
+    /// [`normalized_ensemble`](crate::normalized_ensemble), when the
+    /// request carried a reference.
+    pub fn normalized_pairs(&self) -> Option<Vec<(f64, Option<usize>)>> {
+        self.normalized.as_ref().map(|trials| {
+            trials
+                .iter()
+                .map(|t| (t.objective, t.first_target_hit))
+                .collect()
+        })
+    }
+
+    /// Just the per-trial normalized objectives (the success-rate /
+    /// mean-cut input of the sweeps), when the request carried a
+    /// reference.
+    pub fn normalized_objectives(&self) -> Option<Vec<f64>> {
+        self.normalized
+            .as_ref()
+            .map(|trials| trials.iter().map(|t| t.objective).collect())
+    }
+}
+
+/// Executes [`SolveRequest`]s.
+///
+/// A session is cheap to construct and stateless between runs; it exists
+/// so deployment-level configuration (today: an overriding
+/// [`CrossbarConfig`] for device backends) has a home that is not the
+/// serialized request.
+///
+/// ```
+/// use fecim::{CimAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolverSpec};
+///
+/// let request = SolveRequest::new(
+///     ProblemSpec::MaxCut {
+///         vertices: 8,
+///         edges: (0..8).map(|i| (i, (i + 1) % 8, 1.0)).collect(),
+///     },
+///     SolverSpec::Cim(CimAnnealer::new(1500).with_flips(1)),
+/// )
+/// .with_run(RunPlan::Single { seed: 7 });
+/// let response = Session::new().run(&request)?;
+/// assert!(response.summary.best_objective.unwrap() >= 6.0);
+/// # Ok::<(), fecim::SessionError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    crossbar: Option<CrossbarConfig>,
+}
+
+impl Session {
+    /// A session with default device-backend configuration: the paper's
+    /// crossbar at the request's fidelity, with typical variation in
+    /// [`Fidelity::DeviceAccurate`] mode.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Override the crossbar configuration device backends program
+    /// (quantization/ADC bits, variation, wire technology, …). For
+    /// [`BackendPlan::DeviceInLoop`] the plan's fidelity still wins over
+    /// `config.fidelity`; a [`BackendPlan::Batched`] grid programs this
+    /// config verbatim (including its fidelity — note that in
+    /// non-`Ideal` fidelity each chunked grid draws its own variation
+    /// streams, so batched results then depend on `instances`).
+    pub fn with_crossbar(mut self, config: CrossbarConfig) -> Session {
+        self.crossbar = Some(config);
+        self
+    }
+
+    /// Execute a request.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::InvalidRequest`] when the request combines
+    /// unsupported options (batched backend with a baseline solver, a
+    /// device backend with MESA, zero trials/tiles/instances);
+    /// [`SessionError::Problem`] when the problem spec fails to build or
+    /// encode.
+    pub fn run(&self, request: &SolveRequest) -> Result<SolveResponse, SessionError> {
+        if request.run.trials() == 0 {
+            return Err(invalid("run plan must schedule at least one trial"));
+        }
+        if request.run.threads() == Some(0) {
+            return Err(invalid("thread cap must be at least one worker"));
+        }
+        let problem = request.problem.build()?;
+        let (reports, grids) = match request.backend {
+            BackendPlan::Batched {
+                tile_rows,
+                instances,
+            } => self.run_batched(request, problem.as_ref(), tile_rows, instances)?,
+            _ => {
+                // Encoding is deterministic: validate once before fanning
+                // out so a bad instance fails fast instead of once per
+                // trial (a single trial — and the batched route, which
+                // encodes up front anyway — surfaces the same error
+                // without this extra encode).
+                if request.run.trials() > 1 {
+                    problem.to_ising()?;
+                }
+                (self.run_solver(request, problem.as_ref())?, Vec::new())
+            }
+        };
+        let normalized = normalized_trials(request, &reports)?;
+        let summary = summarize(problem.objective_sense(), &reports);
+        Ok(SolveResponse {
+            reports,
+            normalized,
+            grids,
+            summary,
+        })
+    }
+
+    /// The analytic / device-in-the-loop route: one configured solver,
+    /// trials fanned out by the ensemble runner.
+    fn run_solver(
+        &self,
+        request: &SolveRequest,
+        problem: &(dyn CopProblem + Sync),
+    ) -> Result<Vec<SolveReport>, SessionError> {
+        let solver = self.build_solver(&request.solver, request.backend)?;
+        request
+            .run
+            .to_ensemble()
+            .run(|seed| solver.solve(problem, seed))
+            .into_iter()
+            .collect::<Result<Vec<_>, IsingError>>()
+            .map_err(SessionError::Problem)
+    }
+
+    /// The shared-grid route: replicas packed `instances` at a time onto
+    /// successive physical grids.
+    fn run_batched(
+        &self,
+        request: &SolveRequest,
+        problem: &(dyn CopProblem + Sync),
+        tile_rows: usize,
+        instances: usize,
+    ) -> Result<(Vec<SolveReport>, Vec<BatchGridSummary>), SessionError> {
+        let SolverSpec::Cim(solver) = &request.solver else {
+            return Err(invalid(
+                "the batched backend supports only the CiM in-situ solver",
+            ));
+        };
+        if tile_rows == 0 {
+            return Err(invalid("batched backend needs tile_rows > 0"));
+        }
+        if instances == 0 {
+            return Err(invalid("batched backend needs instances > 0"));
+        }
+        // The shared grid programs the session's crossbar override
+        // verbatim (paper defaults otherwise): the Batched plan carries
+        // no fidelity of its own, and a non-Ideal override makes chunk
+        // boundaries observable (each grid draws its own variation
+        // streams) — see `Session::with_crossbar`.
+        let config = self
+            .crossbar
+            .clone()
+            .unwrap_or_else(CrossbarConfig::paper_defaults);
+        let trials = request.run.trials();
+        let base_seed = request.run.base_seed();
+        let mut reports = Vec::with_capacity(trials);
+        let mut grids = Vec::new();
+        let mut start = 0usize;
+        while start < trials {
+            let width = instances.min(trials - start);
+            let mut ensemble =
+                fecim_anneal::Ensemble::new(width, base_seed.wrapping_add(start as u64));
+            if let Some(cap) = request.run.threads() {
+                ensemble = ensemble.with_max_threads(cap);
+            }
+            let outcome = batched_ensemble(solver, problem, config.clone(), tile_rows, &ensemble)?;
+            reports.extend(outcome.reports);
+            grids.push(outcome.grid);
+            start += width;
+        }
+        Ok((reports, grids))
+    }
+
+    /// Configure the spec's solver for the plan's backend. The plan is
+    /// the single authority: any device knobs already on the embedded
+    /// solver are cleared first.
+    fn build_solver(
+        &self,
+        spec: &SolverSpec,
+        plan: BackendPlan,
+    ) -> Result<Box<dyn Solver>, SessionError> {
+        match spec {
+            SolverSpec::Cim(solver) => self.plan_device_solver(solver.clone(), plan),
+            SolverSpec::Direct(solver) => self.plan_device_solver(solver.clone(), plan),
+            SolverSpec::Mesa(solver) => match plan {
+                BackendPlan::Analytic => Ok(Box::new(*solver)),
+                _ => Err(invalid(
+                    "the MESA baseline runs only on the analytic backend",
+                )),
+            },
+        }
+    }
+
+    /// The shared Analytic/DeviceInLoop wiring for both device-capable
+    /// architectures.
+    fn plan_device_solver<S: DeviceBackendKnobs>(
+        &self,
+        solver: S,
+        plan: BackendPlan,
+    ) -> Result<Box<dyn Solver>, SessionError> {
+        let solver = solver.analytic();
+        match plan {
+            BackendPlan::Analytic => Ok(Box::new(solver)),
+            BackendPlan::DeviceInLoop {
+                fidelity,
+                tile_rows,
+            } => {
+                let config = self.crossbar_for(fidelity);
+                Ok(match checked_tile_rows(tile_rows)? {
+                    None => Box::new(solver.device_in_loop(config)),
+                    Some(rows) => Box::new(solver.tiled_device_in_loop(config, rows)),
+                })
+            }
+            BackendPlan::Batched { .. } => Err(invalid(
+                "batched requests are executed by the shared-grid route, not a per-trial solver",
+            )),
+        }
+    }
+
+    /// The crossbar configuration for a device-in-the-loop plan: the
+    /// session override when present (fidelity still forced to the
+    /// plan's), else the paper defaults with typical variation in
+    /// device-accurate mode.
+    fn crossbar_for(&self, fidelity: Fidelity) -> CrossbarConfig {
+        let mut config = self.crossbar.clone().unwrap_or_else(|| {
+            let mut config = CrossbarConfig::paper_defaults();
+            if fidelity == Fidelity::DeviceAccurate {
+                config.variation = VariationConfig::typical();
+            }
+            config
+        });
+        config.fidelity = fidelity;
+        config
+    }
+}
+
+/// The device-backend knobs shared by the two device-capable annealers —
+/// lets [`Session`] wire either architecture through one code path.
+trait DeviceBackendKnobs: Solver + Sized + 'static {
+    /// Strip device knobs back to the software-exact defaults.
+    fn analytic(self) -> Self;
+    /// Route measurements through the monolithic simulated crossbar.
+    fn device_in_loop(self, config: CrossbarConfig) -> Self;
+    /// Route measurements through the tiled array composition.
+    fn tiled_device_in_loop(self, config: CrossbarConfig, tile_rows: usize) -> Self;
+}
+
+impl DeviceBackendKnobs for crate::CimAnnealer {
+    fn analytic(self) -> Self {
+        self.with_analytic_backend()
+    }
+    fn device_in_loop(self, config: CrossbarConfig) -> Self {
+        self.with_device_in_loop(config)
+    }
+    fn tiled_device_in_loop(self, config: CrossbarConfig, tile_rows: usize) -> Self {
+        self.with_tiled_device_in_loop(config, tile_rows)
+    }
+}
+
+impl DeviceBackendKnobs for crate::DirectAnnealer {
+    fn analytic(self) -> Self {
+        self.with_analytic_backend()
+    }
+    fn device_in_loop(self, config: CrossbarConfig) -> Self {
+        self.with_device_in_loop(config)
+    }
+    fn tiled_device_in_loop(self, config: CrossbarConfig, tile_rows: usize) -> Self {
+        self.with_tiled_device_in_loop(config, tile_rows)
+    }
+}
+
+fn checked_tile_rows(tile_rows: Option<usize>) -> Result<Option<usize>, SessionError> {
+    match tile_rows {
+        Some(0) => Err(invalid("device backend needs tile_rows > 0")),
+        other => Ok(other),
+    }
+}
+
+fn normalized_trials(
+    request: &SolveRequest,
+    reports: &[SolveReport],
+) -> Result<Option<Vec<NormalizedTrial>>, SessionError> {
+    let Some(reference) = request.reference else {
+        return Ok(None);
+    };
+    reports
+        .iter()
+        .map(|report| {
+            let objective = report.objective.ok_or_else(|| {
+                invalid(format!(
+                    "solver `{}` returned no native objective to normalize",
+                    request.solver.name()
+                ))
+            })?;
+            Ok(NormalizedTrial {
+                objective: objective / reference,
+                first_target_hit: report.run.first_target_hit,
+            })
+        })
+        .collect::<Result<Vec<_>, SessionError>>()
+        .map(Some)
+}
+
+fn summarize(sense: ObjectiveSense, reports: &[SolveReport]) -> RunSummary {
+    let better = |a: f64, b: f64| match sense {
+        ObjectiveSense::Maximize => a.max(b),
+        ObjectiveSense::Minimize => a.min(b),
+    };
+    let mut best_objective: Option<f64> = None;
+    let mut objective_sum = 0.0f64;
+    let mut scored = 0usize;
+    let mut best_energy = f64::INFINITY;
+    let mut feasible_trials = 0usize;
+    let mut total_energy = 0.0f64;
+    let mut total_time = 0.0f64;
+    for report in reports {
+        if let Some(objective) = report.objective {
+            best_objective = Some(match best_objective {
+                Some(best) => better(best, objective),
+                None => objective,
+            });
+            objective_sum += objective;
+            scored += 1;
+        }
+        best_energy = best_energy.min(report.best_energy);
+        feasible_trials += usize::from(report.feasible);
+        total_energy += report.energy.total();
+        total_time += report.time.total();
+    }
+    RunSummary {
+        trials: reports.len(),
+        feasible_trials,
+        best_energy,
+        best_objective,
+        mean_objective: (scored > 0).then(|| objective_sum / scored as f64),
+        total_energy,
+        total_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ProblemSpec, RunPlan};
+    use crate::{CimAnnealer, DirectAnnealer, MesaAnnealer};
+
+    fn ring_spec(n: usize) -> ProblemSpec {
+        ProblemSpec::MaxCut {
+            vertices: n,
+            edges: (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect(),
+        }
+    }
+
+    fn cim_request(n: usize, iterations: usize) -> SolveRequest {
+        SolveRequest::new(
+            ring_spec(n),
+            SolverSpec::Cim(CimAnnealer::new(iterations).with_flips(1)),
+        )
+    }
+
+    #[test]
+    fn single_run_matches_legacy_solve() {
+        let request = cim_request(12, 400).with_run(RunPlan::Single { seed: 5 });
+        let response = Session::new().run(&request).expect("ring encodes");
+        assert_eq!(response.reports.len(), 1);
+        let ring = fecim_ising::MaxCut::new(12, (0..12).map(|i| (i, (i + 1) % 12, 1.0)).collect())
+            .unwrap();
+        let legacy = CimAnnealer::new(400).with_flips(1).solve(&ring, 5).unwrap();
+        assert_eq!(response.reports[0].best_energy, legacy.best_energy);
+        assert_eq!(response.reports[0].best_spins, legacy.best_spins);
+        assert_eq!(response.summary.trials, 1);
+        assert_eq!(response.summary.best_energy, legacy.best_energy);
+        assert!(response.grids.is_empty());
+        assert!(response.normalized.is_none());
+    }
+
+    #[test]
+    fn ensemble_runs_in_trial_order_with_reference_scoring() {
+        let request = cim_request(10, 200)
+            .with_run(RunPlan::Ensemble {
+                trials: 4,
+                base_seed: 21,
+                threads: Some(1),
+            })
+            .with_reference(10.0);
+        let response = Session::new().run(&request).expect("ring encodes");
+        assert_eq!(response.reports.len(), 4);
+        let normalized = response.normalized.as_ref().expect("reference set");
+        for (report, trial) in response.reports.iter().zip(normalized) {
+            assert_eq!(trial.objective, report.objective.unwrap() / 10.0);
+        }
+        let pairs = response.normalized_pairs().unwrap();
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn backend_plan_overrides_solver_device_knobs() {
+        // A solver that *carries* device-in-loop settings, run under an
+        // Analytic plan: the plan wins, so results match the plain solver.
+        let configured = CimAnnealer::new(150)
+            .with_flips(1)
+            .with_tiled_device_in_loop(CrossbarConfig::paper_defaults(), 4);
+        let request = SolveRequest::new(ring_spec(10), SolverSpec::Cim(configured))
+            .with_run(RunPlan::Single { seed: 3 });
+        let response = Session::new().run(&request).unwrap();
+        assert!(
+            response.reports[0].run.activity.is_none(),
+            "analytic plan must strip the device backend"
+        );
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        let mesa = SolveRequest::new(ring_spec(8), SolverSpec::Mesa(MesaAnnealer::new(50)))
+            .with_backend(BackendPlan::DeviceInLoop {
+                fidelity: Fidelity::Ideal,
+                tile_rows: None,
+            });
+        assert!(matches!(
+            Session::new().run(&mesa),
+            Err(SessionError::InvalidRequest(_))
+        ));
+        let direct_batched = SolveRequest::new(
+            ring_spec(8),
+            SolverSpec::Direct(DirectAnnealer::cim_asic(50)),
+        )
+        .with_backend(BackendPlan::Batched {
+            tile_rows: 4,
+            instances: 2,
+        });
+        assert!(matches!(
+            Session::new().run(&direct_batched),
+            Err(SessionError::InvalidRequest(_))
+        ));
+        let zero_trials = cim_request(8, 50).with_run(RunPlan::Ensemble {
+            trials: 0,
+            base_seed: 0,
+            threads: None,
+        });
+        assert!(matches!(
+            Session::new().run(&zero_trials),
+            Err(SessionError::InvalidRequest(_))
+        ));
+        // A wire-deserializable thread cap of zero must error, not panic
+        // in the ensemble runner.
+        let zero_threads = cim_request(8, 50).with_run(RunPlan::Ensemble {
+            trials: 2,
+            base_seed: 0,
+            threads: Some(0),
+        });
+        assert!(matches!(
+            Session::new().run(&zero_threads),
+            Err(SessionError::InvalidRequest(_))
+        ));
+        let zero_tiles = cim_request(8, 50).with_backend(BackendPlan::Batched {
+            tile_rows: 0,
+            instances: 2,
+        });
+        assert!(matches!(
+            Session::new().run(&zero_tiles),
+            Err(SessionError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn batched_backend_chunks_large_ensembles_into_grids() {
+        let request = cim_request(16, 60)
+            .with_backend(BackendPlan::Batched {
+                tile_rows: 4,
+                instances: 2,
+            })
+            .with_run(RunPlan::Ensemble {
+                trials: 5,
+                base_seed: 7,
+                threads: None,
+            });
+        let response = Session::new().run(&request).expect("ring encodes");
+        assert_eq!(response.reports.len(), 5);
+        assert_eq!(response.grids.len(), 3, "2 + 2 + 1 replicas");
+        assert_eq!(response.grids[0].instances, 2);
+        assert_eq!(response.grids[2].instances, 1);
+        // Chunked seeds stay aligned with the flat trial numbering.
+        let flat = cim_request(16, 60)
+            .with_backend(BackendPlan::Batched {
+                tile_rows: 4,
+                instances: 5,
+            })
+            .with_run(RunPlan::Ensemble {
+                trials: 5,
+                base_seed: 7,
+                threads: None,
+            });
+        let flat_response = Session::new().run(&flat).unwrap();
+        for (a, b) in response.reports.iter().zip(&flat_response.reports) {
+            assert_eq!(a.best_energy, b.best_energy);
+            assert_eq!(a.best_spins, b.best_spins);
+        }
+    }
+
+    #[test]
+    fn errors_format_and_convert() {
+        let err = invalid("zero trials");
+        assert_eq!(err.to_string(), "invalid request: zero trials");
+        assert!(matches!(err.into_ising(), IsingError::InvalidProblem(_)));
+        let problem: SessionError = IsingError::InvalidProblem("x".into()).into();
+        assert!(problem.to_string().contains("invalid problem"));
+        use std::error::Error;
+        assert!(problem.source().is_some());
+    }
+}

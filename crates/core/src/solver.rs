@@ -34,6 +34,13 @@ use crate::annealer::SolveReport;
 /// streams of the same user seed.
 pub(crate) const INIT_SEED_SALT: u64 = 0xA5A5_5A5A;
 
+/// The paper's default coupling quantization (Fig. 6d) — the value a
+/// solver prices when no device backend overrides it.
+pub(crate) const DEFAULT_QUANT_BITS: u8 = 4;
+
+/// The paper's default ADC column multiplexing ratio.
+pub(crate) const DEFAULT_MUX_RATIO: usize = 8;
+
 /// A combinatorial-optimization solver with hardware-cost accounting —
 /// the common face of the paper's three annealer architectures.
 ///
@@ -138,7 +145,24 @@ pub trait Solver: Send + Sync {
 /// a solve ever came back without a native objective — impossible for
 /// the COP types in this workspace, but a solver bug must surface as an
 /// error, not a crash inside a worker thread).
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `SolveRequest` with a `reference` and an ensemble `RunPlan`, run it through \
+            `fecim::Session::run`, and read `SolveResponse::normalized` (or `normalized_pairs()`)"
+)]
 pub fn normalized_ensemble(
+    solver: &dyn Solver,
+    problem: &(dyn CopProblem + Sync),
+    reference: f64,
+    ensemble: &Ensemble,
+) -> Result<Vec<(f64, Option<usize>)>, IsingError> {
+    normalized_ensemble_impl(solver, problem, reference, ensemble)
+}
+
+/// The machinery behind the deprecated [`normalized_ensemble`] wrapper;
+/// in-crate callers (the [`Session`](crate::Session) routes and legacy
+/// tests) use this directly.
+pub(crate) fn normalized_ensemble_impl(
     solver: &dyn Solver,
     problem: &(dyn CopProblem + Sync),
     reference: f64,
@@ -249,8 +273,9 @@ mod tests {
             let err = solver.solve(&problem, 1).expect_err("must not panic");
             assert!(matches!(err, IsingError::InvalidProblem(_)), "{err}");
         }
-        let err = normalized_ensemble(&CimAnnealer::new(50), &problem, 1.0, &Ensemble::new(4, 9))
-            .expect_err("ensemble must propagate, not panic");
+        let err =
+            normalized_ensemble_impl(&CimAnnealer::new(50), &problem, 1.0, &Ensemble::new(4, 9))
+                .expect_err("ensemble must propagate, not panic");
         assert!(matches!(err, IsingError::InvalidProblem(_)));
     }
 

@@ -133,7 +133,7 @@ pub enum Fidelity {
 pub struct CrossbarConfig {
     /// Quantization bits `k` per coupling magnitude (paper Fig. 6d).
     pub quant_bits: u8,
-    /// ADC resolution in bits (paper ref [36]: 13-bit SAR).
+    /// ADC resolution in bits (paper ref \[36\]: 13-bit SAR).
     pub adc_bits: u8,
     /// Column groups per ADC (paper: 8-to-1 multiplexed ADCs).
     pub mux_ratio: usize,

@@ -37,7 +37,7 @@ pub struct PreisachParams {
 }
 
 impl PreisachParams {
-    /// Values representative of the 10 nm HZO FeFET of paper ref [35]:
+    /// Values representative of the 10 nm HZO FeFET of paper ref \[35\]:
     /// `V_c ≈ 1.5 V`, saturation at ±3 V, 1 V memory window centred at
     /// 0.5 V.
     pub fn paper_reference() -> PreisachParams {

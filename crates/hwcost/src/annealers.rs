@@ -20,7 +20,7 @@ pub enum AnnealerKind {
     /// fractional factor, no `eˣ` unit).
     InSitu,
     /// Baseline: FeFET CiM direct-E annealer with an FPGA `eˣ` unit
-    /// (refs [7] + [18]).
+    /// (refs \[7\] + \[18\]).
     CimFpga,
     /// Baseline: FeFET CiM direct-E annealer with an ASIC `eˣ` unit.
     CimAsic,

@@ -18,7 +18,7 @@ pub struct AreaModel {
     /// One DG FeFET cell, µm² (6F² class for a 1T cell with BG contact
     /// sharing).
     pub cell: f64,
-    /// One SAR ADC instance, µm² (ref [36]: 0.005 mm² at 28 nm, scaled).
+    /// One SAR ADC instance, µm² (ref \[36\]: 0.005 mm² at 28 nm, scaled).
     pub adc: f64,
     /// One column mux (8:1) per ADC, µm².
     pub mux: f64,
@@ -28,7 +28,7 @@ pub struct AreaModel {
     pub driver_per_line: f64,
     /// The back-gate DAC (one per array), µm².
     pub bg_dac: f64,
-    /// The `eˣ` ASIC block of ref [18], µm² (FPGA variant is off-chip).
+    /// The `eˣ` ASIC block of ref \[18\], µm² (FPGA variant is off-chip).
     pub exp_asic: f64,
     /// Annealing control logic, µm².
     pub control: f64,

@@ -40,7 +40,7 @@ impl EventCost {
 }
 
 /// Which exponential-function hardware the baseline annealer uses
-/// (paper ref [18] provides both variants).
+/// (paper ref \[18\] provides both variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ExpUnit {
     /// FPGA soft implementation — energy-hungry.
@@ -54,9 +54,9 @@ pub enum ExpUnit {
 pub struct CostModel {
     /// One SAR ADC conversion.
     pub adc_conversion: EventCost,
-    /// One `eˣ` evaluation on the FPGA implementation of ref [18].
+    /// One `eˣ` evaluation on the FPGA implementation of ref \[18\].
     pub exp_fpga: EventCost,
-    /// One `eˣ` evaluation on the ASIC implementation of ref [18].
+    /// One `eˣ` evaluation on the ASIC implementation of ref \[18\].
     pub exp_asic: EventCost,
     /// Toggling one row (FG) line.
     pub row_toggle: EventCost,

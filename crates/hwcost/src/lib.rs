@@ -2,8 +2,8 @@
 //!
 //! Hardware cost model of the three annealer architectures compared in the
 //! paper (Qian et al., DAC 2025, Sec. 4): a 22 nm component cost database
-//! (ADC of ref [36], `eˣ` units of ref [18], DESTINY-style wires of
-//! ref [37]), energy/time accounting over crossbar activity counts, and
+//! (ADC of ref \[36\], `eˣ` units of ref \[18\], DESTINY-style wires of
+//! ref \[37\]), energy/time accounting over crossbar activity counts, and
 //! analytic per-iteration activity models for paper-scale runs.
 //!
 //! ```

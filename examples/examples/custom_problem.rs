@@ -1,18 +1,29 @@
 //! Beyond Max-Cut: the paper's Table 1 lists knapsack and graph coloring
-//! as COP classes handled by CiM annealers. This example encodes both into
-//! Ising form and solves them with the in-situ annealer.
+//! as COP classes handled by CiM annealers. This example ships both as
+//! `ProblemSpec`s through the job API and decodes the returned spins
+//! with the native problem types.
 //!
 //! Run with: `cargo run -p fecim-examples --example custom_problem`
 
-use fecim::CimAnnealer;
+use fecim::{CimAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolverSpec};
 use fecim_ising::{CopProblem, GraphColoring, Knapsack};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let session = Session::new();
+    let solver = SolverSpec::Cim(CimAnnealer::new(4000).with_flips(1));
+
     // --- 0/1 knapsack -----------------------------------------------------
-    let values = vec![15, 10, 9, 5, 12, 7];
-    let weights = vec![1, 5, 3, 4, 2, 3];
-    let capacity = 10;
-    let knapsack = Knapsack::new(values.clone(), weights.clone(), capacity)?;
+    let values = vec![15u64, 10, 9, 5, 12, 7];
+    let weights = vec![1u64, 5, 3, 4, 2, 3];
+    let capacity = 10u64;
+    // The same data builds both the wire-format spec and the local
+    // problem used to decode the solution spins.
+    let spec = ProblemSpec::Knapsack {
+        values: values.clone(),
+        weights: weights.clone(),
+        capacity,
+    };
+    let knapsack = Knapsack::new(values, weights, capacity)?;
     println!(
         "knapsack: {} items, capacity {}, DP optimum = {}",
         knapsack.item_count(),
@@ -20,8 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         knapsack.optimal_value()
     );
 
-    let solver = CimAnnealer::new(4000).with_flips(1);
-    let report = solver.solve(&knapsack, 3)?;
+    let response = session
+        .run(&SolveRequest::new(spec, solver.clone()).with_run(RunPlan::Single { seed: 3 }))?;
+    let report = &response.reports[0];
     let picked = knapsack.selected_items(&report.best_spins);
     println!(
         "annealed:  value = {} (feasible: {}), items {:?}, weight {}",
@@ -38,13 +50,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         edges.push((k, (k + 1) % 5));
         edges.push((k, 5));
     }
+    let spec = ProblemSpec::Coloring {
+        vertices: 6,
+        colors: 4,
+        edges: edges.clone(),
+    };
     let coloring = GraphColoring::new(6, 4, edges)?;
     println!(
         "\ncoloring: wheel W5 with {} colors, {} spins",
         coloring.color_count(),
         coloring.spin_count()
     );
-    let report = solver.solve(&coloring, 11)?;
+    let response =
+        session.run(&SolveRequest::new(spec, solver).with_run(RunPlan::Single { seed: 11 }))?;
+    let report = &response.reports[0];
     println!(
         "annealed:  violations = {}, feasible: {}",
         report.objective.unwrap(),

@@ -1,15 +1,17 @@
 //! Three-annealer comparison on a slice of the paper's Gset-style
 //! benchmark suite: solution quality (normalized cut + success rate) and
 //! hardware cost side by side — a miniature of the paper's Figs. 8–10.
+//! Every (instance, architecture) pair is one ensemble `SolveRequest`.
 //!
 //! Run with: `cargo run --release -p fecim-examples --example gset_benchmark`
 
-use fecim::{normalized_ensemble, CimAnnealer, DirectAnnealer, Solver};
-use fecim_anneal::{multi_start_local_search, success_rate, Ensemble};
+use fecim::{CimAnnealer, DirectAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolverSpec};
+use fecim_anneal::{multi_start_local_search, success_rate};
 use fecim_gset::quick_suite;
 use fecim_ising::CopProblem;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let session = Session::new();
     println!(
         "{:>10} {:>6} {:>7} | {:>22} | {:>22}",
         "instance", "n", "iters", "This Work (cut/succ)", "CiM baseline (cut/succ)"
@@ -23,25 +25,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (_, ref_energy) = multi_start_local_search(model.couplings(), 8, 1);
         let reference = problem.cut_from_energy(ref_energy);
         let iterations = inst.group.iteration_budget().min(20_000);
+        let spec = ProblemSpec::from_graph(&graph);
 
-        // Both architectures behind one `Solver` face, trials fanned out
-        // by the rayon-backed ensemble runner (deterministic per seed).
-        let ours = CimAnnealer::new(iterations);
-        let baseline = DirectAnnealer::cim_asic(iterations);
-        let solvers: [&dyn Solver; 2] = [&ours, &baseline];
-        let ensemble = Ensemble::new(10, 777);
-
+        // Both architectures behind one request surface, trials fanned
+        // out by the rayon-backed ensemble runner (deterministic per seed).
+        let solvers = [
+            SolverSpec::Cim(CimAnnealer::new(iterations)),
+            SolverSpec::Direct(DirectAnnealer::cim_asic(iterations)),
+        ];
         let cuts: Vec<Vec<f64>> = solvers
-            .iter()
+            .into_iter()
             .map(|solver| {
-                Ok(
-                    normalized_ensemble(*solver, &problem, reference, &ensemble)?
-                        .into_iter()
-                        .map(|(cut, _)| cut)
-                        .collect(),
-                )
+                let request = SolveRequest::new(spec.clone(), solver)
+                    .with_run(RunPlan::Ensemble {
+                        trials: 10,
+                        base_seed: 777,
+                        threads: None,
+                    })
+                    .with_reference(reference);
+                Ok(session
+                    .run(&request)?
+                    .normalized_objectives()
+                    .expect("request carries a reference"))
             })
-            .collect::<Result<_, fecim_ising::IsingError>>()?;
+            .collect::<Result<_, fecim::SessionError>>()?;
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         println!(
             "{:>10} {:>6} {:>7} | {:>13.3} / {:>4.0}% | {:>13.3} / {:>4.0}%",

@@ -1,35 +1,52 @@
 //! Device-in-the-loop run with a full hardware breakdown: energy and time
 //! per component, activity counters, and the effect of device variation —
-//! the level of detail behind the paper's Figs. 8–9 bars.
+//! the level of detail behind the paper's Figs. 8–9 bars. Both runs are
+//! `SolveRequest`s with a `DeviceAccurate` backend plan (which carries
+//! typical FeFET variation by default).
 //!
 //! Run with: `cargo run --release -p fecim-examples --example hardware_report`
 
-use fecim::{CimAnnealer, DirectAnnealer};
-use fecim_crossbar::{CrossbarConfig, Fidelity};
-use fecim_device::VariationConfig;
+use fecim::{
+    BackendPlan, CimAnnealer, DirectAnnealer, ProblemSpec, RunPlan, Session, SolveRequest,
+    SolverSpec,
+};
+use fecim_crossbar::Fidelity;
 use fecim_gset::{GeneratorConfig, GsetFamily};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let graph = GeneratorConfig::new(128, 9)
+    let generator = GeneratorConfig::new(128, 9)
         .with_family(GsetFamily::RandomSigned)
-        .with_mean_degree(10.0)
-        .generate();
-    let problem = graph.to_max_cut();
+        .with_mean_degree(10.0);
+    let problem = ProblemSpec::Generated(generator);
 
-    // Device-accurate crossbar with typical FeFET variation.
-    let mut config = CrossbarConfig::paper_defaults();
-    config.fidelity = Fidelity::DeviceAccurate;
-    config.variation = VariationConfig::typical();
+    // Device-accurate crossbar with typical FeFET variation (the
+    // DeviceAccurate plan's default; use `Session::with_crossbar` for a
+    // custom variation or wire model).
+    let backend = BackendPlan::DeviceInLoop {
+        fidelity: Fidelity::DeviceAccurate,
+        tile_rows: None,
+    };
+    let session = Session::new();
 
     let iterations = 1500;
-    let ours = CimAnnealer::new(iterations)
-        .with_device_in_loop(config.clone())
-        .solve(&problem, 5)?;
-    let baseline = DirectAnnealer::cim_asic(iterations)
-        .with_device_in_loop(config)
-        .solve(&problem, 5)?;
+    let ours = session.run(
+        &SolveRequest::new(
+            problem.clone(),
+            SolverSpec::Cim(CimAnnealer::new(iterations)),
+        )
+        .with_backend(backend)
+        .with_run(RunPlan::Single { seed: 5 }),
+    )?;
+    let baseline = session.run(
+        &SolveRequest::new(
+            problem,
+            SolverSpec::Direct(DirectAnnealer::cim_asic(iterations)),
+        )
+        .with_backend(backend)
+        .with_run(RunPlan::Single { seed: 5 }),
+    )?;
 
-    for report in [&ours, &baseline] {
+    for report in [&ours.reports[0], &baseline.reports[0]] {
         println!("=== {} ===", report.kind.label());
         println!(
             "cut: {} (energy {:.1})",
@@ -62,8 +79,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "ratios (baseline / this work): energy {:.0}x, time {:.2}x",
-        baseline.energy.total() / ours.energy.total(),
-        baseline.time.total() / ours.time.total()
+        baseline.summary.total_energy / ours.summary.total_energy,
+        baseline.summary.total_time / ours.summary.total_time
     );
     Ok(())
 }

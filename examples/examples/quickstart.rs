@@ -1,18 +1,18 @@
-//! Quickstart: solve a Max-Cut instance with the ferroelectric CiM in-situ
-//! annealer and compare it against the CiM/ASIC baseline.
+//! Quickstart: submit one `SolveRequest` per architecture to a `Session`
+//! and compare the ferroelectric CiM in-situ annealer against the
+//! CiM/ASIC baseline on a Max-Cut instance.
 //!
 //! Run with: `cargo run -p fecim-examples --example quickstart`
 
-use fecim::{CimAnnealer, DirectAnnealer};
+use fecim::{CimAnnealer, DirectAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolverSpec};
 use fecim_gset::{GeneratorConfig, GsetFamily};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A Gset-style random Max-Cut instance: 256 vertices, mean degree 12.
-    let graph = GeneratorConfig::new(256, 42)
+    let generator = GeneratorConfig::new(256, 42)
         .with_family(GsetFamily::RandomUnit)
-        .with_mean_degree(12.0)
-        .generate();
-    let problem = graph.to_max_cut();
+        .with_mean_degree(12.0);
+    let graph = generator.generate();
     println!(
         "instance: {} vertices, {} edges, total weight {}",
         graph.vertex_count(),
@@ -20,11 +20,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.total_weight()
     );
 
+    // The problem ships as a spec — here the generator config itself, so
+    // the request stays a few bytes at any instance size.
+    let problem = ProblemSpec::Generated(generator);
+    let session = Session::new();
+
     // The proposed annealer: incremental-E + fractional factor, 2000
     // iterations, two spins flipped per iteration (paper Algorithm 1).
-    let ours = CimAnnealer::new(2000).solve(&problem, 7)?;
+    let ours = session.run(
+        &SolveRequest::new(problem.clone(), SolverSpec::Cim(CimAnnealer::new(2000)))
+            .with_run(RunPlan::Single { seed: 7 }),
+    )?;
     // The baseline: direct-E Metropolis with an ASIC e^x unit.
-    let baseline = DirectAnnealer::cim_asic(2000).solve(&problem, 7)?;
+    let baseline = session.run(
+        &SolveRequest::new(problem, SolverSpec::Direct(DirectAnnealer::cim_asic(2000)))
+            .with_run(RunPlan::Single { seed: 7 }),
+    )?;
+    let (ours, baseline) = (&ours.reports[0], &baseline.reports[0]);
 
     println!(
         "\n                      {:>12}  {:>12}",

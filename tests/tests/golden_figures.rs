@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 
 use fecim::experiment::{run_experiment, ExperimentConfig, Scale};
 use fecim::report::this_work_row;
-use fecim::CimAnnealer;
+use fecim::{BackendPlan, CimAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolverSpec};
 use fecim_crossbar::{CrossbarConfig, Fidelity};
 use fecim_device::VariationConfig;
 use fecim_gset::{GeneratorConfig, GsetFamily};
@@ -85,6 +85,79 @@ fn fig10_outcome_and_table1_row_match_goldens() {
     check_golden(
         "table1_row",
         &serde_json::to_value(&this_work_row(&outcome)).expect("row serializes"),
+    );
+}
+
+#[test]
+fn tiling_sweep_artifact_matches_golden() {
+    // A scaled-down `tiling_sweep` bench artifact (same row schema, same
+    // generator family/seed-style inputs): the Ideal-fidelity tiled read
+    // is bit-identical across tile sizes, so `mean_normalized_cut` must
+    // be constant down the rows while the energy/activity columns show
+    // the mapping trade-off. Runs through the job API, so this golden
+    // also pins `Session::run`'s device-in-the-loop route.
+    let n = 96;
+    let iterations = 150;
+    let runs = 3;
+    let graph = GeneratorConfig::new(n, 0x711E)
+        .with_family(GsetFamily::RandomUnit)
+        .with_mean_degree(8.0)
+        .generate();
+    let problem = graph.to_max_cut();
+    let model = fecim_ising::CopProblem::to_ising(&problem).expect("max-cut encodes");
+    let (_, ref_energy) = fecim_anneal::multi_start_local_search(model.couplings(), 4, 2025);
+    let reference = problem.cut_from_energy(ref_energy);
+    let spec = ProblemSpec::from_graph(&graph);
+    let session = Session::new();
+
+    let mut rows = Vec::new();
+    for tile_rows in [24, 48, 96] {
+        let request =
+            SolveRequest::new(spec.clone(), SolverSpec::Cim(CimAnnealer::new(iterations)))
+                .with_backend(BackendPlan::DeviceInLoop {
+                    fidelity: Fidelity::Ideal,
+                    tile_rows: Some(tile_rows),
+                })
+                .with_run(RunPlan::Ensemble {
+                    trials: runs,
+                    base_seed: 2025,
+                    threads: None,
+                })
+                .with_reference(reference);
+        let response = session.run(&request).expect("valid request");
+        let cuts: Vec<f64> = response
+            .normalized_objectives()
+            .expect("request carries a reference");
+        let mean_cut = cuts.iter().sum::<f64>() / cuts.len() as f64;
+        let mean_energy = response.summary.total_energy / response.reports.len() as f64;
+        let tiles_per_iter = response
+            .reports
+            .iter()
+            .map(|report| {
+                let activity = report.run.activity.expect("device runs record stats");
+                activity.tiles_activated as f64 / activity.array_ops.max(1) as f64
+            })
+            .sum::<f64>()
+            / response.reports.len() as f64;
+        rows.push(serde_json::json!({
+            "tile_rows": tile_rows,
+            "bands": n.div_ceil(tile_rows),
+            "mean_normalized_cut": mean_cut,
+            "success_rate": fecim_anneal::success_rate(&cuts, 0.9, true),
+            "tiles_per_iteration": tiles_per_iter,
+            "mean_energy_j": mean_energy,
+        }));
+    }
+    check_golden(
+        "tiling_sweep",
+        &serde_json::json!({
+            "spins": n,
+            "iterations": iterations,
+            "runs": runs,
+            "device_accurate": false,
+            "reference_cut": reference,
+            "rows": rows,
+        }),
     );
 }
 

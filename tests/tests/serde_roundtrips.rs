@@ -101,3 +101,32 @@ fn solve_report_serializes_for_artifacts() {
     assert!(json.get("best_energy").is_some());
     assert!(json.get("energy").is_some());
 }
+
+#[test]
+fn solve_request_and_response_roundtrip() {
+    use fecim::{
+        BackendPlan, CimAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolveResponse,
+        SolverSpec,
+    };
+    let request = SolveRequest::new(
+        ProblemSpec::Generated(GeneratorConfig::new(24, 4)),
+        SolverSpec::Cim(CimAnnealer::new(120).with_flips(1)),
+    )
+    .with_backend(BackendPlan::DeviceInLoop {
+        fidelity: fecim_crossbar::Fidelity::Ideal,
+        tile_rows: Some(8),
+    })
+    .with_run(RunPlan::Ensemble {
+        trials: 2,
+        base_seed: 6,
+        threads: None,
+    })
+    .with_reference(20.0);
+    assert_eq!(roundtrip(&request), request);
+
+    let response = Session::new().run(&request).expect("valid request");
+    let back: SolveResponse = roundtrip(&response);
+    assert_eq!(back.summary, response.summary);
+    assert_eq!(back.normalized, response.normalized);
+    assert_eq!(back.reports.len(), response.reports.len());
+}

@@ -1,0 +1,363 @@
+//! Job-API contract tests: `SolveRequest`/`SolveResponse` round-trip
+//! through JSON, and `Session::run` is bit-identical to every legacy
+//! entry point it subsumes (`Solver::solve`, `normalized_ensemble`,
+//! `solve_batched_ensemble`) in Ideal fidelity — the guarantee that lets
+//! callers migrate to requests without renumbering a single result.
+
+use fecim::{
+    BackendPlan, CimAnnealer, DirectAnnealer, MesaAnnealer, ProblemSpec, RunPlan, Session,
+    SessionError, SolveRequest, SolveResponse, Solver, SolverSpec,
+};
+use fecim_anneal::Ensemble;
+use fecim_crossbar::{CrossbarConfig, Fidelity};
+use fecim_gset::{GeneratorConfig, GsetFamily};
+use fecim_ising::MaxCut;
+
+fn ring(n: usize) -> MaxCut {
+    MaxCut::new(n, (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect()).unwrap()
+}
+
+fn ring_spec(n: usize) -> ProblemSpec {
+    ProblemSpec::MaxCut {
+        vertices: n,
+        edges: (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect(),
+    }
+}
+
+fn gset_graph(n: usize, seed: u64) -> fecim_gset::Graph {
+    GeneratorConfig::new(n, seed)
+        .with_family(GsetFamily::RandomUnit)
+        .with_mean_degree(8.0)
+        .generate()
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trips
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_request_shape_roundtrips_through_json() {
+    let requests = [
+        SolveRequest::new(
+            ring_spec(8),
+            SolverSpec::Cim(CimAnnealer::new(100).with_flips(1)),
+        ),
+        SolveRequest::new(
+            ProblemSpec::Generated(GeneratorConfig::new(32, 5)),
+            SolverSpec::Direct(DirectAnnealer::cim_fpga(200)),
+        )
+        .with_backend(BackendPlan::DeviceInLoop {
+            fidelity: Fidelity::DeviceAccurate,
+            tile_rows: Some(16),
+        })
+        .with_run(RunPlan::Ensemble {
+            trials: 3,
+            base_seed: 9,
+            threads: Some(2),
+        })
+        .with_reference(40.0),
+        SolveRequest::new(ring_spec(12), SolverSpec::Mesa(MesaAnnealer::new(50))),
+        SolveRequest::new(ring_spec(16), SolverSpec::Cim(CimAnnealer::new(60)))
+            .with_backend(BackendPlan::Batched {
+                tile_rows: 4,
+                instances: 2,
+            })
+            .with_run(RunPlan::Ensemble {
+                trials: 4,
+                base_seed: 1,
+                threads: None,
+            }),
+        SolveRequest::new(
+            ProblemSpec::Knapsack {
+                values: vec![3, 5],
+                weights: vec![1, 2],
+                capacity: 2,
+            },
+            SolverSpec::Cim(CimAnnealer::new(500)),
+        ),
+        SolveRequest::new(
+            ProblemSpec::Coloring {
+                vertices: 4,
+                colors: 3,
+                edges: vec![(0, 1), (1, 2)],
+            },
+            SolverSpec::Cim(CimAnnealer::new(500)),
+        ),
+    ];
+    for request in requests {
+        let wire = request.to_json().expect("request serializes");
+        let back = SolveRequest::from_json(&wire).expect("request parses");
+        assert_eq!(back, request);
+        // Round-tripping the round-trip is stable (canonical form).
+        assert_eq!(back.to_json().unwrap(), wire);
+    }
+}
+
+#[test]
+fn response_roundtrips_through_json() {
+    let request = ring_request(10, 150)
+        .with_run(RunPlan::Ensemble {
+            trials: 2,
+            base_seed: 3,
+            threads: None,
+        })
+        .with_reference(10.0);
+    let response = Session::new().run(&request).expect("ring encodes");
+    let wire = serde_json::to_string(&response).expect("response serializes");
+    let back: SolveResponse = serde_json::from_str(&wire).expect("response parses");
+    assert_eq!(back.reports.len(), response.reports.len());
+    assert_eq!(back.summary, response.summary);
+    assert_eq!(back.normalized, response.normalized);
+    for (a, b) in back.reports.iter().zip(&response.reports) {
+        assert_eq!(a.best_energy, b.best_energy);
+        assert_eq!(a.best_spins, b.best_spins);
+        assert_eq!(a.energy.total(), b.energy.total());
+    }
+    // Stable canonical form.
+    assert_eq!(serde_json::to_string(&back).unwrap(), wire);
+}
+
+fn ring_request(n: usize, iterations: usize) -> SolveRequest {
+    SolveRequest::new(
+        ring_spec(n),
+        SolverSpec::Cim(CimAnnealer::new(iterations).with_flips(1)),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity vs the legacy entry points (Ideal fidelity)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn session_single_run_matches_legacy_solve_for_all_architectures() {
+    let problem = ring(14);
+    let spec = ring_spec(14);
+    let solvers: [(SolverSpec, &dyn Solver); 3] = [
+        (
+            SolverSpec::Cim(CimAnnealer::new(300).with_flips(1)),
+            &CimAnnealer::new(300).with_flips(1),
+        ),
+        (
+            SolverSpec::Direct(DirectAnnealer::cim_asic(300).with_flips(1)),
+            &DirectAnnealer::cim_asic(300).with_flips(1),
+        ),
+        (
+            SolverSpec::Mesa(MesaAnnealer::new(300)),
+            &MesaAnnealer::new(300),
+        ),
+    ];
+    let session = Session::new();
+    for (spec_solver, legacy) in solvers {
+        let response = session
+            .run(
+                &SolveRequest::new(spec.clone(), spec_solver)
+                    .with_run(RunPlan::Single { seed: 11 }),
+            )
+            .expect("ring encodes");
+        let expected = legacy.solve(&problem, 11).expect("ring encodes");
+        assert_eq!(response.reports[0].best_energy, expected.best_energy);
+        assert_eq!(response.reports[0].best_spins, expected.best_spins);
+        assert_eq!(response.reports[0].run.accepted, expected.run.accepted);
+        assert_eq!(
+            response.reports[0].energy.total(),
+            expected.energy.total(),
+            "hardware attribution must survive the facade"
+        );
+    }
+}
+
+#[test]
+fn session_device_in_loop_matches_legacy_tiled_solve() {
+    let graph = gset_graph(48, 0xD1CE);
+    let problem = graph.to_max_cut();
+    let response = Session::new()
+        .run(
+            &SolveRequest::new(
+                ProblemSpec::from_graph(&graph),
+                SolverSpec::Cim(CimAnnealer::new(120).with_flips(1)),
+            )
+            .with_backend(BackendPlan::DeviceInLoop {
+                fidelity: Fidelity::Ideal,
+                tile_rows: Some(16),
+            })
+            .with_run(RunPlan::Single { seed: 2025 }),
+        )
+        .expect("max-cut encodes");
+    let expected = CimAnnealer::new(120)
+        .with_flips(1)
+        .with_tiled_device_in_loop(CrossbarConfig::paper_defaults(), 16)
+        .solve(&problem, 2025)
+        .expect("max-cut encodes");
+    assert_eq!(response.reports[0].best_energy, expected.best_energy);
+    assert_eq!(response.reports[0].best_spins, expected.best_spins);
+    assert_eq!(
+        response.reports[0].run.activity, expected.run.activity,
+        "measured per-tile activity must match"
+    );
+}
+
+#[test]
+#[allow(deprecated)] // compares against the legacy wrapper on purpose
+fn session_ensemble_matches_legacy_normalized_ensemble() {
+    let graph = gset_graph(40, 0xBEEF);
+    let problem = graph.to_max_cut();
+    let reference = 30.0;
+    let trials = 6;
+    let base_seed = 91;
+    let solver = CimAnnealer::new(200).with_target_energy(-10.0);
+    let legacy = fecim::normalized_ensemble(
+        &solver,
+        &problem,
+        reference,
+        &Ensemble::new(trials, base_seed),
+    )
+    .expect("max-cut encodes");
+    let response = Session::new()
+        .run(
+            &SolveRequest::new(ProblemSpec::from_graph(&graph), SolverSpec::Cim(solver))
+                .with_run(RunPlan::Ensemble {
+                    trials,
+                    base_seed,
+                    threads: None,
+                })
+                .with_reference(reference),
+        )
+        .expect("max-cut encodes");
+    assert_eq!(
+        response.normalized_pairs().expect("reference set"),
+        legacy,
+        "normalized scores and target hits must be bit-identical"
+    );
+}
+
+#[test]
+#[allow(deprecated)] // compares against the legacy wrapper on purpose
+fn session_batched_matches_legacy_solve_batched_ensemble() {
+    let graph = gset_graph(32, 0xCAFE);
+    let problem = graph.to_max_cut();
+    let solver = CimAnnealer::new(80).with_flips(1);
+    let trials = 3;
+    let legacy = fecim::solve_batched_ensemble(
+        &solver,
+        &problem,
+        CrossbarConfig::paper_defaults(),
+        8,
+        &Ensemble::new(trials, 55),
+    )
+    .expect("max-cut encodes");
+    let response = Session::new()
+        .run(
+            &SolveRequest::new(ProblemSpec::from_graph(&graph), SolverSpec::Cim(solver))
+                .with_backend(BackendPlan::Batched {
+                    tile_rows: 8,
+                    instances: trials,
+                })
+                .with_run(RunPlan::Ensemble {
+                    trials,
+                    base_seed: 55,
+                    threads: None,
+                }),
+        )
+        .expect("max-cut encodes");
+    assert_eq!(response.reports.len(), legacy.reports.len());
+    for (got, want) in response.reports.iter().zip(&legacy.reports) {
+        assert_eq!(got.best_energy, want.best_energy);
+        assert_eq!(got.best_spins, want.best_spins);
+        assert_eq!(got.run.accepted, want.run.accepted);
+        assert_eq!(got.energy.total(), want.energy.total());
+    }
+    assert_eq!(response.grids.len(), 1);
+    assert_eq!(response.grids[0].instances, legacy.grid.instances);
+    assert_eq!(response.grids[0].grid, legacy.grid.grid);
+    assert_eq!(response.grids[0].total_energy, legacy.grid.total_energy);
+    assert_eq!(response.grids[0].batch_time, legacy.grid.batch_time);
+}
+
+#[test]
+fn json_roundtripped_request_runs_bit_identical() {
+    // The serialization boundary claim: ship the request over a wire,
+    // rebuild it, and the solve is the same bit for bit.
+    let request = SolveRequest::new(
+        ProblemSpec::Generated(
+            GeneratorConfig::new(64, 0xF00D)
+                .with_family(GsetFamily::RandomUnit)
+                .with_mean_degree(6.0),
+        ),
+        SolverSpec::Cim(CimAnnealer::new(150).with_flips(2)),
+    )
+    .with_backend(BackendPlan::DeviceInLoop {
+        fidelity: Fidelity::Ideal,
+        tile_rows: Some(32),
+    })
+    .with_run(RunPlan::Ensemble {
+        trials: 2,
+        base_seed: 77,
+        threads: None,
+    });
+    let session = Session::new();
+    let direct = session.run(&request).expect("valid request");
+    let shipped = SolveRequest::from_json(&request.to_json().unwrap()).unwrap();
+    let remote = session.run(&shipped).expect("valid request");
+    for (a, b) in direct.reports.iter().zip(&remote.reports) {
+        assert_eq!(a.best_energy, b.best_energy);
+        assert_eq!(a.best_spins, b.best_spins);
+        assert_eq!(a.run.accepted, b.run.accepted);
+    }
+    assert_eq!(direct.summary, remote.summary);
+}
+
+// ---------------------------------------------------------------------------
+// Request validation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unsupported_combinations_error_as_invalid_requests() {
+    let session = Session::new();
+    let cases = [
+        SolveRequest::new(ring_spec(8), SolverSpec::Mesa(MesaAnnealer::new(40))).with_backend(
+            BackendPlan::DeviceInLoop {
+                fidelity: Fidelity::Ideal,
+                tile_rows: None,
+            },
+        ),
+        SolveRequest::new(
+            ring_spec(8),
+            SolverSpec::Direct(DirectAnnealer::cim_asic(40)),
+        )
+        .with_backend(BackendPlan::Batched {
+            tile_rows: 4,
+            instances: 2,
+        }),
+        SolveRequest::new(ring_spec(8), SolverSpec::Cim(CimAnnealer::new(40))).with_run(
+            RunPlan::Ensemble {
+                trials: 0,
+                base_seed: 0,
+                threads: None,
+            },
+        ),
+        SolveRequest::new(ring_spec(8), SolverSpec::Cim(CimAnnealer::new(40))).with_backend(
+            BackendPlan::DeviceInLoop {
+                fidelity: Fidelity::Ideal,
+                tile_rows: Some(0),
+            },
+        ),
+    ];
+    for request in cases {
+        match session.run(&request) {
+            Err(SessionError::InvalidRequest(msg)) => assert!(!msg.is_empty()),
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
+    }
+    // Problem-construction failures surface as Problem errors, not panics.
+    let broken = SolveRequest::new(
+        ProblemSpec::MaxCut {
+            vertices: 2,
+            edges: vec![(0, 9, 1.0)],
+        },
+        SolverSpec::Cim(CimAnnealer::new(40)),
+    );
+    assert!(matches!(
+        session.run(&broken),
+        Err(SessionError::Problem(_))
+    ));
+}

@@ -1,6 +1,6 @@
 //! Offline drop-in subset of the `serde_json` API.
 //!
-//! Renders the serde shim's [`Content`](serde::Content) tree to JSON and
+//! Renders the serde shim's [`Content`] tree to JSON and
 //! parses JSON back. Provides exactly what this workspace uses:
 //! [`Value`], [`to_value`], [`to_string`], [`to_string_pretty`],
 //! [`from_str`], [`from_value`] and the [`json!`] macro.
