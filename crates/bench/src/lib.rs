@@ -145,6 +145,37 @@ pub fn parse_batch_sizes() -> Vec<usize> {
         .unwrap_or_else(|usage| usage_exit(&usage))
 }
 
+/// Parse `--workers 1,2,4` (scheduler worker counts to sweep) from an
+/// argument list; defaults to `[1, 2]`.
+///
+/// # Errors
+///
+/// Returns a usage message on an empty or non-positive list.
+pub fn workers_from_args(args: &[String]) -> Result<Vec<usize>, String> {
+    let parse = |v: Option<&str>| -> Result<Vec<usize>, String> {
+        let usage = || format!("usage: --workers <comma-separated positive integers> (got {v:?})");
+        let list = v.ok_or_else(usage)?;
+        let workers: Vec<usize> = list
+            .split(',')
+            .map(|s| s.trim().parse::<usize>().ok().filter(|&n| n > 0))
+            .collect::<Option<_>>()
+            .ok_or_else(usage)?;
+        if workers.is_empty() {
+            return Err(usage());
+        }
+        Ok(workers)
+    };
+    for (i, a) in args.iter().enumerate() {
+        if a == "--workers" {
+            return parse(args.get(i + 1).map(String::as_str));
+        }
+        if let Some(rest) = a.strip_prefix("--workers=") {
+            return parse(Some(rest));
+        }
+    }
+    Ok(vec![1, 2])
+}
+
 /// Render an ASCII bar series `(x, y)` for terminal figures.
 pub fn render_series(name: &str, series: &[(f64, f64)]) -> String {
     let mut out = String::new();

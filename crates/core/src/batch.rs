@@ -20,10 +20,11 @@ use std::sync::PoisonError;
 
 use serde::{Deserialize, Serialize};
 
-use fecim_anneal::{BatchedBackend, Ensemble, RunResult};
-use fecim_crossbar::{BatchedTiledCrossbar, CrossbarConfig};
+use fecim_anneal::BatchedBackend;
+use fecim_anneal::Ensemble;
+use fecim_crossbar::{BatchInstance, BatchedTiledCrossbar, CrossbarConfig};
 use fecim_hwcost::{energy_of, time_of, AnnealerKind, CostModel, ExpUnit};
-use fecim_ising::{CopProblem, Coupling, IsingError, SpinVector};
+use fecim_ising::{CopProblem, Coupling, IsingError, IsingModel, SpinVector};
 
 use crate::annealer::{CimAnnealer, SolveReport};
 use crate::solver::INIT_SEED_SALT;
@@ -79,6 +80,13 @@ pub struct BatchedEnsembleOutcome {
 /// reproduces `solver.with_tiled_device_in_loop(config, tile_rows)`
 /// solving the same problem with seed `base_seed + i`, bit for bit.
 ///
+/// **Migration:** one blocking batched run → a
+/// [`SolveRequest`](crate::SolveRequest) with
+/// [`BackendPlan::Batched`](crate::BackendPlan::Batched) through
+/// [`Session::run`](crate::Session::run); queued traffic that should
+/// share *live* grids across different problems →
+/// `fecim_serve::Scheduler::submit` (bit-identical in Ideal fidelity).
+///
 /// # Errors
 ///
 /// Propagates encoding errors from the problem's Ising transformation.
@@ -88,8 +96,9 @@ pub struct BatchedEnsembleOutcome {
 /// Panics if `ensemble` plans zero trials or `tile_rows == 0`.
 #[deprecated(
     since = "0.1.0",
-    note = "build a `SolveRequest` with `BackendPlan::Batched { tile_rows, instances }`, run it \
-            through `fecim::Session::run`, and read `SolveResponse::{reports, grids}`"
+    note = "build a `SolveRequest` with `BackendPlan::Batched { tile_rows, instances }` and run \
+            it through `fecim::Session::run` (one-shot) or `fecim_serve::Scheduler::submit` \
+            (queued, live-grid); read `SolveResponse::{reports, grids}`"
 )]
 pub fn solve_batched_ensemble(
     solver: &CimAnnealer,
@@ -102,8 +111,8 @@ pub fn solve_batched_ensemble(
 }
 
 /// The machinery behind the deprecated [`solve_batched_ensemble`]
-/// wrapper; the [`Session`](crate::Session) batched route calls this
-/// directly, one grid per `instances`-wide chunk of the run plan.
+/// wrapper: encodes the problem once, then delegates to
+/// [`batched_ensemble_prepared`].
 pub(crate) fn batched_ensemble(
     solver: &CimAnnealer,
     problem: &(dyn CopProblem + Sync),
@@ -111,56 +120,48 @@ pub(crate) fn batched_ensemble(
     tile_rows: usize,
     ensemble: &Ensemble,
 ) -> Result<BatchedEnsembleOutcome, IsingError> {
-    assert!(ensemble.trials() > 0, "need at least one trial");
     let model = problem.to_ising()?;
     let quadratic = model.to_quadratic_only();
-    let coupling = quadratic.couplings();
-    let n = coupling.dimension();
-    let quant_bits = config.quant_bits;
+    Ok(batched_ensemble_prepared(
+        solver, problem, &model, &quadratic, config, tile_rows, ensemble,
+    ))
+}
 
-    let grid = BatchedTiledCrossbar::replicate(coupling, ensemble.trials(), config, tile_rows)
-        .into_shared();
-    let runs: Vec<RunResult> = ensemble.run_batched(&grid, |_, seed, handle| {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ INIT_SEED_SALT);
-        let initial = SpinVector::random(n, &mut rng);
-        let mut backend = BatchedBackend::new(coupling, initial, handle);
-        solver.anneal_with_backend(coupling, &mut backend, seed)
+/// One shared-grid ensemble over an already-encoded model; the
+/// [`Session`](crate::Session) batched route calls this with the
+/// encoding its `prepare` step produced, one grid per `instances`-wide
+/// chunk of the run plan — no re-encoding per chunk.
+#[allow(clippy::too_many_arguments)] // pub(crate) plumbing shared by two call sites
+pub(crate) fn batched_ensemble_prepared(
+    solver: &CimAnnealer,
+    problem: &(dyn CopProblem + Sync),
+    model: &IsingModel,
+    quadratic: &IsingModel,
+    config: CrossbarConfig,
+    tile_rows: usize,
+    ensemble: &Ensemble,
+) -> BatchedEnsembleOutcome {
+    assert!(ensemble.trials() > 0, "need at least one trial");
+    let cost_model = CostModel::paper_22nm_tiled(model.dimension(), config.quant_bits, tile_rows);
+
+    let grid = BatchedTiledCrossbar::replicate(
+        quadratic.couplings(),
+        ensemble.trials(),
+        config,
+        tile_rows,
+    )
+    .into_shared();
+    let reports: Vec<SolveReport> = ensemble.run_batched(&grid, |_, seed, handle| {
+        batched_trial_report(solver, problem, model, quadratic, &cost_model, seed, handle)
     });
 
-    // Price every replica at tile-scale geometry from its own measured
-    // activity; the batch shares the grid but not the attribution.
-    let cost_model = CostModel::paper_22nm_tiled(model.dimension(), quant_bits, tile_rows);
-    let mut reports = Vec::with_capacity(runs.len());
     let mut total_energy = 0.0f64;
     let mut batch_time = 0.0f64;
     let mut serial_time = 0.0f64;
-    for run in runs {
-        let spins = if model.is_quadratic_only() {
-            run.best_spins.clone()
-        } else {
-            model.project_from_quadratic(&run.best_spins)
-        };
-        let objective = problem.native_objective(&spins);
-        let feasible = problem.is_feasible(&spins);
-        let stats = run
-            .activity
-            .expect("batched backends always record activity");
-        let energy = energy_of(&stats, &cost_model, ExpUnit::Asic);
-        let time = time_of(&stats, &cost_model, ExpUnit::Asic);
-        total_energy += energy.total();
-        batch_time = batch_time.max(time.total());
-        serial_time += time.total();
-        reports.push(SolveReport {
-            kind: AnnealerKind::InSitu,
-            best_energy: run.best_energy,
-            objective: Some(objective),
-            feasible,
-            best_spins: spins,
-            energy,
-            time,
-            run,
-        });
+    for report in &reports {
+        total_energy += report.energy.total();
+        batch_time = batch_time.max(report.time.total());
+        serial_time += report.time.total();
     }
 
     let grid = grid.lock().unwrap_or_else(PoisonError::into_inner);
@@ -181,10 +182,61 @@ pub(crate) fn batched_ensemble(
             0.0
         },
     };
-    Ok(BatchedEnsembleOutcome {
+    BatchedEnsembleOutcome {
         reports,
         grid: summary,
-    })
+    }
+}
+
+/// One device-in-the-loop trial of `problem` on a shared-grid instance:
+/// the inner unit behind [`batched_ensemble`] *and* the scheduler's
+/// live-grid admission (`fecim-serve`), so both execute replicas
+/// identically. Per-trial seeding and the initial-configuration draw
+/// match [`Solver::anneal_model`](crate::Solver::anneal_model); in Ideal
+/// fidelity the trial is bit-identical to
+/// `solver.with_tiled_device_in_loop(config, tile_rows)` solving the
+/// same problem with the same seed. The replica is priced at tile-scale
+/// geometry from its own measured activity, regardless of who else
+/// shares the grid.
+#[allow(clippy::too_many_arguments)] // pub(crate) plumbing shared by two call sites
+pub(crate) fn batched_trial_report(
+    solver: &CimAnnealer,
+    problem: &dyn CopProblem,
+    model: &IsingModel,
+    quadratic: &IsingModel,
+    cost_model: &CostModel,
+    seed: u64,
+    handle: BatchInstance,
+) -> SolveReport {
+    use rand::SeedableRng;
+    let coupling = quadratic.couplings();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ INIT_SEED_SALT);
+    let initial = SpinVector::random(coupling.dimension(), &mut rng);
+    let mut backend = BatchedBackend::new(coupling, initial, handle);
+    let run = solver.anneal_with_backend(coupling, &mut backend, seed);
+
+    let spins = if model.is_quadratic_only() {
+        run.best_spins.clone()
+    } else {
+        model.project_from_quadratic(&run.best_spins)
+    };
+    let objective = problem.native_objective(&spins);
+    let feasible = problem.is_feasible(&spins);
+    let stats = run
+        .activity
+        .expect("batched backends always record activity");
+    let energy = energy_of(&stats, cost_model, ExpUnit::Asic);
+    let time = time_of(&stats, cost_model, ExpUnit::Asic);
+    SolveReport {
+        kind: AnnealerKind::InSitu,
+        best_energy: run.best_energy,
+        objective: Some(objective),
+        feasible,
+        best_spins: spins,
+        energy,
+        time,
+        run,
+    }
 }
 
 /// Lockstep utilization estimate: replicas iterate concurrently, so the

@@ -120,7 +120,7 @@ pub use experiment::{
 };
 pub use mesa_solver::MesaAnnealer;
 pub use request::{BackendPlan, ProblemSpec, RunPlan, SolveRequest, SolverSpec};
-pub use session::{NormalizedTrial, RunSummary, Session, SessionError, SolveResponse};
+pub use session::{NormalizedTrial, PreparedJob, RunSummary, Session, SessionError, SolveResponse};
 #[allow(deprecated)]
 pub use solver::normalized_ensemble;
 pub use solver::Solver;

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use fecim_crossbar::Fidelity;
 use fecim_gset::{GeneratorConfig, Graph};
-use fecim_ising::{CopProblem, GraphColoring, IsingError, Knapsack, MaxCut};
+use fecim_ising::{CopProblem, GraphColoring, IsingError, Knapsack, MaxCut, Qubo, RawIsing};
 
 use crate::annealer::CimAnnealer;
 use crate::baselines::DirectAnnealer;
@@ -55,6 +55,23 @@ pub enum ProblemSpec {
         /// Edges `(u, v)`.
         edges: Vec<(usize, usize)>,
     },
+    /// A raw QUBO payload: minimize `xᵀQx` over binary `x`, no named
+    /// generator or COP encoding required. `q` is the full square
+    /// coefficient matrix, row-major; `q[i][j] + q[j][i]` weight the
+    /// pair `x_i·x_j` and diagonal entries are the linear terms.
+    Qubo {
+        /// Square coefficient matrix.
+        q: Vec<Vec<f64>>,
+    },
+    /// A raw Ising payload: minimize `H(σ) = σᵀJσ + hᵀσ` over
+    /// `σ ∈ {−1,+1}ⁿ`. The native objective is the energy itself.
+    Ising {
+        /// Linear fields, length `n`.
+        h: Vec<f64>,
+        /// Symmetric zero-diagonal coupling matrix, `n×n` row-major
+        /// (carry linear terms in `h`).
+        j: Vec<Vec<f64>>,
+    },
 }
 
 impl ProblemSpec {
@@ -89,6 +106,8 @@ impl ProblemSpec {
                 colors,
                 edges,
             } => Box::new(GraphColoring::new(*vertices, *colors, edges.clone())?),
+            ProblemSpec::Qubo { q } => Box::new(Qubo::from_matrix(q)?),
+            ProblemSpec::Ising { h, j } => Box::new(RawIsing::new(h.clone(), j)?),
         })
     }
 }
@@ -356,6 +375,45 @@ mod tests {
             edges: vec![(0, 1)],
         };
         assert!(zero_colors.build().is_err());
+        let nonsquare_q = ProblemSpec::Qubo {
+            q: vec![vec![1.0, 2.0], vec![0.0]],
+        };
+        assert!(matches!(
+            nonsquare_q.build(),
+            Err(IsingError::DimensionMismatch { .. })
+        ));
+        let mismatched_ising = ProblemSpec::Ising {
+            h: vec![0.0; 2],
+            j: vec![vec![0.0; 3]; 3],
+        };
+        assert!(matches!(
+            mismatched_ising.build(),
+            Err(IsingError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn raw_payload_specs_build_solvable_problems() {
+        // One frustrated pair: optimum picks exactly one of x0/x1.
+        let qubo = ProblemSpec::Qubo {
+            q: vec![vec![-1.0, 2.0], vec![0.0, -1.0]],
+        }
+        .build()
+        .expect("valid payload");
+        assert_eq!(qubo.name(), "qubo");
+        assert_eq!(qubo.spin_count(), 2);
+        let ising = ProblemSpec::Ising {
+            h: vec![0.1, -0.1, 0.0],
+            j: vec![
+                vec![0.0, 0.5, 0.0],
+                vec![0.5, 0.0, -0.25],
+                vec![0.0, -0.25, 0.0],
+            ],
+        }
+        .build()
+        .expect("valid payload");
+        assert_eq!(ising.name(), "raw-ising");
+        assert_eq!(ising.to_ising().unwrap().dimension(), 3);
     }
 
     #[test]

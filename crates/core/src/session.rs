@@ -15,18 +15,34 @@
 //!
 //! In Ideal fidelity every route is bit-identical to the legacy entry
 //! point it subsumes — pinned by the `session_api` equivalence tests.
+//!
+//! ## Trial-level execution: [`PreparedJob`]
+//!
+//! [`Session::run`] executes a request start to finish, but a scheduler
+//! (`fecim-serve`) needs finer grain: validate once, then run *single
+//! trials* whenever workers and grid stripes free up, possibly
+//! interleaved with other requests' trials. [`Session::prepare`] splits
+//! the pipeline at exactly that joint: it performs all validation and
+//! problem building up front and returns a [`PreparedJob`] whose
+//! [`run_trial`](PreparedJob::run_trial) /
+//! [`run_batched_trial`](PreparedJob::run_batched_trial) produce the
+//! same per-trial [`SolveReport`]s `Session::run` would, and whose
+//! [`finish`](PreparedJob::finish) applies the same normalization and
+//! summarization. `Session::run` itself is a thin loop over this API.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use fecim_crossbar::{CrossbarConfig, Fidelity};
+use fecim_crossbar::{BatchInstance, CrossbarConfig, Fidelity};
 use fecim_device::VariationConfig;
-use fecim_ising::{CopProblem, IsingError, ObjectiveSense};
+use fecim_ising::{CopProblem, CsrCoupling, IsingError, IsingModel, ObjectiveSense};
 
-use crate::annealer::SolveReport;
-use crate::batch::{batched_ensemble, BatchGridSummary};
-use crate::request::{BackendPlan, SolveRequest, SolverSpec};
+use fecim_hwcost::CostModel;
+
+use crate::annealer::{CimAnnealer, SolveReport};
+use crate::batch::{batched_ensemble_prepared, batched_trial_report, BatchGridSummary};
+use crate::request::{BackendPlan, RunPlan, SolveRequest, SolverSpec};
 use crate::solver::Solver;
 
 /// Error raised while validating or executing a [`SolveRequest`].
@@ -213,6 +229,74 @@ impl Session {
     /// [`SessionError::Problem`] when the problem spec fails to build or
     /// encode.
     pub fn run(&self, request: &SolveRequest) -> Result<SolveResponse, SessionError> {
+        let job = self.prepare(request)?;
+        let (reports, grids) = match &job.route {
+            PreparedRoute::Solver { .. } => {
+                let reports = job
+                    .run
+                    .to_ensemble()
+                    .run(|seed| job.run_trial_seeded(seed))
+                    .into_iter()
+                    .collect::<Result<Vec<_>, SessionError>>()?;
+                (reports, Vec::new())
+            }
+            PreparedRoute::Batched {
+                solver,
+                config,
+                tile_rows,
+                instances,
+                model,
+                quadratic,
+                ..
+            } => {
+                // Replicas packed `instances` at a time onto successive
+                // physical grids, with flat seed numbering across chunks
+                // (the encoding from `prepare` is reused, not redone).
+                let trials = job.run.trials();
+                let base_seed = job.run.base_seed();
+                let mut reports = Vec::with_capacity(trials);
+                let mut grids = Vec::new();
+                let mut start = 0usize;
+                while start < trials {
+                    let width = (*instances).min(trials - start);
+                    let mut ensemble =
+                        fecim_anneal::Ensemble::new(width, base_seed.wrapping_add(start as u64));
+                    if let Some(cap) = job.run.threads() {
+                        ensemble = ensemble.with_max_threads(cap);
+                    }
+                    let outcome = batched_ensemble_prepared(
+                        solver,
+                        job.problem.as_ref(),
+                        model,
+                        quadratic,
+                        config.clone(),
+                        *tile_rows,
+                        &ensemble,
+                    );
+                    reports.extend(outcome.reports);
+                    grids.push(outcome.grid);
+                    start += width;
+                }
+                (reports, grids)
+            }
+        };
+        job.finish(reports, grids)
+    }
+
+    /// Validate a request and build everything its trials share — the
+    /// problem, the configured solver or shared-grid plan — without
+    /// running anything. The returned [`PreparedJob`] runs trials one at
+    /// a time; [`Session::run`] is a loop over it, and the `fecim-serve`
+    /// scheduler interleaves trials of *different* prepared jobs on
+    /// shared grids.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the validation errors of [`Session::run`]:
+    /// [`SessionError::InvalidRequest`] for unsupported combinations and
+    /// [`SessionError::Problem`] when the problem fails to build or
+    /// encode.
+    pub fn prepare(&self, request: &SolveRequest) -> Result<PreparedJob, SessionError> {
         if request.run.trials() == 0 {
             return Err(invalid("run plan must schedule at least one trial"));
         }
@@ -220,97 +304,64 @@ impl Session {
             return Err(invalid("thread cap must be at least one worker"));
         }
         let problem = request.problem.build()?;
-        let (reports, grids) = match request.backend {
+        let route = match request.backend {
             BackendPlan::Batched {
                 tile_rows,
                 instances,
-            } => self.run_batched(request, problem.as_ref(), tile_rows, instances)?,
-            _ => {
-                // Encoding is deterministic: validate once before fanning
-                // out so a bad instance fails fast instead of once per
-                // trial (a single trial — and the batched route, which
-                // encodes up front anyway — surfaces the same error
-                // without this extra encode).
-                if request.run.trials() > 1 {
-                    problem.to_ising()?;
+            } => {
+                let SolverSpec::Cim(solver) = &request.solver else {
+                    return Err(invalid(
+                        "the batched backend supports only the CiM in-situ solver",
+                    ));
+                };
+                if tile_rows == 0 {
+                    return Err(invalid("batched backend needs tile_rows > 0"));
                 }
-                (self.run_solver(request, problem.as_ref())?, Vec::new())
+                if instances == 0 {
+                    return Err(invalid("batched backend needs instances > 0"));
+                }
+                // The shared grid programs the session's crossbar
+                // override verbatim (paper defaults otherwise): the
+                // Batched plan carries no fidelity of its own, and a
+                // non-Ideal override makes chunk boundaries observable
+                // (each grid draws its own variation streams) — see
+                // `Session::with_crossbar`.
+                let config = self
+                    .crossbar
+                    .clone()
+                    .unwrap_or_else(CrossbarConfig::paper_defaults);
+                let model = problem.to_ising()?;
+                let quadratic = model.to_quadratic_only();
+                let cost_model =
+                    CostModel::paper_22nm_tiled(model.dimension(), config.quant_bits, tile_rows);
+                PreparedRoute::Batched {
+                    solver: solver.clone(),
+                    config,
+                    tile_rows,
+                    instances,
+                    model,
+                    quadratic,
+                    cost_model,
+                }
+            }
+            _ => {
+                // Encoding is deterministic: encode once up front so a
+                // bad instance fails fast and trials reuse the model
+                // instead of re-encoding per seed.
+                let model = problem.to_ising()?;
+                PreparedRoute::Solver {
+                    solver: self.build_solver(&request.solver, request.backend)?,
+                    model,
+                }
             }
         };
-        let normalized = normalized_trials(request, &reports)?;
-        let summary = summarize(problem.objective_sense(), &reports);
-        Ok(SolveResponse {
-            reports,
-            normalized,
-            grids,
-            summary,
+        Ok(PreparedJob {
+            problem,
+            route,
+            run: request.run,
+            reference: request.reference,
+            solver_name: request.solver.name().to_string(),
         })
-    }
-
-    /// The analytic / device-in-the-loop route: one configured solver,
-    /// trials fanned out by the ensemble runner.
-    fn run_solver(
-        &self,
-        request: &SolveRequest,
-        problem: &(dyn CopProblem + Sync),
-    ) -> Result<Vec<SolveReport>, SessionError> {
-        let solver = self.build_solver(&request.solver, request.backend)?;
-        request
-            .run
-            .to_ensemble()
-            .run(|seed| solver.solve(problem, seed))
-            .into_iter()
-            .collect::<Result<Vec<_>, IsingError>>()
-            .map_err(SessionError::Problem)
-    }
-
-    /// The shared-grid route: replicas packed `instances` at a time onto
-    /// successive physical grids.
-    fn run_batched(
-        &self,
-        request: &SolveRequest,
-        problem: &(dyn CopProblem + Sync),
-        tile_rows: usize,
-        instances: usize,
-    ) -> Result<(Vec<SolveReport>, Vec<BatchGridSummary>), SessionError> {
-        let SolverSpec::Cim(solver) = &request.solver else {
-            return Err(invalid(
-                "the batched backend supports only the CiM in-situ solver",
-            ));
-        };
-        if tile_rows == 0 {
-            return Err(invalid("batched backend needs tile_rows > 0"));
-        }
-        if instances == 0 {
-            return Err(invalid("batched backend needs instances > 0"));
-        }
-        // The shared grid programs the session's crossbar override
-        // verbatim (paper defaults otherwise): the Batched plan carries
-        // no fidelity of its own, and a non-Ideal override makes chunk
-        // boundaries observable (each grid draws its own variation
-        // streams) — see `Session::with_crossbar`.
-        let config = self
-            .crossbar
-            .clone()
-            .unwrap_or_else(CrossbarConfig::paper_defaults);
-        let trials = request.run.trials();
-        let base_seed = request.run.base_seed();
-        let mut reports = Vec::with_capacity(trials);
-        let mut grids = Vec::new();
-        let mut start = 0usize;
-        while start < trials {
-            let width = instances.min(trials - start);
-            let mut ensemble =
-                fecim_anneal::Ensemble::new(width, base_seed.wrapping_add(start as u64));
-            if let Some(cap) = request.run.threads() {
-                ensemble = ensemble.with_max_threads(cap);
-            }
-            let outcome = batched_ensemble(solver, problem, config.clone(), tile_rows, &ensemble)?;
-            reports.extend(outcome.reports);
-            grids.push(outcome.grid);
-            start += width;
-        }
-        Ok((reports, grids))
     }
 
     /// Configure the spec's solver for the plan's backend. The plan is
@@ -418,11 +469,239 @@ fn checked_tile_rows(tile_rows: Option<usize>) -> Result<Option<usize>, SessionE
     }
 }
 
+/// How a [`PreparedJob`]'s trials execute.
+// One allocation per prepared job: the size skew between the two
+// variants is irrelevant, boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+enum PreparedRoute {
+    /// Analytic / device-in-the-loop: one configured solver per trial,
+    /// annealing the model encoded once at prepare time.
+    Solver {
+        solver: Box<dyn Solver>,
+        model: IsingModel,
+    },
+    /// Shared-grid batching: trials run as replicas on a
+    /// [`BatchedTiledCrossbar`](fecim_crossbar::BatchedTiledCrossbar)
+    /// (chunked grids under [`Session::run`]; live admission under the
+    /// `fecim-serve` scheduler).
+    Batched {
+        solver: CimAnnealer,
+        config: CrossbarConfig,
+        tile_rows: usize,
+        instances: usize,
+        model: IsingModel,
+        quadratic: IsingModel,
+        cost_model: CostModel,
+    },
+}
+
+/// A validated request, split into independently runnable trials — the
+/// unit of work a scheduler interleaves across workers and shared grids.
+///
+/// Produced by [`Session::prepare`]. Each trial is seed-deterministic
+/// (trial `i` gets `base_seed + i`), so *when* and *where* a trial runs
+/// cannot change its result in Ideal fidelity:
+/// [`run_trial`](PreparedJob::run_trial) on any worker, or
+/// [`run_batched_trial`](PreparedJob::run_batched_trial) on any live
+/// grid slot, reproduce what [`Session::run`] computes bit for bit.
+pub struct PreparedJob {
+    problem: Box<dyn CopProblem + Send + Sync>,
+    route: PreparedRoute,
+    run: RunPlan,
+    reference: Option<f64>,
+    solver_name: String,
+}
+
+impl fmt::Debug for PreparedJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedJob")
+            .field("problem", &self.problem.name())
+            .field("solver", &self.solver_name)
+            .field(
+                "route",
+                &match self.route {
+                    PreparedRoute::Solver { .. } => "solver",
+                    PreparedRoute::Batched { .. } => "batched",
+                },
+            )
+            .field("run", &self.run)
+            .finish()
+    }
+}
+
+impl PreparedJob {
+    /// Trials the job's run plan schedules.
+    pub fn trials(&self) -> usize {
+        self.run.trials()
+    }
+
+    /// Seed of trial `trial` (the run plan's flat numbering).
+    pub fn seed(&self, trial: usize) -> u64 {
+        self.run.base_seed().wrapping_add(trial as u64)
+    }
+
+    /// The problem's human-readable name.
+    pub fn problem_name(&self) -> &str {
+        self.problem.name()
+    }
+
+    /// The solver architecture's human-readable name.
+    pub fn solver_name(&self) -> &str {
+        &self.solver_name
+    }
+
+    /// Whether trials run as shared-grid replicas
+    /// ([`BackendPlan::Batched`]).
+    pub fn is_batched(&self) -> bool {
+        matches!(self.route, PreparedRoute::Batched { .. })
+    }
+
+    /// Physical tile height of the batched route (`None` for solver
+    /// routes).
+    pub fn tile_rows(&self) -> Option<usize> {
+        match &self.route {
+            PreparedRoute::Batched { tile_rows, .. } => Some(*tile_rows),
+            PreparedRoute::Solver { .. } => None,
+        }
+    }
+
+    /// The quadratic coupling a batched replica programs onto its grid
+    /// block (`None` for solver routes).
+    pub fn batch_coupling(&self) -> Option<&CsrCoupling> {
+        match &self.route {
+            PreparedRoute::Batched { quadratic, .. } => Some(quadratic.couplings()),
+            PreparedRoute::Solver { .. } => None,
+        }
+    }
+
+    /// The crossbar configuration a batched grid programs (`None` for
+    /// solver routes).
+    pub fn crossbar_config(&self) -> Option<&CrossbarConfig> {
+        match &self.route {
+            PreparedRoute::Batched { config, .. } => Some(config),
+            PreparedRoute::Solver { .. } => None,
+        }
+    }
+
+    /// Run one trial of a solver-route job.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::InvalidRequest`] when `trial` is out of range or
+    /// the job is batched (its trials need a grid slot — use
+    /// [`run_batched_trial`](PreparedJob::run_batched_trial));
+    /// [`SessionError::Problem`] when the solve itself fails.
+    pub fn run_trial(&self, trial: usize) -> Result<SolveReport, SessionError> {
+        if trial >= self.trials() {
+            return Err(invalid(format!(
+                "trial {trial} out of range for {} trials",
+                self.trials()
+            )));
+        }
+        self.run_trial_seeded(self.seed(trial))
+    }
+
+    fn run_trial_seeded(&self, seed: u64) -> Result<SolveReport, SessionError> {
+        match &self.route {
+            PreparedRoute::Solver { solver, model } => {
+                // `Solver::solve` with the (deterministic) encoding
+                // hoisted to prepare time — bit-identical, pinned by the
+                // session equivalence tests.
+                let (mut run, spins) = solver.anneal_model(model, seed);
+                let objective = self.problem.native_objective(&spins);
+                let feasible = self.problem.is_feasible(&spins);
+                let (energy, time) = solver.hardware_report(&mut run, model.dimension());
+                Ok(SolveReport {
+                    kind: solver.kind(),
+                    best_energy: run.best_energy,
+                    objective: Some(objective),
+                    feasible,
+                    best_spins: spins,
+                    energy,
+                    time,
+                    run,
+                })
+            }
+            PreparedRoute::Batched { .. } => Err(invalid(
+                "batched trials run on a shared grid; use run_batched_trial with a grid handle",
+            )),
+        }
+    }
+
+    /// Run one trial of a batched-route job as a replica on `handle`'s
+    /// shared-grid slot. In Ideal fidelity the report is bit-identical
+    /// to the same trial under [`Session::run`], whatever else occupies
+    /// the grid.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::InvalidRequest`] when `trial` is out of range or
+    /// the job is not batched.
+    pub fn run_batched_trial(
+        &self,
+        trial: usize,
+        handle: BatchInstance,
+    ) -> Result<SolveReport, SessionError> {
+        if trial >= self.trials() {
+            return Err(invalid(format!(
+                "trial {trial} out of range for {} trials",
+                self.trials()
+            )));
+        }
+        let PreparedRoute::Batched {
+            solver,
+            model,
+            quadratic,
+            cost_model,
+            ..
+        } = &self.route
+        else {
+            return Err(invalid(
+                "solver-route trials run without a grid; use run_trial",
+            ));
+        };
+        Ok(batched_trial_report(
+            solver,
+            self.problem.as_ref(),
+            model,
+            quadratic,
+            cost_model,
+            self.seed(trial),
+            handle,
+        ))
+    }
+
+    /// Normalize and summarize finished trials into the job's
+    /// [`SolveResponse`] — the same post-processing [`Session::run`]
+    /// applies. `reports` may cover fewer trials than planned (a
+    /// cancelled job summarizes what completed).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::InvalidRequest`] when the request asked for
+    /// normalized scoring but a report carries no native objective.
+    pub fn finish(
+        &self,
+        reports: Vec<SolveReport>,
+        grids: Vec<BatchGridSummary>,
+    ) -> Result<SolveResponse, SessionError> {
+        let normalized = normalized_trials(self.reference, &self.solver_name, &reports)?;
+        let summary = summarize(self.problem.objective_sense(), &reports);
+        Ok(SolveResponse {
+            reports,
+            normalized,
+            grids,
+            summary,
+        })
+    }
+}
+
 fn normalized_trials(
-    request: &SolveRequest,
+    reference: Option<f64>,
+    solver_name: &str,
     reports: &[SolveReport],
 ) -> Result<Option<Vec<NormalizedTrial>>, SessionError> {
-    let Some(reference) = request.reference else {
+    let Some(reference) = reference else {
         return Ok(None);
     };
     reports
@@ -430,8 +709,7 @@ fn normalized_trials(
         .map(|report| {
             let objective = report.objective.ok_or_else(|| {
                 invalid(format!(
-                    "solver `{}` returned no native objective to normalize",
-                    request.solver.name()
+                    "solver `{solver_name}` returned no native objective to normalize"
                 ))
             })?;
             Ok(NormalizedTrial {

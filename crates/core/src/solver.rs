@@ -138,6 +138,12 @@ pub trait Solver: Send + Sync {
 /// sweeps. Dispatches through `&dyn Solver`, so any architecture plugs
 /// in unchanged.
 ///
+/// **Migration:** one blocking run → a [`SolveRequest`](crate::SolveRequest)
+/// with a `reference` and an ensemble [`RunPlan`](crate::RunPlan)
+/// through [`Session::run`](crate::Session::run); many queued runs →
+/// `fecim_serve::Scheduler::submit`, whose `JobHandle::wait` returns
+/// the same `SolveResponse` (bit-identical in Ideal fidelity).
+///
 /// # Errors
 ///
 /// Returns the problem's encoding error instead of panicking when the
@@ -148,7 +154,8 @@ pub trait Solver: Send + Sync {
 #[deprecated(
     since = "0.1.0",
     note = "build a `SolveRequest` with a `reference` and an ensemble `RunPlan`, run it through \
-            `fecim::Session::run`, and read `SolveResponse::normalized` (or `normalized_pairs()`)"
+            `fecim::Session::run` (one-shot) or `fecim_serve::Scheduler::submit` (queued), and \
+            read `SolveResponse::normalized` (or `normalized_pairs()`)"
 )]
 pub fn normalized_ensemble(
     solver: &dyn Solver,

@@ -37,6 +37,30 @@
 //! implements [`InSituArray`] and serializes *simulator* access through a
 //! mutex while the modeled hardware timing remains concurrent (disjoint
 //! banks).
+//!
+//! ## Live grids: per-instance lifecycle
+//!
+//! Lockstep cohorts ([`BatchedTiledCrossbar::replicate`] + run them all)
+//! are only half the story: a production queue wants to admit *new*
+//! problems onto the grid as earlier replicas finish. Two methods turn
+//! the batched grid into a live one:
+//!
+//! * [`BatchedTiledCrossbar::try_admit_instance`] places a coupling into
+//!   the first freed stripe span that fits (first-fit, splitting wider
+//!   spans), extending the grid's tail only while a stripe capacity
+//!   allows it;
+//! * [`BatchedTiledCrossbar::retire_instance`] frees an instance's
+//!   stripe span back to the pool (coalescing adjacent free spans, and
+//!   returning trailing stripes to the tail), so queued work can take
+//!   its place.
+//!
+//! Retired slot *indices* are recycled too; because per-instance
+//! variation seeds derive from the slot index, a new tenant admitted
+//! into a recycled slot sees the same simulated silicon its predecessor
+//! did — which is exactly what re-programming the same physical tiles
+//! would do. In [`Fidelity::Ideal`](crate::Fidelity::Ideal) mode reads
+//! are placement-independent, so live-grid scheduling cannot change
+//! results.
 
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -62,6 +86,8 @@ struct InstanceSlot {
     /// First grid stripe owned by this instance (placement record; the
     /// block-diagonal layout guarantees spans never overlap).
     stripe_offset: usize,
+    /// Stripes the instance occupies (freed back to the pool on retire).
+    stripes: usize,
 }
 
 /// Grid-level sharing counters of a [`BatchedTiledCrossbar`].
@@ -127,11 +153,23 @@ pub struct BatchRead<'a> {
 pub struct BatchedTiledCrossbar {
     config: CrossbarConfig,
     tile_rows: usize,
-    slots: Vec<InstanceSlot>,
-    /// Stripes of the shared grid (sum of instance stripe spans).
+    /// Instance slots; `None` marks a retired slot whose index (and
+    /// stripe span) is free for the next admission.
+    slots: Vec<Option<InstanceSlot>>,
+    /// Stripes of the shared grid (sum of instance stripe spans and
+    /// interior free spans).
     total_stripes: usize,
-    /// Row bands of the shared grid (worst instance).
+    /// Row bands of the shared grid (worst instance, high-water).
     max_bands: usize,
+    /// Freed interior stripe spans `(offset, width)`, sorted by offset
+    /// and coalesced.
+    free_spans: Vec<(usize, usize)>,
+    /// Retired slot indices available for reuse.
+    free_slots: Vec<usize>,
+    /// Lifetime admissions (push + admit).
+    admitted: u64,
+    /// Lifetime retirements.
+    retired: u64,
     batch: BatchStats,
 }
 
@@ -150,6 +188,10 @@ impl BatchedTiledCrossbar {
             slots: Vec::new(),
             total_stripes: 0,
             max_bands: 0,
+            free_spans: Vec::new(),
+            free_slots: Vec::new(),
+            admitted: 0,
+            retired: 0,
             batch: BatchStats::default(),
         }
     }
@@ -163,18 +205,147 @@ impl BatchedTiledCrossbar {
     /// Panics if the coupling is empty (forwarded from
     /// [`TiledCrossbar::program`]).
     pub fn push_instance<C: Coupling>(&mut self, coupling: &C) -> usize {
-        let index = self.slots.len();
+        self.try_admit_instance(coupling, usize::MAX)
+            .expect("an unbounded grid always admits")
+    }
+
+    /// Admit `coupling` onto the grid if it fits within `stripe_limit`
+    /// total stripes: freed spans are reused first-fit (wider spans are
+    /// split), and the grid's tail extends only while the capacity
+    /// allows. Returns the new instance's index, or `None` when the
+    /// instance does not fit *right now* (retiring instances frees
+    /// capacity; an instance needing more than `stripe_limit` stripes
+    /// will never fit — see [`BatchedTiledCrossbar::stripes_needed`]).
+    ///
+    /// Retired slot indices are recycled; the admitted instance draws
+    /// its variation maps from the recycled slot's seed (same simulated
+    /// silicon as its predecessor — the physical-tile view of slot
+    /// reuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coupling is empty (forwarded from
+    /// [`TiledCrossbar::program`]).
+    pub fn try_admit_instance<C: Coupling>(
+        &mut self,
+        coupling: &C,
+        stripe_limit: usize,
+    ) -> Option<usize> {
+        let needed = self.stripes_needed(coupling.dimension());
+        let offset = if let Some(pos) = self.free_spans.iter().position(|&(_, w)| w >= needed) {
+            let (off, width) = self.free_spans[pos];
+            if width == needed {
+                self.free_spans.remove(pos);
+            } else {
+                self.free_spans[pos] = (off + needed, width - needed);
+            }
+            off
+        } else if needed <= stripe_limit.saturating_sub(self.total_stripes) {
+            let off = self.total_stripes;
+            self.total_stripes += needed;
+            off
+        } else {
+            return None;
+        };
+        let index = self.free_slots.pop().unwrap_or(self.slots.len());
         let mut config = self.config.clone();
         config.seed = instance_seed(self.config.seed, index);
         let array = TiledCrossbar::program(coupling, config, self.tile_rows);
         let (bands, stripes) = array.tile_grid();
-        self.slots.push(InstanceSlot {
-            array,
-            stripe_offset: self.total_stripes,
-        });
-        self.total_stripes += stripes;
+        debug_assert_eq!(stripes, needed, "admission sizing must match programming");
         self.max_bands = self.max_bands.max(bands);
-        index
+        let slot = InstanceSlot {
+            array,
+            stripe_offset: offset,
+            stripes,
+        };
+        if index == self.slots.len() {
+            self.slots.push(Some(slot));
+        } else {
+            self.slots[index] = Some(slot);
+        }
+        self.admitted += 1;
+        Some(index)
+    }
+
+    /// Retire an instance: its stripe span returns to the free pool
+    /// (coalescing with adjacent free spans; trailing spans shrink the
+    /// grid's tail) and its slot index becomes reusable by the next
+    /// admission.
+    ///
+    /// Outstanding [`BatchInstance`] handles onto the retired instance
+    /// must not read anymore — reads panic, like any other access to a
+    /// retired instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range or already retired.
+    pub fn retire_instance(&mut self, instance: usize) {
+        let slot = match self.slots.get_mut(instance) {
+            Some(slot @ Some(_)) => slot.take().expect("matched Some"),
+            _ => panic!(
+                "instance {instance} is retired or out of range for {} slots",
+                self.slots.len()
+            ),
+        };
+        self.free_slots.push(instance);
+        self.retired += 1;
+        let span = (slot.stripe_offset, slot.stripes);
+        let pos = self.free_spans.partition_point(|&(off, _)| off < span.0);
+        self.free_spans.insert(pos, span);
+        // Coalesce with the right neighbor, then the left.
+        if pos + 1 < self.free_spans.len()
+            && self.free_spans[pos].0 + self.free_spans[pos].1 == self.free_spans[pos + 1].0
+        {
+            self.free_spans[pos].1 += self.free_spans[pos + 1].1;
+            self.free_spans.remove(pos + 1);
+        }
+        if pos > 0
+            && self.free_spans[pos - 1].0 + self.free_spans[pos - 1].1 == self.free_spans[pos].0
+        {
+            self.free_spans[pos - 1].1 += self.free_spans[pos].1;
+            self.free_spans.remove(pos);
+        }
+        // A free span ending at the tail hands its stripes back.
+        if let Some(&(off, width)) = self.free_spans.last() {
+            if off + width == self.total_stripes {
+                self.total_stripes = off;
+                self.free_spans.pop();
+            }
+        }
+    }
+
+    /// Stripes an instance of `dimension` spins would occupy on this
+    /// grid (its tiled mapping is square: `ceil(n / tile_rows)` stripes).
+    pub fn stripes_needed(&self, dimension: usize) -> usize {
+        dimension.div_ceil(self.tile_rows)
+    }
+
+    /// Whether `instance` currently occupies the grid (admitted and not
+    /// retired). Out-of-range indices are simply not live.
+    pub fn is_live(&self, instance: usize) -> bool {
+        matches!(self.slots.get(instance), Some(Some(_)))
+    }
+
+    /// Instances currently occupying the grid.
+    pub fn live_instances(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Stripes currently occupied by live instances.
+    pub fn stripes_in_use(&self) -> usize {
+        self.total_stripes - self.free_spans.iter().map(|&(_, w)| w).sum::<usize>()
+    }
+
+    /// Lifetime admissions ([`push_instance`](Self::push_instance) +
+    /// [`try_admit_instance`](Self::try_admit_instance)).
+    pub fn admissions(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Lifetime retirements.
+    pub fn retirements(&self) -> u64 {
+        self.retired
     }
 
     /// A grid holding `count` replicas of one coupling — the ensemble
@@ -197,7 +368,11 @@ impl BatchedTiledCrossbar {
         grid
     }
 
-    /// Number of instances packed onto the grid.
+    /// Number of instance slots ever allocated (live **and** retired —
+    /// retired slot indices stay addressable until an admission recycles
+    /// them). Equals the live count on lockstep grids that never retire;
+    /// see [`BatchedTiledCrossbar::live_instances`] for the occupancy
+    /// count.
     pub fn instance_count(&self) -> usize {
         self.slots.len()
     }
@@ -245,10 +420,11 @@ impl BatchedTiledCrossbar {
         self.slot(instance).array.stats()
     }
 
-    /// Activity summed over every instance.
+    /// Activity summed over every live instance (retired instances take
+    /// their attribution with them — snapshot before retiring).
     pub fn aggregate_stats(&self) -> ActivityStats {
         let mut total = ActivityStats::new();
-        for slot in &self.slots {
+        for slot in self.slots.iter().flatten() {
             total.merge(slot.array.stats());
         }
         total
@@ -259,9 +435,10 @@ impl BatchedTiledCrossbar {
         &self.batch
     }
 
-    /// Clear per-instance and grid-level counters.
+    /// Clear per-instance and grid-level counters (admission/retirement
+    /// lifetime counters keep running).
     pub fn reset_stats(&mut self) {
-        for slot in &mut self.slots {
+        for slot in self.slots.iter_mut().flatten() {
             slot.array.reset_stats();
         }
         self.batch.reset();
@@ -276,10 +453,10 @@ impl BatchedTiledCrossbar {
         self.slot_mut(instance).array.reset_stats();
     }
 
-    /// Set the per-stripe sensing schedule of every instance (see
+    /// Set the per-stripe sensing schedule of every live instance (see
     /// [`SensingMode`]).
     pub fn set_sensing_mode(&mut self, mode: SensingMode) {
-        for slot in &mut self.slots {
+        for slot in self.slots.iter_mut().flatten() {
             slot.array.set_sensing_mode(mode);
         }
     }
@@ -341,8 +518,8 @@ impl BatchedTiledCrossbar {
     pub fn read_batch(&mut self, reads: &[BatchRead<'_>]) -> Vec<f64> {
         for read in reads {
             assert!(
-                read.instance < self.slots.len(),
-                "batch read instance {} out of range for {} instances",
+                self.is_live(read.instance),
+                "batch read instance {} is retired or out of range for {} instances",
                 read.instance,
                 self.slots.len()
             );
@@ -355,6 +532,7 @@ impl BatchedTiledCrossbar {
         let tiles_before: u64 = self
             .slots
             .iter()
+            .flatten()
             .map(|s| s.array.stats().tiles_activated)
             .sum();
 
@@ -365,7 +543,10 @@ impl BatchedTiledCrossbar {
             .iter_mut()
             .zip(per_instance)
             .filter(|(_, ops)| !ops.is_empty())
-            .map(|(slot, ops)| (&mut slot.array, ops))
+            .map(|(slot, ops)| {
+                let slot = slot.as_mut().expect("liveness checked above");
+                (&mut slot.array, ops)
+            })
             .collect();
         let outcomes: Vec<Vec<(usize, f64)>> = jobs
             .into_par_iter()
@@ -392,6 +573,7 @@ impl BatchedTiledCrossbar {
         let tiles_after: u64 = self
             .slots
             .iter()
+            .flatten()
             .map(|s| s.array.stats().tiles_activated)
             .sum();
         self.account_cycle(reads.len() as u64, concurrent, tiles_after - tiles_before);
@@ -414,21 +596,23 @@ impl BatchedTiledCrossbar {
     }
 
     fn slot(&self, instance: usize) -> &InstanceSlot {
-        assert!(
-            instance < self.slots.len(),
-            "instance {instance} out of range for {} instances",
-            self.slots.len()
-        );
-        &self.slots[instance]
+        match self.slots.get(instance) {
+            Some(Some(slot)) => slot,
+            Some(None) => panic!("instance {instance} is retired"),
+            None => panic!(
+                "instance {instance} out of range for {} instances",
+                self.slots.len()
+            ),
+        }
     }
 
     fn slot_mut(&mut self, instance: usize) -> &mut InstanceSlot {
-        assert!(
-            instance < self.slots.len(),
-            "instance {instance} out of range for {} instances",
-            self.slots.len()
-        );
-        &mut self.slots[instance]
+        let count = self.slots.len();
+        match self.slots.get_mut(instance) {
+            Some(Some(slot)) => slot,
+            Some(None) => panic!("instance {instance} is retired"),
+            None => panic!("instance {instance} out of range for {count} instances"),
+        }
     }
 
     fn account_cycle(&mut self, reads: u64, concurrent: usize, tiles_activated: u64) {
@@ -706,6 +890,102 @@ mod tests {
         let mut grid = BatchedTiledCrossbar::replicate(&p, 1, config(), 4);
         let s = SpinVector::all_up(8);
         let _ = grid.vmv(1, s.as_slice());
+    }
+
+    #[test]
+    fn admission_respects_stripe_capacity_and_reuses_freed_spans() {
+        // tile_rows 4: an n-spin instance needs ceil(n/4) stripes.
+        let p8 = dense(8, 20); // 2 stripes
+        let p16 = dense(16, 21); // 4 stripes
+        let p12 = dense(12, 22); // 3 stripes
+        let mut grid = BatchedTiledCrossbar::new(config(), 4);
+        assert_eq!(grid.stripes_needed(16), 4);
+
+        let a = grid.try_admit_instance(&p16, 6).expect("4 of 6 fits");
+        let b = grid.try_admit_instance(&p8, 6).expect("4+2 of 6 fits");
+        assert_eq!((grid.stripe_offset(a), grid.stripe_offset(b)), (0, 4));
+        assert_eq!(grid.stripes_in_use(), 6);
+        assert_eq!(grid.live_instances(), 2);
+        // Full: a 2-stripe instance does not fit right now.
+        assert_eq!(grid.try_admit_instance(&p8, 6), None);
+
+        // Retiring the 4-stripe head frees a span the next admissions
+        // fill first-fit, splitting it.
+        grid.retire_instance(a);
+        assert!(!grid.is_live(a));
+        assert_eq!(grid.live_instances(), 1);
+        assert_eq!(grid.stripes_in_use(), 2);
+        let c = grid.try_admit_instance(&p12, 6).expect("3 of 4 freed");
+        assert_eq!(grid.stripe_offset(c), 0);
+        let d = grid.try_admit_instance(&p8, 6);
+        assert_eq!(d, None, "only 1 free stripe remains");
+        assert_eq!(grid.admissions(), 3);
+        assert_eq!(grid.retirements(), 1);
+    }
+
+    #[test]
+    fn retirement_coalesces_spans_and_shrinks_the_tail() {
+        let p8 = dense(8, 23); // 2 stripes each at tile_rows 4
+        let mut grid = BatchedTiledCrossbar::new(config(), 4);
+        let a = grid.try_admit_instance(&p8, 6).unwrap();
+        let b = grid.try_admit_instance(&p8, 6).unwrap();
+        let c = grid.try_admit_instance(&p8, 6).unwrap();
+        // Freeing a and b coalesces [0,2)+[2,4) into one 4-stripe span…
+        grid.retire_instance(a);
+        grid.retire_instance(b);
+        let p16 = dense(16, 24); // needs 4 contiguous stripes
+        let d = grid.try_admit_instance(&p16, 6).expect("coalesced span");
+        assert_eq!(grid.stripe_offset(d), 0);
+        // …and freeing the tail returns stripes to the pool outright.
+        grid.retire_instance(c);
+        grid.retire_instance(d);
+        assert_eq!(grid.stripes_in_use(), 0);
+        let e = grid
+            .try_admit_instance(&dense(24, 25), 6)
+            .expect("empty grid admits a full-width instance");
+        assert_eq!(grid.stripe_offset(e), 0);
+        assert_eq!(grid.stripes_in_use(), 6);
+    }
+
+    #[test]
+    fn recycled_slots_see_the_same_silicon() {
+        let n = 12;
+        let p = dense(n, 26);
+        let mut cfg = config();
+        cfg.fidelity = Fidelity::DeviceAccurate;
+        cfg.variation = VariationConfig::typical();
+        cfg.variation.read_noise_rel = 0.0; // isolate the programmed maps
+        let mut grid = BatchedTiledCrossbar::new(cfg, 6);
+        let s = SpinVector::all_up(n);
+        let first = grid.try_admit_instance(&p, 4).unwrap();
+        let before = grid.vmv(first, s.as_slice());
+        grid.retire_instance(first);
+        // The successor lands in the recycled slot — same per-slot seed,
+        // hence the same simulated silicon.
+        let second = grid.try_admit_instance(&p, 4).unwrap();
+        assert_eq!(second, first);
+        assert_eq!(grid.vmv(second, s.as_slice()), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "retired")]
+    fn reads_on_retired_instances_panic() {
+        let p = dense(8, 27);
+        let mut grid = BatchedTiledCrossbar::new(config(), 4);
+        let a = grid.try_admit_instance(&p, 4).unwrap();
+        grid.retire_instance(a);
+        let s = SpinVector::all_up(8);
+        let _ = grid.vmv(a, s.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "retired")]
+    fn double_retire_panics() {
+        let p = dense(8, 28);
+        let mut grid = BatchedTiledCrossbar::new(config(), 4);
+        let a = grid.try_admit_instance(&p, 4).unwrap();
+        grid.retire_instance(a);
+        grid.retire_instance(a);
     }
 
     #[test]

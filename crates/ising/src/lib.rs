@@ -54,7 +54,7 @@ pub use energy::{
 pub use error::IsingError;
 pub use problems::{
     CopProblem, GraphColoring, Knapsack, MaxCut, MaxIndependentSet, NumberPartitioning,
-    ObjectiveSense, SherringtonKirkpatrick, TravellingSalesman, VertexCover,
+    ObjectiveSense, RawIsing, SherringtonKirkpatrick, TravellingSalesman, VertexCover,
 };
 pub use qubo::Qubo;
 pub use spin::{FlipMask, Spin, SpinVector};

@@ -13,6 +13,7 @@ mod knapsack;
 mod max_cut;
 mod mis;
 mod partition;
+mod raw;
 mod spin_glass;
 mod tsp;
 mod vertex_cover;
@@ -22,6 +23,7 @@ pub use knapsack::Knapsack;
 pub use max_cut::MaxCut;
 pub use mis::MaxIndependentSet;
 pub use partition::NumberPartitioning;
+pub use raw::RawIsing;
 pub use spin_glass::SherringtonKirkpatrick;
 pub use tsp::TravellingSalesman;
 pub use vertex_cover::VertexCover;

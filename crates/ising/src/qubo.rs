@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::coupling::{CsrCoupling, IsingModel};
 use crate::error::IsingError;
+use crate::problems::{CopProblem, ObjectiveSense};
 use crate::spin::SpinVector;
 
 /// A QUBO instance: minimize `xᵀQx` over `x ∈ {0,1}ⁿ`, with `Q` upper
@@ -105,6 +106,81 @@ impl Qubo {
     pub fn decode(&self, spins: &SpinVector) -> Vec<u8> {
         spins.to_binaries()
     }
+
+    /// Build from a full square coefficient matrix `q` (row-major):
+    /// `q[i][j] + q[j][i]` weights the pair `x_i·x_j` and diagonal
+    /// entries are the linear terms — the raw-payload wire format of
+    /// `fecim::ProblemSpec::Qubo`. Zero coefficients are dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`IsingError::InvalidProblem`] for an empty matrix,
+    /// [`IsingError::DimensionMismatch`] when a row's length differs
+    /// from the row count (non-square), and
+    /// [`IsingError::NonFiniteCoupling`] on NaN/infinite entries.
+    pub fn from_matrix(q: &[Vec<f64>]) -> Result<Qubo, IsingError> {
+        let n = q.len();
+        if n == 0 {
+            return Err(IsingError::InvalidProblem(
+                "QUBO payload needs at least one variable".into(),
+            ));
+        }
+        for (i, row) in q.iter().enumerate() {
+            if row.len() != n {
+                return Err(IsingError::DimensionMismatch {
+                    expected: n,
+                    found: row.len(),
+                });
+            }
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(IsingError::NonFiniteCoupling { row: i, col: j });
+                }
+            }
+        }
+        let mut qubo = Qubo::new(n);
+        for (i, row) in q.iter().enumerate() {
+            if row[i] != 0.0 {
+                qubo.add_term(i, i, row[i]);
+            }
+            for (j, &upper) in row.iter().enumerate().skip(i + 1) {
+                let coeff = upper + q[j][i];
+                if coeff != 0.0 {
+                    qubo.add_term(i, j, coeff);
+                }
+            }
+        }
+        Ok(qubo)
+    }
+}
+
+/// A QUBO is itself a solvable problem: the native objective is `xᵀQx`
+/// under the binary decoding `x_i = (1 − σ_i)/2`, minimized, with no
+/// hard constraints.
+impl CopProblem for Qubo {
+    fn spin_count(&self) -> usize {
+        self.n
+    }
+
+    fn to_ising(&self) -> Result<IsingModel, IsingError> {
+        Qubo::to_ising(self)
+    }
+
+    fn native_objective(&self, spins: &SpinVector) -> f64 {
+        self.evaluate(&self.decode(spins))
+    }
+
+    fn objective_sense(&self) -> ObjectiveSense {
+        ObjectiveSense::Minimize
+    }
+
+    fn is_feasible(&self, _spins: &SpinVector) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "qubo"
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +202,63 @@ mod tests {
                 (qv - ev).abs() < 1e-9,
                 "bits={bits:b}: qubo={qv} ising={ev}"
             );
+        }
+    }
+
+    #[test]
+    fn from_matrix_matches_explicit_terms() {
+        // General (asymmetric) matrix: the pair weight is q_ij + q_ji.
+        let q = Qubo::from_matrix(&[
+            vec![2.0, 1.0, 0.0],
+            vec![3.0, -1.0, 0.5],
+            vec![0.0, 0.5, 0.0],
+        ])
+        .unwrap();
+        let mut explicit = Qubo::new(3);
+        explicit.add_term(0, 0, 2.0);
+        explicit.add_term(0, 1, 4.0);
+        explicit.add_term(1, 1, -1.0);
+        explicit.add_term(1, 2, 1.0);
+        for bits in 0u32..8 {
+            let x: Vec<u8> = (0..3).map(|i| ((bits >> i) & 1) as u8).collect();
+            assert_eq!(q.evaluate(&x), explicit.evaluate(&x), "bits={bits:b}");
+        }
+        exhaustive_check(&q);
+    }
+
+    #[test]
+    fn from_matrix_validation_errors() {
+        assert!(matches!(
+            Qubo::from_matrix(&[]),
+            Err(IsingError::InvalidProblem(_))
+        ));
+        assert!(matches!(
+            Qubo::from_matrix(&[vec![0.0, 1.0], vec![1.0]]),
+            Err(IsingError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        assert!(matches!(
+            Qubo::from_matrix(&[vec![0.0, f64::INFINITY], vec![1.0, 0.0]]),
+            Err(IsingError::NonFiniteCoupling { row: 0, col: 1 })
+        ));
+    }
+
+    #[test]
+    fn qubo_is_a_cop_problem() {
+        let q = Qubo::from_matrix(&[vec![-1.0, 2.0], vec![0.0, -1.0]]).unwrap();
+        assert_eq!(CopProblem::spin_count(&q), 2);
+        assert_eq!(q.objective_sense(), ObjectiveSense::Minimize);
+        assert_eq!(q.name(), "qubo");
+        let model = CopProblem::to_ising(&q).unwrap();
+        // The native objective of a configuration is its decoded xᵀQx —
+        // which the exact QUBO↔Ising equivalence says equals the energy.
+        for bits in 0u32..4 {
+            let x: Vec<u8> = (0..2).map(|i| ((bits >> i) & 1) as u8).collect();
+            let spins = SpinVector::from_binaries(&x);
+            assert!((q.native_objective(&spins) - model.energy(&spins)).abs() < 1e-12);
+            assert!(q.is_feasible(&spins));
         }
     }
 

@@ -1,0 +1,286 @@
+//! The JSON-lines transport: the wire protocol of `fecim-serve serve
+//! --stdin-jsonl`, factored as library functions so tests and future
+//! transports (HTTP, a message queue) reuse the exact same semantics —
+//! swapping the byte stream is the only change.
+//!
+//! ## Protocol
+//!
+//! Input: one [`RequestLine`] per line (externally tagged JSON, blank
+//! lines ignored). All submissions and cancellations are staged into a
+//! *paused* scheduler first; execution starts at end of input, and one
+//! [`ResponseLine`] per submission is emitted in submission order. That
+//! makes a fixture file fully deterministic: a `Cancel` anywhere in the
+//! stream reliably beats the worker pool to the job.
+//!
+//! ```text
+//! {"Submit":{"id":"ring","request":{...SolveRequest...},"options":{"priority":5,"deadline_ms":null,"tags":[]}}}
+//! {"Cancel":{"id":"ring"}}
+//! ```
+//!
+//! Output lines mirror [`JobHandle::wait`]:
+//!
+//! ```text
+//! {"Completed":{"id":"ring","response":{...SolveResponse...}}}
+//! {"Cancelled":{"id":"ring","completed_trials":0,"partial":null}}
+//! {"Failed":{"id":"ring","error":"invalid request: ..."}}
+//! ```
+//!
+//! [`JobHandle::wait`]: crate::JobHandle::wait
+
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+use fecim::{SolveRequest, SolveResponse};
+
+use crate::job::{SchedulerError, SubmitOptions};
+use crate::scheduler::{Scheduler, SchedulerConfig};
+
+/// One input line of the JSONL protocol.
+// The variants ARE the wire format; boxing `Submit`'s request would
+// change nothing on the wire and only add indirection in memory.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestLine {
+    /// Queue a request under a client-chosen id.
+    Submit {
+        /// Client-chosen job id (must be unique within the stream).
+        id: String,
+        /// The job to run.
+        request: SolveRequest,
+        /// Priority/deadline/tags.
+        options: SubmitOptions,
+    },
+    /// Cancel a previously submitted id.
+    Cancel {
+        /// The id to cancel.
+        id: String,
+    },
+}
+
+/// One output line of the JSONL protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ResponseLine {
+    /// The job ran every trial.
+    Completed {
+        /// The client's id.
+        id: String,
+        /// The full response.
+        response: SolveResponse,
+    },
+    /// The job was cancelled; completed trials are summarized.
+    Cancelled {
+        /// The client's id.
+        id: String,
+        /// Trials that finished before cancellation.
+        completed_trials: usize,
+        /// Response over the completed trials, if any.
+        partial: Option<SolveResponse>,
+    },
+    /// The job (or the line itself) failed.
+    Failed {
+        /// The client's id (or a synthesized one for unparsable lines).
+        id: String,
+        /// Human-readable error.
+        error: String,
+    },
+}
+
+impl ResponseLine {
+    /// The id this line answers.
+    pub fn id(&self) -> &str {
+        match self {
+            ResponseLine::Completed { id, .. }
+            | ResponseLine::Cancelled { id, .. }
+            | ResponseLine::Failed { id, .. } => id,
+        }
+    }
+}
+
+/// Error of a [`run_jsonl`] / [`check_responses`] call.
+#[derive(Debug)]
+pub enum JsonlError {
+    /// Reading input or writing output failed.
+    Io(std::io::Error),
+    /// An input line was not valid protocol JSON.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonlError::Io(e) => write!(f, "i/o error: {e}"),
+            JsonlError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JsonlError::Io(e) => Some(e),
+            JsonlError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JsonlError {
+    fn from(e: std::io::Error) -> JsonlError {
+        JsonlError::Io(e)
+    }
+}
+
+/// Aggregate outcome of a [`run_jsonl`] stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JsonlSummary {
+    /// Submissions read.
+    pub submitted: usize,
+    /// Jobs that completed every trial.
+    pub completed: usize,
+    /// Jobs that ended cancelled.
+    pub cancelled: usize,
+    /// Jobs (or lines) that failed.
+    pub failed: usize,
+}
+
+/// Serve one JSONL stream: stage every line into a paused scheduler,
+/// execute, and emit one response line per submission in submission
+/// order.
+///
+/// # Errors
+///
+/// [`JsonlError::Io`] on read/write failures and [`JsonlError::Parse`]
+/// when an input line is not valid protocol JSON (malformed *requests*
+/// inside a valid line are per-job failures, reported on the job's
+/// response line instead).
+pub fn run_jsonl(
+    input: impl BufRead,
+    mut output: impl Write,
+    config: SchedulerConfig,
+) -> Result<JsonlSummary, JsonlError> {
+    let scheduler = Scheduler::with_config(SchedulerConfig {
+        paused: true,
+        ..config
+    });
+    // (id, handle) in submission order; duplicate ids become failures.
+    let mut jobs: Vec<(String, Option<crate::JobHandle>)> = Vec::new();
+    let mut cancels: Vec<String> = Vec::new();
+    for (line_no, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed: RequestLine = serde_json::from_str(line).map_err(|e| JsonlError::Parse {
+            line: line_no + 1,
+            message: e.to_string(),
+        })?;
+        match parsed {
+            RequestLine::Submit {
+                id,
+                request,
+                options,
+            } => {
+                if jobs.iter().any(|(existing, _)| existing == &id) {
+                    // Answered by a `Failed` line in submission order.
+                    jobs.push((id, None));
+                    continue;
+                }
+                let handle = scheduler.submit(request, options);
+                jobs.push((id, Some(handle)));
+            }
+            RequestLine::Cancel { id } => cancels.push(id),
+        }
+    }
+    // The whole stream is staged before execution starts, so a cancel
+    // applies wherever it appears relative to its submission; only ids
+    // the stream never submits are errors.
+    let mut errors: Vec<(String, String)> = Vec::new();
+    for id in cancels {
+        match jobs.iter().find(|(existing, _)| existing == &id) {
+            Some((_, Some(handle))) => {
+                handle.cancel();
+            }
+            _ => errors.push((id.clone(), format!("cancel for unknown id `{id}`"))),
+        }
+    }
+
+    scheduler.resume();
+    let mut summary = JsonlSummary {
+        submitted: jobs.iter().filter(|(_, h)| h.is_some()).count(),
+        ..JsonlSummary::default()
+    };
+    for (id, handle) in jobs {
+        let response = match handle {
+            None => {
+                summary.failed += 1;
+                ResponseLine::Failed {
+                    error: format!("duplicate submission id `{id}`"),
+                    id,
+                }
+            }
+            Some(handle) => match handle.wait() {
+                Ok(response) => {
+                    summary.completed += 1;
+                    ResponseLine::Completed { id, response }
+                }
+                Err(SchedulerError::Cancelled { completed, partial }) => {
+                    summary.cancelled += 1;
+                    ResponseLine::Cancelled {
+                        id,
+                        completed_trials: completed,
+                        partial: partial.map(|b| *b),
+                    }
+                }
+                Err(e) => {
+                    summary.failed += 1;
+                    ResponseLine::Failed {
+                        id,
+                        error: e.to_string(),
+                    }
+                }
+            },
+        };
+        let json = serde_json::to_string(&response).expect("response lines serialize");
+        writeln!(output, "{json}")?;
+    }
+    for (id, error) in errors {
+        summary.failed += 1;
+        let json = serde_json::to_string(&ResponseLine::Failed { id, error })
+            .expect("response lines serialize");
+        writeln!(output, "{json}")?;
+    }
+    scheduler.join();
+    Ok(summary)
+}
+
+/// Validate that every line of `input` parses as a [`ResponseLine`] —
+/// the CI smoke's "emitted responses parse" assertion. Returns the
+/// parsed lines.
+///
+/// # Errors
+///
+/// [`JsonlError::Io`] on read failures, [`JsonlError::Parse`] on the
+/// first unparsable line.
+pub fn check_responses(input: impl BufRead) -> Result<Vec<ResponseLine>, JsonlError> {
+    let mut lines = Vec::new();
+    for (line_no, line) in input.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let parsed: ResponseLine =
+            serde_json::from_str(trimmed).map_err(|e| JsonlError::Parse {
+                line: line_no + 1,
+                message: e.to_string(),
+            })?;
+        lines.push(parsed);
+    }
+    Ok(lines)
+}

@@ -1,0 +1,54 @@
+//! # fecim-serve
+//!
+//! The next-generation execution API of the fecim workspace: a
+//! [`Scheduler`] that queues many [`SolveRequest`](fecim::SolveRequest)s,
+//! runs them on a worker pool at trial granularity, and keeps shared
+//! [`BatchedTiledCrossbar`](fecim_crossbar::BatchedTiledCrossbar) grids
+//! saturated by admitting queued jobs into freed stripe slots as
+//! replicas finish — the software half of the paper's array-parallelism
+//! co-design, applied to heterogeneous traffic.
+//!
+//! Where [`Session::run`](fecim::Session::run) is a blocking one-shot
+//! call, [`Scheduler::submit`] returns a [`JobHandle`] immediately:
+//!
+//! * [`JobHandle::status`] / [`JobHandle::progress`] — lifecycle and
+//!   trials-completed / best-energy-so-far observation;
+//! * [`JobHandle::cancel`] — stop between trials, keeping what finished;
+//! * [`JobHandle::wait`] — block for the final
+//!   [`SolveResponse`](fecim::SolveResponse).
+//!
+//! ## Determinism
+//!
+//! Trials derive all randomness from `base_seed + trial`, so with any
+//! fixed worker count, scheduled Ideal-fidelity results are
+//! **bit-identical** to `Session::run` of the same requests — queueing,
+//! priorities and live-grid placement change *when and where* a trial
+//! runs, never *what it computes*. (The one scheduler-visible
+//! difference: responses report live-grid placement through
+//! [`Scheduler::grid_stats`] instead of per-chunk
+//! [`BatchGridSummary`](fecim::BatchGridSummary)s, whose chunk shapes
+//! are a `Session`-only concept.) In
+//! [`Fidelity::DeviceAccurate`](fecim_crossbar::Fidelity) mode,
+//! variation seeds follow grid slots, so placement *does* matter — as
+//! it would on real silicon.
+//!
+//! ## Transports
+//!
+//! The `fecim-serve` binary speaks the [`jsonl`] protocol over
+//! stdin/stdout (`fecim-serve serve --stdin-jsonl`). The protocol
+//! functions are library API ([`run_jsonl`], [`check_responses`]), so
+//! an HTTP or queue front-end later is a byte-stream swap, not a
+//! redesign.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod grid;
+mod job;
+pub mod jsonl;
+mod scheduler;
+
+pub use grid::LiveGridStats;
+pub use job::{JobHandle, JobProgress, JobStatus, SchedulerError, SubmitOptions};
+pub use jsonl::{check_responses, run_jsonl, JsonlError, JsonlSummary, RequestLine, ResponseLine};
+pub use scheduler::{Scheduler, SchedulerConfig};

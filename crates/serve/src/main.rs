@@ -1,0 +1,107 @@
+//! The `fecim-serve` binary: the JSONL transport over stdin/stdout.
+//!
+//! ```text
+//! fecim-serve serve --stdin-jsonl [--workers N] [--grid-stripes N]
+//! fecim-serve check-responses [FILE]
+//! ```
+//!
+//! `serve --stdin-jsonl` reads one request per line (see
+//! [`fecim_serve::jsonl`]), executes the whole stream on a scheduler,
+//! and writes one response line per submission in submission order.
+//! `check-responses` re-parses emitted response lines (from FILE or
+//! stdin) and exits nonzero if any line is invalid — the CI smoke's
+//! assertion.
+
+use std::io::{BufRead, BufReader, Write as _};
+
+use fecim_serve::{check_responses, run_jsonl, SchedulerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fecim-serve serve --stdin-jsonl [--workers N] [--grid-stripes N]\n       \
+         fecim-serve check-responses [FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_usize(args: &[String], flag: &str) -> Option<usize> {
+    for (i, a) in args.iter().enumerate() {
+        let value = if a == flag {
+            match args.get(i + 1) {
+                Some(next) => Some(next.clone()),
+                None => {
+                    eprintln!("error: {flag} needs a positive integer value");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            a.strip_prefix(&format!("{flag}=")).map(str::to_string)
+        };
+        if let Some(value) = value {
+            match value.parse::<usize>() {
+                Ok(v) if v > 0 => return Some(v),
+                _ => {
+                    eprintln!("error: {flag} needs a positive integer (got {value:?})");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            if !args.iter().any(|a| a == "--stdin-jsonl") {
+                eprintln!("error: `serve` currently supports only --stdin-jsonl");
+                usage();
+            }
+            let mut config = SchedulerConfig::default();
+            if let Some(workers) = parse_usize(&args, "--workers") {
+                config.workers = workers;
+            }
+            if let Some(stripes) = parse_usize(&args, "--grid-stripes") {
+                config.grid_stripes = stripes;
+            }
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            match run_jsonl(stdin.lock(), stdout.lock(), config) {
+                Ok(summary) => {
+                    eprintln!(
+                        "served {} jobs: {} completed, {} cancelled, {} failed",
+                        summary.submitted, summary.completed, summary.cancelled, summary.failed
+                    );
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("check-responses") => {
+            let input: Box<dyn BufRead> = match args.get(1) {
+                Some(path) => match std::fs::File::open(path) {
+                    Ok(file) => Box::new(BufReader::new(file)),
+                    Err(e) => {
+                        eprintln!("error: cannot open {path}: {e}");
+                        std::process::exit(1);
+                    }
+                },
+                None => Box::new(BufReader::new(std::io::stdin())),
+            };
+            match check_responses(input) {
+                Ok(lines) => {
+                    let mut out = std::io::stdout();
+                    let _ = writeln!(out, "{} response lines parsed", lines.len());
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

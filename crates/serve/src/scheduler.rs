@@ -1,0 +1,612 @@
+//! The [`Scheduler`]: a worker pool draining a priority queue of
+//! [`SolveRequest`]s, one *trial* at a time.
+//!
+//! ## Execution model
+//!
+//! The unit of work is a single seeded trial, not a whole request. A
+//! worker repeatedly pops the highest-priority job with unclaimed
+//! trials, claims the next trial, and — because every trial derives all
+//! of its randomness from `base_seed + trial` — produces exactly the
+//! report [`Session::run`] would, regardless of which worker runs it,
+//! when, or what else is running. That is the determinism contract:
+//! with any fixed worker count, scheduled Ideal-fidelity results are
+//! bit-identical to `Session::run` of the same requests (pinned by the
+//! `scheduler_api` tests at 1 and 8 workers). In
+//! `Fidelity::DeviceAccurate` mode, batched placement chooses variation
+//! seeds, so live-grid scheduling is *not* placement-independent —
+//! deterministic mode means Ideal fidelity.
+//!
+//! Trial granularity is also what makes priorities responsive: a
+//! higher-priority submission preempts a long ensemble at its next
+//! trial boundary (no trial is ever aborted mid-anneal), and
+//! cancellation takes effect the same way.
+//!
+//! ## Live-grid admission
+//!
+//! Trials of [`BackendPlan::Batched`](fecim::BackendPlan::Batched)
+//! jobs run as replicas on shared [`BatchedTiledCrossbar`] grids (one
+//! per tile height). Each trial admits its instance right before
+//! annealing and retires it right after, so heterogeneous jobs pack
+//! block-diagonally onto one grid and queued jobs slide into freed
+//! stripe spans as replicas finish — the grid stays saturated instead
+//! of waiting for cohort barriers.
+//!
+//! [`BatchedTiledCrossbar`]: fecim_crossbar::BatchedTiledCrossbar
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use fecim::{PreparedJob, Session, SessionError, SolveReport, SolveRequest};
+use fecim_crossbar::CrossbarConfig;
+
+use crate::grid::{Admission, GridPool, LiveGridStats};
+use crate::job::{Job, JobHandle, JobState, JobStatus, SchedulerError, SubmitOptions};
+
+/// Lock a mutex, surviving peers that panicked while holding it (jobs
+/// and queues are plain data — a poisoned guard is still consistent).
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Configuration of a [`Scheduler`].
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker threads draining the queue (≥ 1).
+    pub workers: usize,
+    /// Stripe capacity of each live grid: how many column stripes a
+    /// shared grid may span before admissions start waiting. Bounds the
+    /// simulated silicon the scheduler may occupy per tile height.
+    pub grid_stripes: usize,
+    /// Crossbar override for device-backed requests (the
+    /// [`Session::with_crossbar`] setting); `None` = paper defaults.
+    pub crossbar: Option<CrossbarConfig>,
+    /// Start with workers idle; submissions queue up until
+    /// [`Scheduler::resume`]. Lets a client stage a whole batch (and
+    /// cancellations) before execution starts — the JSONL front-end and
+    /// the deterministic tests rely on it.
+    pub paused: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            workers: 2,
+            grid_stripes: 64,
+            crossbar: None,
+            paused: false,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Config with the given worker count.
+    pub fn workers(workers: usize) -> SchedulerConfig {
+        SchedulerConfig {
+            workers,
+            ..SchedulerConfig::default()
+        }
+    }
+
+    /// Set the per-grid stripe capacity.
+    pub fn with_grid_stripes(mut self, grid_stripes: usize) -> SchedulerConfig {
+        self.grid_stripes = grid_stripes;
+        self
+    }
+
+    /// Override the crossbar configuration of device-backed requests.
+    pub fn with_crossbar(mut self, config: CrossbarConfig) -> SchedulerConfig {
+        self.crossbar = Some(config);
+        self
+    }
+
+    /// Start paused (see [`SchedulerConfig::paused`]).
+    pub fn start_paused(mut self) -> SchedulerConfig {
+        self.paused = true;
+        self
+    }
+}
+
+/// Queue entry ordering: priority desc, then deadline asc (absent
+/// deadlines last), then submission order. `BinaryHeap` pops the
+/// maximum, so "greater" means "runs first".
+struct QueueEntry {
+    job: Arc<Job>,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &QueueEntry) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &QueueEntry) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &QueueEntry) -> CmpOrdering {
+        self.job
+            .priority
+            .cmp(&other.job.priority)
+            .then_with(|| match (self.job.deadline, other.job.deadline) {
+                (Some(a), Some(b)) => b.cmp(&a),
+                (Some(_), None) => CmpOrdering::Greater,
+                (None, Some(_)) => CmpOrdering::Less,
+                (None, None) => CmpOrdering::Equal,
+            })
+            .then_with(|| other.job.id.cmp(&self.job.id))
+    }
+}
+
+enum Mode {
+    /// Accepting and executing work.
+    Running,
+    /// `join()` called: finish everything queued, then exit.
+    Draining,
+    /// Dropped: exit after the current trial.
+    Abort,
+}
+
+struct QueueState {
+    heap: BinaryHeap<QueueEntry>,
+    /// Jobs submitted but not yet finalized (includes parked and
+    /// in-flight jobs that have no heap entry right now).
+    open_jobs: usize,
+    paused: bool,
+    mode: Mode,
+}
+
+/// Shared scheduler state (workers + handles hold an `Arc` each).
+pub(crate) struct Core {
+    session: Session,
+    queue: Mutex<QueueState>,
+    work_cv: Condvar,
+    grids: Mutex<GridPool>,
+    next_id: AtomicU64,
+    /// Global monotone event counter (job starts/finishes) — the
+    /// ordinals behind [`JobHandle::started_event`].
+    events: AtomicU64,
+    /// Jobs submitted and not yet finalized, for shutdown finalization.
+    /// Finalize removes entries, so a long-lived scheduler does not
+    /// accumulate terminal jobs (clients keep theirs via `JobHandle`).
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+}
+
+impl Core {
+    fn next_event(&self) -> u64 {
+        self.events.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Finalize under the job's state lock: record the outcome, stamp
+    /// the event ordinal, wake waiters, and release the job's slot in
+    /// the open-job count. (Lock order: `job.state` may be held while
+    /// taking `queue`, never the reverse.)
+    fn finalize(
+        &self,
+        job: &Job,
+        st: &mut JobState,
+        status: JobStatus,
+        outcome: Result<fecim::SolveResponse, SchedulerError>,
+    ) {
+        debug_assert!(st.outcome.is_none(), "finalize must run once");
+        st.status = status;
+        st.finished_event = Some(self.next_event());
+        st.outcome = Some(outcome);
+        job.done_cv.notify_all();
+        let mut q = lock(&self.queue);
+        q.open_jobs -= 1;
+        drop(q);
+        lock(&self.jobs).remove(&job.id);
+        self.work_cv.notify_all();
+    }
+
+    fn finalize_cancelled(&self, job: &Job, st: &mut JobState) {
+        let completed = st.done;
+        let partial = st.prepared.as_ref().and_then(|prepared| {
+            if completed == 0 {
+                return None;
+            }
+            let reports: Vec<SolveReport> = st.reports.iter().flatten().cloned().collect();
+            prepared.finish(reports, Vec::new()).ok().map(Box::new)
+        });
+        self.finalize(
+            job,
+            st,
+            JobStatus::Cancelled,
+            Err(SchedulerError::Cancelled { completed, partial }),
+        );
+    }
+
+    /// [`JobHandle::cancel`]: flag the job; if nothing is in flight,
+    /// finalize immediately (otherwise the last in-flight trial's
+    /// completion handler does).
+    pub(crate) fn cancel(&self, job: &Arc<Job>) -> bool {
+        job.cancel_flag.store(true, Ordering::Relaxed);
+        let mut st = lock(&job.state);
+        if st.outcome.is_some() {
+            return false;
+        }
+        if st.in_flight == 0 {
+            self.finalize_cancelled(job, &mut st);
+        }
+        true
+    }
+
+    fn requeue(&self, job: Arc<Job>) {
+        let mut q = lock(&self.queue);
+        q.heap.push(QueueEntry { job });
+        drop(q);
+        self.work_cv.notify_one();
+    }
+
+    /// One scheduling step: claim and run at most one trial of `job`.
+    fn process(self: &Arc<Core>, job: Arc<Job>) {
+        // Prepare once, under the job lock (peers querying status block
+        // briefly; the queue stays untouched).
+        let prepared = {
+            let mut st = lock(&job.state);
+            if st.outcome.is_some() {
+                return; // stale heap entry for a finalized job
+            }
+            if job.is_cancel_requested() {
+                if st.in_flight == 0 {
+                    self.finalize_cancelled(&job, &mut st);
+                }
+                return;
+            }
+            if st.prepared.is_none() {
+                match self.session.prepare(&job.request) {
+                    Ok(prepared) => {
+                        st.reports = (0..prepared.trials()).map(|_| None).collect();
+                        st.prepared = Some(Arc::new(prepared));
+                    }
+                    Err(e) => {
+                        self.finalize(
+                            &job,
+                            &mut st,
+                            JobStatus::Failed,
+                            Err(SchedulerError::Rejected(e)),
+                        );
+                        return;
+                    }
+                }
+            }
+            Arc::clone(st.prepared.as_ref().expect("prepared just above"))
+        };
+
+        // Batched trials reserve their grid slot before claiming, so a
+        // full grid parks the job instead of burning its trial.
+        let admission = if prepared.is_batched() {
+            // Bind the attempt first: a `match` on the locked pool would
+            // keep the guard alive across the arms, and the Impossible
+            // arm locks the pool again.
+            let attempt = { lock(&self.grids).admit(&job, &prepared) };
+            match attempt {
+                Admission::Granted(handle) => Some(handle),
+                Admission::Parked => return,
+                Admission::Impossible { needed } => {
+                    let mut st = lock(&job.state);
+                    if st.outcome.is_none() {
+                        let limit = lock(&self.grids).stripe_limit();
+                        self.finalize(
+                            &job,
+                            &mut st,
+                            JobStatus::Failed,
+                            Err(SchedulerError::Rejected(SessionError::InvalidRequest(
+                                format!(
+                                    "instance needs {needed} stripes but the grid capacity \
+                                     is {limit}"
+                                ),
+                            ))),
+                        );
+                    }
+                    return;
+                }
+            }
+        } else {
+            None
+        };
+
+        // Claim the next trial.
+        let claimed = {
+            let mut st = lock(&job.state);
+            if st.outcome.is_some() || job.is_cancel_requested() || st.next_trial >= st.total {
+                None
+            } else {
+                let trial = st.next_trial;
+                st.next_trial += 1;
+                st.in_flight += 1;
+                if st.status == JobStatus::Queued {
+                    st.status = JobStatus::Running;
+                    st.started_event = Some(self.next_event());
+                }
+                if st.next_trial < st.total {
+                    // More trials to claim: stay in the queue so other
+                    // workers pick them up (priority order preserved).
+                    self.requeue(Arc::clone(&job));
+                }
+                Some(trial)
+            }
+        };
+        let Some(trial) = claimed else {
+            // Nothing to run: release the unused grid slot and, if a
+            // cancellation raced in, settle it.
+            if let Some(handle) = admission {
+                self.retire(&prepared, &handle);
+            }
+            let mut st = lock(&job.state);
+            if st.outcome.is_none() && job.is_cancel_requested() && st.in_flight == 0 {
+                self.finalize_cancelled(&job, &mut st);
+            }
+            return;
+        };
+
+        // Run the trial with no scheduler locks held.
+        let result = match &admission {
+            Some(handle) => prepared.run_batched_trial(trial, handle.clone()),
+            None => prepared.run_trial(trial),
+        };
+        if let Some(handle) = admission {
+            self.retire(&prepared, &handle);
+        }
+
+        // Record the outcome and finalize when the job is settled.
+        let mut st = lock(&job.state);
+        st.in_flight -= 1;
+        match result {
+            Ok(report) => {
+                st.best_energy = Some(
+                    st.best_energy
+                        .map_or(report.best_energy, |b| b.min(report.best_energy)),
+                );
+                st.reports[trial] = Some(report);
+                st.done += 1;
+            }
+            Err(e) => {
+                if st.outcome.is_none() {
+                    self.finalize(
+                        &job,
+                        &mut st,
+                        JobStatus::Failed,
+                        Err(SchedulerError::Rejected(e)),
+                    );
+                }
+                return;
+            }
+        }
+        if st.outcome.is_some() {
+            return;
+        }
+        if st.done == st.total {
+            let reports: Vec<SolveReport> = st
+                .reports
+                .iter_mut()
+                .map(|slot| slot.take().expect("all trials done"))
+                .collect();
+            match prepared.finish(reports, Vec::new()) {
+                Ok(response) => {
+                    self.finalize(&job, &mut st, JobStatus::Completed, Ok(response));
+                }
+                Err(e) => self.finalize(
+                    &job,
+                    &mut st,
+                    JobStatus::Failed,
+                    Err(SchedulerError::Rejected(e)),
+                ),
+            }
+        } else if job.is_cancel_requested() && st.in_flight == 0 {
+            self.finalize_cancelled(&job, &mut st);
+        }
+    }
+
+    /// Retire a trial's grid instance and wake every parked job.
+    fn retire(&self, prepared: &PreparedJob, handle: &fecim_crossbar::BatchInstance) {
+        let tile_rows = prepared.tile_rows().expect("batched trials have tiles");
+        let waiters = lock(&self.grids).retire(tile_rows, handle.index());
+        for job in waiters {
+            self.requeue(job);
+        }
+    }
+}
+
+fn worker_loop(core: Arc<Core>) {
+    loop {
+        let job = {
+            let mut q = lock(&core.queue);
+            loop {
+                if matches!(q.mode, Mode::Abort) {
+                    return;
+                }
+                if !q.paused {
+                    if let Some(entry) = q.heap.pop() {
+                        break entry.job;
+                    }
+                    if matches!(q.mode, Mode::Draining) && q.open_jobs == 0 {
+                        return;
+                    }
+                }
+                q = core.work_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        core.process(job);
+    }
+}
+
+/// The queued execution service: submit [`SolveRequest`]s, get
+/// [`JobHandle`]s back, let the worker pool keep the grids saturated.
+///
+/// ```
+/// use fecim::{CimAnnealer, ProblemSpec, RunPlan, SolveRequest, SolverSpec};
+/// use fecim_serve::{Scheduler, SchedulerConfig, SubmitOptions};
+///
+/// let scheduler = Scheduler::with_config(SchedulerConfig::workers(2));
+/// let request = SolveRequest::new(
+///     ProblemSpec::MaxCut {
+///         vertices: 8,
+///         edges: (0..8).map(|i| (i, (i + 1) % 8, 1.0)).collect(),
+///     },
+///     SolverSpec::Cim(CimAnnealer::new(800).with_flips(1)),
+/// )
+/// .with_run(RunPlan::Ensemble { trials: 4, base_seed: 1, threads: None });
+/// let job = scheduler.submit(request, SubmitOptions::priority(5));
+/// let response = job.wait()?;
+/// assert_eq!(response.reports.len(), 4);
+/// # Ok::<(), fecim_serve::SchedulerError>(())
+/// ```
+pub struct Scheduler {
+    core: Arc<Core>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Scheduler {
+        Scheduler::new()
+    }
+}
+
+impl Scheduler {
+    /// A scheduler with [`SchedulerConfig::default`] (2 workers,
+    /// 64-stripe grids, paper-default crossbar, running).
+    pub fn new() -> Scheduler {
+        Scheduler::with_config(SchedulerConfig::default())
+    }
+
+    /// A scheduler with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0` or `config.grid_stripes == 0`.
+    pub fn with_config(config: SchedulerConfig) -> Scheduler {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.grid_stripes > 0, "need at least one grid stripe");
+        let session = match &config.crossbar {
+            Some(crossbar) => Session::new().with_crossbar(crossbar.clone()),
+            None => Session::new(),
+        };
+        let grid_config = config
+            .crossbar
+            .clone()
+            .unwrap_or_else(CrossbarConfig::paper_defaults);
+        let core = Arc::new(Core {
+            session,
+            queue: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                open_jobs: 0,
+                paused: config.paused,
+                mode: Mode::Running,
+            }),
+            work_cv: Condvar::new(),
+            grids: Mutex::new(GridPool::new(grid_config, config.grid_stripes)),
+            next_id: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            jobs: Mutex::new(HashMap::new()),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("fecim-serve-worker-{i}"))
+                    .spawn(move || worker_loop(core))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Scheduler { core, workers }
+    }
+
+    /// Queue a request. Returns immediately; validation happens on a
+    /// worker, and any error surfaces through [`JobHandle::wait`].
+    pub fn submit(&self, request: SolveRequest, options: SubmitOptions) -> JobHandle {
+        let id = self.core.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let job = Arc::new(Job::new(id, request, options));
+        lock(&self.core.jobs).insert(id, Arc::clone(&job));
+        let mut q = lock(&self.core.queue);
+        q.open_jobs += 1;
+        q.heap.push(QueueEntry {
+            job: Arc::clone(&job),
+        });
+        drop(q);
+        self.core.work_cv.notify_one();
+        JobHandle {
+            job,
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Start executing (no-op unless the scheduler was built paused).
+    pub fn resume(&self) {
+        lock(&self.core.queue).paused = false;
+        self.core.work_cv.notify_all();
+    }
+
+    /// Whether workers are currently held idle.
+    pub fn is_paused(&self) -> bool {
+        lock(&self.core.queue).paused
+    }
+
+    /// Jobs submitted and not yet finalized.
+    pub fn open_jobs(&self) -> usize {
+        lock(&self.core.queue).open_jobs
+    }
+
+    /// Statistics of every live grid, smallest tile height first.
+    pub fn grid_stats(&self) -> Vec<LiveGridStats> {
+        lock(&self.core.grids).stats()
+    }
+
+    /// Drain gracefully: resume if paused, run every submitted job to a
+    /// terminal state, then stop the workers.
+    pub fn join(mut self) {
+        {
+            let mut q = lock(&self.core.queue);
+            q.paused = false;
+            q.mode = Mode::Draining;
+        }
+        self.core.work_cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    /// Abort: workers stop after their current trial; unfinished jobs
+    /// finalize as [`SchedulerError::Shutdown`] so `wait()` never
+    /// hangs. Call [`Scheduler::join`] instead for a graceful drain.
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // `join()` already drained
+        }
+        lock(&self.core.queue).mode = Mode::Abort;
+        self.core.work_cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Snapshot first: finalize takes the registry lock itself, and a
+        // client thread may be cancelling concurrently (lock order is
+        // always job.state → registry).
+        let open: Vec<Arc<Job>> = lock(&self.core.jobs).values().cloned().collect();
+        for job in open {
+            let mut st = lock(&job.state);
+            if st.outcome.is_none() {
+                self.core.finalize(
+                    &job,
+                    &mut st,
+                    JobStatus::Failed,
+                    Err(SchedulerError::Shutdown),
+                );
+            }
+        }
+    }
+}

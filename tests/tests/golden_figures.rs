@@ -29,6 +29,7 @@ use fecim::{BackendPlan, CimAnnealer, ProblemSpec, RunPlan, Session, SolveReques
 use fecim_crossbar::{CrossbarConfig, Fidelity};
 use fecim_device::VariationConfig;
 use fecim_gset::{GeneratorConfig, GsetFamily};
+use fecim_serve::{Scheduler, SchedulerConfig, SubmitOptions};
 
 fn goldens_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens")
@@ -189,4 +190,140 @@ fn tiled_device_accurate_probe_matches_golden() {
         "time_total_s": report.time.total(),
     });
     check_golden("tiled_probe", &snapshot);
+}
+
+#[test]
+fn queue_sweep_trace_matches_golden() {
+    // A scaled-down `queue_sweep` trace: one worker, staged start, so
+    // execution order is pure (priority, deadline, id) queue order and
+    // every event ordinal, admission counter and energy is
+    // deterministic. Pins the scheduler's claim → admit → run → retire
+    // pipeline end to end, including live-grid sharing between two
+    // batched problem sizes and raw-payload requests.
+    let ring = |n: usize| ProblemSpec::MaxCut {
+        vertices: n,
+        edges: (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect(),
+    };
+    let cim = |iters: usize| SolverSpec::Cim(CimAnnealer::new(iters).with_flips(1));
+    let jobs: Vec<(&str, SolveRequest, i64)> = vec![
+        (
+            "batched-big",
+            SolveRequest::new(ring(24), cim(120))
+                .with_backend(BackendPlan::Batched {
+                    tile_rows: 8,
+                    instances: 2,
+                })
+                .with_run(RunPlan::Ensemble {
+                    trials: 3,
+                    base_seed: 41,
+                    threads: None,
+                }),
+            0,
+        ),
+        (
+            "batched-small",
+            SolveRequest::new(ring(16), cim(120))
+                .with_backend(BackendPlan::Batched {
+                    tile_rows: 8,
+                    instances: 2,
+                })
+                .with_run(RunPlan::Ensemble {
+                    trials: 2,
+                    base_seed: 9,
+                    threads: None,
+                }),
+            5,
+        ),
+        (
+            "analytic",
+            SolveRequest::new(
+                ProblemSpec::Generated(
+                    GeneratorConfig::new(20, 7)
+                        .with_family(GsetFamily::RandomUnit)
+                        .with_mean_degree(6.0),
+                ),
+                cim(200),
+            )
+            .with_run(RunPlan::Ensemble {
+                trials: 2,
+                base_seed: 11,
+                threads: None,
+            }),
+            0,
+        ),
+        (
+            "qubo",
+            SolveRequest::new(
+                ProblemSpec::Qubo {
+                    q: vec![
+                        vec![-1.0, 2.0, 0.0],
+                        vec![0.0, -1.0, 2.0],
+                        vec![0.0, 0.0, -1.0],
+                    ],
+                },
+                cim(150),
+            )
+            .with_run(RunPlan::Single { seed: 3 }),
+            -2,
+        ),
+        (
+            "ising",
+            SolveRequest::new(
+                ProblemSpec::Ising {
+                    h: vec![0.1, -0.1, 0.0, 0.0],
+                    j: vec![
+                        vec![0.0, 0.5, 0.0, 0.5],
+                        vec![0.5, 0.0, 0.5, 0.0],
+                        vec![0.0, 0.5, 0.0, 0.5],
+                        vec![0.5, 0.0, 0.5, 0.0],
+                    ],
+                },
+                cim(150),
+            )
+            .with_run(RunPlan::Single { seed: 4 }),
+            10,
+        ),
+    ];
+    let scheduler = Scheduler::with_config(
+        SchedulerConfig::workers(1)
+            .with_grid_stripes(8)
+            .start_paused(),
+    );
+    let handles: Vec<_> = jobs
+        .into_iter()
+        .map(|(label, request, priority)| {
+            (
+                label,
+                scheduler.submit(request, SubmitOptions::priority(priority)),
+            )
+        })
+        .collect();
+    scheduler.resume();
+    let mut rows = Vec::new();
+    for (label, handle) in &handles {
+        let response = handle.wait().expect("trace job completes");
+        rows.push(serde_json::json!({
+            "label": label,
+            "priority": handle.priority(),
+            "status": handle.status(),
+            "trials": response.reports.len(),
+            "best_energy": response.summary.best_energy,
+            "best_objective": response.summary.best_objective,
+            "total_hw_energy_j": response.summary.total_energy,
+            "total_hw_time_s": response.summary.total_time,
+            "started_event": handle.started_event(),
+            "finished_event": handle.finished_event(),
+        }));
+    }
+    let grids = scheduler.grid_stats();
+    scheduler.join();
+    check_golden(
+        "queue_sweep",
+        &serde_json::json!({
+            "workers": 1,
+            "grid_stripes": 8,
+            "jobs": rows,
+            "grids": grids,
+        }),
+    );
 }

@@ -1,0 +1,397 @@
+//! Scheduler semantics: the `fecim-serve` service API must (a) order
+//! work by priority and deadline, (b) cancel between trials keeping the
+//! completed prefix, (c) admit heterogeneous jobs onto one live grid as
+//! stripes free up, and (d) — the headline determinism contract — make
+//! scheduled Ideal-fidelity results **bit-identical** to `Session::run`
+//! of the same requests, at any worker count.
+
+use std::time::Duration;
+
+use fecim::{
+    BackendPlan, CimAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolveResponse,
+    SolverSpec,
+};
+use fecim_serve::{JobStatus, Scheduler, SchedulerConfig, SchedulerError, SubmitOptions};
+
+fn ring_spec(n: usize) -> ProblemSpec {
+    ProblemSpec::MaxCut {
+        vertices: n,
+        edges: (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect(),
+    }
+}
+
+fn cim(iterations: usize) -> SolverSpec {
+    SolverSpec::Cim(CimAnnealer::new(iterations).with_flips(1))
+}
+
+/// The mixed workload of the bit-identity pin: analytic ensemble,
+/// tiled device-in-the-loop, shared-grid batched, and a raw QUBO.
+fn mixed_requests() -> Vec<SolveRequest> {
+    vec![
+        SolveRequest::new(ring_spec(12), cim(300))
+            .with_run(RunPlan::Ensemble {
+                trials: 4,
+                base_seed: 11,
+                threads: None,
+            })
+            .with_reference(12.0),
+        SolveRequest::new(ring_spec(16), cim(150))
+            .with_backend(BackendPlan::DeviceInLoop {
+                fidelity: fecim_crossbar::Fidelity::Ideal,
+                tile_rows: Some(8),
+            })
+            .with_run(RunPlan::Ensemble {
+                trials: 2,
+                base_seed: 5,
+                threads: None,
+            }),
+        SolveRequest::new(ring_spec(24), cim(120))
+            .with_backend(BackendPlan::Batched {
+                tile_rows: 8,
+                instances: 2,
+            })
+            .with_run(RunPlan::Ensemble {
+                trials: 3,
+                base_seed: 41,
+                threads: None,
+            }),
+        SolveRequest::new(
+            ProblemSpec::Qubo {
+                q: vec![
+                    vec![-1.0, 2.0, 0.0],
+                    vec![0.0, -1.0, 2.0],
+                    vec![0.0, 0.0, -1.0],
+                ],
+            },
+            cim(200),
+        )
+        .with_run(RunPlan::Single { seed: 3 }),
+    ]
+}
+
+/// Everything of a response except grid placement: the scheduler
+/// reports live-grid placement through `grid_stats`, not per-chunk
+/// summaries, so `grids` is the one documented divergence.
+fn result_fingerprint(response: &SolveResponse) -> String {
+    let reports = serde_json::to_string(&response.reports).expect("reports serialize");
+    let normalized = serde_json::to_string(&response.normalized).expect("normalized serialize");
+    let summary = serde_json::to_string(&response.summary).expect("summary serializes");
+    format!("{reports}|{normalized}|{summary}")
+}
+
+#[test]
+fn scheduled_results_bit_identical_to_session_at_1_and_8_workers() {
+    let session = Session::new();
+    let expected: Vec<String> = mixed_requests()
+        .iter()
+        .map(|request| result_fingerprint(&session.run(request).expect("session runs")))
+        .collect();
+    for workers in [1, 8] {
+        let scheduler = Scheduler::with_config(SchedulerConfig::workers(workers).start_paused());
+        let handles: Vec<_> = mixed_requests()
+            .into_iter()
+            .map(|request| scheduler.submit(request, SubmitOptions::default()))
+            .collect();
+        scheduler.resume();
+        for (handle, expected) in handles.iter().zip(&expected) {
+            let response = handle.wait().expect("job completes");
+            assert_eq!(
+                &result_fingerprint(&response),
+                expected,
+                "scheduled results must be bit-identical to Session::run at {workers} workers"
+            );
+            assert_eq!(handle.status(), JobStatus::Completed);
+            let progress = handle.progress();
+            assert_eq!(progress.trials_completed, progress.trials_total);
+            assert_eq!(progress.in_flight, 0);
+        }
+        scheduler.join();
+    }
+}
+
+#[test]
+fn priority_and_deadline_order_queued_jobs() {
+    // One worker, staged while paused: execution order is pure queue
+    // order, observable through the global event ordinals.
+    let scheduler = Scheduler::with_config(SchedulerConfig::workers(1).start_paused());
+    let request = SolveRequest::new(ring_spec(10), cim(100)).with_run(RunPlan::Single { seed: 1 });
+    let low = scheduler.submit(request.clone(), SubmitOptions::priority(0));
+    let high = scheduler.submit(request.clone(), SubmitOptions::priority(9));
+    let mid = scheduler.submit(request.clone(), SubmitOptions::priority(4));
+    // Equal priority: the earlier deadline runs first despite later
+    // submission; no deadline runs after both.
+    let slack = scheduler.submit(
+        request.clone(),
+        SubmitOptions::priority(4).with_deadline_ms(60_000),
+    );
+    let urgent = scheduler.submit(
+        request.clone(),
+        SubmitOptions::priority(4).with_deadline_ms(10),
+    );
+    scheduler.resume();
+    for handle in [&low, &high, &mid, &slack, &urgent] {
+        handle.wait().expect("job completes");
+    }
+    let started = |h: &fecim_serve::JobHandle| h.started_event().expect("ran");
+    assert!(started(&high) < started(&mid), "priority 9 before 4");
+    assert!(started(&mid) < started(&low), "priority 4 before 0");
+    assert!(
+        started(&urgent) < started(&mid),
+        "deadline 10ms first among priority 4"
+    );
+    assert!(
+        started(&slack) < started(&low),
+        "priority 4 (any deadline) before 0"
+    );
+    assert!(
+        high.finished_event().unwrap() < started(&low),
+        "one worker: the high-priority job finished before the low one started"
+    );
+    scheduler.join();
+}
+
+#[test]
+fn cancel_while_queued_is_empty_and_immediate() {
+    let scheduler = Scheduler::with_config(SchedulerConfig::workers(1).start_paused());
+    let handle = scheduler.submit(
+        SolveRequest::new(ring_spec(10), cim(100)).with_run(RunPlan::Ensemble {
+            trials: 4,
+            base_seed: 0,
+            threads: None,
+        }),
+        SubmitOptions::default(),
+    );
+    assert!(handle.cancel(), "queued jobs cancel");
+    assert!(!handle.cancel(), "second cancel is a no-op");
+    assert_eq!(handle.status(), JobStatus::Cancelled);
+    match handle.wait() {
+        Err(SchedulerError::Cancelled { completed, partial }) => {
+            assert_eq!(completed, 0);
+            assert!(partial.is_none());
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    scheduler.join();
+}
+
+#[test]
+fn cancel_mid_ensemble_keeps_the_completed_prefix() {
+    let request = SolveRequest::new(ring_spec(40), cim(2500)).with_run(RunPlan::Ensemble {
+        trials: 40,
+        base_seed: 7,
+        threads: None,
+    });
+    let scheduler = Scheduler::with_config(SchedulerConfig::workers(1));
+    let handle = scheduler.submit(request.clone(), SubmitOptions::default());
+    // Wait for real progress, then cancel between trials.
+    while handle.progress().trials_completed < 2 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    handle.cancel();
+    let (completed, partial) = match handle.wait() {
+        Err(SchedulerError::Cancelled { completed, partial }) => (completed, partial),
+        other => panic!("expected Cancelled, got {other:?}"),
+    };
+    assert!(completed >= 2, "cancelled only after observed progress");
+    assert!(completed < 40, "cancellation must skip the queued tail");
+    assert_eq!(handle.status(), JobStatus::Cancelled);
+    let partial = *partial.expect("completed trials summarized");
+    assert_eq!(partial.reports.len(), completed);
+    assert_eq!(partial.summary.trials, completed);
+    // One worker claims trials in order, so the partial is a prefix of
+    // the full run — and bit-identical to Session::run's prefix.
+    let full = Session::new().run(&request).expect("session runs");
+    for (scheduled, reference) in partial.reports.iter().zip(&full.reports) {
+        assert_eq!(scheduled.best_energy, reference.best_energy);
+        assert_eq!(scheduled.best_spins, reference.best_spins);
+    }
+    scheduler.join();
+}
+
+#[test]
+fn heterogeneous_jobs_share_one_live_grid() {
+    // Job A: a long batched ensemble on the live grid (3 stripes per
+    // replica at tile 8). Job B arrives mid-flight with a *different*
+    // problem size (2 stripes) and must start before A finishes.
+    let job_a = SolveRequest::new(ring_spec(24), cim(1500))
+        .with_backend(BackendPlan::Batched {
+            tile_rows: 8,
+            instances: 2,
+        })
+        .with_run(RunPlan::Ensemble {
+            trials: 6,
+            base_seed: 21,
+            threads: None,
+        });
+    let job_b = SolveRequest::new(ring_spec(16), cim(400))
+        .with_backend(BackendPlan::Batched {
+            tile_rows: 8,
+            instances: 1,
+        })
+        .with_run(RunPlan::Single { seed: 77 });
+
+    let session = Session::new();
+    let expected_a = result_fingerprint(&session.run(&job_a).expect("session runs"));
+    let expected_b = result_fingerprint(&session.run(&job_b).expect("session runs"));
+
+    let scheduler = Scheduler::with_config(SchedulerConfig::workers(1).with_grid_stripes(16));
+    let a = scheduler.submit(job_a, SubmitOptions::priority(0));
+    while a.progress().trials_completed < 1 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Higher priority: B preempts A at the next trial boundary.
+    let b = scheduler.submit(job_b, SubmitOptions::priority(5));
+    let response_b = b.wait().expect("B completes");
+    let response_a = a.wait().expect("A completes");
+
+    assert!(
+        b.started_event().unwrap() < a.finished_event().unwrap(),
+        "the second job must start before the first finishes"
+    );
+    assert!(
+        b.finished_event().unwrap() < a.finished_event().unwrap(),
+        "one worker + higher priority: B even finishes first"
+    );
+    // Sharing the live grid changes nothing about the results.
+    assert_eq!(result_fingerprint(&response_a), expected_a);
+    assert_eq!(result_fingerprint(&response_b), expected_b);
+    // Both problem sizes went through ONE grid (tile height 8), every
+    // replica admitted and retired.
+    let stats = scheduler.grid_stats();
+    assert_eq!(stats.len(), 1, "one live grid serves both jobs");
+    assert_eq!(stats[0].tile_rows, 8);
+    assert_eq!(stats[0].admissions, 7, "6 replicas of A + 1 of B");
+    assert_eq!(stats[0].retirements, 7);
+    assert_eq!(stats[0].live_instances, 0);
+    assert_eq!(stats[0].stripes_in_use, 0);
+    scheduler.join();
+}
+
+#[test]
+fn full_grid_parks_jobs_until_stripes_free() {
+    // Capacity 3 stripes: each 24-spin replica needs all of them, so
+    // replicas of A and B strictly alternate through the same span.
+    let batched = |seed: u64| {
+        SolveRequest::new(ring_spec(24), cim(200))
+            .with_backend(BackendPlan::Batched {
+                tile_rows: 8,
+                instances: 1,
+            })
+            .with_run(RunPlan::Ensemble {
+                trials: 2,
+                base_seed: seed,
+                threads: None,
+            })
+    };
+    let session = Session::new();
+    let expected_a = result_fingerprint(&session.run(&batched(1)).expect("session runs"));
+    let expected_b = result_fingerprint(&session.run(&batched(2)).expect("session runs"));
+    let scheduler = Scheduler::with_config(
+        SchedulerConfig::workers(2)
+            .with_grid_stripes(3)
+            .start_paused(),
+    );
+    let a = scheduler.submit(batched(1), SubmitOptions::default());
+    let b = scheduler.submit(batched(2), SubmitOptions::default());
+    scheduler.resume();
+    assert_eq!(
+        result_fingerprint(&a.wait().expect("A completes")),
+        expected_a
+    );
+    assert_eq!(
+        result_fingerprint(&b.wait().expect("B completes")),
+        expected_b
+    );
+    let stats = scheduler.grid_stats();
+    assert_eq!(stats[0].admissions, 4);
+    assert_eq!(stats[0].retirements, 4);
+    assert_eq!(stats[0].waiting_jobs, 0);
+    scheduler.join();
+}
+
+#[test]
+fn oversized_instances_fail_instead_of_deadlocking() {
+    let scheduler = Scheduler::with_config(SchedulerConfig::workers(1).with_grid_stripes(2));
+    let handle = scheduler.submit(
+        SolveRequest::new(ring_spec(24), cim(100)).with_backend(BackendPlan::Batched {
+            tile_rows: 8,
+            instances: 1,
+        }),
+        SubmitOptions::default(),
+    );
+    match handle.wait() {
+        Err(SchedulerError::Rejected(e)) => {
+            assert!(e.to_string().contains("stripes"), "got: {e}");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    assert_eq!(handle.status(), JobStatus::Failed);
+    scheduler.join();
+}
+
+#[test]
+fn invalid_requests_fail_through_the_handle() {
+    let scheduler = Scheduler::new();
+    // Batched + baseline solver is invalid at prepare time.
+    let handle = scheduler.submit(
+        SolveRequest::new(
+            ring_spec(8),
+            SolverSpec::Direct(fecim::DirectAnnealer::cim_asic(50)),
+        )
+        .with_backend(BackendPlan::Batched {
+            tile_rows: 4,
+            instances: 2,
+        }),
+        SubmitOptions::default(),
+    );
+    assert!(matches!(
+        handle.wait(),
+        Err(SchedulerError::Rejected(
+            fecim::SessionError::InvalidRequest(_)
+        ))
+    ));
+    scheduler.join();
+}
+
+#[test]
+fn dropping_the_scheduler_fails_open_jobs_instead_of_hanging() {
+    let scheduler = Scheduler::with_config(SchedulerConfig::workers(1).start_paused());
+    let handle = scheduler.submit(
+        SolveRequest::new(ring_spec(10), cim(100)),
+        SubmitOptions::default(),
+    );
+    drop(scheduler);
+    assert!(matches!(handle.wait(), Err(SchedulerError::Shutdown)));
+    assert_eq!(handle.status(), JobStatus::Failed);
+}
+
+#[test]
+fn raw_payload_requests_run_through_the_scheduler() {
+    // An Ising ring with a symmetry-breaking field: the ground state is
+    // computable by hand. J couples neighbors antiferromagnetically.
+    let n = 6;
+    let mut j = vec![vec![0.0; n]; n];
+    for (i, k) in (0..n).map(|i| (i, (i + 1) % n)) {
+        j[i][k] = 0.5;
+        j[k][i] = 0.5;
+    }
+    let request = SolveRequest::new(ProblemSpec::Ising { h: vec![0.1; 6], j }, cim(1200)).with_run(
+        RunPlan::Ensemble {
+            trials: 4,
+            base_seed: 9,
+            threads: None,
+        },
+    );
+    let scheduler = Scheduler::new();
+    let response = scheduler
+        .submit(request, SubmitOptions::default())
+        .wait()
+        .expect("raw payload runs");
+    // Alternating spins cut every bond: σᵀJσ = −6, field term ±0.
+    assert!(response.summary.best_energy <= -5.0);
+    assert_eq!(
+        response.summary.best_objective,
+        Some(response.summary.best_energy)
+    );
+    scheduler.join();
+}

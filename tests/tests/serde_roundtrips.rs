@@ -40,6 +40,104 @@ fn problem_roundtrips() {
     q.add_term(0, 1, 2.0);
     q.add_term(2, 2, -1.0);
     assert_eq!(roundtrip(&q), q);
+    let raw =
+        fecim_ising::RawIsing::new(vec![0.5, -0.5], &[vec![0.0, -1.0], vec![-1.0, 0.0]]).unwrap();
+    assert_eq!(roundtrip(&raw), raw);
+}
+
+#[test]
+fn raw_payload_specs_roundtrip_and_rebuild_identical_models() {
+    use fecim::ProblemSpec;
+    use fecim_ising::SpinVector;
+    let qubo = ProblemSpec::Qubo {
+        q: vec![
+            vec![-1.0, 2.0, 0.25],
+            vec![0.5, -1.0, 0.0],
+            vec![0.25, 0.0, 3.0],
+        ],
+    };
+    let back = roundtrip(&qubo);
+    assert_eq!(back, qubo);
+    // The deserialized spec builds a model with identical energies.
+    let a = qubo.build().unwrap().to_ising().unwrap();
+    let b = back.build().unwrap().to_ising().unwrap();
+    for bits in 0u32..8 {
+        let x: Vec<u8> = (0..3).map(|i| ((bits >> i) & 1) as u8).collect();
+        let s = SpinVector::from_binaries(&x);
+        assert_eq!(a.energy(&s), b.energy(&s));
+    }
+
+    let ising = ProblemSpec::Ising {
+        h: vec![0.1, -0.2, 0.0],
+        j: vec![
+            vec![0.0, 0.5, -0.25],
+            vec![0.5, 0.0, 0.75],
+            vec![-0.25, 0.75, 0.0],
+        ],
+    };
+    let back = roundtrip(&ising);
+    assert_eq!(back, ising);
+    let a = ising.build().unwrap().to_ising().unwrap();
+    let b = back.build().unwrap().to_ising().unwrap();
+    let s = SpinVector::from_signs(&[1, -1, 1]);
+    assert_eq!(a.energy(&s), b.energy(&s));
+}
+
+#[test]
+fn raw_payload_validation_errors_are_not_serialization_errors() {
+    // Malformed payloads still *round-trip* (they are valid JSON) — the
+    // error surfaces at build time, which is what lets a server answer
+    // with a per-job failure instead of a protocol failure.
+    use fecim::ProblemSpec;
+    use fecim_ising::IsingError;
+    let nonsquare = ProblemSpec::Qubo {
+        q: vec![vec![1.0, 2.0], vec![0.0]],
+    };
+    let back = roundtrip(&nonsquare);
+    assert!(matches!(
+        back.build(),
+        Err(IsingError::DimensionMismatch {
+            expected: 2,
+            found: 1
+        })
+    ));
+    let mismatched = ProblemSpec::Ising {
+        h: vec![0.0; 4],
+        j: vec![vec![0.0; 3]; 3],
+    };
+    assert!(matches!(
+        roundtrip(&mismatched).build(),
+        Err(IsingError::DimensionMismatch {
+            expected: 4,
+            found: 3
+        })
+    ));
+}
+
+#[test]
+fn scheduler_wire_types_roundtrip() {
+    use fecim_serve::{JobProgress, JobStatus, SubmitOptions};
+    let options = SubmitOptions::priority(-3)
+        .with_deadline_ms(1500)
+        .with_tag("sweep")
+        .with_tag("nightly");
+    assert_eq!(roundtrip(&options), options);
+    for status in [
+        JobStatus::Queued,
+        JobStatus::Running,
+        JobStatus::Completed,
+        JobStatus::Cancelled,
+        JobStatus::Failed,
+    ] {
+        assert_eq!(roundtrip(&status), status);
+    }
+    let progress = JobProgress {
+        trials_completed: 3,
+        trials_total: 8,
+        in_flight: 2,
+        best_energy: Some(-12.5),
+    };
+    assert_eq!(roundtrip(&progress), progress);
 }
 
 #[test]

@@ -1,0 +1,277 @@
+//! The `fecim-serve` JSONL transport: protocol round-trips, the
+//! committed smoke fixture (which CI also feeds to the real binary),
+//! and the end-to-end serve loop semantics — responses in submission
+//! order, deterministic cancellation, per-line failure isolation.
+
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+use fecim::{CimAnnealer, ProblemSpec, RunPlan, SolveRequest, SolverSpec};
+use fecim_serve::{
+    check_responses, run_jsonl, JsonlError, RequestLine, ResponseLine, SchedulerConfig,
+    SubmitOptions,
+};
+
+fn ring_request(n: usize, iterations: usize) -> SolveRequest {
+    SolveRequest::new(
+        ProblemSpec::MaxCut {
+            vertices: n,
+            edges: (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect(),
+        },
+        SolverSpec::Cim(CimAnnealer::new(iterations).with_flips(1)),
+    )
+}
+
+/// The CI smoke fixture: three submissions (a Max-Cut ensemble, a raw
+/// QUBO, and a long Max-Cut), the last one cancelled in-stream.
+fn fixture_lines() -> Vec<RequestLine> {
+    vec![
+        RequestLine::Submit {
+            id: "ring".into(),
+            request: ring_request(12, 400).with_run(RunPlan::Ensemble {
+                trials: 3,
+                base_seed: 7,
+                threads: None,
+            }),
+            options: SubmitOptions::priority(1),
+        },
+        RequestLine::Submit {
+            id: "qubo".into(),
+            request: SolveRequest::new(
+                ProblemSpec::Qubo {
+                    q: vec![
+                        vec![-1.0, 2.0, 0.0],
+                        vec![0.0, -1.0, 2.0],
+                        vec![0.0, 0.0, -1.0],
+                    ],
+                },
+                SolverSpec::Cim(CimAnnealer::new(300).with_flips(1)),
+            )
+            .with_run(RunPlan::Single { seed: 2 }),
+            options: SubmitOptions::default(),
+        },
+        RequestLine::Submit {
+            id: "doomed".into(),
+            request: ring_request(16, 5000).with_run(RunPlan::Ensemble {
+                trials: 8,
+                base_seed: 0,
+                threads: None,
+            }),
+            options: SubmitOptions::default().with_tag("smoke"),
+        },
+        RequestLine::Cancel {
+            id: "doomed".into(),
+        },
+    ]
+}
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("serve_smoke.jsonl")
+}
+
+/// The committed fixture must stay in sync with the protocol types.
+/// Regenerate with `FIXTURE_REGEN=1 cargo test -p fecim-tests --test
+/// serve_jsonl` after an intentional protocol change.
+#[test]
+fn committed_smoke_fixture_matches_protocol() {
+    let mut expected = String::new();
+    for line in fixture_lines() {
+        expected.push_str(&serde_json::to_string(&line).expect("protocol serializes"));
+        expected.push('\n');
+    }
+    let path = fixture_path();
+    if std::env::var("FIXTURE_REGEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create fixtures dir");
+        std::fs::write(&path, &expected).expect("write fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e}\nrun `FIXTURE_REGEN=1 cargo test -p fecim-tests --test \
+             serve_jsonl` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(committed, expected, "fixture drifted from the protocol");
+    // And every committed line parses back to the builder's value.
+    for (line, built) in committed.lines().zip(fixture_lines()) {
+        let parsed: RequestLine = serde_json::from_str(line).expect("fixture parses");
+        assert_eq!(parsed, built);
+    }
+}
+
+#[test]
+fn serving_the_smoke_fixture_completes_two_and_cancels_one() {
+    let fixture = std::fs::read_to_string(fixture_path()).expect("fixture committed");
+    let mut output = Vec::new();
+    let summary = run_jsonl(
+        BufReader::new(fixture.as_bytes()),
+        &mut output,
+        SchedulerConfig::workers(2),
+    )
+    .expect("stream serves");
+    assert_eq!(summary.submitted, 3);
+    assert_eq!(summary.completed, 2);
+    assert_eq!(summary.cancelled, 1);
+    assert_eq!(summary.failed, 0);
+
+    let responses = check_responses(BufReader::new(output.as_slice())).expect("responses parse");
+    assert_eq!(responses.len(), 3, "one response line per submission");
+    // Responses come back in submission order, whatever ran first.
+    assert_eq!(
+        responses.iter().map(ResponseLine::id).collect::<Vec<_>>(),
+        vec!["ring", "qubo", "doomed"]
+    );
+    match &responses[0] {
+        ResponseLine::Completed { response, .. } => {
+            assert_eq!(response.reports.len(), 3);
+            assert!(
+                response.summary.best_objective.unwrap() >= 10.0,
+                "12-ring cut"
+            );
+        }
+        other => panic!("expected Completed, got {other:?}"),
+    }
+    match &responses[1] {
+        ResponseLine::Completed { response, .. } => {
+            // Optimum of the chain QUBO picks x0 and x2: value −2.
+            assert_eq!(response.summary.best_objective, Some(-2.0));
+        }
+        other => panic!("expected Completed, got {other:?}"),
+    }
+    match &responses[2] {
+        ResponseLine::Cancelled {
+            completed_trials,
+            partial,
+            ..
+        } => {
+            // Cancelled while the scheduler was still paused: nothing ran.
+            assert_eq!(*completed_trials, 0);
+            assert!(partial.is_none());
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancel_before_its_submission_still_applies() {
+    // The whole stream is staged before execution, so a cancel that
+    // precedes its submit in the byte stream beats the worker pool too.
+    let cancel = serde_json::to_string(&RequestLine::Cancel { id: "late".into() }).unwrap();
+    let submit = serde_json::to_string(&RequestLine::Submit {
+        id: "late".into(),
+        request: ring_request(16, 5000).with_run(RunPlan::Ensemble {
+            trials: 8,
+            base_seed: 0,
+            threads: None,
+        }),
+        options: SubmitOptions::default(),
+    })
+    .unwrap();
+    let mut output = Vec::new();
+    let summary = run_jsonl(
+        BufReader::new(format!("{cancel}\n{submit}\n").as_bytes()),
+        &mut output,
+        SchedulerConfig::workers(2),
+    )
+    .expect("stream serves");
+    assert_eq!(summary.submitted, 1);
+    assert_eq!(summary.cancelled, 1);
+    assert_eq!(summary.failed, 0, "a forward cancel is not an error");
+    let responses = check_responses(BufReader::new(output.as_slice())).expect("responses parse");
+    assert!(matches!(
+        &responses[0],
+        ResponseLine::Cancelled {
+            completed_trials: 0,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn unknown_cancel_and_duplicate_ids_fail_per_line() {
+    let ok = serde_json::to_string(&RequestLine::Submit {
+        id: "a".into(),
+        request: ring_request(8, 100),
+        options: SubmitOptions::default(),
+    })
+    .unwrap();
+    let dup = serde_json::to_string(&RequestLine::Submit {
+        id: "a".into(),
+        request: ring_request(8, 100),
+        options: SubmitOptions::default(),
+    })
+    .unwrap();
+    let ghost = serde_json::to_string(&RequestLine::Cancel { id: "ghost".into() }).unwrap();
+    let stream = format!("{ok}\n\n{dup}\n{ghost}\n");
+    let mut output = Vec::new();
+    let summary = run_jsonl(
+        BufReader::new(stream.as_bytes()),
+        &mut output,
+        SchedulerConfig::workers(1),
+    )
+    .expect("stream serves");
+    assert_eq!(summary.submitted, 1);
+    assert_eq!(summary.completed, 1);
+    assert_eq!(summary.failed, 2, "duplicate id + unknown cancel");
+    let responses = check_responses(BufReader::new(output.as_slice())).expect("responses parse");
+    assert_eq!(responses.len(), 3);
+    assert!(matches!(&responses[0], ResponseLine::Completed { id, .. } if id == "a"));
+    assert!(matches!(&responses[1], ResponseLine::Failed { id, .. } if id == "a"));
+    assert!(matches!(&responses[2], ResponseLine::Failed { id, .. } if id == "ghost"));
+}
+
+#[test]
+fn malformed_lines_are_a_stream_error_with_position() {
+    let err = run_jsonl(
+        BufReader::new("{\"Submit\":{\"id\":oops\n".as_bytes()),
+        Vec::new(),
+        SchedulerConfig::workers(1),
+    )
+    .expect_err("malformed line");
+    match err {
+        JsonlError::Parse { line, .. } => assert_eq!(line, 1),
+        other => panic!("expected Parse, got {other}"),
+    }
+}
+
+#[test]
+fn invalid_requests_inside_valid_lines_fail_their_own_job() {
+    // A structurally valid line whose *request* is rejected at prepare
+    // time (non-square Q): the stream keeps serving.
+    let bad = serde_json::to_string(&RequestLine::Submit {
+        id: "bad-q".into(),
+        request: SolveRequest::new(
+            ProblemSpec::Qubo {
+                q: vec![vec![1.0, 2.0], vec![0.0]],
+            },
+            SolverSpec::Cim(CimAnnealer::new(100)),
+        ),
+        options: SubmitOptions::default(),
+    })
+    .unwrap();
+    let ok = serde_json::to_string(&RequestLine::Submit {
+        id: "ok".into(),
+        request: ring_request(8, 200),
+        options: SubmitOptions::default(),
+    })
+    .unwrap();
+    let mut output = Vec::new();
+    let summary = run_jsonl(
+        BufReader::new(format!("{bad}\n{ok}\n").as_bytes()),
+        &mut output,
+        SchedulerConfig::workers(1),
+    )
+    .expect("stream serves");
+    assert_eq!(summary.completed, 1);
+    assert_eq!(summary.failed, 1);
+    let responses = check_responses(BufReader::new(output.as_slice())).expect("responses parse");
+    assert!(
+        matches!(&responses[0], ResponseLine::Failed { id, error } if id == "bad-q" && error.contains("dimension")),
+        "got {:?}",
+        responses[0]
+    );
+}

@@ -361,3 +361,169 @@ fn unsupported_combinations_error_as_invalid_requests() {
         Err(SessionError::Problem(_))
     ));
 }
+
+#[test]
+fn malformed_raw_payloads_error_as_problem_errors() {
+    let session = Session::new();
+    // Non-square Q.
+    let nonsquare = SolveRequest::new(
+        ProblemSpec::Qubo {
+            q: vec![vec![1.0, 2.0], vec![0.0]],
+        },
+        SolverSpec::Cim(CimAnnealer::new(40)),
+    );
+    match session.run(&nonsquare) {
+        Err(SessionError::Problem(fecim_ising::IsingError::DimensionMismatch {
+            expected,
+            found,
+        })) => {
+            assert_eq!((expected, found), (2, 1));
+        }
+        other => panic!("expected DimensionMismatch, got {other:?}"),
+    }
+    // h/J dimension mismatch.
+    let mismatched = SolveRequest::new(
+        ProblemSpec::Ising {
+            h: vec![0.0; 2],
+            j: vec![vec![0.0; 3]; 3],
+        },
+        SolverSpec::Cim(CimAnnealer::new(40)),
+    );
+    assert!(matches!(
+        session.run(&mismatched),
+        Err(SessionError::Problem(
+            fecim_ising::IsingError::DimensionMismatch { .. }
+        ))
+    ));
+    // Asymmetric J.
+    let asymmetric = SolveRequest::new(
+        ProblemSpec::Ising {
+            h: vec![0.0; 2],
+            j: vec![vec![0.0, 1.0], vec![2.0, 0.0]],
+        },
+        SolverSpec::Cim(CimAnnealer::new(40)),
+    );
+    assert!(matches!(
+        session.run(&asymmetric),
+        Err(SessionError::Problem(
+            fecim_ising::IsingError::NotSymmetric { .. }
+        ))
+    ));
+}
+
+#[test]
+fn raw_payload_requests_solve_to_known_optima() {
+    let session = Session::new();
+    // QUBO chain with frustrated pairs: optimum x = (1,0,1), value −2.
+    let qubo = SolveRequest::new(
+        ProblemSpec::Qubo {
+            q: vec![
+                vec![-1.0, 2.0, 0.0],
+                vec![0.0, -1.0, 2.0],
+                vec![0.0, 0.0, -1.0],
+            ],
+        },
+        SolverSpec::Cim(CimAnnealer::new(800).with_flips(1)),
+    )
+    .with_run(RunPlan::Ensemble {
+        trials: 4,
+        base_seed: 1,
+        threads: None,
+    });
+    let response = session.run(&qubo).expect("payload builds");
+    assert_eq!(response.summary.best_objective, Some(-2.0));
+    // Raw Ising 4-ring, antiferromagnetic: ground energy −4 (J = 0.5
+    // per directed pair, alternating spins cut all four bonds).
+    let ising = SolveRequest::new(
+        ProblemSpec::Ising {
+            h: vec![0.0; 4],
+            j: vec![
+                vec![0.0, 0.5, 0.0, 0.5],
+                vec![0.5, 0.0, 0.5, 0.0],
+                vec![0.0, 0.5, 0.0, 0.5],
+                vec![0.5, 0.0, 0.5, 0.0],
+            ],
+        },
+        SolverSpec::Cim(CimAnnealer::new(800).with_flips(1)),
+    )
+    .with_run(RunPlan::Ensemble {
+        trials: 4,
+        base_seed: 1,
+        threads: None,
+    });
+    let response = session.run(&ising).expect("payload builds");
+    assert_eq!(response.summary.best_objective, Some(-4.0));
+    assert_eq!(response.summary.best_energy, -4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trial-level execution (`Session::prepare` / `PreparedJob`)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prepared_trials_reproduce_session_run_one_by_one() {
+    let session = Session::new();
+    let request = SolveRequest::new(
+        ProblemSpec::from_graph(&gset_graph(24, 3)),
+        SolverSpec::Cim(CimAnnealer::new(200).with_flips(1)),
+    )
+    .with_run(RunPlan::Ensemble {
+        trials: 3,
+        base_seed: 17,
+        threads: None,
+    })
+    .with_reference(20.0);
+    let whole = session.run(&request).expect("valid request");
+    let job = session.prepare(&request).expect("valid request");
+    assert_eq!(job.trials(), 3);
+    assert!(!job.is_batched());
+    // Trials run individually — in any order — and `finish` rebuilds
+    // the identical response.
+    let reports: Vec<_> = [2usize, 0, 1]
+        .into_iter()
+        .map(|t| (t, job.run_trial(t).expect("trial runs")))
+        .collect();
+    let mut ordered: Vec<_> = reports.into_iter().collect();
+    ordered.sort_by_key(|(t, _)| *t);
+    let rebuilt = job
+        .finish(ordered.into_iter().map(|(_, r)| r).collect(), Vec::new())
+        .expect("finish post-processes");
+    for (a, b) in whole.reports.iter().zip(&rebuilt.reports) {
+        assert_eq!(a.best_energy, b.best_energy);
+        assert_eq!(a.best_spins, b.best_spins);
+    }
+    assert_eq!(whole.summary, rebuilt.summary);
+    assert_eq!(whole.normalized, rebuilt.normalized);
+    // Out-of-range trials and wrong-route calls are errors, not panics.
+    assert!(matches!(
+        job.run_trial(3),
+        Err(SessionError::InvalidRequest(_))
+    ));
+}
+
+#[test]
+fn prepared_batched_trials_expose_grid_requirements() {
+    let session = Session::new();
+    let request = SolveRequest::new(ring_spec(24), SolverSpec::Cim(CimAnnealer::new(80)))
+        .with_backend(BackendPlan::Batched {
+            tile_rows: 8,
+            instances: 2,
+        })
+        .with_run(RunPlan::Ensemble {
+            trials: 2,
+            base_seed: 5,
+            threads: None,
+        });
+    let job = session.prepare(&request).expect("valid request");
+    assert!(job.is_batched());
+    assert_eq!(job.tile_rows(), Some(8));
+    use fecim_ising::Coupling;
+    assert_eq!(job.batch_coupling().unwrap().dimension(), 24);
+    assert!(job.crossbar_config().is_some());
+    assert_eq!(job.seed(1), 6);
+    // Solver-route execution is refused for batched jobs.
+    assert!(matches!(
+        job.run_trial(0),
+        Err(SessionError::InvalidRequest(_))
+    ));
+}
