@@ -85,10 +85,13 @@ fn bench_tiled_reads(c: &mut Criterion) {
 fn bench_parallel_sensing(c: &mut Criterion) {
     // The acceptance number for per-stripe rayon fan-out: paper-scale
     // (n ≥ 800) direct reads with stripes sensed in parallel vs the
-    // serial sequencer. Results are bit-identical (ordered reduction);
-    // only wall-clock differs. Two workloads: a dense Ideal read (the
-    // coupling-bound case) and a device-accurate noiseless read (per-cell
-    // FeFET evaluation, the simulation-bound case).
+    // serial sequencer. Results are bit-identical (ordered reduction,
+    // counter-addressed read noise); only wall-clock differs. Three
+    // workloads: a dense Ideal read (the coupling-bound case), a
+    // device-accurate noiseless read (per-cell FeFET evaluation, the
+    // simulation-bound case), and a device-accurate read with typical
+    // variation and read noise — the case that used to fall back to the
+    // serial sequencer and now fans out like the others.
     let mut group = c.benchmark_group("tiled_sensing_n896");
     group.sample_size(20);
     let n = 896;
@@ -96,10 +99,13 @@ fn bench_parallel_sensing(c: &mut Criterion) {
     let coupling = CsrCoupling::from_dense(&DenseCoupling::random(n, 0.35, 1.0, &mut rng));
     let spins = SpinVector::random(n, &mut rng);
     let mut device_cfg = CrossbarConfig::paper_defaults();
-    device_cfg.fidelity = Fidelity::DeviceAccurate; // variation off, noise off: parallel-safe
+    device_cfg.fidelity = Fidelity::DeviceAccurate;
+    let mut noisy_cfg = device_cfg.clone();
+    noisy_cfg.variation = fecim_device::VariationConfig::typical();
     for (label, cfg) in [
         ("ideal", CrossbarConfig::paper_defaults()),
         ("device", device_cfg),
+        ("device_noisy", noisy_cfg),
     ] {
         let mut sequential = TiledCrossbar::program(&coupling, cfg.clone(), 128)
             .with_sensing_mode(SensingMode::Sequential);

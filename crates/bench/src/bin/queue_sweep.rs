@@ -12,12 +12,18 @@
 //!   concurrent instances (the batching headroom argument of the
 //!   paper's array-level parallelism, now across *heterogeneous* jobs).
 //!
-//! Priorities only reorder work, they never change per-job results
-//! (Ideal fidelity) — the completion order column is where the priority
-//! distribution shows up.
+//! Priorities only reorder work, they never change per-job results —
+//! in any fidelity (counter-based read noise plus per-trial reseeding
+//! keep device-accurate trials placement-independent). The completion
+//! order column is where the priority distribution shows up, and the
+//! sweep asserts per-job best energies are identical at every worker
+//! count.
 //!
 //! `cargo run --release -p fecim-bench --bin queue_sweep \
-//!     [--scale quick|paper] [--workers 1,2,4]`
+//!     [--scale quick|paper] [--workers 1,2,4] [--noisy]`
+//!
+//! `--noisy` programs every grid in `Fidelity::DeviceAccurate` with
+//! typical variation and read noise.
 //!
 //! A scaled-down deterministic version of this trace (1 worker, staged
 //! start) is pinned byte-for-byte in `tests/goldens/queue_sweep.json`.
@@ -117,19 +123,27 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let workers_list =
         fecim_bench::workers_from_args(&args).unwrap_or_else(|msg| fecim_bench::usage_exit(&msg));
+    let noisy = fecim_bench::has_flag("--noisy");
+    let mode = if noisy { "device-noisy" } else { "ideal" };
 
-    println!("=== queue_sweep: scheduled throughput vs worker count ===\n");
+    println!("=== queue_sweep ({mode}): scheduled throughput vs worker count ===\n");
     println!(
         "{:>8} {:>8} {:>10} {:>12} {:>12} {:>10} {:>8} {:>6}",
         "workers", "jobs", "jobs/s", "trials/s", "hw time", "grid util", "peak", "adm"
     );
+    let mut energy_baseline: Option<Vec<(String, f64)>> = None;
     for &workers in &workers_list {
         let jobs = trace(scale);
-        let scheduler = Scheduler::with_config(
-            SchedulerConfig::workers(workers)
-                .with_grid_stripes(32)
-                .start_paused(),
-        );
+        let mut config = SchedulerConfig::workers(workers)
+            .with_grid_stripes(32)
+            .start_paused();
+        if noisy {
+            let mut cfg = fecim_crossbar::CrossbarConfig::paper_defaults();
+            cfg.fidelity = fecim_crossbar::Fidelity::DeviceAccurate;
+            cfg.variation = fecim_device::VariationConfig::typical();
+            config = config.with_crossbar(cfg);
+        }
+        let scheduler = Scheduler::with_config(config);
         let handles: Vec<_> = jobs
             .into_iter()
             .map(|(label, request, priority)| {
@@ -143,11 +157,23 @@ fn main() {
         let mut trials = 0usize;
         let mut hw_time = 0.0f64;
         let mut order: Vec<(u64, String)> = Vec::new();
+        let mut energies: Vec<(String, f64)> = Vec::new();
         for (label, handle) in &handles {
             let response = handle.wait().unwrap_or_else(|e| fecim_bench::fail_exit(&e));
             trials += response.reports.len();
             hw_time += response.summary.total_time;
             order.push((handle.finished_event().expect("finished"), label.clone()));
+            for report in &response.reports {
+                energies.push((label.clone(), report.best_energy));
+            }
+        }
+        // Scheduling must never leak into results, in any fidelity.
+        match &energy_baseline {
+            Some(expected) => assert_eq!(
+                &energies, expected,
+                "per-job results drifted at {workers} workers"
+            ),
+            None => energy_baseline = Some(energies),
         }
         let elapsed = start.elapsed().as_secs_f64();
         let grids = scheduler.grid_stats();

@@ -1,0 +1,124 @@
+//! Sensing-throughput sweep: sequential vs parallel stripe sensing at
+//! paper scale (n = 896 on 128-row tiles), in Ideal fidelity and in
+//! DeviceAccurate fidelity with typical variation and read noise — the
+//! workload that used to be forced onto the serial sequencer whenever
+//! `read_noise_rel > 0` and now fans out with counter-addressed noise.
+//!
+//! Per (fidelity, sensing mode) cell the sweep reports mean read
+//! latency and reads/sec, checks sequential and parallel reads agree
+//! bit for bit, and derives the parallel-over-sequential speedup. The
+//! JSON artifact lands in `target/fecim-artifacts/sensing_sweep.json`;
+//! with `--write-baseline` it is also written to `BENCH_sensing.json`
+//! in the working directory (the committed perf-trajectory record —
+//! note that on single-CPU CI runners the modes legitimately tie).
+//!
+//! `cargo run --release -p fecim-bench --bin sensing_sweep \
+//!     [--reads N] [--write-baseline]`
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fecim_crossbar::{CrossbarConfig, Fidelity, SensingMode, TiledCrossbar};
+use fecim_device::VariationConfig;
+use fecim_ising::{CsrCoupling, DenseCoupling, SpinVector};
+
+/// Parse `--reads N` (default 12): timed reads per cell.
+fn parse_reads() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        let value = if a == "--reads" {
+            args.get(i + 1).map(String::as_str)
+        } else {
+            a.strip_prefix("--reads=")
+        };
+        if let Some(value) = value {
+            match value.parse::<usize>() {
+                Ok(n) if n > 0 => return n,
+                _ => fecim_bench::usage_exit("usage: --reads <positive integer>"),
+            }
+        }
+    }
+    12
+}
+
+fn main() {
+    let reads = parse_reads();
+    let n = 896;
+    let tile_rows = 128;
+    let mut rng = StdRng::seed_from_u64(42);
+    let coupling = CsrCoupling::from_dense(&DenseCoupling::random(n, 0.35, 1.0, &mut rng));
+    let spins = SpinVector::random(n, &mut rng);
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let mut noisy_cfg = CrossbarConfig::paper_defaults();
+    noisy_cfg.fidelity = Fidelity::DeviceAccurate;
+    noisy_cfg.variation = VariationConfig::typical();
+    let fidelities = [
+        ("ideal", CrossbarConfig::paper_defaults()),
+        ("device_noisy", noisy_cfg),
+    ];
+
+    println!(
+        "=== sensing sweep: n={n}, {tile_rows}-row tiles, {reads} reads/cell, \
+         {threads} hw threads ===\n"
+    );
+    println!(
+        "{:>14} {:>12} {:>12} {:>10} {:>10}",
+        "fidelity", "sequential", "parallel", "speedup", "bit-equal"
+    );
+
+    let mut rows = Vec::new();
+    for (label, cfg) in fidelities {
+        let mut arrays = [
+            TiledCrossbar::program(&coupling, cfg.clone(), tile_rows)
+                .with_sensing_mode(SensingMode::Sequential),
+            TiledCrossbar::program(&coupling, cfg.clone(), tile_rows)
+                .with_sensing_mode(SensingMode::Parallel),
+        ];
+        // Same fresh read ordinal on both sides: reads must agree bit
+        // for bit whatever the fan-out.
+        let mut mean_ms = [0.0f64; 2];
+        for (slot, array) in arrays.iter_mut().enumerate() {
+            let _warmup = array.vmv(spins.as_slice());
+            let started = Instant::now();
+            for _ in 0..reads {
+                std::hint::black_box(array.vmv(spins.as_slice()));
+            }
+            mean_ms[slot] = started.elapsed().as_secs_f64() * 1e3 / reads as f64;
+        }
+        let [ref mut sequential, ref mut parallel] = arrays;
+        let bit_equal = sequential.vmv(spins.as_slice()) == parallel.vmv(spins.as_slice());
+        assert!(bit_equal, "{label}: sequential and parallel reads drifted");
+        let speedup = mean_ms[0] / mean_ms[1].max(1e-12);
+        println!(
+            "{label:>14} {:>10.3}ms {:>10.3}ms {speedup:>9.2}x {:>10}",
+            mean_ms[0],
+            mean_ms[1],
+            if bit_equal { "yes" } else { "NO" }
+        );
+        rows.push(serde_json::json!({
+            "fidelity": label,
+            "sequential_ms_per_read": mean_ms[0],
+            "parallel_ms_per_read": mean_ms[1],
+            "parallel_speedup": speedup,
+            "bit_identical": bit_equal,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "spins": n,
+        "tile_rows": tile_rows,
+        "reads_per_cell": reads,
+        "hw_threads": threads,
+        "rows": rows,
+    });
+    fecim_bench::write_artifact("sensing_sweep", &report);
+    if fecim_bench::has_flag("--write-baseline") {
+        let body = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write("BENCH_sensing.json", body + "\n")
+            .unwrap_or_else(|e| fecim_bench::fail_exit(&e));
+        println!("[baseline] BENCH_sensing.json");
+    }
+}

@@ -195,9 +195,12 @@ pub(crate) fn batched_ensemble_prepared(
 /// match [`Solver::anneal_model`](crate::Solver::anneal_model); in Ideal
 /// fidelity the trial is bit-identical to
 /// `solver.with_tiled_device_in_loop(config, tile_rows)` solving the
-/// same problem with the same seed. The replica is priced at tile-scale
-/// geometry from its own measured activity, regardless of who else
-/// shares the grid.
+/// same problem with the same seed. In device-accurate fidelity the
+/// instance is first reseeded from the trial seed, so trial results are
+/// a pure function of `(request, trial seed)` — invariant to chunking,
+/// live-grid admission order, and scheduler worker count. The replica
+/// is priced at tile-scale geometry from its own measured activity,
+/// regardless of who else shares the grid.
 #[allow(clippy::too_many_arguments)] // pub(crate) plumbing shared by two call sites
 pub(crate) fn batched_trial_report(
     solver: &CimAnnealer,
@@ -206,9 +209,14 @@ pub(crate) fn batched_trial_report(
     quadratic: &IsingModel,
     cost_model: &CostModel,
     seed: u64,
-    handle: BatchInstance,
+    mut handle: BatchInstance,
 ) -> SolveReport {
     use rand::SeedableRng;
+    // Re-program the instance's stochastic state from the trial seed
+    // (a write-verify pass for the new tenant) so device-accurate
+    // results are invariant to slot placement, chunking, admission
+    // order, and scheduler worker count. No-op in Ideal variation.
+    handle.reseed_for_trial(seed);
     let coupling = quadratic.couplings();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ INIT_SEED_SALT);
     let initial = SpinVector::random(coupling.dimension(), &mut rng);

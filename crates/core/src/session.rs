@@ -13,8 +13,11 @@
 //! * [`BackendPlan::Batched`] — shared-grid batched ensembles on one
 //!   physical tile grid.
 //!
-//! In Ideal fidelity every route is bit-identical to the legacy entry
-//! point it subsumes — pinned by the `session_api` equivalence tests.
+//! Every route is bit-identical to the legacy entry point it subsumes —
+//! pinned by the `session_api` equivalence tests. This holds in noisy
+//! `DeviceAccurate` fidelity too: read noise is counter-based and
+//! batched trials reseed their grid instance from the trial seed, so
+//! results are a pure function of the request.
 //!
 //! ## Trial-level execution: [`PreparedJob`]
 //!
@@ -211,9 +214,10 @@ impl Session {
     /// (quantization/ADC bits, variation, wire technology, …). For
     /// [`BackendPlan::DeviceInLoop`] the plan's fidelity still wins over
     /// `config.fidelity`; a [`BackendPlan::Batched`] grid programs this
-    /// config verbatim (including its fidelity — note that in
-    /// non-`Ideal` fidelity each chunked grid draws its own variation
-    /// streams, so batched results then depend on `instances`).
+    /// config verbatim (including its fidelity). In non-`Ideal`
+    /// fidelity every batched trial reseeds its grid instance from the
+    /// trial seed before annealing, so results do not depend on
+    /// `instances` chunking or grid placement.
     pub fn with_crossbar(mut self, config: CrossbarConfig) -> Session {
         self.crossbar = Some(config);
         self
@@ -322,10 +326,10 @@ impl Session {
                 }
                 // The shared grid programs the session's crossbar
                 // override verbatim (paper defaults otherwise): the
-                // Batched plan carries no fidelity of its own, and a
-                // non-Ideal override makes chunk boundaries observable
-                // (each grid draws its own variation streams) — see
-                // `Session::with_crossbar`.
+                // Batched plan carries no fidelity of its own. Chunk
+                // boundaries are not observable in any fidelity — each
+                // non-Ideal trial reseeds its instance from the trial
+                // seed — see `Session::with_crossbar`.
                 let config = self
                     .crossbar
                     .clone()

@@ -18,11 +18,11 @@
 //! shift-and-add, and sign recombination — while recording
 //! [`ActivityStats`] for the hardware cost model.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use fecim_device::{DgFefet, DgFefetParams, StoredBit, VariationConfig, VariationSampler};
+use fecim_device::{
+    DgFefet, DgFefetParams, ReadNoise, StoredBit, VariationConfig, VariationSampler,
+};
 use fecim_ising::Coupling;
 
 use crate::adc::{MuxAssignment, SarAdc};
@@ -88,33 +88,33 @@ pub(crate) fn vbg_for_factor(cell: &DgFefet, full_scale_current: f64, factor: f6
     0.5 * (lo + hi)
 }
 
+/// The key of an array's counter-based read-noise stream, derived from
+/// its programming seed. One place so the monolithic and tiled arrays
+/// (and reseeded batched instances) share the identical derivation.
+pub(crate) fn read_noise_key(seed: u64) -> u64 {
+    seed ^ 0x9E37_79B9_7F4A_7C15
+}
+
 /// Device-accurate current of one conducting cell: programmed threshold
 /// offset, back-gate bias, source-line IR attenuation and multiplicative
-/// read noise (Box–Muller draw from `rng` when `noise_rel > 0`).
+/// read noise. `noise_gain` is the counter-derived factor
+/// `1 + rel·N(0,1)` from [`ReadNoise::gain`] (exactly `1.0` in the
+/// noiseless case), applied branch-free so noisy and silent reads share
+/// one code path.
 pub(crate) fn device_cell_current(
     cell: &DgFefet,
     vth_offset: f64,
     vbg: f64,
     full_scale_current: f64,
     attenuation: f64,
-    noise_rel: f64,
-    rng: &mut StdRng,
+    noise_gain: f64,
 ) -> f64 {
     let mut programmed = cell.clone();
     programmed.set_vth_offset(vth_offset);
     let i = programmed.sl_current(true, true, vbg);
     let leak = cell.params().front.i_leak;
     let base = ((i - leak) / full_scale_current).max(0.0);
-    let attenuated = base * attenuation;
-    if noise_rel > 0.0 {
-        use rand::Rng;
-        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-        let u2: f64 = rng.gen();
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        attenuated * (1.0 + z * noise_rel)
-    } else {
-        attenuated
-    }
+    base * attenuation * noise_gain
 }
 
 /// Simulation fidelity of the analog path.
@@ -188,8 +188,11 @@ pub struct Crossbar {
     /// Reference cell for current evaluation.
     cell: DgFefet,
     full_scale_current: f64,
-    read_rng: StdRng,
-    read_noise_rel: f64,
+    /// Counter-based multiplicative read noise, keyed per array.
+    noise: ReadNoise,
+    /// Monotonic read counter: one bump per `read_columns`, addressing
+    /// the noise draws of that read.
+    read_ordinal: u64,
     stats: ActivityStats,
 }
 
@@ -223,8 +226,7 @@ impl Crossbar {
         let mut cell = DgFefet::new(config.device);
         cell.program(StoredBit::One);
         let full_scale_current = cell.full_scale_current();
-        let read_rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
-        let read_noise_rel = config.variation.read_noise_rel;
+        let noise = ReadNoise::new(read_noise_key(config.seed), config.variation.read_noise_rel);
         Crossbar {
             config,
             quant,
@@ -234,8 +236,8 @@ impl Crossbar {
             vth_offsets,
             cell,
             full_scale_current,
-            read_rng,
-            read_noise_rel,
+            noise,
+            read_ordinal: 0,
             stats: ActivityStats::new(),
         }
     }
@@ -346,6 +348,11 @@ impl Crossbar {
         } else {
             0.0
         };
+        // Every read gets its own noise-counter ordinal; within one read
+        // each driven cell is sensed exactly once (a row conducts in only
+        // one sign pass), so `(ordinal, row, col)` addresses every draw.
+        let ordinal = self.read_ordinal;
+        self.read_ordinal += 1;
         let mut total_codes = 0.0f64;
         for &sign in &[1i8, -1i8] {
             self.stats.row_passes += 1;
@@ -368,7 +375,7 @@ impl Crossbar {
                 if col_sign == 0.0 {
                     continue;
                 }
-                let (pos_val, neg_val) = self.sense_column(j, &driven, factor, vbg);
+                let (pos_val, neg_val) = self.sense_column(j, &driven, factor, vbg, ordinal);
                 total_codes += sign as f64 * col_sign * (pos_val - neg_val);
             }
         }
@@ -380,13 +387,26 @@ impl Crossbar {
     /// shift-and-add. Returns de-quantized (code-unit) values for the
     /// positive and negative polarity planes. `vbg` is the back-gate bias
     /// implied by `factor` (per-cell deviations enter through the
-    /// threshold offsets), precomputed once per read.
-    fn sense_column(&mut self, j: usize, driven: &[bool], factor: f64, vbg: f64) -> (f64, f64) {
+    /// threshold offsets), precomputed once per read; `ordinal` addresses
+    /// this read's counter-based noise draws.
+    ///
+    /// The accumulation is branch-free over bit slices: stack-resident
+    /// `[f64; 8]` lane buffers (`quant_bits ≤ 8`) with a mask-multiply
+    /// per lane, so the hot loop auto-vectorizes instead of branching on
+    /// every bit of every code.
+    fn sense_column(
+        &mut self,
+        j: usize,
+        driven: &[bool],
+        factor: f64,
+        vbg: f64,
+        ordinal: u64,
+    ) -> (f64, f64) {
         let k = self.config.quant_bits as usize;
         let entries = self.quant.column(j);
         let offsets = &self.vth_offsets[j];
-        let mut pos_bit_sums = vec![0.0f64; k];
-        let mut neg_bit_sums = vec![0.0f64; k];
+        let mut pos_bit_sums = [0.0f64; 8];
+        let mut neg_bit_sums = [0.0f64; 8];
         let device_mode = self.config.fidelity == Fidelity::DeviceAccurate;
 
         let mut activated = 0u64;
@@ -407,18 +427,15 @@ impl Crossbar {
                     vbg,
                     self.full_scale_current,
                     self.wires.ir_attenuation(row),
-                    self.read_noise_rel,
-                    &mut self.read_rng,
+                    self.noise.gain(ordinal, row, j),
                 )
             } else {
                 factor
             };
-            for (b, sum) in sums.iter_mut().enumerate() {
-                if (code >> b) & 1 == 1 {
-                    *sum += cell_current;
-                    activated += 1;
-                }
+            for (b, sum) in sums.iter_mut().take(k).enumerate() {
+                *sum += cell_current * f64::from((code >> b) & 1);
             }
+            activated += u64::from(code.count_ones());
         }
         self.stats.cells_activated += activated;
 

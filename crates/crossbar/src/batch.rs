@@ -60,7 +60,11 @@
 //! did — which is exactly what re-programming the same physical tiles
 //! would do. In [`Fidelity::Ideal`](crate::Fidelity::Ideal) mode reads
 //! are placement-independent, so live-grid scheduling cannot change
-//! results.
+//! results. For device-accurate live grids,
+//! [`BatchedTiledCrossbar::reseed_instance_for_trial`] re-programs an
+//! admitted instance's stochastic state from the *trial's* seed (the
+//! write-verify pass a new tenant would get), making results
+//! placement- and admission-order-independent in every fidelity.
 
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -77,6 +81,15 @@ use crate::tiled::{SensingMode, TiledCrossbar};
 /// independent variation maps (distinct physical tiles host them).
 fn instance_seed(base: u64, index: usize) -> u64 {
     crate::tiled::splitmix64_finalize(base ^ ((index as u64) << 17) ^ 0xD1B5_4A32_D192_ED03)
+}
+
+/// Deterministic per-trial silicon seed: splitmix64 finalizer over the
+/// grid's base config seed and the trial's own seed, so a reseeded
+/// instance's variation maps and noise stream depend on *which trial*
+/// runs, never on which slot or stripe span hosts it (see
+/// [`BatchedTiledCrossbar::reseed_instance_for_trial`]).
+fn trial_silicon_seed(base: u64, trial_seed: u64) -> u64 {
+    crate::tiled::splitmix64_finalize(base ^ trial_seed.rotate_left(21) ^ 0x7C15_9E37_D192_4A32)
 }
 
 /// One instance's block on the shared grid.
@@ -453,6 +466,28 @@ impl BatchedTiledCrossbar {
         self.slot_mut(instance).array.reset_stats();
     }
 
+    /// Re-program `instance`'s stochastic state (variation maps, noise
+    /// key, read ordinal) from `trial_seed` — the write-verify pass a
+    /// new tenant's trial gets. The derived silicon seed mixes the
+    /// grid's *base* config seed with the trial seed and nothing else,
+    /// so device-accurate results depend on which trial runs, never on
+    /// which slot, stripe span, or admission order hosted it.
+    ///
+    /// With all-zero variation this is a no-op: ideal silicon is
+    /// seed-independent, and skipping the redraw keeps Ideal-fidelity
+    /// trials free of per-trial programming cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range or retired.
+    pub fn reseed_instance_for_trial(&mut self, instance: usize, trial_seed: u64) {
+        if self.config.variation.is_ideal() {
+            return;
+        }
+        let seed = trial_silicon_seed(self.config.seed, trial_seed);
+        self.slot_mut(instance).array.reseed(seed);
+    }
+
     /// Set the per-stripe sensing schedule of every live instance (see
     /// [`SensingMode`]).
     pub fn set_sensing_mode(&mut self, mode: SensingMode) {
@@ -673,6 +708,14 @@ impl BatchInstance {
     /// Which instance of the shared grid this handle drives.
     pub fn index(&self) -> usize {
         self.index
+    }
+
+    /// Re-program this handle's instance for a trial (see
+    /// [`BatchedTiledCrossbar::reseed_instance_for_trial`]): call before
+    /// the trial's first read so device-accurate results are invariant
+    /// to slot placement, admission order, and worker count.
+    pub fn reseed_for_trial(&mut self, trial_seed: u64) {
+        lock_shared(&self.shared).reseed_instance_for_trial(self.index, trial_seed);
     }
 
     /// The shared grid behind this handle.
@@ -965,6 +1008,57 @@ mod tests {
         let second = grid.try_admit_instance(&p, 4).unwrap();
         assert_eq!(second, first);
         assert_eq!(grid.vmv(second, s.as_slice()), before);
+    }
+
+    #[test]
+    fn trial_reseed_makes_results_slot_and_order_independent() {
+        // Two grids admit the same two problems in opposite order, so
+        // each problem lands in a different slot (different slot seed).
+        // After reseeding each instance for its trial, device-accurate
+        // noisy reads must be bit-identical across the grids: the trial,
+        // not the placement, owns the silicon.
+        let n = 12;
+        let pa = dense(n, 33);
+        let pb = dense(n, 34);
+        let mut cfg = config();
+        cfg.fidelity = Fidelity::DeviceAccurate;
+        cfg.variation = VariationConfig::typical();
+        assert!(cfg.variation.read_noise_rel > 0.0, "noisy case on purpose");
+        let s = SpinVector::all_up(n);
+        let mut g1 = BatchedTiledCrossbar::new(cfg.clone(), 6);
+        let a1 = g1.try_admit_instance(&pa, 8).unwrap();
+        let b1 = g1.try_admit_instance(&pb, 8).unwrap();
+        let mut g2 = BatchedTiledCrossbar::new(cfg, 6);
+        let b2 = g2.try_admit_instance(&pb, 8).unwrap();
+        let a2 = g2.try_admit_instance(&pa, 8).unwrap();
+        assert_ne!((a1, b1), (a2, b2), "placements really differ");
+        g1.reseed_instance_for_trial(a1, 1001);
+        g1.reseed_instance_for_trial(b1, 2002);
+        g2.reseed_instance_for_trial(a2, 1001);
+        g2.reseed_instance_for_trial(b2, 2002);
+        assert_eq!(g1.vmv(a1, s.as_slice()), g2.vmv(a2, s.as_slice()));
+        assert_eq!(g1.vmv(b1, s.as_slice()), g2.vmv(b2, s.as_slice()));
+        // Distinct trials on identical couplings still see distinct
+        // silicon: trial seeds, not slots, differentiate replicas.
+        g1.reseed_instance_for_trial(a1, 1001);
+        g2.reseed_instance_for_trial(a2, 7777);
+        assert_ne!(g1.vmv(a1, s.as_slice()), g2.vmv(a2, s.as_slice()));
+    }
+
+    #[test]
+    fn ideal_trial_reseed_is_free_and_harmless() {
+        // All-zero variation means seed-independent silicon: the reseed
+        // fast-path must skip the redraw entirely (slot seed retained)
+        // and reads must be unaffected.
+        let n = 10;
+        let p = dense(n, 35);
+        let mut grid = BatchedTiledCrossbar::replicate(&p, 2, config(), 5);
+        let s = SpinVector::all_up(n);
+        let before_seed = grid.instance(0).config().seed;
+        let before = grid.vmv(0, s.as_slice());
+        grid.reseed_instance_for_trial(0, 4242);
+        assert_eq!(grid.instance(0).config().seed, before_seed);
+        assert_eq!(grid.vmv(0, s.as_slice()), before);
     }
 
     #[test]

@@ -56,23 +56,24 @@
 //! mode. Activity counters are likewise accumulated after the join on the
 //! owner thread — no locks or atomics serialize the hot sensing loop.
 //!
-//! One read shape stays sequential: [`Fidelity::DeviceAccurate`] with a
-//! nonzero `read_noise_rel`. The read-noise stream is a single seeded
-//! generator consumed in row-major sense order (one physical noise
-//! process per array); splitting it across threads would reorder the
-//! draws and change simulated results, so noisy reads keep the serial
-//! sequencer regardless of the configured mode.
+//! Read noise parallelizes too: the multiplicative noise of
+//! [`Fidelity::DeviceAccurate`] reads comes from a counter-based
+//! generator ([`fecim_device::ReadNoise`]), so every draw is a pure
+//! function of `(noise key, read ordinal, row, column)` rather than of
+//! the traversal order. The array bumps one monotonic `read_ordinal`
+//! per read and any thread can evaluate any cell's draw independently —
+//! noisy device-accurate sensing takes the same fan-out as Ideal mode
+//! and stays bit-identical at every thread count.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rayon::prelude::*;
 
-use fecim_device::{DgFefet, StoredBit, VariationSampler};
+use fecim_device::{DgFefet, ReadNoise, StoredBit, VariationSampler};
 use fecim_ising::Coupling;
 
 use crate::adc::{MuxAssignment, SarAdc};
 use crate::array::{
-    device_cell_current, ideal_cell_factor, vbg_for_factor, CrossbarConfig, Fidelity, InSituArray,
+    device_cell_current, ideal_cell_factor, read_noise_key, vbg_for_factor, CrossbarConfig,
+    Fidelity, InSituArray,
 };
 use crate::parasitics::ArrayWires;
 use crate::quant::QuantizedCoupling;
@@ -155,20 +156,24 @@ pub struct TiledCrossbar {
     tiles: Vec<Tile>,
     cell: DgFefet,
     full_scale_current: f64,
-    read_rng: StdRng,
-    read_noise_rel: f64,
+    /// Counter-based multiplicative read noise, keyed per array.
+    noise: ReadNoise,
+    /// Monotonic read counter: one bump per `read_columns`, addressing
+    /// the noise draws of that read.
+    read_ordinal: u64,
     sensing: SensingMode,
     stats: ActivityStats,
 }
 
 /// Read-level sensing context shared by every column sense of one read:
-/// the annealing factor, the back-gate bias it implies, and the fidelity
-/// switch.
+/// the annealing factor, the back-gate bias it implies, the fidelity
+/// switch, and the read's noise-counter ordinal.
 #[derive(Debug, Clone, Copy)]
 struct SenseContext {
     factor: f64,
     vbg: f64,
     device_mode: bool,
+    ordinal: u64,
 }
 
 /// The splitmix64 finalizer: the one bit-mixing primitive behind every
@@ -278,8 +283,7 @@ impl TiledCrossbar {
         let mut cell = DgFefet::new(config.device);
         cell.program(StoredBit::One);
         let full_scale_current = cell.full_scale_current();
-        let read_rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
-        let read_noise_rel = config.variation.read_noise_rel;
+        let noise = ReadNoise::new(read_noise_key(config.seed), config.variation.read_noise_rel);
         TiledCrossbar {
             config,
             tile_rows,
@@ -291,11 +295,45 @@ impl TiledCrossbar {
             tiles,
             cell,
             full_scale_current,
-            read_rng,
-            read_noise_rel,
+            noise,
+            read_ordinal: 0,
             sensing: SensingMode::default(),
             stats: ActivityStats::new(),
         }
+    }
+
+    /// Re-program the array's stochastic state from `seed` as a
+    /// write-verify pass would for a new tenant: every tile redraws its
+    /// variation map from the seed-derived per-tile streams, the read
+    /// noise re-keys, and the read ordinal restarts. After `reseed(s)`
+    /// the array reads bit-identically to a freshly
+    /// [`program`](TiledCrossbar::program)med one whose config carries
+    /// seed `s` — which is what makes batched trials placement- and
+    /// admission-order-independent (the trial, not the slot, owns the
+    /// silicon).
+    ///
+    /// The quantized couplings, tile layout, activity counters and
+    /// sensing mode are untouched.
+    pub fn reseed(&mut self, seed: u64) {
+        self.config.seed = seed;
+        for band_r in 0..self.bands {
+            for band_c in 0..self.bands {
+                let tile = &mut self.tiles[band_r * self.bands + band_c];
+                let mut sampler =
+                    VariationSampler::new(self.config.variation, tile_seed(seed, band_r, band_c));
+                tile.vth_offsets = tile
+                    .columns
+                    .iter()
+                    .map(|col| {
+                        col.iter()
+                            .map(|_| (sampler.d2d_vth_offset() + sampler.c2c_vth_offset()) as f32)
+                            .collect()
+                    })
+                    .collect();
+            }
+        }
+        self.noise = ReadNoise::new(read_noise_key(seed), self.config.variation.read_noise_rel);
+        self.read_ordinal = 0;
     }
 
     /// Override how sensing work is scheduled across threads (results are
@@ -446,6 +484,12 @@ impl TiledCrossbar {
     ) -> f64 {
         let k = self.config.quant_bits as usize;
         let device_mode = self.config.fidelity == Fidelity::DeviceAccurate;
+        // Every read gets its own noise-counter ordinal; within one read
+        // each driven cell is sensed exactly once (a row conducts in only
+        // one sign pass), so `(ordinal, row, col)` addresses every noise
+        // draw no matter which thread evaluates it.
+        let ordinal = self.read_ordinal;
+        self.read_ordinal += 1;
         let ctx = SenseContext {
             factor,
             vbg: if device_mode {
@@ -454,6 +498,7 @@ impl TiledCrossbar {
                 0.0
             },
             device_mode,
+            ordinal,
         };
         // One scratch buffer for per-stripe local indices, reused across
         // stripes and sign passes.
@@ -492,16 +537,14 @@ impl TiledCrossbar {
             self.stats.shift_add_ops += stripes.len().saturating_sub(1) as u64;
         }
 
-        // A noisy device-accurate read consumes the single read-noise
-        // stream in sense order and must stay on the serial sequencer.
-        let noisy = device_mode && self.read_noise_rel > 0.0;
-        let fan_out = !noisy
-            && match self.sensing {
-                SensingMode::Sequential => false,
-                SensingMode::Auto => active.len() >= AUTO_PARALLEL_MIN_COLUMNS,
-                SensingMode::Parallel => !active.is_empty(),
-            }
-            && rayon::current_num_threads() > 1;
+        // Noise draws are counter-addressed, so every fidelity — noisy
+        // device-accurate included — may fan out; only the dispatch
+        // economics decide.
+        let fan_out = match self.sensing {
+            SensingMode::Sequential => false,
+            SensingMode::Auto => active.len() >= AUTO_PARALLEL_MIN_COLUMNS,
+            SensingMode::Parallel => !active.is_empty(),
+        } && rayon::current_num_threads() > 1;
 
         let mut total_codes = 0.0f64;
         let mut cells_activated = 0u64;
@@ -531,9 +574,6 @@ impl TiledCrossbar {
             let chunks: Vec<(Vec<f64>, u64)> = items
                 .into_par_iter()
                 .map(|(sign_idx, stripe, cols)| {
-                    // The no-noise guarantee above makes this generator
-                    // dead weight — it satisfies the signature only.
-                    let mut unused_rng = StdRng::seed_from_u64(0);
                     let sign = signs[sign_idx];
                     let driven = &driven_maps[sign_idx];
                     let mut terms = Vec::with_capacity(cols.len());
@@ -547,7 +587,7 @@ impl TiledCrossbar {
                             continue;
                         }
                         let (pos_val, neg_val, cells) =
-                            this.sense_chained_column(stripe, j, driven, ctx, &mut unused_rng);
+                            this.sense_chained_column(stripe, j, driven, ctx);
                         activated += cells;
                         terms.push(sign as f64 * col_sign * (pos_val - neg_val));
                     }
@@ -565,11 +605,8 @@ impl TiledCrossbar {
                 cells_activated += activated;
             }
         } else {
-            // Serial path; the read-noise stream advances in the same
-            // row-major sense order as always. The generator is swapped
-            // out of `self` so the `&self` sense method can run while the
-            // stats below stay mutable.
-            let mut rng = std::mem::replace(&mut self.read_rng, StdRng::seed_from_u64(0));
+            // Serial path: same visiting order, same counter-addressed
+            // noise draws — merely evaluated on the calling thread.
             for (sign_idx, &sign) in signs.iter().enumerate() {
                 let driven = &driven_maps[sign_idx];
                 for (stripe, range) in stripes {
@@ -582,13 +619,12 @@ impl TiledCrossbar {
                             continue;
                         }
                         let (pos_val, neg_val, cells) =
-                            self.sense_chained_column(*stripe, j, driven, ctx, &mut rng);
+                            self.sense_chained_column(*stripe, j, driven, ctx);
                         cells_activated += cells;
                         total_codes += sign as f64 * col_sign * (pos_val - neg_val);
                     }
                 }
             }
-            self.read_rng = rng;
         }
         self.stats.cells_activated += cells_activated;
         self.stats.buffer_writes += 1;
@@ -601,22 +637,26 @@ impl TiledCrossbar {
     /// once and the digital side shift-and-adds — one quantization point
     /// per (plane, bit slice), exactly like the monolithic array.
     ///
-    /// Takes `&self` so stripe banks can sense concurrently; the caller
-    /// owns the noise generator (only consulted when `read_noise_rel > 0`,
-    /// which forces the serial path) and accumulates the returned
+    /// Takes `&self` so stripe banks can sense concurrently: the noise
+    /// draws are counter-addressed through `ctx.ordinal` (no mutable
+    /// generator anywhere), and the caller accumulates the returned
     /// activated-cell count into the stats.
+    ///
+    /// The accumulation is branch-free over bit slices: stack-resident
+    /// `[f64; 8]` lane buffers (`quant_bits ≤ 8`) with a mask-multiply
+    /// per lane, so the hot loop auto-vectorizes instead of branching on
+    /// every bit of every code and allocates nothing per column.
     fn sense_chained_column(
         &self,
         stripe: usize,
         j: usize,
         driven: &[bool],
         ctx: SenseContext,
-        rng: &mut StdRng,
     ) -> (f64, f64, u64) {
         let k = self.config.quant_bits as usize;
         let local_j = j - stripe * self.tile_rows;
-        let mut pos_bit_sums = vec![0.0f64; k];
-        let mut neg_bit_sums = vec![0.0f64; k];
+        let mut pos_bit_sums = [0.0f64; 8];
+        let mut neg_bit_sums = [0.0f64; 8];
         let mut activated = 0u64;
         for band_r in 0..self.bands {
             let tile = &self.tiles[band_r * self.bands + stripe];
@@ -638,18 +678,15 @@ impl TiledCrossbar {
                         ctx.vbg,
                         self.full_scale_current,
                         tile.wires.ir_attenuation(local_row as usize),
-                        self.read_noise_rel,
-                        rng,
+                        self.noise.gain(ctx.ordinal, global_row, j),
                     )
                 } else {
                     ctx.factor
                 };
-                for (b, sum) in sums.iter_mut().enumerate() {
-                    if (code >> b) & 1 == 1 {
-                        *sum += cell_current;
-                        activated += 1;
-                    }
+                for (b, sum) in sums.iter_mut().take(k).enumerate() {
+                    *sum += cell_current * f64::from((code >> b) & 1);
                 }
+                activated += u64::from(code.count_ones());
             }
         }
 
@@ -907,10 +944,10 @@ mod tests {
     }
 
     #[test]
-    fn noisy_device_reads_keep_the_serial_noise_stream() {
-        // DeviceAccurate with read noise must ignore a parallel request:
-        // the single noise stream is consumed in sense order, so forced
-        // parallel and sequential modes read identically.
+    fn noisy_device_reads_parallelize_bit_identically() {
+        // DeviceAccurate with read noise takes the same fan-out as Ideal
+        // mode: noise draws are counter-addressed, so forced parallel and
+        // sequential sensing read identically — the tentpole contract.
         let n = 48;
         let mut cfg = config(6);
         cfg.fidelity = Fidelity::DeviceAccurate;
@@ -927,7 +964,61 @@ mod tests {
         for _ in 0..3 {
             let s = SpinVector::random(n, &mut rng);
             assert_eq!(seq.vmv(s.as_slice()), par.vmv(s.as_slice()));
+            let mask = FlipMask::random(3, n, &mut rng);
+            let s_new = s.flipped_by(&mask);
+            let r = s_new.rest_vector(&mask);
+            let c = s_new.changed_vector(&mask);
+            assert_eq!(
+                seq.incremental_form(&r, &c, 0.63),
+                par.incremental_form(&r, &c, 0.63)
+            );
         }
+        assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn read_ordinal_advances_the_noise_stream() {
+        // Repeating the same noisy read must not repeat the same draws:
+        // the per-read ordinal advances the counter stream, modeling a
+        // fresh physical noise realization per sense.
+        let n = 24;
+        let mut cfg = config(6);
+        cfg.fidelity = Fidelity::DeviceAccurate;
+        cfg.variation = VariationConfig::typical();
+        let m = dense(n, 29);
+        let mut tiled = TiledCrossbar::program(&m, cfg, 8);
+        let s = SpinVector::all_up(n);
+        let first = tiled.vmv(s.as_slice());
+        let second = tiled.vmv(s.as_slice());
+        assert_ne!(first, second, "noise must vary across reads");
+    }
+
+    #[test]
+    fn reseed_matches_a_freshly_programmed_array() {
+        // reseed(s) re-draws the variation maps, re-keys the noise and
+        // restarts the ordinal — the array must read bit-identically to
+        // one freshly programmed with seed s, including the noise stream.
+        let n = 20;
+        let mut cfg = config(6);
+        cfg.fidelity = Fidelity::DeviceAccurate;
+        cfg.variation = VariationConfig::typical();
+        let m = dense(n, 31);
+        let mut cfg_b = cfg.clone();
+        cfg_b.seed = 0xBEE5;
+        let mut fresh = TiledCrossbar::program(&m, cfg_b, 6);
+        let mut reseeded = TiledCrossbar::program(&m, cfg, 6);
+        let mut rng = StdRng::seed_from_u64(32);
+        // Consume some reads first so the ordinal is mid-stream.
+        for _ in 0..3 {
+            let s = SpinVector::random(n, &mut rng);
+            let _ = reseeded.vmv(s.as_slice());
+        }
+        reseeded.reseed(0xBEE5);
+        for _ in 0..4 {
+            let s = SpinVector::random(n, &mut rng);
+            assert_eq!(reseeded.vmv(s.as_slice()), fresh.vmv(s.as_slice()));
+        }
+        assert_eq!(reseeded.config().seed, 0xBEE5);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 mod anneal_factor;
+mod counter_rng;
 mod dg_fefet;
 mod fefet;
 mod fit;
@@ -35,6 +36,7 @@ mod reliability;
 mod variation;
 
 pub use anneal_factor::{AnnealFactor, CurveError, DeviceFactor, FractionalFactor, TableFactor};
+pub use counter_rng::{PhiloxCounterRng, ReadNoise};
 pub use dg_fefet::{DgFefet, DgFefetParams};
 pub use fefet::{Fefet, FefetParams, StoredBit, THERMAL_VOLTAGE};
 pub use fit::{fit_fractional, FitError, FractionalFit};

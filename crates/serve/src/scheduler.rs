@@ -9,12 +9,12 @@
 //! of its randomness from `base_seed + trial` — produces exactly the
 //! report [`Session::run`] would, regardless of which worker runs it,
 //! when, or what else is running. That is the determinism contract:
-//! with any fixed worker count, scheduled Ideal-fidelity results are
-//! bit-identical to `Session::run` of the same requests (pinned by the
-//! `scheduler_api` tests at 1 and 8 workers). In
-//! `Fidelity::DeviceAccurate` mode, batched placement chooses variation
-//! seeds, so live-grid scheduling is *not* placement-independent —
-//! deterministic mode means Ideal fidelity.
+//! with any fixed worker count, scheduled results are bit-identical to
+//! `Session::run` of the same requests (pinned by the `scheduler_api`
+//! tests at 1 and 8 workers). It holds in *every* fidelity: batched
+//! device-accurate trials reseed their grid instance from the trial
+//! seed before annealing, so live-grid placement and admission order
+//! never leak into results.
 //!
 //! Trial granularity is also what makes priorities responsive: a
 //! higher-priority submission preempts a long ensemble at its next

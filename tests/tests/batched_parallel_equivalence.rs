@@ -9,6 +9,11 @@
 //!    `BatchedTiledCrossbar` grid match per-instance monolithic reads in
 //!    Ideal fidelity, and a batched device-in-the-loop ensemble solve
 //!    matches the unbatched tiled solver trial for trial.
+//! 3. **Counter-based read noise**: DeviceAccurate sensing with
+//!    `read_noise_rel > 0` takes the same parallel fan-out and stays
+//!    bit-identical across thread counts, and batched device-accurate
+//!    ensembles are invariant to how trials are chunked onto grids —
+//!    every trial reseeds its instance from the trial seed alone.
 //!
 //! The thread-count loop mutates `RAYON_NUM_THREADS` (read per dispatch
 //! by the rayon shim). Mutating the environment while another thread
@@ -23,12 +28,34 @@ use proptest::prelude::*;
 
 #[allow(deprecated)]
 use fecim::solve_batched_ensemble;
-use fecim::CimAnnealer;
+use fecim::{
+    BackendPlan, CimAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolveResponse,
+    SolverSpec,
+};
 use fecim_anneal::Ensemble;
 use fecim_crossbar::{
-    BatchRead, BatchedTiledCrossbar, Crossbar, CrossbarConfig, SensingMode, TiledCrossbar,
+    BatchRead, BatchedTiledCrossbar, Crossbar, CrossbarConfig, Fidelity, SensingMode, TiledCrossbar,
 };
+use fecim_device::VariationConfig;
 use fecim_ising::{CsrCoupling, FlipMask, SpinVector};
+
+/// The paper crossbar in DeviceAccurate fidelity with typical variation
+/// (`read_noise_rel = 0.02`): the configuration that used to force the
+/// serial sensing fallback.
+fn noisy_config() -> CrossbarConfig {
+    let mut cfg = CrossbarConfig::paper_defaults();
+    cfg.fidelity = Fidelity::DeviceAccurate;
+    cfg.variation = VariationConfig::typical();
+    cfg
+}
+
+/// Everything of a response except grid placement (chunk summaries
+/// legitimately differ when the same trials pack onto different grids).
+fn result_fingerprint(response: &SolveResponse) -> String {
+    let reports = serde_json::to_string(&response.reports).expect("reports serialize");
+    let normalized = serde_json::to_string(&response.normalized).expect("normalized serialize");
+    format!("{reports}|{normalized}")
+}
 
 /// Serializes `RAYON_NUM_THREADS` access across this binary's tests and
 /// restores the inherited value on drop (assertion failures included).
@@ -164,6 +191,96 @@ proptest! {
             prop_assert_eq!(
                 &got, &expected,
                 "batched reads drifted at RAYON_NUM_THREADS={}", threads
+            );
+        }
+    }
+
+    /// Device-accurate sensing with multiplicative read noise is
+    /// bit-identical between sequential and parallel modes at every
+    /// tested thread count: the counter RNG addresses each draw by
+    /// `(read ordinal, row, column)`, so the fan-out cannot reorder the
+    /// noise stream.
+    #[test]
+    fn noisy_parallel_sensing_is_thread_count_invariant(
+        (n, triplets) in coupling_strategy(40),
+        seed in 0u64..1000,
+        flips in 1usize..6,
+    ) {
+        let env = EnvGuard::acquire();
+        let coupling = CsrCoupling::from_triplets(n, &triplets).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spins = SpinVector::random(n, &mut rng);
+        let mask = FlipMask::random(flips.min(n), n, &mut rng);
+        let s_new = spins.flipped_by(&mask);
+        let r = s_new.rest_vector(&mask);
+        let c = s_new.changed_vector(&mask);
+
+        let mut cfg = noisy_config();
+        cfg.seed = seed ^ 0xD1CE;
+        prop_assert!(cfg.variation.read_noise_rel > 0.0);
+        let tile_rows = (n / 3).max(1);
+        let mut sequential = TiledCrossbar::program(&coupling, cfg.clone(), tile_rows)
+            .with_sensing_mode(SensingMode::Sequential);
+        // Two reads per array: the second read must see the advanced
+        // ordinal identically in every mode.
+        let vmv_expected = sequential.vmv(spins.as_slice());
+        let inc_expected = sequential.incremental_form(&r, &c, 0.41);
+
+        for threads in ["1", "2", "8"] {
+            env.set_threads(threads);
+            let mut parallel = TiledCrossbar::program(&coupling, cfg.clone(), tile_rows)
+                .with_sensing_mode(SensingMode::Parallel);
+            prop_assert_eq!(
+                parallel.vmv(spins.as_slice()), vmv_expected,
+                "noisy vmv drifted at RAYON_NUM_THREADS={}", threads
+            );
+            prop_assert_eq!(
+                parallel.incremental_form(&r, &c, 0.41), inc_expected,
+                "noisy incremental drifted at RAYON_NUM_THREADS={}", threads
+            );
+        }
+    }
+}
+
+#[test]
+fn noisy_batched_session_is_chunk_and_thread_invariant() {
+    // Solve-level pin of trial reseeding: a device-accurate batched
+    // ensemble must give the same per-trial results whether five trials
+    // share one five-instance grid or pack 2+2+1 onto three successive
+    // grids, at any thread count. Before counter-based noise, silicon
+    // was a function of grid slot, so chunking was observable.
+    let env = EnvGuard::acquire();
+    let session = Session::new().with_crossbar(noisy_config());
+    let request = |instances: usize| {
+        SolveRequest::new(
+            ProblemSpec::MaxCut {
+                vertices: 20,
+                edges: (0..20).map(|i| (i, (i + 1) % 20, 1.0)).collect(),
+            },
+            SolverSpec::Cim(CimAnnealer::new(120).with_flips(2)),
+        )
+        .with_backend(BackendPlan::Batched {
+            tile_rows: 8,
+            instances,
+        })
+        .with_run(RunPlan::Ensemble {
+            trials: 5,
+            base_seed: 901,
+            threads: None,
+        })
+    };
+    env.set_threads("1");
+    let flat = result_fingerprint(&session.run(&request(5)).expect("flat run"));
+    for threads in ["1", "2", "8"] {
+        env.set_threads(threads);
+        for instances in [5usize, 2] {
+            let response = session.run(&request(instances)).expect("chunked run");
+            assert_eq!(
+                result_fingerprint(&response),
+                flat,
+                "noisy batched results drifted at instances={instances}, \
+                 RAYON_NUM_THREADS={threads}"
             );
         }
     }

@@ -2,8 +2,11 @@
 //! work by priority and deadline, (b) cancel between trials keeping the
 //! completed prefix, (c) admit heterogeneous jobs onto one live grid as
 //! stripes free up, and (d) — the headline determinism contract — make
-//! scheduled Ideal-fidelity results **bit-identical** to `Session::run`
-//! of the same requests, at any worker count.
+//! scheduled results **bit-identical** to `Session::run` of the same
+//! requests, at any worker count and submission order, in Ideal *and*
+//! noisy DeviceAccurate fidelity (counter-based read noise plus
+//! per-trial reseeding make device-accurate trials a pure function of
+//! the request and trial seed).
 
 use std::time::Duration;
 
@@ -104,6 +107,74 @@ fn scheduled_results_bit_identical_to_session_at_1_and_8_workers() {
             let progress = handle.progress();
             assert_eq!(progress.trials_completed, progress.trials_total);
             assert_eq!(progress.in_flight, 0);
+        }
+        scheduler.join();
+    }
+}
+
+#[test]
+fn noisy_device_accurate_scheduling_is_bit_identical_and_order_invariant() {
+    // The determinism contract now extends to DeviceAccurate fidelity
+    // with read noise: counter-based noise plus per-trial reseeding make
+    // scheduled results a pure function of (request, trial seed), so
+    // they must match `Session::run` at any worker count — and be
+    // invariant to submission order, which permutes live-grid placement.
+    let mut device = fecim_crossbar::CrossbarConfig::paper_defaults();
+    device.fidelity = fecim_crossbar::Fidelity::DeviceAccurate;
+    device.variation = fecim_device::VariationConfig::typical();
+    assert!(device.variation.read_noise_rel > 0.0);
+    let requests = || {
+        vec![
+            SolveRequest::new(ring_spec(18), cim(150))
+                .with_backend(BackendPlan::Batched {
+                    tile_rows: 8,
+                    instances: 2,
+                })
+                .with_run(RunPlan::Ensemble {
+                    trials: 3,
+                    base_seed: 71,
+                    threads: None,
+                }),
+            SolveRequest::new(ring_spec(12), cim(200))
+                .with_backend(BackendPlan::Batched {
+                    tile_rows: 6,
+                    instances: 3,
+                })
+                .with_run(RunPlan::Ensemble {
+                    trials: 4,
+                    base_seed: 19,
+                    threads: None,
+                }),
+        ]
+    };
+    let session = Session::new().with_crossbar(device.clone());
+    let expected: Vec<String> = requests()
+        .iter()
+        .map(|request| result_fingerprint(&session.run(request).expect("session runs")))
+        .collect();
+    for (workers, reverse) in [(1, false), (1, true), (8, false), (8, true)] {
+        let scheduler = Scheduler::with_config(
+            SchedulerConfig::workers(workers)
+                .with_crossbar(device.clone())
+                .start_paused(),
+        );
+        let mut jobs: Vec<_> = requests().into_iter().enumerate().collect();
+        if reverse {
+            jobs.reverse();
+        }
+        let mut handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(i, request)| (i, scheduler.submit(request, SubmitOptions::default())))
+            .collect();
+        handles.sort_by_key(|(i, _)| *i);
+        scheduler.resume();
+        for (i, handle) in &handles {
+            let response = handle.wait().expect("job completes");
+            assert_eq!(
+                result_fingerprint(&response),
+                expected[*i],
+                "noisy scheduled job {i} drifted at {workers} workers (reversed={reverse})"
+            );
         }
         scheduler.join();
     }
