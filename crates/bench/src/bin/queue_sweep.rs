@@ -6,6 +6,9 @@
 //! Reported per worker count:
 //!
 //! * wall-clock jobs/sec and trials/sec of the whole trace;
+//! * p50/p99 job sojourn latency (staged start → terminal response),
+//!   the serving-side saturation curve: p99 collapses as workers are
+//!   added until grid capacity and priority inversions bind;
 //! * total simulated hardware time (worker count changes wall-clock
 //!   only — the hardware cost attribution is scheduling-invariant);
 //! * live-grid saturation: admissions, grid utilization, peak
@@ -20,10 +23,12 @@
 //! count.
 //!
 //! `cargo run --release -p fecim-bench --bin queue_sweep \
-//!     [--scale quick|paper] [--workers 1,2,4] [--noisy]`
+//!     [--scale quick|paper] [--workers 1,2,4] [--repeat N] [--noisy]`
 //!
 //! `--noisy` programs every grid in `Fidelity::DeviceAccurate` with
-//! typical variation and read noise.
+//! typical variation and read noise. `--repeat N` offers the trace N
+//! times (distinct seeds per copy) to push the queue toward
+//! saturation without changing any single job's results.
 //!
 //! A scaled-down deterministic version of this trace (1 worker, staged
 //! start) is pinned byte-for-byte in `tests/goldens/queue_sweep.json`.
@@ -118,22 +123,81 @@ fn trace(scale: fecim_bench::HarnessScale) -> Vec<(String, SolveRequest, i64)> {
     jobs
 }
 
+/// The trace offered `repeat` times, each copy reseeded so the queue
+/// fills without any copy's results depending on the others.
+fn offered_load(
+    scale: fecim_bench::HarnessScale,
+    repeat: usize,
+) -> Vec<(String, SolveRequest, i64)> {
+    let mut jobs = Vec::new();
+    for copy in 0..repeat {
+        for (label, mut request, priority) in trace(scale) {
+            if copy > 0 {
+                request.run = match request.run {
+                    RunPlan::Ensemble {
+                        trials,
+                        base_seed,
+                        threads,
+                    } => RunPlan::Ensemble {
+                        trials,
+                        base_seed: base_seed + 1000 * copy as u64,
+                        threads,
+                    },
+                    RunPlan::Single { seed } => RunPlan::Single {
+                        seed: seed + 1000 * copy as u64,
+                    },
+                };
+            }
+            jobs.push((format!("{label}/{copy}"), request, priority));
+        }
+    }
+    jobs
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
 fn main() {
     let scale = fecim_bench::parse_scale();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let workers_list =
         fecim_bench::workers_from_args(&args).unwrap_or_else(|msg| fecim_bench::usage_exit(&msg));
     let noisy = fecim_bench::has_flag("--noisy");
+    let repeat = args
+        .iter()
+        .position(|a| a == "--repeat")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| fecim_bench::usage_exit("--repeat needs a positive integer"))
+        })
+        .unwrap_or(1);
     let mode = if noisy { "device-noisy" } else { "ideal" };
 
-    println!("=== queue_sweep ({mode}): scheduled throughput vs worker count ===\n");
     println!(
-        "{:>8} {:>8} {:>10} {:>12} {:>12} {:>10} {:>8} {:>6}",
-        "workers", "jobs", "jobs/s", "trials/s", "hw time", "grid util", "peak", "adm"
+        "=== queue_sweep ({mode}, offered load ×{repeat}): scheduled throughput vs worker \
+         count ===\n"
+    );
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>10} {:>10} {:>12} {:>10} {:>8} {:>6}",
+        "workers",
+        "jobs",
+        "jobs/s",
+        "trials/s",
+        "p50 lat",
+        "p99 lat",
+        "hw time",
+        "grid util",
+        "peak",
+        "adm"
     );
     let mut energy_baseline: Option<Vec<(String, f64)>> = None;
     for &workers in &workers_list {
-        let jobs = trace(scale);
+        let jobs = offered_load(scale, repeat);
         let mut config = SchedulerConfig::workers(workers)
             .with_grid_stripes(32)
             .start_paused();
@@ -152,16 +216,32 @@ fn main() {
                 (label, handle)
             })
             .collect();
+        let job_count = handles.len();
         let start = Instant::now();
+        // One waiter per job records its sojourn latency (staged start
+        // → terminal response) the moment it settles — waiting in
+        // submission order would overstate early finishers.
+        let waiters: Vec<_> = handles
+            .into_iter()
+            .map(|(label, handle)| {
+                std::thread::spawn(move || {
+                    let response = handle.wait();
+                    (label, handle, response, start.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
         scheduler.resume();
         let mut trials = 0usize;
         let mut hw_time = 0.0f64;
+        let mut latencies: Vec<f64> = Vec::new();
         let mut order: Vec<(u64, String)> = Vec::new();
         let mut energies: Vec<(String, f64)> = Vec::new();
-        for (label, handle) in &handles {
-            let response = handle.wait().unwrap_or_else(|e| fecim_bench::fail_exit(&e));
+        for waiter in waiters {
+            let (label, handle, response, latency) = waiter.join().expect("waiter joins");
+            let response = response.unwrap_or_else(|e| fecim_bench::fail_exit(&e));
             trials += response.reports.len();
             hw_time += response.summary.total_time;
+            latencies.push(latency);
             order.push((handle.finished_event().expect("finished"), label.clone()));
             for report in &response.reports {
                 energies.push((label.clone(), report.best_energy));
@@ -176,6 +256,7 @@ fn main() {
             None => energy_baseline = Some(energies),
         }
         let elapsed = start.elapsed().as_secs_f64();
+        latencies.sort_by(|a, b| a.total_cmp(b));
         let grids = scheduler.grid_stats();
         let (util, peak, admissions) = grids
             .first()
@@ -188,11 +269,13 @@ fn main() {
             })
             .unwrap_or((0.0, 0, 0));
         println!(
-            "{:>8} {:>8} {:>10.2} {:>12.1} {:>10.2}us {:>10.4} {:>8} {:>6}",
+            "{:>8} {:>8} {:>10.2} {:>12.1} {:>8.1}ms {:>8.1}ms {:>10.2}us {:>10.4} {:>8} {:>6}",
             workers,
-            handles.len(),
-            handles.len() as f64 / elapsed,
+            job_count,
+            job_count as f64 / elapsed,
             trials as f64 / elapsed,
+            percentile(&latencies, 0.5) * 1e3,
+            percentile(&latencies, 0.99) * 1e3,
             hw_time * 1e6,
             util,
             peak,
@@ -204,7 +287,7 @@ fn main() {
         scheduler.join();
     }
     println!(
-        "(hardware time is scheduling-invariant; wall-clock scales with workers until the \
-         trace's priority inversions and grid capacity bind)"
+        "(hardware time is scheduling-invariant; wall-clock and tail latency scale with \
+         workers until the trace's priority inversions and grid capacity bind)"
     );
 }

@@ -21,16 +21,20 @@ use crate::scheduler::{lock, Core};
 /// Submit-time options of a job.
 ///
 /// Priority is the primary scheduling key (higher runs first); the
-/// optional deadline breaks priority ties earliest-first (it is an
-/// urgency hint, not an enforcement mechanism — the scheduler never
-/// kills a late job); tags are free-form labels echoed back through
-/// [`JobHandle::tags`] for the client's own bookkeeping.
+/// optional deadline is *enforced* at trial granularity — among equal
+/// priorities, earlier deadlines run first (EDF), and a job whose
+/// deadline elapses mid-ensemble stops after its in-flight trials and
+/// finalizes as [`JobStatus::DeadlineExceeded`] with the completed
+/// prefix as a partial response (mirroring the cancel path; no trial is
+/// ever aborted mid-anneal); tags are free-form labels echoed back
+/// through [`JobHandle::tags`] for the client's own bookkeeping.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SubmitOptions {
     /// Scheduling priority: higher runs first (default 0).
     pub priority: i64,
-    /// Optional urgency hint, milliseconds from submission; among equal
-    /// priorities, earlier deadlines run first.
+    /// Optional enforced deadline, milliseconds from submission; among
+    /// equal priorities, earlier deadlines run first, and elapsing
+    /// mid-ensemble stops the job after the current trial.
     pub deadline_ms: Option<u64>,
     /// Free-form labels echoed back to the client.
     pub tags: Vec<String>,
@@ -70,6 +74,9 @@ pub enum JobStatus {
     /// Cancelled before every trial finished; completed trials are
     /// reported as a partial response.
     Cancelled,
+    /// The submit-time deadline elapsed before every trial finished;
+    /// completed trials are reported as a partial response.
+    DeadlineExceeded,
     /// The request was rejected or a trial failed;
     /// [`JobHandle::wait`] returns the error.
     Failed,
@@ -80,7 +87,10 @@ impl JobStatus {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobStatus::Completed | JobStatus::Cancelled | JobStatus::Failed
+            JobStatus::Completed
+                | JobStatus::Cancelled
+                | JobStatus::DeadlineExceeded
+                | JobStatus::Failed
         )
     }
 }
@@ -111,6 +121,15 @@ pub enum SchedulerError {
         /// completed or post-processing failed).
         partial: Option<Box<SolveResponse>>,
     },
+    /// The job's deadline elapsed before every trial finished;
+    /// completed trials (possibly zero) are summarized in `partial`.
+    DeadlineExceeded {
+        /// Trials that finished before the deadline elapsed.
+        completed: usize,
+        /// Response over the completed trials (`None` when none
+        /// completed or post-processing failed).
+        partial: Option<Box<SolveResponse>>,
+    },
     /// The request failed validation, preparation, or execution.
     Rejected(SessionError),
     /// The scheduler shut down before the job finished.
@@ -122,6 +141,9 @@ impl fmt::Display for SchedulerError {
         match self {
             SchedulerError::Cancelled { completed, .. } => {
                 write!(f, "job cancelled after {completed} completed trials")
+            }
+            SchedulerError::DeadlineExceeded { completed, .. } => {
+                write!(f, "deadline exceeded after {completed} completed trials")
             }
             SchedulerError::Rejected(e) => write!(f, "{e}"),
             SchedulerError::Shutdown => write!(f, "scheduler shut down before the job finished"),
@@ -205,6 +227,13 @@ impl Job {
     pub(crate) fn is_cancel_requested(&self) -> bool {
         self.cancel_flag.load(Ordering::Relaxed)
     }
+
+    /// Whether the enforced deadline (if any) has already passed.
+    /// Checked by workers before claiming each trial, so an elapsed
+    /// deadline stops the ensemble at the next trial boundary.
+    pub(crate) fn is_deadline_elapsed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 /// Client handle onto a submitted job. Cheap to clone; all methods are
@@ -276,6 +305,8 @@ impl JobHandle {
     /// # Errors
     ///
     /// [`SchedulerError::Cancelled`] (with the partial response),
+    /// [`SchedulerError::DeadlineExceeded`] when the submit-time
+    /// deadline elapsed mid-run (also with the partial response),
     /// [`SchedulerError::Rejected`] for invalid or failing requests, and
     /// [`SchedulerError::Shutdown`] when the scheduler was dropped
     /// first.

@@ -1,0 +1,261 @@
+//! The durable job journal: an append-only JSONL file recording every
+//! scheduler lifecycle transition, so a crashed server replays its
+//! pending and in-flight jobs on restart.
+//!
+//! ## Format
+//!
+//! One [`JournalRecord`] per line, externally tagged JSON, appended (and
+//! flushed) as the transition happens:
+//!
+//! ```text
+//! {"Submitted":{"job":1,"name":"ring","request":{...},"options":{...}}}
+//! {"Started":{"job":1}}
+//! {"TrialDone":{"job":1,"trial":0}}
+//! {"Finalized":{"job":1,"status":"Completed"}}
+//! ```
+//!
+//! ## Replay semantics
+//!
+//! [`Scheduler::recover`] reads the journal and resubmits every job
+//! whose `Submitted` record has no matching `Finalized` (or
+//! `Superseded`) record. Because every trial derives all of its
+//! randomness from `base_seed + trial`, the recovered responses are
+//! **bit-identical** to the ones an uncrashed run would have produced —
+//! `Started`/`TrialDone` records are progress observations, not
+//! checkpoints; replay simply re-runs the job from trial zero and
+//! recomputes the same bits. A `CancelRequested` record without a
+//! `Finalized` replays as an immediate cancellation, and a torn final
+//! line (the crash interrupting a write) is tolerated and ignored.
+//!
+//! Two deliberate non-goals: a [`SchedulerError::Shutdown`] finalization
+//! is *not* journaled (an aborted scheduler leaves its open jobs
+//! replayable — that is the crash the journal exists for), and
+//! deadlines restart from the moment of re-submission (wall-clock
+//! deadlines cannot meaningfully survive a crash of unknown duration).
+//!
+//! [`Scheduler::recover`]: crate::Scheduler::recover
+//! [`SchedulerError::Shutdown`]: crate::SchedulerError::Shutdown
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use fecim::SolveRequest;
+
+use crate::job::{JobStatus, SubmitOptions};
+use crate::scheduler::lock;
+
+/// One append-only record of the job journal.
+// The variants ARE the on-disk format; boxing `Submitted`'s request
+// would change nothing on disk and only add indirection in memory.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A job entered the queue.
+    Submitted {
+        /// Scheduler-assigned job id.
+        job: u64,
+        /// Client-chosen name (the JSONL front-ends' line id), if any.
+        name: Option<String>,
+        /// The submitted request.
+        request: SolveRequest,
+        /// The submit-time options.
+        options: SubmitOptions,
+    },
+    /// The job's first trial was claimed.
+    Started {
+        /// Scheduler-assigned job id.
+        job: u64,
+    },
+    /// One trial finished.
+    TrialDone {
+        /// Scheduler-assigned job id.
+        job: u64,
+        /// Trial index within the ensemble.
+        trial: usize,
+    },
+    /// A client requested cancellation.
+    CancelRequested {
+        /// Scheduler-assigned job id.
+        job: u64,
+    },
+    /// The job reached a terminal state (never written for
+    /// scheduler-shutdown aborts, so those jobs stay replayable).
+    Finalized {
+        /// Scheduler-assigned job id.
+        job: u64,
+        /// The terminal status.
+        status: JobStatus,
+    },
+    /// Recovery resubmitted this job under a new id; the old id is
+    /// terminal for every later replay.
+    Superseded {
+        /// The crashed run's job id.
+        job: u64,
+        /// The replaying run's job id.
+        by: u64,
+    },
+}
+
+impl JournalRecord {
+    /// The job id this record concerns.
+    pub fn job(&self) -> u64 {
+        match self {
+            JournalRecord::Submitted { job, .. }
+            | JournalRecord::Started { job }
+            | JournalRecord::TrialDone { job, .. }
+            | JournalRecord::CancelRequested { job }
+            | JournalRecord::Finalized { job, .. }
+            | JournalRecord::Superseded { job, .. } => *job,
+        }
+    }
+}
+
+/// Error of a journal read or replay.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Opening, reading, or appending the journal file failed.
+    Io(std::io::Error),
+    /// A non-final line was not a valid [`JournalRecord`] (a torn
+    /// *final* line is tolerated as the crash's interrupted write).
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::Corrupt { line, message } => {
+                write!(f, "journal line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// The append side: a mutex-guarded file every lifecycle transition is
+/// written (and flushed) to. The mutex is a leaf lock — appends happen
+/// under job/queue locks, never the reverse.
+pub(crate) struct Journal {
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Open (or create) the journal at `path` for appending.
+    pub(crate) fn open(path: &Path) -> std::io::Result<Journal> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Append one record and flush it to the OS — a crash after
+    /// `append` returns never loses the record.
+    pub(crate) fn append(&self, record: &JournalRecord) {
+        let json = serde_json::to_string(record).expect("journal records serialize");
+        let mut file = lock(&self.file);
+        // Journal writes are best-effort durability: an un-writable
+        // journal must not take down in-flight solves, so failures are
+        // reported on stderr instead of panicking a worker.
+        if let Err(e) = writeln!(file, "{json}").and_then(|()| file.flush()) {
+            eprintln!("fecim-serve: journal append failed: {e}");
+        }
+    }
+}
+
+/// Read every record of the journal at `path`.
+///
+/// A torn final line — the crash interrupting an append — is ignored;
+/// corruption anywhere else is an error.
+///
+/// # Errors
+///
+/// [`JournalError::Io`] when the file cannot be opened or read, and
+/// [`JournalError::Corrupt`] when a non-final line does not parse.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<Vec<JournalRecord>, JournalError> {
+    let reader = BufReader::new(File::open(path.as_ref())?);
+    let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
+    let mut records = Vec::new();
+    for (line_no, line) in lines.iter().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<JournalRecord>(trimmed) {
+            Ok(record) => records.push(record),
+            Err(_) if line_no + 1 == lines.len() => break, // torn tail
+            Err(e) => {
+                return Err(JournalError::Corrupt {
+                    line: line_no + 1,
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// A job a crashed run left unfinished, as replayed by
+/// [`Scheduler::recover`](crate::Scheduler::recover).
+#[derive(Debug)]
+pub struct RecoveredJob {
+    /// The crashed run's job id.
+    pub crashed_id: u64,
+    /// The client-chosen name recorded at the original submission.
+    pub name: Option<String>,
+    /// Whether the crashed run had a cancellation on record (the
+    /// replayed job is cancelled again before it runs).
+    pub cancel_requested: bool,
+    /// The replaying run's handle onto the resubmitted job.
+    pub handle: crate::JobHandle,
+}
+
+/// The replay-relevant distillation of a journal: every submission
+/// without a terminal record, in original submission order.
+pub(crate) fn pending_jobs(
+    records: Vec<JournalRecord>,
+) -> Vec<(u64, Option<String>, SolveRequest, SubmitOptions, bool)> {
+    let mut pending: Vec<(u64, Option<String>, SolveRequest, SubmitOptions, bool)> = Vec::new();
+    for record in records {
+        match record {
+            JournalRecord::Submitted {
+                job,
+                name,
+                request,
+                options,
+            } => pending.push((job, name, request, options, false)),
+            JournalRecord::CancelRequested { job } => {
+                if let Some(entry) = pending.iter_mut().find(|(id, ..)| *id == job) {
+                    entry.4 = true;
+                }
+            }
+            JournalRecord::Finalized { job, .. } | JournalRecord::Superseded { job, .. } => {
+                pending.retain(|(id, ..)| *id != job);
+            }
+            JournalRecord::Started { .. } | JournalRecord::TrialDone { .. } => {}
+        }
+    }
+    pending
+}

@@ -6,34 +6,50 @@
 //! ## Protocol
 //!
 //! Input: one [`RequestLine`] per line (externally tagged JSON, blank
-//! lines ignored). All submissions and cancellations are staged into a
-//! *paused* scheduler first; execution starts at end of input, and one
-//! [`ResponseLine`] per submission is emitted in submission order. That
-//! makes a fixture file fully deterministic: a `Cancel` anywhere in the
-//! stream reliably beats the worker pool to the job.
+//! lines ignored). In the batch transport ([`run_jsonl`], the
+//! `--stdin-jsonl` binary mode) all submissions and cancellations are
+//! staged into a *paused* scheduler first; execution starts at end of
+//! input, and one [`ResponseLine`] per submission is emitted in
+//! submission order. That makes a fixture file fully deterministic: a
+//! `Cancel` anywhere in the stream reliably beats the worker pool to
+//! the job. The streaming TCP transport ([`crate::tcp`]) uses the same
+//! line types but executes live and emits responses as jobs finish.
 //!
 //! ```text
 //! {"Submit":{"id":"ring","request":{...SolveRequest...},"options":{"priority":5,"deadline_ms":null,"tags":[]}}}
 //! {"Cancel":{"id":"ring"}}
+//! {"Status":{"id":"ring"}}
+//! {"Progress":{"id":"ring"}}
 //! ```
 //!
-//! Output lines mirror [`JobHandle::wait`]:
+//! Terminal output lines mirror [`JobHandle::wait`]; `Status` and
+//! `Progress` answers are point-in-time observations:
 //!
 //! ```text
 //! {"Completed":{"id":"ring","response":{...SolveResponse...}}}
 //! {"Cancelled":{"id":"ring","completed_trials":0,"partial":null}}
+//! {"DeadlineExceeded":{"id":"ring","completed_trials":2,"partial":{...}}}
 //! {"Failed":{"id":"ring","error":"invalid request: ..."}}
+//! {"Rejected":{"id":"ring","open_jobs":128,"limit":128}}
+//! {"Status":{"id":"ring","status":"Running"}}
+//! {"Progress":{"id":"ring","progress":{...JobProgress...}}}
 //! ```
+//!
+//! The contract both transports honor: **every actionable input line
+//! gets exactly one response** — a duplicate `Submit` id and a `Cancel`
+//! / `Status` / `Progress` for an id the stream has not submitted each
+//! yield a deterministic `Failed` line instead of silence.
 //!
 //! [`JobHandle::wait`]: crate::JobHandle::wait
 
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
 
 use serde::{Deserialize, Serialize};
 
 use fecim::{SolveRequest, SolveResponse};
 
-use crate::job::{SchedulerError, SubmitOptions};
+use crate::job::{JobProgress, JobStatus, SchedulerError, SubmitOptions};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 
 /// One input line of the JSONL protocol.
@@ -56,9 +72,21 @@ pub enum RequestLine {
         /// The id to cancel.
         id: String,
     },
+    /// Query the lifecycle state of a previously submitted id.
+    Status {
+        /// The id to query.
+        id: String,
+    },
+    /// Query trial progress of a previously submitted id.
+    Progress {
+        /// The id to query.
+        id: String,
+    },
 }
 
 /// One output line of the JSONL protocol.
+// Same wire-format rationale as `RequestLine` for the inline payloads.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ResponseLine {
     /// The job ran every trial.
@@ -77,12 +105,47 @@ pub enum ResponseLine {
         /// Response over the completed trials, if any.
         partial: Option<SolveResponse>,
     },
+    /// The job's deadline elapsed mid-run; completed trials are
+    /// summarized.
+    DeadlineExceeded {
+        /// The client's id.
+        id: String,
+        /// Trials that finished before the deadline elapsed.
+        completed_trials: usize,
+        /// Response over the completed trials, if any.
+        partial: Option<SolveResponse>,
+    },
     /// The job (or the line itself) failed.
     Failed {
         /// The client's id (or a synthesized one for unparsable lines).
         id: String,
         /// Human-readable error.
         error: String,
+    },
+    /// Admission control refused the submission: the scheduler's open
+    /// job count is at the transport's high-water mark. The job never
+    /// entered the queue — resubmit later.
+    Rejected {
+        /// The client's id.
+        id: String,
+        /// Open jobs at the moment of rejection.
+        open_jobs: usize,
+        /// The high-water mark that was hit.
+        limit: usize,
+    },
+    /// Point-in-time answer to a `Status` query.
+    Status {
+        /// The client's id.
+        id: String,
+        /// Lifecycle state at the moment of the query.
+        status: JobStatus,
+    },
+    /// Point-in-time answer to a `Progress` query.
+    Progress {
+        /// The client's id.
+        id: String,
+        /// Trial progress at the moment of the query.
+        progress: JobProgress,
     },
 }
 
@@ -92,8 +155,22 @@ impl ResponseLine {
         match self {
             ResponseLine::Completed { id, .. }
             | ResponseLine::Cancelled { id, .. }
-            | ResponseLine::Failed { id, .. } => id,
+            | ResponseLine::DeadlineExceeded { id, .. }
+            | ResponseLine::Failed { id, .. }
+            | ResponseLine::Rejected { id, .. }
+            | ResponseLine::Status { id, .. }
+            | ResponseLine::Progress { id, .. } => id,
         }
+    }
+
+    /// Whether this line settles its id (one terminal line per
+    /// actionable input line), as opposed to a `Status`/`Progress`
+    /// observation that may repeat.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(
+            self,
+            ResponseLine::Status { .. } | ResponseLine::Progress { .. }
+        )
     }
 }
 
@@ -109,6 +186,13 @@ pub enum JsonlError {
         /// Parser message.
         message: String,
     },
+    /// The response stream violates the protocol contract: an id got
+    /// two terminal lines, or (when checked against the request stream)
+    /// an expected response never arrived.
+    Contract {
+        /// Human-readable description of the violation.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for JsonlError {
@@ -116,6 +200,7 @@ impl std::fmt::Display for JsonlError {
         match self {
             JsonlError::Io(e) => write!(f, "i/o error: {e}"),
             JsonlError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            JsonlError::Contract { message } => write!(f, "protocol contract: {message}"),
         }
     }
 }
@@ -124,7 +209,7 @@ impl std::error::Error for JsonlError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JsonlError::Io(e) => Some(e),
-            JsonlError::Parse { .. } => None,
+            JsonlError::Parse { .. } | JsonlError::Contract { .. } => None,
         }
     }
 }
@@ -144,8 +229,12 @@ pub struct JsonlSummary {
     pub completed: usize,
     /// Jobs that ended cancelled.
     pub cancelled: usize,
+    /// Jobs stopped by their submit-time deadline.
+    pub deadline_exceeded: usize,
     /// Jobs (or lines) that failed.
     pub failed: usize,
+    /// `Status`/`Progress` queries answered.
+    pub observations: usize,
 }
 
 /// Serve one JSONL stream: stage every line into a paused scheduler,
@@ -167,6 +256,7 @@ pub fn run_jsonl(
         paused: true,
         ..config
     });
+    let mut summary = JsonlSummary::default();
     // (id, handle) in submission order; duplicate ids become failures.
     let mut jobs: Vec<(String, Option<crate::JobHandle>)> = Vec::new();
     let mut cancels: Vec<String> = Vec::new();
@@ -191,10 +281,53 @@ pub fn run_jsonl(
                     jobs.push((id, None));
                     continue;
                 }
-                let handle = scheduler.submit(request, options);
+                let handle = scheduler.submit_named(Some(&id), request, options);
                 jobs.push((id, Some(handle)));
             }
             RequestLine::Cancel { id } => cancels.push(id),
+            // Point-in-time queries are answered where they stand in
+            // the stream. Staging precedes execution, so in this batch
+            // transport the answer is deterministic: `Queued` for ids
+            // submitted earlier in the stream, `Failed` otherwise. The
+            // streaming TCP transport answers the same lines live.
+            RequestLine::Status { id } => {
+                let response = match jobs.iter().find(|(existing, _)| existing == &id) {
+                    Some((_, Some(handle))) => {
+                        summary.observations += 1;
+                        ResponseLine::Status {
+                            id,
+                            status: handle.status(),
+                        }
+                    }
+                    _ => {
+                        summary.failed += 1;
+                        ResponseLine::Failed {
+                            error: format!("status for unknown id `{id}`"),
+                            id,
+                        }
+                    }
+                };
+                write_line(&mut output, &response)?;
+            }
+            RequestLine::Progress { id } => {
+                let response = match jobs.iter().find(|(existing, _)| existing == &id) {
+                    Some((_, Some(handle))) => {
+                        summary.observations += 1;
+                        ResponseLine::Progress {
+                            id,
+                            progress: handle.progress(),
+                        }
+                    }
+                    _ => {
+                        summary.failed += 1;
+                        ResponseLine::Failed {
+                            error: format!("progress for unknown id `{id}`"),
+                            id,
+                        }
+                    }
+                };
+                write_line(&mut output, &response)?;
+            }
         }
     }
     // The whole stream is staged before execution starts, so a cancel
@@ -211,10 +344,7 @@ pub fn run_jsonl(
     }
 
     scheduler.resume();
-    let mut summary = JsonlSummary {
-        submitted: jobs.iter().filter(|(_, h)| h.is_some()).count(),
-        ..JsonlSummary::default()
-    };
+    summary.submitted = jobs.iter().filter(|(_, h)| h.is_some()).count();
     for (id, handle) in jobs {
         let response = match handle {
             None => {
@@ -224,50 +354,197 @@ pub fn run_jsonl(
                     id,
                 }
             }
-            Some(handle) => match handle.wait() {
-                Ok(response) => {
-                    summary.completed += 1;
-                    ResponseLine::Completed { id, response }
-                }
-                Err(SchedulerError::Cancelled { completed, partial }) => {
-                    summary.cancelled += 1;
-                    ResponseLine::Cancelled {
-                        id,
-                        completed_trials: completed,
-                        partial: partial.map(|b| *b),
-                    }
-                }
-                Err(e) => {
-                    summary.failed += 1;
-                    ResponseLine::Failed {
-                        id,
-                        error: e.to_string(),
-                    }
-                }
-            },
+            Some(handle) => terminal_line(id, handle.wait(), &mut summary),
         };
-        let json = serde_json::to_string(&response).expect("response lines serialize");
-        writeln!(output, "{json}")?;
+        write_line(&mut output, &response)?;
     }
     for (id, error) in errors {
         summary.failed += 1;
-        let json = serde_json::to_string(&ResponseLine::Failed { id, error })
-            .expect("response lines serialize");
-        writeln!(output, "{json}")?;
+        write_line(&mut output, &ResponseLine::Failed { id, error })?;
     }
     scheduler.join();
     Ok(summary)
 }
 
-/// Validate that every line of `input` parses as a [`ResponseLine`] —
-/// the CI smoke's "emitted responses parse" assertion. Returns the
-/// parsed lines.
+fn write_line(output: &mut impl Write, response: &ResponseLine) -> Result<(), JsonlError> {
+    let json = serde_json::to_string(response).expect("response lines serialize");
+    writeln!(output, "{json}")?;
+    Ok(())
+}
+
+///// Map a [`JobHandle::wait`](crate::JobHandle::wait) outcome to its
+/// terminal response line, tallying the summary. Shared by the batch
+/// and streaming transports (and the `recover` subcommand) so one job
+/// outcome always serializes the same way.
+pub fn terminal_line(
+    id: String,
+    outcome: Result<SolveResponse, SchedulerError>,
+    summary: &mut JsonlSummary,
+) -> ResponseLine {
+    match outcome {
+        Ok(response) => {
+            summary.completed += 1;
+            ResponseLine::Completed { id, response }
+        }
+        Err(SchedulerError::Cancelled { completed, partial }) => {
+            summary.cancelled += 1;
+            ResponseLine::Cancelled {
+                id,
+                completed_trials: completed,
+                partial: partial.map(|b| *b),
+            }
+        }
+        Err(SchedulerError::DeadlineExceeded { completed, partial }) => {
+            summary.deadline_exceeded += 1;
+            ResponseLine::DeadlineExceeded {
+                id,
+                completed_trials: completed,
+                partial: partial.map(|b| *b),
+            }
+        }
+        Err(e) => {
+            summary.failed += 1;
+            ResponseLine::Failed {
+                id,
+                error: e.to_string(),
+            }
+        }
+    }
+}
+
+/// Validate a response stream: every line must parse as a
+/// [`ResponseLine`], and no id may *settle* twice — at most one
+/// `Completed`/`Cancelled`/`DeadlineExceeded` line per id — so the CI
+/// smoke catches double-answered jobs, not just syntax errors. Returns
+/// the parsed lines.
+///
+/// `Failed` and `Rejected` lines may legitimately repeat an id without
+/// the request stream being wrong (a duplicate `Submit` fails next to
+/// the original's response; a backpressure-rejected id may be
+/// resubmitted), and `Status`/`Progress` observations always may. To
+/// also catch *dropped* responses and spurious failures, validate
+/// against the request stream with [`check_responses_against`].
 ///
 /// # Errors
 ///
 /// [`JsonlError::Io`] on read failures, [`JsonlError::Parse`] on the
-/// first unparsable line.
+/// first unparsable line, [`JsonlError::Contract`] on a
+/// double-settled id.
 pub fn check_responses(input: impl BufRead) -> Result<Vec<ResponseLine>, JsonlError> {
+    let lines = parse_responses(input)?;
+    let mut settled: HashMap<&str, usize> = HashMap::new();
+    for line in &lines {
+        if matches!(
+            line,
+            ResponseLine::Completed { .. }
+                | ResponseLine::Cancelled { .. }
+                | ResponseLine::DeadlineExceeded { .. }
+        ) {
+            *settled.entry(line.id()).or_default() += 1;
+        }
+    }
+    if let Some((id, count)) = settled.iter().find(|(_, &count)| count > 1) {
+        return Err(JsonlError::Contract {
+            message: format!("id `{id}` settled by {count} response lines"),
+        });
+    }
+    Ok(lines)
+}
+
+/// Validate a response stream *against the request stream that produced
+/// it*: beyond [`check_responses`]' parse check, every actionable
+/// request line must be answered by exactly one terminal response —
+/// each `Submit` (duplicates included: the duplicate's `Failed` line is
+/// expected), plus one `Failed` for every `Cancel` whose id the stream
+/// never submits and every `Status`/`Progress` whose id no *earlier*
+/// line submits (the staged transport resolves cancels against the
+/// whole stream, so a forward cancel is answered by its job's terminal
+/// line, not a failure). This is what lets the CI smoke catch
+/// *dropped* jobs, and it is transport-agnostic: streaming responses
+/// arrive in completion order, so only counts per id are checked,
+/// never ordering.
+///
+/// # Errors
+///
+/// [`JsonlError::Io`] / [`JsonlError::Parse`] as in
+/// [`check_responses`], [`JsonlError::Contract`] listing the first
+/// missing or over-answered id.
+pub fn check_responses_against(
+    requests: impl BufRead,
+    responses: impl BufRead,
+) -> Result<Vec<ResponseLine>, JsonlError> {
+    let mut parsed_requests = Vec::new();
+    for (line_no, line) in requests.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let request: RequestLine =
+            serde_json::from_str(trimmed).map_err(|e| JsonlError::Parse {
+                line: line_no + 1,
+                message: format!("request stream: {e}"),
+            })?;
+        parsed_requests.push(request);
+    }
+    let ever_submitted: Vec<&str> = parsed_requests
+        .iter()
+        .filter_map(|r| match r {
+            RequestLine::Submit { id, .. } => Some(id.as_str()),
+            _ => None,
+        })
+        .collect();
+    // Expected terminal responses per id, from the request stream.
+    let mut expected: HashMap<String, usize> = HashMap::new();
+    let mut submitted_so_far: Vec<&str> = Vec::new();
+    for request in &parsed_requests {
+        match request {
+            RequestLine::Submit { id, .. } => {
+                *expected.entry(id.clone()).or_default() += 1;
+                submitted_so_far.push(id);
+            }
+            // A cancel for a submitted id (anywhere in the stream — the
+            // staged transport applies forward cancels) is answered by
+            // that job's terminal line; a cancel for an id the stream
+            // never submits gets its own `Failed` line.
+            RequestLine::Cancel { id } => {
+                if !ever_submitted.contains(&id.as_str()) {
+                    *expected.entry(id.clone()).or_default() += 1;
+                }
+            }
+            // Queries on earlier-submitted ids are observations; on
+            // unknown ids they fail, in both transports.
+            RequestLine::Status { id } | RequestLine::Progress { id } => {
+                if !submitted_so_far.contains(&id.as_str()) {
+                    *expected.entry(id.clone()).or_default() += 1;
+                }
+            }
+        }
+    }
+    let lines = parse_responses(responses)?;
+    let mut got: HashMap<&str, usize> = HashMap::new();
+    for line in &lines {
+        if line.is_terminal() {
+            *got.entry(line.id()).or_default() += 1;
+        }
+    }
+    for (id, want) in &expected {
+        let have = got.get(id.as_str()).copied().unwrap_or(0);
+        if have != *want {
+            return Err(JsonlError::Contract {
+                message: format!("id `{id}` expected {want} terminal response line(s), got {have}"),
+            });
+        }
+    }
+    if let Some((id, count)) = got.iter().find(|(id, _)| !expected.contains_key(**id)) {
+        return Err(JsonlError::Contract {
+            message: format!("unexpected terminal response id `{id}` ({count} line(s))"),
+        });
+    }
+    Ok(lines)
+}
+
+fn parse_responses(input: impl BufRead) -> Result<Vec<ResponseLine>, JsonlError> {
     let mut lines = Vec::new();
     for (line_no, line) in input.lines().enumerate() {
         let line = line?;

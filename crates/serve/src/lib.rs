@@ -34,21 +34,43 @@
 //!
 //! ## Transports
 //!
-//! The `fecim-serve` binary speaks the [`jsonl`] protocol over
-//! stdin/stdout (`fecim-serve serve --stdin-jsonl`). The protocol
-//! functions are library API ([`run_jsonl`], [`check_responses`]), so
-//! an HTTP or queue front-end later is a byte-stream swap, not a
-//! redesign.
+//! The `fecim-serve` binary speaks the [`jsonl`] protocol over two
+//! byte streams with identical semantics:
+//!
+//! * **Batch** — `fecim-serve serve --stdin-jsonl`: the whole stream is
+//!   staged on a paused scheduler, responses come back in submission
+//!   order ([`run_jsonl`]).
+//! * **Streaming TCP** — `fecim-serve serve --listen ADDR`: a
+//!   thread-per-connection [`TcpServer`] executes jobs as they arrive
+//!   and emits responses as jobs finish (tagged by id, not submission
+//!   order), answers `Status`/`Progress` queries live, and pushes back
+//!   with `Rejected` lines once `open_jobs` passes a configurable
+//!   high-water mark.
+//!
+//! ## Durability
+//!
+//! [`SchedulerConfig::with_journal`] appends every job transition to a
+//! JSONL journal; [`Scheduler::recover`] replays a crashed run's
+//! unfinished jobs bit-identically (see [`journal`]). Deadlines are
+//! *enforced* at trial granularity: a job whose `deadline_ms` elapses
+//! finalizes as [`JobStatus::DeadlineExceeded`] with partial results.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod grid;
 mod job;
+pub mod journal;
 pub mod jsonl;
 mod scheduler;
+pub mod tcp;
 
 pub use grid::LiveGridStats;
 pub use job::{JobHandle, JobProgress, JobStatus, SchedulerError, SubmitOptions};
-pub use jsonl::{check_responses, run_jsonl, JsonlError, JsonlSummary, RequestLine, ResponseLine};
+pub use journal::{read_journal, JournalError, JournalRecord, RecoveredJob};
+pub use jsonl::{
+    check_responses, check_responses_against, run_jsonl, terminal_line, JsonlError, JsonlSummary,
+    RequestLine, ResponseLine,
+};
 pub use scheduler::{Scheduler, SchedulerConfig};
+pub use tcp::{drive, TcpServer, TcpServerConfig};

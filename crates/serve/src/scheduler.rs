@@ -19,7 +19,18 @@
 //! Trial granularity is also what makes priorities responsive: a
 //! higher-priority submission preempts a long ensemble at its next
 //! trial boundary (no trial is ever aborted mid-anneal), and
-//! cancellation takes effect the same way.
+//! cancellation and deadline enforcement take effect the same way — a
+//! job whose `deadline_ms` elapses mid-ensemble stops claiming trials
+//! and finalizes as
+//! [`JobStatus::DeadlineExceeded`](crate::JobStatus::DeadlineExceeded)
+//! with the completed prefix as a partial response.
+//!
+//! ## Durability
+//!
+//! With [`SchedulerConfig::with_journal`], every lifecycle transition
+//! is appended to a JSONL journal and [`Scheduler::recover`] replays a
+//! crashed run's unfinished jobs — bit-identically, thanks to the
+//! per-trial seed discipline (see [`crate::journal`]).
 //!
 //! ## Live-grid admission
 //!
@@ -35,6 +46,7 @@
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, HashMap};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -44,6 +56,7 @@ use fecim_crossbar::CrossbarConfig;
 
 use crate::grid::{Admission, GridPool, LiveGridStats};
 use crate::job::{Job, JobHandle, JobState, JobStatus, SchedulerError, SubmitOptions};
+use crate::journal::{self, Journal, JournalError, JournalRecord, RecoveredJob};
 
 /// Lock a mutex, surviving peers that panicked while holding it (jobs
 /// and queues are plain data — a poisoned guard is still consistent).
@@ -68,6 +81,11 @@ pub struct SchedulerConfig {
     /// cancellations) before execution starts — the JSONL front-end and
     /// the deterministic tests rely on it.
     pub paused: bool,
+    /// Append-only job journal path; every submit / start /
+    /// trial-complete / cancel / finalize transition is recorded so
+    /// [`Scheduler::recover`] can replay unfinished jobs after a crash.
+    /// `None` = no durability.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for SchedulerConfig {
@@ -77,6 +95,7 @@ impl Default for SchedulerConfig {
             grid_stripes: 64,
             crossbar: None,
             paused: false,
+            journal: None,
         }
     }
 }
@@ -105,6 +124,13 @@ impl SchedulerConfig {
     /// Start paused (see [`SchedulerConfig::paused`]).
     pub fn start_paused(mut self) -> SchedulerConfig {
         self.paused = true;
+        self
+    }
+
+    /// Journal every job transition to the append-only file at `path`
+    /// (see [`SchedulerConfig::journal`]).
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> SchedulerConfig {
+        self.journal = Some(path.into());
         self
     }
 }
@@ -174,6 +200,9 @@ pub(crate) struct Core {
     /// Finalize removes entries, so a long-lived scheduler does not
     /// accumulate terminal jobs (clients keep theirs via `JobHandle`).
     jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    /// Durable job journal (leaf lock: appended to under job/queue
+    /// locks, never the reverse).
+    journal: Option<Journal>,
 }
 
 impl Core {
@@ -193,6 +222,14 @@ impl Core {
         outcome: Result<fecim::SolveResponse, SchedulerError>,
     ) {
         debug_assert!(st.outcome.is_none(), "finalize must run once");
+        // A shutdown abort is deliberately NOT journaled as terminal:
+        // the whole point of the journal is that those jobs replay.
+        if !matches!(&outcome, Err(SchedulerError::Shutdown)) {
+            self.journal(&JournalRecord::Finalized {
+                job: job.id,
+                status,
+            });
+        }
         st.status = status;
         st.finished_event = Some(self.next_event());
         st.outcome = Some(outcome);
@@ -204,21 +241,60 @@ impl Core {
         self.work_cv.notify_all();
     }
 
+    fn journal(&self, record: &JournalRecord) {
+        if let Some(journal) = &self.journal {
+            journal.append(record);
+        }
+    }
+
+    /// Response over the trials that completed before a cancellation or
+    /// deadline stopped the job (`None` when none did).
+    fn partial_response(st: &JobState) -> Option<Box<fecim::SolveResponse>> {
+        let prepared = st.prepared.as_ref()?;
+        if st.done == 0 {
+            return None;
+        }
+        let reports: Vec<SolveReport> = st.reports.iter().flatten().cloned().collect();
+        prepared.finish(reports, Vec::new()).ok().map(Box::new)
+    }
+
     fn finalize_cancelled(&self, job: &Job, st: &mut JobState) {
         let completed = st.done;
-        let partial = st.prepared.as_ref().and_then(|prepared| {
-            if completed == 0 {
-                return None;
-            }
-            let reports: Vec<SolveReport> = st.reports.iter().flatten().cloned().collect();
-            prepared.finish(reports, Vec::new()).ok().map(Box::new)
-        });
+        let partial = Self::partial_response(st);
         self.finalize(
             job,
             st,
             JobStatus::Cancelled,
             Err(SchedulerError::Cancelled { completed, partial }),
         );
+    }
+
+    /// The deadline twin of [`Core::finalize_cancelled`]: same partial
+    /// semantics, distinct terminal status so clients (and the journal)
+    /// can tell an explicit cancel from an elapsed deadline.
+    fn finalize_deadline(&self, job: &Job, st: &mut JobState) {
+        let completed = st.done;
+        let partial = Self::partial_response(st);
+        self.finalize(
+            job,
+            st,
+            JobStatus::DeadlineExceeded,
+            Err(SchedulerError::DeadlineExceeded { completed, partial }),
+        );
+    }
+
+    /// Settle a job that should stop claiming trials (cancelled or past
+    /// its deadline) once nothing is in flight. Explicit cancellation
+    /// wins when both apply.
+    fn settle_stopped(&self, job: &Job, st: &mut JobState) {
+        if st.outcome.is_some() || st.in_flight != 0 {
+            return;
+        }
+        if job.is_cancel_requested() {
+            self.finalize_cancelled(job, st);
+        } else if job.is_deadline_elapsed() {
+            self.finalize_deadline(job, st);
+        }
     }
 
     /// [`JobHandle::cancel`]: flag the job; if nothing is in flight,
@@ -230,6 +306,7 @@ impl Core {
         if st.outcome.is_some() {
             return false;
         }
+        self.journal(&JournalRecord::CancelRequested { job: job.id });
         if st.in_flight == 0 {
             self.finalize_cancelled(job, &mut st);
         }
@@ -252,10 +329,10 @@ impl Core {
             if st.outcome.is_some() {
                 return; // stale heap entry for a finalized job
             }
-            if job.is_cancel_requested() {
-                if st.in_flight == 0 {
-                    self.finalize_cancelled(&job, &mut st);
-                }
+            if job.is_cancel_requested() || job.is_deadline_elapsed() {
+                // Checked before `prepare`, so a job submitted with an
+                // already-elapsed deadline never touches a backend.
+                self.settle_stopped(&job, &mut st);
                 return;
             }
             if st.prepared.is_none() {
@@ -311,10 +388,16 @@ impl Core {
             None
         };
 
-        // Claim the next trial.
+        // Claim the next trial. An elapsed deadline blocks the claim —
+        // that is the enforcement point: the ensemble stops at the next
+        // trial boundary, exactly like a cancellation.
         let claimed = {
             let mut st = lock(&job.state);
-            if st.outcome.is_some() || job.is_cancel_requested() || st.next_trial >= st.total {
+            if st.outcome.is_some()
+                || job.is_cancel_requested()
+                || job.is_deadline_elapsed()
+                || st.next_trial >= st.total
+            {
                 None
             } else {
                 let trial = st.next_trial;
@@ -323,6 +406,7 @@ impl Core {
                 if st.status == JobStatus::Queued {
                     st.status = JobStatus::Running;
                     st.started_event = Some(self.next_event());
+                    self.journal(&JournalRecord::Started { job: job.id });
                 }
                 if st.next_trial < st.total {
                     // More trials to claim: stay in the queue so other
@@ -334,14 +418,12 @@ impl Core {
         };
         let Some(trial) = claimed else {
             // Nothing to run: release the unused grid slot and, if a
-            // cancellation raced in, settle it.
+            // cancellation or deadline raced in, settle it.
             if let Some(handle) = admission {
                 self.retire(&prepared, &handle);
             }
             let mut st = lock(&job.state);
-            if st.outcome.is_none() && job.is_cancel_requested() && st.in_flight == 0 {
-                self.finalize_cancelled(&job, &mut st);
-            }
+            self.settle_stopped(&job, &mut st);
             return;
         };
 
@@ -365,6 +447,7 @@ impl Core {
                 );
                 st.reports[trial] = Some(report);
                 st.done += 1;
+                self.journal(&JournalRecord::TrialDone { job: job.id, trial });
             }
             Err(e) => {
                 if st.outcome.is_none() {
@@ -398,8 +481,8 @@ impl Core {
                     Err(SchedulerError::Rejected(e)),
                 ),
             }
-        } else if job.is_cancel_requested() && st.in_flight == 0 {
-            self.finalize_cancelled(&job, &mut st);
+        } else {
+            self.settle_stopped(&job, &mut st);
         }
     }
 
@@ -487,10 +570,27 @@ impl Scheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `config.workers == 0` or `config.grid_stripes == 0`.
+    /// Panics if `config.workers == 0`, `config.grid_stripes == 0`, or
+    /// the configured journal file cannot be opened (use
+    /// [`Scheduler::try_with_config`] to handle that as an error).
     pub fn with_config(config: SchedulerConfig) -> Scheduler {
+        Scheduler::try_with_config(config).expect("open the configured journal")
+    }
+
+    /// A scheduler with explicit configuration, surfacing journal-open
+    /// failures as errors.
+    ///
+    /// # Errors
+    ///
+    /// The [`std::io::Error`] of opening `config.journal` for append.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0` or `config.grid_stripes == 0`.
+    pub fn try_with_config(config: SchedulerConfig) -> std::io::Result<Scheduler> {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.grid_stripes > 0, "need at least one grid stripe");
+        let journal = config.journal.as_deref().map(Journal::open).transpose()?;
         let session = match &config.crossbar {
             Some(crossbar) => Session::new().with_crossbar(crossbar.clone()),
             None => Session::new(),
@@ -512,6 +612,7 @@ impl Scheduler {
             next_id: AtomicU64::new(0),
             events: AtomicU64::new(0),
             jobs: Mutex::new(HashMap::new()),
+            journal,
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -522,13 +623,36 @@ impl Scheduler {
                     .expect("spawn worker thread")
             })
             .collect();
-        Scheduler { core, workers }
+        Ok(Scheduler { core, workers })
     }
 
     /// Queue a request. Returns immediately; validation happens on a
     /// worker, and any error surfaces through [`JobHandle::wait`].
     pub fn submit(&self, request: SolveRequest, options: SubmitOptions) -> JobHandle {
+        self.submit_named(None, request, options)
+    }
+
+    /// Queue a request under a client-chosen name. The name has no
+    /// scheduling meaning — it is recorded in the journal's `Submitted`
+    /// record so crash recovery can re-associate replayed jobs with the
+    /// ids a wire protocol handed out.
+    pub fn submit_named(
+        &self,
+        name: Option<&str>,
+        request: SolveRequest,
+        options: SubmitOptions,
+    ) -> JobHandle {
         let id = self.core.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        // Journal before the job becomes runnable: a crash right after
+        // the client learns its id must still replay the job.
+        if let Some(journal) = &self.core.journal {
+            journal.append(&JournalRecord::Submitted {
+                job: id,
+                name: name.map(str::to_string),
+                request: request.clone(),
+                options: options.clone(),
+            });
+        }
         let job = Arc::new(Job::new(id, request, options));
         lock(&self.core.jobs).insert(id, Arc::clone(&job));
         let mut q = lock(&self.core.queue);
@@ -542,6 +666,54 @@ impl Scheduler {
             job,
             core: Arc::clone(&self.core),
         }
+    }
+
+    /// Replay a crashed run's journal: every job whose `Submitted`
+    /// record has no terminal record is resubmitted (original
+    /// submission order, original options), and jobs with a
+    /// `CancelRequested` on record are cancelled again. Deterministic
+    /// seeds make the recovered responses **bit-identical** to the ones
+    /// the uncrashed run would have produced.
+    ///
+    /// Call this on a paused scheduler ([`SchedulerConfig::paused`])
+    /// before [`Scheduler::resume`] so replayed cancellations settle
+    /// before any trial runs, exactly like the staged JSONL front-end.
+    /// If this scheduler journals (typically to the same file), each
+    /// resubmission appends a `Superseded` record, so recovering twice
+    /// — or crashing again mid-recovery — never duplicates work.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the journal cannot be read and
+    /// [`JournalError::Corrupt`] when a non-final line does not parse
+    /// (a torn final line is tolerated as the crash's interrupted
+    /// write).
+    pub fn recover(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Vec<RecoveredJob>, JournalError> {
+        let records = journal::read_journal(path)?;
+        let mut recovered = Vec::new();
+        for (crashed_id, name, request, options, cancel_requested) in journal::pending_jobs(records)
+        {
+            let handle = self.submit_named(name.as_deref(), request, options);
+            if let Some(journal) = &self.core.journal {
+                journal.append(&JournalRecord::Superseded {
+                    job: crashed_id,
+                    by: handle.id(),
+                });
+            }
+            if cancel_requested {
+                handle.cancel();
+            }
+            recovered.push(RecoveredJob {
+                crashed_id,
+                name,
+                cancel_requested,
+                handle,
+            });
+        }
+        Ok(recovered)
     }
 
     /// Start executing (no-op unless the scheduler was built paused).

@@ -1,0 +1,382 @@
+//! The streaming TCP transport: the [`jsonl`] protocol
+//! over a real wire (`fecim-serve serve --listen ADDR`).
+//!
+//! One OS thread per connection reads [`RequestLine`]s as they arrive
+//! and executes them against a scheduler shared by every connection.
+//! Unlike the staged stdin transport, execution is *live*:
+//!
+//! * terminal [`ResponseLine`]s are emitted **as jobs finish**, tagged
+//!   by id, not in submission order;
+//! * `Status`/`Progress` queries are answered immediately with the
+//!   job's current state;
+//! * a `Cancel` races the worker pool — trials that finished before it
+//!   lands are kept in the `Cancelled` line's partial response;
+//! * admission control pushes back: once the scheduler's open-job count
+//!   reaches the configured high-water mark, further submissions get a
+//!   `Rejected` line and never enter the queue.
+//!
+//! A connection's jobs keep running after the client stops sending;
+//! the server half-closes only after every job submitted on that
+//! connection has been answered. Combined with a journal
+//! ([`SchedulerConfig::with_journal`]), a crashed server replays
+//! unfinished jobs on restart — deterministic seeds make the replayed
+//! responses bit-identical, they just can no longer be delivered to the
+//! original (dead) connection.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::jsonl::{self, JsonlSummary, RequestLine, ResponseLine};
+use crate::scheduler::{lock, Scheduler, SchedulerConfig};
+use crate::JobHandle;
+
+/// Configuration of a [`TcpServer`].
+#[derive(Debug, Clone, Default)]
+pub struct TcpServerConfig {
+    /// The scheduler every connection shares (journal included).
+    pub scheduler: SchedulerConfig,
+    /// Admission-control high-water mark: submissions arriving while
+    /// `Scheduler::open_jobs()` is at or above this are answered with a
+    /// `Rejected` line instead of entering the queue. `None` = accept
+    /// everything.
+    pub max_open_jobs: Option<usize>,
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    scheduler: Scheduler,
+    max_open_jobs: Option<usize>,
+    /// Connection threads, joined at shutdown.
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running TCP front-end: an accept loop plus one thread per
+/// connection, all sharing one [`Scheduler`].
+///
+/// ```no_run
+/// use fecim_serve::{TcpServer, TcpServerConfig};
+///
+/// let server = TcpServer::bind("127.0.0.1:0", TcpServerConfig::default())?;
+/// println!("listening on {}", server.local_addr());
+/// // ... connect clients, speak the JSONL protocol ...
+/// server.shutdown();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    recovered: usize,
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer")
+            .field("addr", &self.addr)
+            .field("recovered", &self.recovered)
+            .finish()
+    }
+}
+
+impl TcpServer {
+    /// Bind `addr` and start accepting connections.
+    ///
+    /// If the scheduler config names a journal that already exists, the
+    /// crashed run's unfinished jobs are recovered *before* the first
+    /// connection is accepted (staged on a paused scheduler so replayed
+    /// cancellations settle deterministically); their responses are
+    /// recomputed bit-identically and journaled, but — the original
+    /// connections being gone — not delivered anywhere.
+    ///
+    /// # Errors
+    ///
+    /// Binding/listening errors, journal-open errors, and a corrupt
+    /// journal (as [`std::io::ErrorKind::InvalidData`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: TcpServerConfig) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let recover_from = config
+            .scheduler
+            .journal
+            .clone()
+            .filter(|path| path.exists());
+        let mut scheduler_config = config.scheduler;
+        let resume_after_recover = !scheduler_config.paused && recover_from.is_some();
+        if recover_from.is_some() {
+            scheduler_config.paused = true;
+        }
+        let scheduler = Scheduler::try_with_config(scheduler_config)?;
+        let recovered = match recover_from {
+            Some(path) => scheduler
+                .recover(&path)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+                .len(),
+            None => 0,
+        };
+        if resume_after_recover {
+            scheduler.resume();
+        }
+        let shared = Arc::new(Shared {
+            scheduler,
+            max_open_jobs: config.max_open_jobs,
+            conns: Mutex::new(Vec::new()),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("fecim-serve-accept".into())
+                .spawn(move || accept_loop(listener, shared, stop))
+                .expect("spawn accept thread")
+        };
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            accept: Some(accept),
+            shared,
+            recovered,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Jobs replayed from the journal at startup.
+    pub fn recovered_jobs(&self) -> usize {
+        self.recovered
+    }
+
+    /// Open jobs on the shared scheduler right now.
+    pub fn open_jobs(&self) -> usize {
+        self.shared.scheduler.open_jobs()
+    }
+
+    /// Stop accepting, wait for every connection to finish its jobs,
+    /// then drain the scheduler.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        loop {
+            // Connection threads may still be registering; drain until
+            // the list stays empty.
+            let conns: Vec<JoinHandle<()>> = std::mem::take(&mut *lock(&self.shared.conns));
+            if conns.is_empty() {
+                break;
+            }
+            for conn in conns {
+                let _ = conn.join();
+            }
+        }
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => shared.scheduler.join(),
+            Err(_) => unreachable!("all server threads joined before teardown"),
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared_for_conn = Arc::clone(&shared);
+        let conn = std::thread::Builder::new()
+            .name("fecim-serve-conn".into())
+            .spawn(move || handle_connection(stream, &shared_for_conn))
+            .expect("spawn connection thread");
+        lock(&shared.conns).push(conn);
+    }
+}
+
+/// Serialize and send one line; a failed write means the peer is gone,
+/// which is not the server's problem — jobs keep running (and, with a
+/// journal, stay replayable).
+fn send(writer: &Arc<Mutex<TcpStream>>, line: &ResponseLine) {
+    let json = serde_json::to_string(line).expect("response lines serialize");
+    let mut stream = lock(writer);
+    let _ = writeln!(stream, "{json}").and_then(|()| stream.flush());
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    // Ids this connection has submitted; kept for the connection's
+    // lifetime so duplicates stay duplicates and queries keep working
+    // after a job finishes.
+    let mut registry: HashMap<String, JobHandle> = HashMap::new();
+    // One waiter thread per submission delivers its terminal line the
+    // moment the job settles — completion order, not submission order.
+    let mut waiters: Vec<JoinHandle<()>> = Vec::new();
+    for (line_no, line) in BufReader::new(read_half).lines().enumerate() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let parsed: RequestLine = match serde_json::from_str(trimmed) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                // Streaming cannot abort the whole stream on one bad
+                // line (peers' jobs are already running): synthesize an
+                // id and keep serving.
+                send(
+                    &writer,
+                    &ResponseLine::Failed {
+                        id: format!("line-{}", line_no + 1),
+                        error: format!("unparsable request line: {e}"),
+                    },
+                );
+                continue;
+            }
+        };
+        match parsed {
+            RequestLine::Submit {
+                id,
+                request,
+                options,
+            } => {
+                if registry.contains_key(&id) {
+                    send(
+                        &writer,
+                        &ResponseLine::Failed {
+                            error: format!("duplicate submission id `{id}`"),
+                            id,
+                        },
+                    );
+                    continue;
+                }
+                if let Some(limit) = shared.max_open_jobs {
+                    let open_jobs = shared.scheduler.open_jobs();
+                    if open_jobs >= limit {
+                        // Backpressure: the id never enters the queue
+                        // (or the registry — the client may retry it).
+                        send(
+                            &writer,
+                            &ResponseLine::Rejected {
+                                id,
+                                open_jobs,
+                                limit,
+                            },
+                        );
+                        continue;
+                    }
+                }
+                let handle = shared.scheduler.submit_named(Some(&id), request, options);
+                registry.insert(id.clone(), handle.clone());
+                let writer = Arc::clone(&writer);
+                waiters.push(
+                    std::thread::Builder::new()
+                        .name("fecim-serve-waiter".into())
+                        .spawn(move || {
+                            let outcome = handle.wait();
+                            let mut tally = JsonlSummary::default();
+                            send(&writer, &jsonl::terminal_line(id, outcome, &mut tally));
+                        })
+                        .expect("spawn waiter thread"),
+                );
+            }
+            RequestLine::Cancel { id } => match registry.get(&id) {
+                // The job's terminal line (Cancelled, or Completed if
+                // the cancel lost the race) is the response.
+                Some(handle) => {
+                    handle.cancel();
+                }
+                None => send(
+                    &writer,
+                    &ResponseLine::Failed {
+                        error: format!("cancel for unknown id `{id}`"),
+                        id,
+                    },
+                ),
+            },
+            RequestLine::Status { id } => {
+                let response = match registry.get(&id) {
+                    Some(handle) => ResponseLine::Status {
+                        id,
+                        status: handle.status(),
+                    },
+                    None => ResponseLine::Failed {
+                        error: format!("status for unknown id `{id}`"),
+                        id,
+                    },
+                };
+                send(&writer, &response);
+            }
+            RequestLine::Progress { id } => {
+                let response = match registry.get(&id) {
+                    Some(handle) => ResponseLine::Progress {
+                        id,
+                        progress: handle.progress(),
+                    },
+                    None => ResponseLine::Failed {
+                        error: format!("progress for unknown id `{id}`"),
+                        id,
+                    },
+                };
+                send(&writer, &response);
+            }
+        }
+    }
+    // Client closed its write side (or the connection died): deliver
+    // what is still in flight, then let the socket close.
+    for waiter in waiters {
+        let _ = waiter.join();
+    }
+}
+
+/// Drive a server as a client: send every request line of `input`,
+/// half-close the write side, and copy response lines to `output` until
+/// the server closes the connection (which it does once every job
+/// submitted on it has been answered). Returns the number of response
+/// lines received.
+///
+/// # Errors
+///
+/// Connection and i/o errors; response *content* is not validated
+/// (pipe the output through [`check_responses_against`] for that).
+///
+/// [`check_responses_against`]: crate::check_responses_against
+pub fn drive(
+    addr: impl ToSocketAddrs,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<usize> {
+    let requests: Vec<String> = input.lines().collect::<Result<_, _>>()?;
+    let stream = TcpStream::connect(addr)?;
+    let mut write_half = stream.try_clone()?;
+    // Writer thread + reader loop, so a server streaming large
+    // responses early can never deadlock against an unread send buffer.
+    let sender = std::thread::spawn(move || -> std::io::Result<()> {
+        for request in requests {
+            writeln!(write_half, "{request}")?;
+        }
+        write_half.flush()?;
+        write_half.shutdown(std::net::Shutdown::Write)
+    });
+    let mut received = 0usize;
+    for line in BufReader::new(stream).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(output, "{line}")?;
+        received += 1;
+    }
+    sender.join().expect("sender thread never panics")?;
+    Ok(received)
+}

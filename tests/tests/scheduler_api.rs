@@ -437,6 +437,135 @@ fn dropping_the_scheduler_fails_open_jobs_instead_of_hanging() {
 }
 
 #[test]
+fn elapsed_deadline_finalizes_without_running_a_trial() {
+    // The acceptance pin: a job submitted with an already-elapsed
+    // deadline must finalize as DeadlineExceeded without its ensemble
+    // ever touching a backend.
+    let scheduler = Scheduler::with_config(SchedulerConfig::workers(2));
+    let handle = scheduler.submit(
+        SolveRequest::new(ring_spec(16), cim(5000)).with_run(RunPlan::Ensemble {
+            trials: 64,
+            base_seed: 3,
+            threads: None,
+        }),
+        SubmitOptions::default().with_deadline_ms(0),
+    );
+    match handle.wait() {
+        Err(SchedulerError::DeadlineExceeded { completed, partial }) => {
+            assert_eq!(completed, 0, "no trial may run past an elapsed deadline");
+            assert!(partial.is_none());
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(handle.status(), JobStatus::DeadlineExceeded);
+    assert_eq!(
+        handle.started_event(),
+        None,
+        "the job never started: the deadline check precedes prepare"
+    );
+    scheduler.join();
+}
+
+#[test]
+fn deadline_mid_ensemble_keeps_the_completed_prefix() {
+    // Mirror of the cancel path: the deadline elapses mid-ensemble, the
+    // current trial finishes, the queued tail is skipped, and the
+    // partial prefix is bit-identical to an unconstrained run — trials
+    // are pure functions of (request, base_seed + trial).
+    let request = |trials: usize| {
+        SolveRequest::new(ring_spec(40), cim(2500)).with_run(RunPlan::Ensemble {
+            trials,
+            base_seed: 7,
+            threads: None,
+        })
+    };
+    let scheduler = Scheduler::with_config(SchedulerConfig::workers(1));
+    let handle = scheduler.submit(request(400), SubmitOptions::default().with_deadline_ms(100));
+    let (completed, partial) = match handle.wait() {
+        Err(SchedulerError::DeadlineExceeded { completed, partial }) => (completed, partial),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    };
+    assert_eq!(handle.status(), JobStatus::DeadlineExceeded);
+    // The first trial is claimed before the deadline, and 400 trials of
+    // this size cannot finish within it.
+    assert!(completed >= 1, "the in-flight trial runs to completion");
+    assert!(completed < 400, "the deadline must skip the queued tail");
+    let partial = *partial.expect("completed trials summarized");
+    assert_eq!(partial.reports.len(), completed);
+    assert_eq!(partial.summary.trials, completed);
+    // One worker claims trials in order, so the partial equals a
+    // deadline-free run of exactly `completed` trials, bit for bit.
+    let reference = Session::new()
+        .run(&request(completed))
+        .expect("session runs");
+    assert_eq!(result_fingerprint(&partial), result_fingerprint(&reference));
+    scheduler.join();
+}
+
+#[test]
+fn duplicate_submit_ids_fail_deterministically_in_jsonl_streams() {
+    // Regression: a duplicate `Submit` id used to be undefined behavior
+    // despite the "must be unique" doc contract. The duplicate line now
+    // fails deterministically and the original job is untouched.
+    let submit = |seed: u64| {
+        serde_json::to_string(&fecim_serve::RequestLine::Submit {
+            id: "twin".into(),
+            request: SolveRequest::new(ring_spec(12), cim(300)).with_run(RunPlan::Ensemble {
+                trials: 2,
+                base_seed: seed,
+                threads: None,
+            }),
+            options: SubmitOptions::default(),
+        })
+        .expect("protocol serializes")
+    };
+    let expected = result_fingerprint(
+        &Session::new()
+            .run(
+                &SolveRequest::new(ring_spec(12), cim(300)).with_run(RunPlan::Ensemble {
+                    trials: 2,
+                    base_seed: 1,
+                    threads: None,
+                }),
+            )
+            .expect("session runs"),
+    );
+    for workers in [1, 8] {
+        let stream = format!("{}\n{}\n", submit(1), submit(99));
+        let mut output = Vec::new();
+        let summary = fecim_serve::run_jsonl(
+            std::io::BufReader::new(stream.as_bytes()),
+            &mut output,
+            SchedulerConfig::workers(workers),
+        )
+        .expect("stream serves");
+        assert_eq!(summary.submitted, 1, "the duplicate never becomes a job");
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.failed, 1);
+        let responses = fecim_serve::check_responses(std::io::BufReader::new(output.as_slice()))
+            .expect("responses parse");
+        match &responses[0] {
+            fecim_serve::ResponseLine::Completed { id, response } => {
+                assert_eq!(id, "twin");
+                assert_eq!(
+                    result_fingerprint(response),
+                    expected,
+                    "the original submission's result is untouched by the duplicate"
+                );
+            }
+            other => panic!("expected Completed, got {other:?}"),
+        }
+        match &responses[1] {
+            fecim_serve::ResponseLine::Failed { id, error } => {
+                assert_eq!(id, "twin");
+                assert_eq!(error, "duplicate submission id `twin`");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn raw_payload_requests_run_through_the_scheduler() {
     // An Ising ring with a symmetry-breaking field: the ground state is
     // computable by hand. J couples neighbors antiferromagnetically.

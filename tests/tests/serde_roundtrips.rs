@@ -127,6 +127,7 @@ fn scheduler_wire_types_roundtrip() {
         JobStatus::Running,
         JobStatus::Completed,
         JobStatus::Cancelled,
+        JobStatus::DeadlineExceeded,
         JobStatus::Failed,
     ] {
         assert_eq!(roundtrip(&status), status);

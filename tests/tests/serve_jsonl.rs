@@ -8,8 +8,8 @@ use std::path::{Path, PathBuf};
 
 use fecim::{CimAnnealer, ProblemSpec, RunPlan, SolveRequest, SolverSpec};
 use fecim_serve::{
-    check_responses, run_jsonl, JsonlError, RequestLine, ResponseLine, SchedulerConfig,
-    SubmitOptions,
+    check_responses, check_responses_against, run_jsonl, JsonlError, RequestLine, ResponseLine,
+    SchedulerConfig, SubmitOptions,
 };
 
 fn ring_request(n: usize, iterations: usize) -> SolveRequest {
@@ -23,7 +23,9 @@ fn ring_request(n: usize, iterations: usize) -> SolveRequest {
 }
 
 /// The CI smoke fixture: three submissions (a Max-Cut ensemble, a raw
-/// QUBO, and a long Max-Cut), the last one cancelled in-stream.
+/// QUBO, and a long Max-Cut), the last one cancelled in-stream — plus
+/// a cancel for an id the stream never submits, which must get its own
+/// `Failed` line instead of being silently swallowed.
 fn fixture_lines() -> Vec<RequestLine> {
     vec![
         RequestLine::Submit {
@@ -52,8 +54,12 @@ fn fixture_lines() -> Vec<RequestLine> {
         },
         RequestLine::Submit {
             id: "doomed".into(),
-            request: ring_request(16, 5000).with_run(RunPlan::Ensemble {
-                trials: 8,
+            // Far too large to ever finish: in the staged transport the
+            // cancel applies before anything runs (free), and in the
+            // streaming transport it guarantees the in-stream cancel
+            // always beats completion instead of racing it.
+            request: ring_request(16, 20_000).with_run(RunPlan::Ensemble {
+                trials: 100_000,
                 base_seed: 0,
                 threads: None,
             }),
@@ -62,6 +68,7 @@ fn fixture_lines() -> Vec<RequestLine> {
         RequestLine::Cancel {
             id: "doomed".into(),
         },
+        RequestLine::Cancel { id: "ghost".into() },
     ]
 }
 
@@ -116,15 +123,26 @@ fn serving_the_smoke_fixture_completes_two_and_cancels_one() {
     assert_eq!(summary.submitted, 3);
     assert_eq!(summary.completed, 2);
     assert_eq!(summary.cancelled, 1);
-    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.failed, 1, "the ghost cancel fails its own line");
 
     let responses = check_responses(BufReader::new(output.as_slice())).expect("responses parse");
-    assert_eq!(responses.len(), 3, "one response line per submission");
-    // Responses come back in submission order, whatever ran first.
+    assert_eq!(
+        responses.len(),
+        4,
+        "one response line per actionable input line"
+    );
+    // Responses come back in submission order, whatever ran first;
+    // cancel errors trail the submissions.
     assert_eq!(
         responses.iter().map(ResponseLine::id).collect::<Vec<_>>(),
-        vec!["ring", "qubo", "doomed"]
+        vec!["ring", "qubo", "doomed", "ghost"]
     );
+    // And the full per-id contract holds against the request stream.
+    check_responses_against(
+        BufReader::new(fixture.as_bytes()),
+        BufReader::new(output.as_slice()),
+    )
+    .expect("fixture responses check out against the fixture requests");
     match &responses[0] {
         ResponseLine::Completed { response, .. } => {
             assert_eq!(response.reports.len(), 3);
@@ -153,6 +171,12 @@ fn serving_the_smoke_fixture_completes_two_and_cancels_one() {
             assert!(partial.is_none());
         }
         other => panic!("expected Cancelled, got {other:?}"),
+    }
+    match &responses[3] {
+        ResponseLine::Failed { error, .. } => {
+            assert_eq!(error, "cancel for unknown id `ghost`");
+        }
+        other => panic!("expected Failed, got {other:?}"),
     }
 }
 
@@ -274,4 +298,139 @@ fn invalid_requests_inside_valid_lines_fail_their_own_job() {
         "got {:?}",
         responses[0]
     );
+}
+
+#[test]
+fn status_and_progress_are_answered_at_stage_time() {
+    // The batch transport stages before executing, so point-in-time
+    // queries deterministically observe `Queued` for earlier-submitted
+    // ids and fail for unknown ones — written before the terminals.
+    let submit = serde_json::to_string(&RequestLine::Submit {
+        id: "job".into(),
+        request: ring_request(8, 100),
+        options: SubmitOptions::default(),
+    })
+    .unwrap();
+    let status = serde_json::to_string(&RequestLine::Status { id: "job".into() }).unwrap();
+    let progress = serde_json::to_string(&RequestLine::Progress { id: "job".into() }).unwrap();
+    let early = serde_json::to_string(&RequestLine::Status { id: "job".into() }).unwrap();
+    let stream = format!("{early}\n{submit}\n{status}\n{progress}\n");
+    let mut output = Vec::new();
+    let summary = run_jsonl(
+        BufReader::new(stream.as_bytes()),
+        &mut output,
+        SchedulerConfig::workers(1),
+    )
+    .expect("stream serves");
+    assert_eq!(summary.submitted, 1);
+    assert_eq!(summary.completed, 1);
+    assert_eq!(summary.observations, 2, "the two post-submit queries");
+    assert_eq!(summary.failed, 1, "the pre-submit query sees no job yet");
+    let responses = check_responses(BufReader::new(output.as_slice())).expect("responses parse");
+    assert_eq!(responses.len(), 4);
+    assert!(
+        matches!(&responses[0], ResponseLine::Failed { id, error } if id == "job" && error == "status for unknown id `job`")
+    );
+    assert!(
+        matches!(&responses[1], ResponseLine::Status { id, status } if id == "job" && *status == fecim_serve::JobStatus::Queued)
+    );
+    match &responses[2] {
+        ResponseLine::Progress { id, progress } => {
+            assert_eq!(id, "job");
+            assert_eq!(progress.trials_completed, 0, "staged, not yet running");
+        }
+        other => panic!("expected Progress, got {other:?}"),
+    }
+    assert!(matches!(&responses[3], ResponseLine::Completed { id, .. } if id == "job"));
+    // Observations may repeat an id; the checker only counts terminals.
+    check_responses_against(
+        BufReader::new(stream.as_bytes()),
+        BufReader::new(output.as_slice()),
+    )
+    .expect("observations don't violate the per-id contract");
+}
+
+#[test]
+fn elapsed_deadlines_serialize_as_deadline_exceeded_lines() {
+    let submit = serde_json::to_string(&RequestLine::Submit {
+        id: "late".into(),
+        request: ring_request(16, 5000).with_run(RunPlan::Ensemble {
+            trials: 8,
+            base_seed: 0,
+            threads: None,
+        }),
+        options: SubmitOptions::default().with_deadline_ms(0),
+    })
+    .unwrap();
+    let mut output = Vec::new();
+    let summary = run_jsonl(
+        BufReader::new(format!("{submit}\n").as_bytes()),
+        &mut output,
+        SchedulerConfig::workers(1),
+    )
+    .expect("stream serves");
+    assert_eq!(summary.deadline_exceeded, 1);
+    assert_eq!(summary.completed, 0);
+    let responses = check_responses(BufReader::new(output.as_slice())).expect("responses parse");
+    match &responses[0] {
+        ResponseLine::DeadlineExceeded {
+            id,
+            completed_trials,
+            partial,
+        } => {
+            assert_eq!(id, "late");
+            assert_eq!(*completed_trials, 0);
+            assert!(partial.is_none());
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn check_responses_flags_double_settled_ids() {
+    let completed = r#"{"Cancelled":{"id":"a","completed_trials":0,"partial":null}}"#;
+    let stream = format!("{completed}\n{completed}\n");
+    match check_responses(BufReader::new(stream.as_bytes())) {
+        Err(JsonlError::Contract { message }) => {
+            assert!(message.contains("`a` settled by 2"), "got: {message}");
+        }
+        other => panic!("expected Contract violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn check_responses_against_flags_missing_and_spurious_ids() {
+    let submit = serde_json::to_string(&RequestLine::Submit {
+        id: "a".into(),
+        request: ring_request(8, 100),
+        options: SubmitOptions::default(),
+    })
+    .unwrap();
+    let requests = format!("{submit}\n");
+    // A dropped response is a contract violation...
+    match check_responses_against(
+        BufReader::new(requests.as_bytes()),
+        BufReader::new(&b""[..]),
+    ) {
+        Err(JsonlError::Contract { message }) => {
+            assert!(message.contains("`a`"), "got: {message}");
+            assert!(message.contains("got 0"), "got: {message}");
+        }
+        other => panic!("expected Contract violation, got {other:?}"),
+    }
+    // ...and so is a response no request line asked for.
+    let spurious = format!(
+        "{}\n{}\n",
+        r#"{"Cancelled":{"id":"a","completed_trials":0,"partial":null}}"#,
+        r#"{"Failed":{"id":"nobody","error":"made up"}}"#
+    );
+    match check_responses_against(
+        BufReader::new(requests.as_bytes()),
+        BufReader::new(spurious.as_bytes()),
+    ) {
+        Err(JsonlError::Contract { message }) => {
+            assert!(message.contains("`nobody`"), "got: {message}");
+        }
+        other => panic!("expected Contract violation, got {other:?}"),
+    }
 }
