@@ -123,14 +123,14 @@ pub enum ResponseLine {
         error: String,
     },
     /// Admission control refused the submission: the scheduler's open
-    /// job count is at the transport's high-water mark. The job never
-    /// entered the queue — resubmit later.
+    /// job count is at the transport's limit. The job never entered the
+    /// queue — resubmit later.
     Rejected {
         /// The client's id.
         id: String,
         /// Open jobs at the moment of rejection.
         open_jobs: usize,
-        /// The high-water mark that was hit.
+        /// The admission limit that was hit.
         limit: usize,
     },
     /// Point-in-time answer to a `Status` query.
@@ -372,7 +372,7 @@ fn write_line(output: &mut impl Write, response: &ResponseLine) -> Result<(), Js
     Ok(())
 }
 
-///// Map a [`JobHandle::wait`](crate::JobHandle::wait) outcome to its
+/// Map a [`JobHandle::wait`](crate::JobHandle::wait) outcome to its
 /// terminal response line, tallying the summary. Shared by the batch
 /// and streaming transports (and the `recover` subcommand) so one job
 /// outcome always serializes the same way.

@@ -44,8 +44,8 @@
 //!   thread-per-connection [`TcpServer`] executes jobs as they arrive
 //!   and emits responses as jobs finish (tagged by id, not submission
 //!   order), answers `Status`/`Progress` queries live, and pushes back
-//!   with `Rejected` lines once `open_jobs` passes a configurable
-//!   high-water mark.
+//!   with `Rejected` lines once `open_jobs` reaches a configurable hard
+//!   limit.
 //!
 //! ## Durability
 //!

@@ -680,7 +680,12 @@ impl Scheduler {
     /// before any trial runs, exactly like the staged JSONL front-end.
     /// If this scheduler journals (typically to the same file), each
     /// resubmission appends a `Superseded` record, so recovering twice
-    /// — or crashing again mid-recovery — never duplicates work.
+    /// — or crashing again mid-recovery — never duplicates finished
+    /// work. Replayed jobs are assigned ids strictly greater than any
+    /// id in the journal being recovered, so a `Superseded` record can
+    /// never name a replayed job: a crash between a resubmission and
+    /// its `Superseded` record degrades to duplicate work on the next
+    /// recovery, never to a lost job.
     ///
     /// # Errors
     ///
@@ -693,6 +698,22 @@ impl Scheduler {
         path: impl AsRef<std::path::Path>,
     ) -> Result<Vec<RecoveredJob>, JournalError> {
         let records = journal::read_journal(path)?;
+        // Replayed jobs must never reuse a crashed run's id: this
+        // scheduler's ids also start at 1, so without reseeding, the
+        // replay of crashed job 1 would itself be job 1 and its
+        // `Superseded { job: 1, by: 1 }` record would erase BOTH
+        // `Submitted` entries from a later replay — a crash before the
+        // replayed job finalizes would silently lose it. Seeding past
+        // the journal's maximum id makes collisions impossible.
+        let max_id = records
+            .iter()
+            .map(|record| match record {
+                JournalRecord::Superseded { job, by } => (*job).max(*by),
+                other => other.job(),
+            })
+            .max()
+            .unwrap_or(0);
+        self.core.next_id.fetch_max(max_id, Ordering::Relaxed);
         let mut recovered = Vec::new();
         for (crashed_id, name, request, options, cancel_requested) in journal::pending_jobs(records)
         {

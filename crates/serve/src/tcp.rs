@@ -12,8 +12,11 @@
 //! * a `Cancel` races the worker pool — trials that finished before it
 //!   lands are kept in the `Cancelled` line's partial response;
 //! * admission control pushes back: once the scheduler's open-job count
-//!   reaches the configured high-water mark, further submissions get a
-//!   `Rejected` line and never enter the queue.
+//!   reaches the configured limit, further submissions get a `Rejected`
+//!   line and never enter the queue (the check is serialized across
+//!   connections, so the limit is hard);
+//! * submission ids are unique server-wide — a `Submit` reusing an id
+//!   from ANY connection (ids key the journal) fails deterministically.
 //!
 //! A connection's jobs keep running after the client stops sending;
 //! the server half-closes only after every job submitted on that
@@ -23,9 +26,9 @@
 //! responses bit-identical, they just can no longer be delivered to the
 //! original (dead) connection.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -39,10 +42,11 @@ use crate::JobHandle;
 pub struct TcpServerConfig {
     /// The scheduler every connection shares (journal included).
     pub scheduler: SchedulerConfig,
-    /// Admission-control high-water mark: submissions arriving while
+    /// Admission-control limit: submissions arriving while
     /// `Scheduler::open_jobs()` is at or above this are answered with a
-    /// `Rejected` line instead of entering the queue. `None` = accept
-    /// everything.
+    /// `Rejected` line instead of entering the queue. The check and the
+    /// submit are serialized across connections, so this is a hard
+    /// limit, not a high-water mark. `None` = accept everything.
     pub max_open_jobs: Option<usize>,
 }
 
@@ -52,6 +56,18 @@ struct Shared {
     max_open_jobs: Option<usize>,
     /// Connection threads, joined at shutdown.
     conns: Mutex<Vec<JoinHandle<()>>>,
+    /// One clone per live connection socket, keyed by connection id;
+    /// shutdown half-closes their read sides so a reader blocked on an
+    /// idle client unblocks. Each handler removes its own entry on exit
+    /// — a lingering clone would hold the fd open (the peer would never
+    /// see EOF) and leak one fd per connection.
+    socks: Mutex<HashMap<u64, TcpStream>>,
+    /// Every id ever submitted on ANY connection. Ids key the journal
+    /// (and the `recover` subcommand's output lines), so uniqueness is
+    /// server-wide, not per-connection; the same lock also serializes
+    /// the admission check against the submit, making `max_open_jobs` a
+    /// hard limit rather than a per-connection high-water mark.
+    submitted: Mutex<HashSet<String>>,
 }
 
 /// A running TCP front-end: an accept loop plus one thread per
@@ -125,6 +141,8 @@ impl TcpServer {
             scheduler,
             max_open_jobs: config.max_open_jobs,
             conns: Mutex::new(Vec::new()),
+            socks: Mutex::new(HashMap::new()),
+            submitted: Mutex::new(HashSet::new()),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
@@ -159,14 +177,26 @@ impl TcpServer {
         self.shared.scheduler.open_jobs()
     }
 
-    /// Stop accepting, wait for every connection to finish its jobs,
-    /// then drain the scheduler.
+    /// Stop accepting, half-close every connection's read side, wait
+    /// for the jobs already submitted to finish and their responses to
+    /// be delivered, then drain the scheduler. Request lines still in
+    /// flight on the wire when shutdown begins may go unanswered — but
+    /// an idle client that keeps its connection open can never stall
+    /// shutdown.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        // The accept loop has exited, so the socket list is final.
+        // Half-close each read side: readers blocked on clients that
+        // never half-closed see EOF and fall through to the waiter
+        // joins, which still deliver every in-flight job's response
+        // over the (untouched) write sides.
+        for sock in lock(&self.shared.socks).values() {
+            let _ = sock.shutdown(Shutdown::Read);
         }
         loop {
             // Connection threads may still be registering; drain until
@@ -187,15 +217,23 @@ impl TcpServer {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    let mut next_conn: u64 = 0;
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        next_conn += 1;
+        let conn_id = next_conn;
+        // Registered before the handler spawns, so shutdown (which runs
+        // only after this loop exits) always sees every live socket.
+        if let Ok(clone) = stream.try_clone() {
+            lock(&shared.socks).insert(conn_id, clone);
+        }
         let shared_for_conn = Arc::clone(&shared);
         let conn = std::thread::Builder::new()
             .name("fecim-serve-conn".into())
-            .spawn(move || handle_connection(stream, &shared_for_conn))
+            .spawn(move || handle_connection(stream, &shared_for_conn, conn_id))
             .expect("spawn connection thread");
         lock(&shared.conns).push(conn);
     }
@@ -210,14 +248,16 @@ fn send(writer: &Arc<Mutex<TcpStream>>, line: &ResponseLine) {
     let _ = writeln!(stream, "{json}").and_then(|()| stream.flush());
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let writer = Arc::new(Mutex::new(stream));
-    // Ids this connection has submitted; kept for the connection's
-    // lifetime so duplicates stay duplicates and queries keep working
-    // after a job finishes.
+    // Handles for ids this connection submitted, kept for the
+    // connection's lifetime so queries keep working after a job
+    // finishes. Duplicate detection is server-wide (`Shared::submitted`);
+    // `Cancel`/`Status`/`Progress` remain scoped to the submitting
+    // connection, which is the only place the handle lives.
     let mut registry: HashMap<String, JobHandle> = HashMap::new();
     // One waiter thread per submission delivers its terminal line the
     // moment the job settles — completion order, not submission order.
@@ -250,7 +290,16 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 request,
                 options,
             } => {
-                if registry.contains_key(&id) {
+                // Duplicate detection and admission both run under the
+                // server-wide `submitted` lock: a duplicate id on a
+                // DIFFERENT connection is as much a duplicate as one on
+                // this connection (ids key the journal), and holding
+                // the lock across the check and the submit makes
+                // `max_open_jobs` a hard limit — N racing connections
+                // cannot each pass the check and overshoot.
+                let mut submitted = lock(&shared.submitted);
+                if submitted.contains(&id) {
+                    drop(submitted);
                     send(
                         &writer,
                         &ResponseLine::Failed {
@@ -263,8 +312,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 if let Some(limit) = shared.max_open_jobs {
                     let open_jobs = shared.scheduler.open_jobs();
                     if open_jobs >= limit {
+                        drop(submitted);
                         // Backpressure: the id never enters the queue
-                        // (or the registry — the client may retry it).
+                        // (or the registries — the client may retry it).
                         send(
                             &writer,
                             &ResponseLine::Rejected {
@@ -277,6 +327,8 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     }
                 }
                 let handle = shared.scheduler.submit_named(Some(&id), request, options);
+                submitted.insert(id.clone());
+                drop(submitted);
                 registry.insert(id.clone(), handle.clone());
                 let writer = Arc::clone(&writer);
                 waiters.push(
@@ -337,6 +389,10 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     for waiter in waiters {
         let _ = waiter.join();
     }
+    // Drop the shutdown registry's clone along with the locals below,
+    // so the last fd closes here and the peer sees EOF now, not at
+    // server shutdown.
+    lock(&shared.socks).remove(&conn_id);
 }
 
 /// Drive a server as a client: send every request line of `input`,

@@ -337,6 +337,124 @@ fn tcp_isolates_bad_lines_and_duplicate_ids() {
         .any(|l| matches!(l, ResponseLine::Completed { id, .. } if id == "a")));
 }
 
+#[test]
+fn duplicate_ids_are_rejected_across_connections() {
+    // Ids key the journal (and the recover subcommand's output), so
+    // uniqueness is server-wide: a second CONNECTION reusing an id must
+    // fail exactly like a second line on the same connection.
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        TcpServerConfig {
+            scheduler: SchedulerConfig::workers(1),
+            max_open_jobs: None,
+        },
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+
+    let first = TcpStream::connect(addr).expect("first connects");
+    let mut first_reader = BufReader::new(first.try_clone().expect("clone"));
+    let mut first_writer = first;
+    writeln!(
+        first_writer,
+        "{}",
+        json(&RequestLine::Submit {
+            id: "shared-id".into(),
+            request: ensemble(8, 100, 1, 0),
+            options: SubmitOptions::default(),
+        })
+    )
+    .expect("send");
+    first_writer.flush().expect("flush");
+    let mut line = String::new();
+    first_reader.read_line(&mut line).expect("terminal line");
+    assert!(matches!(
+        serde_json::from_str::<ResponseLine>(line.trim()).expect("parses"),
+        ResponseLine::Completed { id, .. } if id == "shared-id"
+    ));
+
+    let second = TcpStream::connect(addr).expect("second connects");
+    let mut second_reader = BufReader::new(second.try_clone().expect("clone"));
+    let mut second_writer = second;
+    writeln!(
+        second_writer,
+        "{}",
+        json(&RequestLine::Submit {
+            id: "shared-id".into(),
+            request: ensemble(8, 100, 1, 9),
+            options: SubmitOptions::default(),
+        })
+    )
+    .expect("send");
+    second_writer.flush().expect("flush");
+    let mut line = String::new();
+    second_reader.read_line(&mut line).expect("failure line");
+    match serde_json::from_str::<ResponseLine>(line.trim()).expect("parses") {
+        ResponseLine::Failed { id, error } => {
+            assert_eq!(id, "shared-id");
+            assert_eq!(error, "duplicate submission id `shared-id`");
+        }
+        other => panic!("expected cross-connection duplicate to fail, got {other:?}"),
+    }
+
+    drop((first_reader, first_writer, second_reader, second_writer));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_unblocks_idle_connections_and_delivers_in_flight_responses() {
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        TcpServerConfig {
+            scheduler: SchedulerConfig::workers(1),
+            max_open_jobs: None,
+        },
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+    // An idle client that never sends a byte and never half-closes:
+    // before read sides were half-closed at shutdown, this connection
+    // alone made shutdown hang forever.
+    let idle = TcpStream::connect(addr).expect("idle connects");
+    // A client whose job completes but who also keeps the line open.
+    let busy = TcpStream::connect(addr).expect("busy connects");
+    let mut busy_reader = BufReader::new(busy.try_clone().expect("clone"));
+    let mut busy_writer = busy;
+    writeln!(
+        busy_writer,
+        "{}",
+        json(&RequestLine::Submit {
+            id: "quick".into(),
+            request: ensemble(8, 100, 1, 0),
+            options: SubmitOptions::default(),
+        })
+    )
+    .expect("send");
+    busy_writer.flush().expect("flush");
+    let mut line = String::new();
+    busy_reader.read_line(&mut line).expect("terminal line");
+    assert!(matches!(
+        serde_json::from_str::<ResponseLine>(line.trim()).expect("parses"),
+        ResponseLine::Completed { id, .. } if id == "quick"
+    ));
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.shutdown();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(std::time::Duration::from_secs(60))
+        .expect("shutdown must not hang on connections that never close");
+    // The server's sockets are gone; both clients now read EOF.
+    let mut eof = String::new();
+    assert_eq!(
+        BufReader::new(idle).read_line(&mut eof).expect("idle eof"),
+        0
+    );
+    assert_eq!(busy_reader.read_line(&mut eof).expect("busy eof"), 0);
+}
+
 // ---------------------------------------------------------------------
 // Journal durability
 // ---------------------------------------------------------------------
@@ -580,6 +698,86 @@ fn recovery_with_a_journal_supersedes_and_converges() {
     let recovered = scheduler.recover(&journal.0).expect("replays");
     assert!(recovered.is_empty(), "repeated recovery converges");
     scheduler.resume();
+    scheduler.join();
+}
+
+#[test]
+fn crash_mid_recovery_never_loses_the_job_to_an_id_collision() {
+    // A recovery run starts its id counter fresh, so without reseeding
+    // it past the journal's maximum id, crashed job 1 replays AS job 1
+    // and the `Superseded { job: 1, by: 1 }` record erases both
+    // `Submitted` entries from the next replay — the job would vanish.
+    let journal = TempPath::new("mid-recovery");
+    let request = ensemble(12, 300, 2, 7);
+    let expected = result_fingerprint(&Session::new().run(&request).expect("session runs"));
+    {
+        let scheduler = Scheduler::try_with_config(
+            SchedulerConfig::workers(1)
+                .start_paused()
+                .with_journal(&journal.0),
+        )
+        .expect("journal opens");
+        let _handle = scheduler.submit_named(Some("x"), request, SubmitOptions::default());
+        drop(scheduler); // crash 1: journal holds only Submitted{1}
+    }
+    {
+        // Recovery journaling into the same file appends the replayed
+        // Submitted and its Superseded record...
+        let scheduler = Scheduler::try_with_config(
+            SchedulerConfig::workers(1)
+                .start_paused()
+                .with_journal(&journal.0),
+        )
+        .expect("journal opens");
+        let recovered = scheduler.recover(&journal.0).expect("replays");
+        assert_eq!(recovered.len(), 1);
+        assert!(
+            recovered[0].handle.id() > recovered[0].crashed_id,
+            "replayed id {} must not collide with crashed id {}",
+            recovered[0].handle.id(),
+            recovered[0].crashed_id
+        );
+        drop(scheduler); // crash 2: mid-recovery, before the replay ran
+    }
+    // The second recovery must replay exactly one job — not zero (the
+    // collision bug) and not two (the old id is superseded) — to the
+    // same bits as an uncrashed run.
+    let scheduler = Scheduler::with_config(SchedulerConfig::workers(1).start_paused());
+    let recovered = scheduler.recover(&journal.0).expect("replays");
+    assert_eq!(recovered.len(), 1, "the job survives a crash mid-recovery");
+    assert_eq!(recovered[0].name.as_deref(), Some("x"));
+    scheduler.resume();
+    assert_eq!(
+        result_fingerprint(&recovered[0].handle.wait().expect("replay completes")),
+        expected
+    );
+    scheduler.join();
+
+    // The torn window — crashing after the replayed Submitted but
+    // before its Superseded record hit the disk — degrades to duplicate
+    // work, never loss.
+    let submits: Vec<JournalRecord> = read_journal(&journal.0)
+        .expect("journal reads")
+        .into_iter()
+        .filter(|r| matches!(r, JournalRecord::Submitted { .. }))
+        .take(2)
+        .collect();
+    let torn = TempPath::new("torn-window");
+    write_records(&torn.0, &submits);
+    let scheduler = Scheduler::with_config(SchedulerConfig::workers(1).start_paused());
+    let recovered = scheduler.recover(&torn.0).expect("replays");
+    assert_eq!(
+        recovered.len(),
+        2,
+        "a torn Submitted/Superseded window duplicates work, never loses it"
+    );
+    scheduler.resume();
+    for job in recovered {
+        assert_eq!(
+            result_fingerprint(&job.handle.wait().expect("duplicate completes")),
+            expected
+        );
+    }
     scheduler.join();
 }
 
