@@ -229,8 +229,8 @@ impl CimAnnealer {
     }
 
     /// Run the in-situ flow against a caller-supplied energy backend —
-    /// the hook behind shared-grid batching
-    /// ([`solve_batched_ensemble`](crate::solve_batched_ensemble) builds
+    /// the hook behind shared-grid batching (the
+    /// [`BackendPlan::Batched`](crate::BackendPlan::Batched) route builds
     /// one [`fecim_anneal::BatchedBackend`] per ensemble replica), and
     /// useful for any custom array model implementing
     /// [`fecim_anneal::EnergyBackend`]. Schedule, annealing factor and
@@ -245,7 +245,10 @@ impl CimAnnealer {
     ) -> RunResult {
         let n = coupling.dimension();
         let factor = self.factor.build();
-        let schedule = SteppedSchedule::over_iterations(self.factor.t_max(), 70, self.iterations);
+        // A zero-iteration run (warm-start verbatim contract) never
+        // samples the schedule, but the constructor insists on ≥ 1.
+        let schedule =
+            SteppedSchedule::over_iterations(self.factor.t_max(), 70, self.iterations.max(1));
         // Default normalization: 1/80 of the typical |σ_rᵀJσ_c|. The
         // division is the one-time full-scale calibration a hardware
         // bring-up performs on the ADC reference; 80 places the sweep's

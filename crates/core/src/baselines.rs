@@ -192,8 +192,13 @@ impl Solver for DirectAnnealer {
         let t0 = self
             .t0
             .unwrap_or_else(|| 4.0 * 4.0 * suggest_einc_scale(coupling, self.flips));
-        let schedule =
-            GeometricSchedule::over_iterations(t0, t0 * self.t_end_fraction, self.iterations);
+        // A zero-iteration run (warm-start verbatim contract) never
+        // samples the schedule, but the constructor insists on ≥ 1.
+        let schedule = GeometricSchedule::over_iterations(
+            t0,
+            t0 * self.t_end_fraction,
+            self.iterations.max(1),
+        );
         let mut config = AnnealConfig::new(self.iterations, seed).with_flips(self.flips.min(n));
         if let Some(every) = self.trace_every {
             config = config.with_trace(every);

@@ -2,8 +2,11 @@
 //! ONE physical tile grid.
 //!
 //! A single in-situ iteration activates only the flipped stripes of one
-//! instance's block; everything else idles. [`solve_batched_ensemble`]
-//! turns that slack into throughput: the ensemble's replicas are packed
+//! instance's block; everything else idles. The batched route (a
+//! [`SolveRequest`](crate::SolveRequest) with
+//! [`BackendPlan::Batched`](crate::BackendPlan::Batched) through
+//! [`Session::run`](crate::Session::run)) turns that slack into
+//! throughput: the ensemble's replicas are packed
 //! side by side onto one [`BatchedTiledCrossbar`] (block-diagonal along
 //! the stripe axis), every replica anneals against its own
 //! [`BatchedBackend`] handle, and replicas convert concurrently on
@@ -24,7 +27,9 @@ use fecim_anneal::BatchedBackend;
 use fecim_anneal::Ensemble;
 use fecim_crossbar::{BatchInstance, BatchedTiledCrossbar, CrossbarConfig};
 use fecim_hwcost::{energy_of, time_of, AnnealerKind, CostModel, ExpUnit};
-use fecim_ising::{CopProblem, Coupling, IsingError, IsingModel, SpinVector};
+#[cfg(test)]
+use fecim_ising::IsingError;
+use fecim_ising::{CopProblem, Coupling, IsingModel, SpinVector};
 
 use crate::annealer::{CimAnnealer, SolveReport};
 use crate::solver::INIT_SEED_SALT;
@@ -58,9 +63,9 @@ pub struct BatchGridSummary {
     pub instances_per_second: f64,
 }
 
-/// Outcome of [`solve_batched_ensemble`]: the per-replica reports (trial
-/// order, bit-identical to unbatched runs in Ideal fidelity) plus the
-/// shared-grid summary.
+/// Outcome of one shared-grid batched ensemble: the per-replica reports
+/// (trial order, bit-identical to unbatched runs in Ideal fidelity) plus
+/// the shared-grid summary.
 #[derive(Debug, Clone)]
 pub struct BatchedEnsembleOutcome {
     /// One report per ensemble trial, in trial order.
@@ -70,22 +75,13 @@ pub struct BatchedEnsembleOutcome {
 }
 
 /// Solve `ensemble.trials()` device-in-the-loop replicas of `problem` on
-/// one shared physical grid.
-///
-/// `solver` supplies the annealing flow (iterations, flips, factor,
-/// schedule); its own device-in-loop setting is ignored — the backend is
-/// always this function's shared grid, programmed from `config` on
-/// `tile_rows`-row tiles. Per-trial seeds and the initial-configuration
-/// draw match [`Solver::anneal_model`](crate::Solver::anneal_model), so in Ideal fidelity trial `i`
-/// reproduces `solver.with_tiled_device_in_loop(config, tile_rows)`
-/// solving the same problem with seed `base_seed + i`, bit for bit.
-///
-/// **Migration:** one blocking batched run → a
-/// [`SolveRequest`](crate::SolveRequest) with
-/// [`BackendPlan::Batched`](crate::BackendPlan::Batched) through
-/// [`Session::run`](crate::Session::run); queued traffic that should
-/// share *live* grids across different problems →
-/// `fecim_serve::Scheduler::submit` (bit-identical in Ideal fidelity).
+/// one shared physical grid: encodes the problem once, then delegates to
+/// [`batched_ensemble_prepared`]. Per-trial seeds and the
+/// initial-configuration draw match
+/// [`Solver::anneal_model`](crate::Solver::anneal_model), so in Ideal
+/// fidelity trial `i` reproduces
+/// `solver.with_tiled_device_in_loop(config, tile_rows)` solving the
+/// same problem with seed `base_seed + i`, bit for bit.
 ///
 /// # Errors
 ///
@@ -94,25 +90,7 @@ pub struct BatchedEnsembleOutcome {
 /// # Panics
 ///
 /// Panics if `ensemble` plans zero trials or `tile_rows == 0`.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `SolveRequest` with `BackendPlan::Batched { tile_rows, instances }` and run \
-            it through `fecim::Session::run` (one-shot) or `fecim_serve::Scheduler::submit` \
-            (queued, live-grid); read `SolveResponse::{reports, grids}`"
-)]
-pub fn solve_batched_ensemble(
-    solver: &CimAnnealer,
-    problem: &(dyn CopProblem + Sync),
-    config: CrossbarConfig,
-    tile_rows: usize,
-    ensemble: &Ensemble,
-) -> Result<BatchedEnsembleOutcome, IsingError> {
-    batched_ensemble(solver, problem, config, tile_rows, ensemble)
-}
-
-/// The machinery behind the deprecated [`solve_batched_ensemble`]
-/// wrapper: encodes the problem once, then delegates to
-/// [`batched_ensemble_prepared`].
+#[cfg(test)] // production callers go through `Session`'s prepared route
 pub(crate) fn batched_ensemble(
     solver: &CimAnnealer,
     problem: &(dyn CopProblem + Sync),
@@ -123,7 +101,7 @@ pub(crate) fn batched_ensemble(
     let model = problem.to_ising()?;
     let quadratic = model.to_quadratic_only();
     Ok(batched_ensemble_prepared(
-        solver, problem, &model, &quadratic, config, tile_rows, ensemble,
+        solver, problem, &model, &quadratic, config, tile_rows, ensemble, None,
     ))
 }
 
@@ -140,6 +118,7 @@ pub(crate) fn batched_ensemble_prepared(
     config: CrossbarConfig,
     tile_rows: usize,
     ensemble: &Ensemble,
+    start: Option<&SpinVector>,
 ) -> BatchedEnsembleOutcome {
     assert!(ensemble.trials() > 0, "need at least one trial");
     let cost_model = CostModel::paper_22nm_tiled(model.dimension(), config.quant_bits, tile_rows);
@@ -152,7 +131,16 @@ pub(crate) fn batched_ensemble_prepared(
     )
     .into_shared();
     let reports: Vec<SolveReport> = ensemble.run_batched(&grid, |_, seed, handle| {
-        batched_trial_report(solver, problem, model, quadratic, &cost_model, seed, handle)
+        batched_trial_report(
+            solver,
+            problem,
+            model,
+            quadratic,
+            &cost_model,
+            seed,
+            handle,
+            start,
+        )
     });
 
     let mut total_energy = 0.0f64;
@@ -210,6 +198,7 @@ pub(crate) fn batched_trial_report(
     cost_model: &CostModel,
     seed: u64,
     mut handle: BatchInstance,
+    start: Option<&SpinVector>,
 ) -> SolveReport {
     use rand::SeedableRng;
     // Re-program the instance's stochastic state from the trial seed
@@ -218,8 +207,15 @@ pub(crate) fn batched_trial_report(
     // order, and scheduler worker count. No-op in Ideal variation.
     handle.reseed_for_trial(seed);
     let coupling = quadratic.couplings();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ INIT_SEED_SALT);
-    let initial = SpinVector::random(coupling.dimension(), &mut rng);
+    let initial = match start {
+        // Warm start: every replica anneals from the request's supplied
+        // spins (embedded into the ancilla space when fields exist).
+        Some(start) => crate::solver::embed_start(model, start),
+        None => {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ INIT_SEED_SALT);
+            SpinVector::random(coupling.dimension(), &mut rng)
+        }
+    };
     let mut backend = BatchedBackend::new(coupling, initial, handle);
     let run = solver.anneal_with_backend(coupling, &mut backend, seed);
 

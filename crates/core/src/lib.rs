@@ -93,8 +93,9 @@
 //! The builder-style solvers ([`CimAnnealer`], [`DirectAnnealer`],
 //! [`MesaAnnealer`]) and the [`Solver`] trait remain the machinery
 //! underneath — [`Solver::solve`] is still the right call for quick
-//! one-off library use — but the free functions `normalized_ensemble`
-//! and `solve_batched_ensemble` are deprecated in favor of requests.
+//! one-off library use. Everything ensemble- or batch-shaped goes
+//! through requests (the legacy `normalized_ensemble` /
+//! `solve_batched_ensemble` free functions have been removed).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -111,8 +112,6 @@ mod solver;
 
 pub use annealer::{CimAnnealer, FactorChoice, SolveReport};
 pub use baselines::DirectAnnealer;
-#[allow(deprecated)]
-pub use batch::solve_batched_ensemble;
 pub use batch::{BatchGridSummary, BatchedEnsembleOutcome};
 pub use experiment::{
     cost_trend, run_experiment, AlgoStats, ExperimentConfig, ExperimentOutcome, GroupOutcome,
@@ -121,8 +120,6 @@ pub use experiment::{
 pub use mesa_solver::MesaAnnealer;
 pub use request::{BackendPlan, ProblemSpec, RunPlan, SolveRequest, SolverSpec};
 pub use session::{NormalizedTrial, PreparedJob, RunSummary, Session, SessionError, SolveResponse};
-#[allow(deprecated)]
-pub use solver::normalized_ensemble;
 pub use solver::Solver;
 
 pub use fecim_anneal as anneal;

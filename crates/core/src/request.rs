@@ -282,6 +282,14 @@ pub struct SolveRequest {
     /// response reports `objective / reference` per trial (the Fig. 10 /
     /// Table 1 record), alongside the first target-hit iteration.
     pub reference: Option<f64>,
+    /// Warm-start spins in the problem's original `±1` space: when set,
+    /// every trial starts from exactly these spins instead of drawing a
+    /// random configuration from its seed (trials still differ through
+    /// their seeded proposal streams). Length must equal the problem's
+    /// spin count. A warm-started run whose solver performs zero
+    /// iterations returns these spins verbatim — the contract campaign
+    /// round-chaining builds on.
+    pub initial_spins: Option<Vec<i8>>,
 }
 
 impl SolveRequest {
@@ -294,6 +302,7 @@ impl SolveRequest {
             backend: BackendPlan::default(),
             run: RunPlan::default(),
             reference: None,
+            initial_spins: None,
         }
     }
 
@@ -312,6 +321,14 @@ impl SolveRequest {
     /// Score trials as `objective / reference` in the response.
     pub fn with_reference(mut self, reference: f64) -> SolveRequest {
         self.reference = Some(reference);
+        self
+    }
+
+    /// Warm-start every trial from the given `±1` spins (length must
+    /// equal the problem's spin count; validated by
+    /// [`Session::prepare`](crate::Session::prepare)).
+    pub fn with_initial_spins(mut self, spins: Vec<i8>) -> SolveRequest {
+        self.initial_spins = Some(spins);
         self
     }
 
@@ -453,10 +470,29 @@ mod tests {
             base_seed: 11,
             threads: None,
         })
-        .with_reference(12.0);
+        .with_reference(12.0)
+        .with_initial_spins(vec![1, -1, 1, -1, 1, -1]);
         let wire = request.to_json().expect("serializes");
         let back = SolveRequest::from_json(&wire).expect("parses");
         assert_eq!(back, request);
+    }
+
+    #[test]
+    fn requests_without_initial_spins_still_parse() {
+        // Wire backward compatibility: pre-warm-start request JSON has no
+        // `initial_spins` key and must keep parsing as `None`.
+        let request = SolveRequest::new(
+            ProblemSpec::MaxCut {
+                vertices: 2,
+                edges: vec![(0, 1, 1.0)],
+            },
+            SolverSpec::Cim(CimAnnealer::new(10)),
+        );
+        let wire = request.to_json().expect("serializes");
+        let legacy = wire.replace(",\"initial_spins\":null", "");
+        assert_ne!(legacy, wire, "fixture must actually drop the key");
+        let parsed = SolveRequest::from_json(&legacy).expect("legacy JSON parses");
+        assert_eq!(parsed, request);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The [`Session`] facade: one execution entry point for every
-//! [`SolveRequest`], replacing the accreted set of free functions
-//! (`solve`, `normalized_ensemble`, `solve_batched_ensemble`) with a
-//! single `run(request) -> SolveResponse` surface.
+//! [`SolveRequest`], replacing the legacy free-function era (`solve`
+//! plus the since-removed `normalized_ensemble` /
+//! `solve_batched_ensemble` wrappers) with a single
+//! `run(request) -> SolveResponse` surface.
 //!
 //! A session routes the request's typed [`BackendPlan`] to the existing
 //! machinery:
@@ -39,7 +40,7 @@ use serde::{Deserialize, Serialize};
 
 use fecim_crossbar::{BatchInstance, CrossbarConfig, Fidelity};
 use fecim_device::VariationConfig;
-use fecim_ising::{CopProblem, CsrCoupling, IsingError, IsingModel, ObjectiveSense};
+use fecim_ising::{CopProblem, CsrCoupling, IsingError, IsingModel, ObjectiveSense, SpinVector};
 
 use fecim_hwcost::CostModel;
 
@@ -153,9 +154,9 @@ pub struct SolveResponse {
 }
 
 impl SolveResponse {
-    /// The legacy `(normalized objective, first target hit)` pairs of
-    /// [`normalized_ensemble`](crate::normalized_ensemble), when the
-    /// request carried a reference.
+    /// The `(normalized objective, first target hit)` pairs the
+    /// legacy `normalized_ensemble` free function used to return, when
+    /// the request carried a reference.
     pub fn normalized_pairs(&self) -> Option<Vec<(f64, Option<usize>)>> {
         self.normalized.as_ref().map(|trials| {
             trials
@@ -276,6 +277,7 @@ impl Session {
                         config.clone(),
                         *tile_rows,
                         &ensemble,
+                        job.initial.as_ref(),
                     );
                     reports.extend(outcome.reports);
                     grids.push(outcome.grid);
@@ -308,6 +310,22 @@ impl Session {
             return Err(invalid("thread cap must be at least one worker"));
         }
         let problem = request.problem.build()?;
+        let initial = match &request.initial_spins {
+            None => None,
+            Some(spins) => {
+                if spins.len() != problem.spin_count() {
+                    return Err(invalid(format!(
+                        "initial_spins length {} does not match the problem's {} spins",
+                        spins.len(),
+                        problem.spin_count()
+                    )));
+                }
+                if spins.iter().any(|&s| s != 1 && s != -1) {
+                    return Err(invalid("initial_spins entries must be -1 or +1"));
+                }
+                Some(SpinVector::from_signs(spins))
+            }
+        };
         let route = match request.backend {
             BackendPlan::Batched {
                 tile_rows,
@@ -365,6 +383,7 @@ impl Session {
             run: request.run,
             reference: request.reference,
             solver_name: request.solver.name().to_string(),
+            initial,
         })
     }
 
@@ -514,6 +533,9 @@ pub struct PreparedJob {
     run: RunPlan,
     reference: Option<f64>,
     solver_name: String,
+    /// Validated warm-start spins (original space), shared by every
+    /// trial when the request carries `initial_spins`.
+    initial: Option<SpinVector>,
 }
 
 impl fmt::Debug for PreparedJob {
@@ -611,7 +633,10 @@ impl PreparedJob {
                 // `Solver::solve` with the (deterministic) encoding
                 // hoisted to prepare time — bit-identical, pinned by the
                 // session equivalence tests.
-                let (mut run, spins) = solver.anneal_model(model, seed);
+                let (mut run, spins) = match &self.initial {
+                    Some(start) => solver.anneal_model_from(model, start, seed),
+                    None => solver.anneal_model(model, seed),
+                };
                 let objective = self.problem.native_objective(&spins);
                 let feasible = self.problem.is_feasible(&spins);
                 let (energy, time) = solver.hardware_report(&mut run, model.dimension());
@@ -672,6 +697,7 @@ impl PreparedJob {
             cost_model,
             self.seed(trial),
             handle,
+            self.initial.as_ref(),
         ))
     }
 
@@ -919,6 +945,61 @@ mod tests {
             assert_eq!(a.best_energy, b.best_energy);
             assert_eq!(a.best_spins, b.best_spins);
         }
+    }
+
+    #[test]
+    fn warm_started_zero_iteration_run_echoes_fresh_run_result() {
+        // A fresh run's best spins, fed back as `initial_spins` with a
+        // zero-iteration solver, come back verbatim with the same energy
+        // — the contract campaign round-chaining builds on.
+        let fresh = Session::new()
+            .run(&cim_request(12, 300).with_run(RunPlan::Single { seed: 9 }))
+            .expect("ring encodes");
+        let best = fresh.reports[0].best_spins.clone();
+        let warm_request = SolveRequest::new(
+            ring_spec(12),
+            SolverSpec::Cim(CimAnnealer::new(0).with_flips(1)),
+        )
+        .with_run(RunPlan::Single { seed: 9 })
+        .with_initial_spins(best.as_slice().to_vec());
+        let warm = Session::new().run(&warm_request).expect("ring encodes");
+        assert_eq!(warm.reports[0].best_spins, best);
+        assert_eq!(warm.reports[0].best_energy, fresh.reports[0].best_energy);
+    }
+
+    #[test]
+    fn warm_start_applies_to_batched_route() {
+        let fresh = cim_request(16, 60).with_backend(BackendPlan::Batched {
+            tile_rows: 4,
+            instances: 2,
+        });
+        let fresh_out = Session::new().run(&fresh).unwrap();
+        let best = fresh_out.reports[0].best_spins.clone();
+        let warm = SolveRequest::new(
+            ring_spec(16),
+            SolverSpec::Cim(CimAnnealer::new(0).with_flips(1)),
+        )
+        .with_backend(BackendPlan::Batched {
+            tile_rows: 4,
+            instances: 2,
+        })
+        .with_initial_spins(best.as_slice().to_vec());
+        let warm_out = Session::new().run(&warm).unwrap();
+        assert_eq!(warm_out.reports[0].best_spins, best);
+    }
+
+    #[test]
+    fn invalid_initial_spins_are_rejected() {
+        let wrong_len = cim_request(8, 50).with_initial_spins(vec![1; 7]);
+        assert!(matches!(
+            Session::new().run(&wrong_len),
+            Err(SessionError::InvalidRequest(_))
+        ));
+        let bad_value = cim_request(8, 50).with_initial_spins(vec![1, -1, 1, -1, 1, -1, 1, 0]);
+        assert!(matches!(
+            Session::new().run(&bad_value),
+            Err(SessionError::InvalidRequest(_))
+        ));
     }
 
     #[test]

@@ -23,7 +23,9 @@
 
 use rand::SeedableRng;
 
-use fecim_anneal::{Ensemble, RunResult};
+#[cfg(test)]
+use fecim_anneal::Ensemble;
+use fecim_anneal::RunResult;
 use fecim_hwcost::{AnnealerKind, EnergyReport, TimeReport};
 use fecim_ising::{CopProblem, Coupling, CsrCoupling, IsingError, IsingModel, SpinVector};
 
@@ -85,6 +87,31 @@ pub trait Solver: Send + Sync {
         (run, spins)
     }
 
+    /// Anneal a raw Ising model from an explicitly supplied start
+    /// configuration in the model's **original** spin space (warm
+    /// start). When the model carries linear fields, the start is
+    /// embedded into the ancilla-augmented quadratic space with the
+    /// ancilla at `+1`, so projecting the result back recovers the
+    /// supplied spins exactly — a zero-iteration engine run returns
+    /// `start` verbatim.
+    fn anneal_model_from(
+        &self,
+        model: &IsingModel,
+        start: &SpinVector,
+        seed: u64,
+    ) -> (RunResult, SpinVector) {
+        let quadratic = model.to_quadratic_only();
+        let coupling = quadratic.couplings();
+        let initial = embed_start(model, start);
+        let run = self.run_engine(coupling, initial, seed);
+        let spins = if model.is_quadratic_only() {
+            run.best_spins.clone()
+        } else {
+            model.project_from_quadratic(&run.best_spins)
+        };
+        (run, spins)
+    }
+
     /// Solve a COP: transform to Ising, anneal, score the best solution
     /// in the problem's native objective and attach hardware costs.
     ///
@@ -132,17 +159,35 @@ pub trait Solver: Send + Sync {
     }
 }
 
+/// Embed a start configuration given in `model`'s original spin space
+/// into the quadratic-only space [`Solver::run_engine`] anneals over.
+/// Models with linear fields gain an ancilla spin at index 0, fixed to
+/// `+1` so the gauge projection recovers the original spins unchanged.
+pub(crate) fn embed_start(model: &IsingModel, start: &SpinVector) -> SpinVector {
+    assert_eq!(
+        start.len(),
+        model.dimension(),
+        "warm-start spins must match the model dimension"
+    );
+    if model.is_quadratic_only() {
+        start.clone()
+    } else {
+        let mut signs = Vec::with_capacity(start.len() + 1);
+        signs.push(1);
+        signs.extend_from_slice(start.as_slice());
+        SpinVector::from_signs(&signs)
+    }
+}
+
 /// One parallel ensemble of `solver` on `problem`, scored per trial as
 /// `(native objective / reference, first iteration reaching the target)`
 /// — the per-run record behind Fig. 10, Table 1 and the calibration
 /// sweeps. Dispatches through `&dyn Solver`, so any architecture plugs
-/// in unchanged.
-///
-/// **Migration:** one blocking run → a [`SolveRequest`](crate::SolveRequest)
-/// with a `reference` and an ensemble [`RunPlan`](crate::RunPlan)
-/// through [`Session::run`](crate::Session::run); many queued runs →
-/// `fecim_serve::Scheduler::submit`, whose `JobHandle::wait` returns
-/// the same `SolveResponse` (bit-identical in Ideal fidelity).
+/// in unchanged. The public route to the same record is a
+/// [`SolveRequest`](crate::SolveRequest) with a `reference` and an
+/// ensemble [`RunPlan`](crate::RunPlan) through
+/// [`Session::run`](crate::Session::run) (read
+/// `SolveResponse::normalized` / `normalized_pairs()`).
 ///
 /// # Errors
 ///
@@ -151,24 +196,7 @@ pub trait Solver: Send + Sync {
 /// a solve ever came back without a native objective — impossible for
 /// the COP types in this workspace, but a solver bug must surface as an
 /// error, not a crash inside a worker thread).
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `SolveRequest` with a `reference` and an ensemble `RunPlan`, run it through \
-            `fecim::Session::run` (one-shot) or `fecim_serve::Scheduler::submit` (queued), and \
-            read `SolveResponse::normalized` (or `normalized_pairs()`)"
-)]
-pub fn normalized_ensemble(
-    solver: &dyn Solver,
-    problem: &(dyn CopProblem + Sync),
-    reference: f64,
-    ensemble: &Ensemble,
-) -> Result<Vec<(f64, Option<usize>)>, IsingError> {
-    normalized_ensemble_impl(solver, problem, reference, ensemble)
-}
-
-/// The machinery behind the deprecated [`normalized_ensemble`] wrapper;
-/// in-crate callers (the [`Session`](crate::Session) routes and legacy
-/// tests) use this directly.
+#[cfg(test)] // production callers go through `Session`'s normalized scoring
 pub(crate) fn normalized_ensemble_impl(
     solver: &dyn Solver,
     problem: &(dyn CopProblem + Sync),
@@ -284,6 +312,51 @@ mod tests {
             normalized_ensemble_impl(&CimAnnealer::new(50), &problem, 1.0, &Ensemble::new(4, 9))
                 .expect_err("ensemble must propagate, not panic");
         assert!(matches!(err, IsingError::InvalidProblem(_)));
+    }
+
+    #[test]
+    fn warm_start_zero_iteration_run_returns_start_verbatim() {
+        // Quadratic-only model (Max-Cut ring): no ancilla embedding.
+        let ring = ring_problem(8);
+        let model = fecim_ising::CopProblem::to_ising(&ring).unwrap();
+        let start = SpinVector::from_signs(&[1, -1, 1, 1, -1, -1, 1, -1]);
+        let solver = CimAnnealer::new(0);
+        let (run, spins) = solver.anneal_model_from(&model, &start, 7);
+        assert_eq!(spins, start);
+        assert_eq!(run.best_energy, model.energy(&start));
+
+        // Model WITH linear fields: the ancilla embedding must project
+        // the supplied spins back unchanged, for all three engines.
+        let mut qubo = fecim_ising::Qubo::new(4);
+        qubo.add_term(0, 0, -1.0);
+        qubo.add_term(0, 1, 2.0);
+        qubo.add_term(1, 1, 0.75);
+        qubo.add_term(2, 3, -0.5);
+        let model = fecim_ising::CopProblem::to_ising(&qubo).unwrap();
+        assert!(!model.is_quadratic_only());
+        let start = SpinVector::from_signs(&[-1, 1, -1, 1]);
+        for solver in [
+            &CimAnnealer::new(0) as &dyn Solver,
+            &DirectAnnealer::cim_fpga(0),
+            &MesaAnnealer::new(0),
+        ] {
+            let (run, spins) = solver.anneal_model_from(&model, &start, 3);
+            assert_eq!(spins, start, "{}", solver.name());
+            assert_eq!(run.iterations, 0, "{}", solver.name());
+        }
+    }
+
+    #[test]
+    fn warm_start_with_iterations_never_worsens_the_start() {
+        let ring = ring_problem(16);
+        let model = fecim_ising::CopProblem::to_ising(&ring).unwrap();
+        let start = SpinVector::all_up(16); // worst cut: energy 16·J
+        let solver = CimAnnealer::new(300).with_flips(1);
+        let (run, _) = solver.anneal_model_from(&model, &start, 11);
+        assert!(
+            run.best_energy <= model.energy(&start),
+            "best over a trajectory that includes the start cannot exceed it"
+        );
     }
 
     #[test]

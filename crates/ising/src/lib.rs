@@ -14,7 +14,9 @@
 //! * [`direct_vmv`] / [`incremental_e`] — flat kernels for complexity
 //!   benchmarking, plus [`LocalFieldState`] for fast exact software
 //!   annealing;
-//! * [`Qubo`] with the exact QUBO↔Ising equivalence;
+//! * [`Qubo`] with the exact QUBO↔Ising equivalence, and [`decompose`] —
+//!   qbsolv-style windowed sub-QUBO extraction for beyond-capacity
+//!   instances;
 //! * [`problems`] — Max-Cut (the paper's evaluation workload), graph
 //!   coloring, knapsack, number partitioning, MIS and TSP encodings.
 //!
@@ -41,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 mod coupling;
+pub mod decompose;
 mod energy;
 mod error;
 pub mod problems;
@@ -48,6 +51,7 @@ mod qubo;
 mod spin;
 
 pub use coupling::{Coupling, CsrCoupling, DenseCoupling, IsingModel};
+pub use decompose::{impact_windows, spin_objective, SubQubo};
 pub use energy::{
     direct_term_count, direct_vmv, incremental_e, incremental_term_count, LocalFieldState,
 };

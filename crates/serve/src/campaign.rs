@@ -1,0 +1,666 @@
+//! Multi-round solve campaigns over the [`Scheduler`]: warm-started
+//! iterative refinement plus qbsolv-style decomposition, so problem size
+//! is no longer bounded by what one crossbar grid admits.
+//!
+//! A campaign runs `rounds` rounds. Each round solves either
+//!
+//! * the **whole problem** (no [`DecomposePlan`]): one scheduler job,
+//!   warm-started from the best assignment any earlier round produced; or
+//! * a **windowed decomposition** ([`DecomposePlan`] set, QUBO problems
+//!   only): the round ranks variables by single-flip impact under the
+//!   current assignment ([`impact_windows`]), clamps everything outside
+//!   each window ([`SubQubo::extract`]), submits every sub-problem as a
+//!   concurrent scheduler job warm-started from the window's current
+//!   spins, writes the sub-solutions back in window order, and settles
+//!   the seams with one greedy descent pass over the full coupling.
+//!
+//! Rounds cycle through the `portfolio` of solver variants
+//! (round `r` uses `portfolio[r % portfolio.len()]`), so a campaign can
+//! alternate e.g. a cheap in-situ sweep with an occasional deeper
+//! baseline polish.
+//!
+//! # Determinism
+//!
+//! The trajectory is bit-identical at any scheduler worker count:
+//!
+//! * window selection depends only on the round's entry assignment;
+//! * every sub-job carries an explicit ensemble seed from a flat,
+//!   submission-ordered cursor over `base_seed`;
+//! * results are reduced in submission order ([`JobHandle::wait`]
+//!   blocks), never in completion order;
+//! * write-back and stitching run in window order;
+//! * the best trial of an ensemble is the *earliest* trial achieving the
+//!   minimum energy.
+//!
+//! # Monotonicity
+//!
+//! `RoundReport::best_energy` never increases. Whole-problem rounds warm
+//! start from the best-so-far spins and the engines capture the start as
+//! the initial best; decomposed rounds may transiently regress (windows
+//! overlap and are solved concurrently against the round's entry
+//! assignment), so a round that stitches to something worse is discarded
+//! and the next round restarts from the best-so-far assignment.
+//!
+//! [`JobHandle::wait`]: crate::JobHandle::wait
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use fecim::anneal::local_search;
+use fecim::{
+    BackendPlan, ProblemSpec, RunPlan, SolveReport, SolveRequest, SolveResponse, SolverSpec,
+};
+use fecim_ising::{impact_windows, IsingError, IsingModel, Qubo, SpinVector, SubQubo};
+
+use crate::job::{SchedulerError, SubmitOptions};
+use crate::scheduler::Scheduler;
+
+/// Windowed-decomposition settings of a campaign (qbsolv-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecomposePlan {
+    /// Variables per sub-problem window. With a device-backed
+    /// [`BackendPlan`], the window (plus one ancilla spin when the
+    /// clamped sub-problem has linear terms — it almost always does)
+    /// must fit what the grid admits.
+    pub window: usize,
+    /// Variables shared between consecutive windows (`overlap <
+    /// window`); overlap lets improvements propagate across window
+    /// boundaries between rounds.
+    pub overlap: usize,
+}
+
+impl DecomposePlan {
+    /// A plan with the given window size and no overlap.
+    pub fn window(window: usize) -> DecomposePlan {
+        DecomposePlan { window, overlap: 0 }
+    }
+
+    /// Set the inter-window overlap.
+    pub fn with_overlap(mut self, overlap: usize) -> DecomposePlan {
+        self.overlap = overlap;
+        self
+    }
+}
+
+/// One solver variant of a campaign's portfolio: an architecture plus
+/// the ensemble width each of its rounds runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleVariant {
+    /// The annealer architecture and configuration.
+    pub solver: SolverSpec,
+    /// Trials per job this variant submits (ensemble width).
+    pub trials: usize,
+}
+
+impl ScheduleVariant {
+    /// A single-trial variant.
+    pub fn new(solver: SolverSpec) -> ScheduleVariant {
+        ScheduleVariant { solver, trials: 1 }
+    }
+
+    /// Set the ensemble width.
+    pub fn with_trials(mut self, trials: usize) -> ScheduleVariant {
+        self.trials = trials;
+        self
+    }
+}
+
+/// A multi-round campaign: what to solve, for how many rounds, with
+/// which solver portfolio, and whether to decompose.
+///
+/// Fully serde-serializable — the JSONL/TCP front-ends accept a
+/// `Campaign` request line carrying one of these.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// The problem every round refines. Decomposed campaigns require
+    /// [`ProblemSpec::Qubo`]; whole-problem campaigns accept any spec.
+    pub problem: ProblemSpec,
+    /// Number of rounds (≥ 1).
+    pub rounds: usize,
+    /// Solver variants; round `r` uses `portfolio[r % portfolio.len()]`.
+    pub portfolio: Vec<ScheduleVariant>,
+    /// `Some` = windowed decomposition; `None` = whole-problem rounds.
+    pub decompose: Option<DecomposePlan>,
+    /// Backend every sub-job runs on (default [`BackendPlan::Analytic`]).
+    pub backend: BackendPlan,
+    /// Seed of the campaign's flat, submission-ordered seed cursor
+    /// (sub-job `k` of the campaign gets ensemble base seed
+    /// `base_seed + Σ trials of sub-jobs before k`).
+    pub base_seed: u64,
+}
+
+impl CampaignSpec {
+    /// A campaign with the analytic backend, base seed 0 and no
+    /// decomposition.
+    pub fn new(
+        problem: ProblemSpec,
+        rounds: usize,
+        portfolio: Vec<ScheduleVariant>,
+    ) -> CampaignSpec {
+        CampaignSpec {
+            problem,
+            rounds,
+            portfolio,
+            decompose: None,
+            backend: BackendPlan::Analytic,
+            base_seed: 0,
+        }
+    }
+
+    /// Decompose each round into clamped sub-problem windows.
+    pub fn with_decompose(mut self, plan: DecomposePlan) -> CampaignSpec {
+        self.decompose = Some(plan);
+        self
+    }
+
+    /// Set the backend of every sub-job.
+    pub fn with_backend(mut self, backend: BackendPlan) -> CampaignSpec {
+        self.backend = backend;
+        self
+    }
+
+    /// Set the campaign's base seed.
+    pub fn with_base_seed(mut self, base_seed: u64) -> CampaignSpec {
+        self.base_seed = base_seed;
+        self
+    }
+}
+
+/// One round of a campaign's trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round index, 0-based.
+    pub round: usize,
+    /// Index into [`CampaignSpec::portfolio`] of the variant this round
+    /// ran.
+    pub variant: usize,
+    /// Scheduler jobs this round submitted (window count when
+    /// decomposed, 1 otherwise).
+    pub jobs: usize,
+    /// Exact full-problem Ising energy of this round's stitched
+    /// assignment (may transiently exceed `best_energy` on decomposed
+    /// campaigns; see the module docs).
+    pub round_energy: f64,
+    /// Best energy over rounds `0..=round` — monotone non-increasing.
+    pub best_energy: f64,
+    /// Simulated hardware energy this round spent, joules.
+    pub hw_energy: f64,
+    /// Summed per-trial hardware latency this round spent, seconds.
+    pub hw_time: f64,
+}
+
+/// Outcome of [`run_campaign`]: the per-round trajectory plus the best
+/// solution found.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// Per-round trajectory, in round order.
+    pub rounds: Vec<RoundReport>,
+    /// Best exact full-problem Ising energy reached.
+    pub best_energy: f64,
+    /// The assignment achieving `best_energy`, in the problem's original
+    /// `±1` spin space.
+    pub best_spins: Vec<i8>,
+    /// Total simulated hardware energy across all rounds, joules.
+    pub total_hw_energy: f64,
+    /// Total summed hardware latency across all rounds, seconds.
+    pub total_hw_time: f64,
+}
+
+/// Why a campaign could not run (or stopped mid-way).
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The spec is structurally invalid (zero rounds, empty portfolio,
+    /// zero-trial variant, bad window geometry, decomposition of a
+    /// non-QUBO problem).
+    InvalidSpec(String),
+    /// Building the problem or its windows failed.
+    Problem(IsingError),
+    /// A sub-job failed (rejected, cancelled, deadline, shutdown).
+    Job(SchedulerError),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidSpec(why) => write!(f, "invalid campaign spec: {why}"),
+            CampaignError::Problem(e) => write!(f, "campaign problem error: {e}"),
+            CampaignError::Job(e) => write!(f, "campaign job failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::InvalidSpec(_) => None,
+            CampaignError::Problem(e) => Some(e),
+            CampaignError::Job(e) => Some(e),
+        }
+    }
+}
+
+impl From<IsingError> for CampaignError {
+    fn from(e: IsingError) -> CampaignError {
+        CampaignError::Problem(e)
+    }
+}
+
+/// Run a campaign to completion on a (running, not paused) scheduler.
+///
+/// Every sub-job is submitted with `options` (priority, deadline, tags),
+/// named `campaign-r<round>[-w<window>]`, and counts against the
+/// scheduler's queue like any other job — campaigns compose with
+/// ordinary submissions and with each other.
+///
+/// # Errors
+///
+/// [`CampaignError::InvalidSpec`] before anything runs,
+/// [`CampaignError::Problem`] when the problem or a window fails to
+/// build, and [`CampaignError::Job`] when a sub-job settles in a
+/// non-success state (the scheduler keeps running; already-submitted
+/// sibling jobs of the failed round finish on their own).
+pub fn run_campaign(
+    scheduler: &Scheduler,
+    spec: &CampaignSpec,
+    options: &SubmitOptions,
+) -> Result<CampaignOutcome, CampaignError> {
+    validate(spec)?;
+    match &spec.decompose {
+        Some(plan) => run_decomposed(scheduler, spec, *plan, options),
+        None => run_whole(scheduler, spec, options),
+    }
+}
+
+fn validate(spec: &CampaignSpec) -> Result<(), CampaignError> {
+    let invalid = |why: String| Err(CampaignError::InvalidSpec(why));
+    if spec.rounds == 0 {
+        return invalid("rounds must be at least 1".to_string());
+    }
+    if spec.portfolio.is_empty() {
+        return invalid("portfolio must name at least one solver variant".to_string());
+    }
+    if let Some(i) = spec.portfolio.iter().position(|v| v.trials == 0) {
+        return invalid(format!("portfolio variant {i} has zero trials"));
+    }
+    if let Some(plan) = &spec.decompose {
+        if plan.window == 0 {
+            return invalid("decompose window must be at least 1".to_string());
+        }
+        if plan.overlap >= plan.window {
+            return invalid(format!(
+                "decompose overlap {} must be smaller than the window {}",
+                plan.overlap, plan.window
+            ));
+        }
+        if !matches!(spec.problem, ProblemSpec::Qubo { .. }) {
+            return invalid("decomposed campaigns require a Qubo problem spec".to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Earliest trial achieving the minimum best energy — a deterministic
+/// tie-break, unlike `Iterator::min_by` (which keeps the last minimum).
+fn best_trial(response: &SolveResponse) -> &SolveReport {
+    let mut best = &response.reports[0];
+    for report in &response.reports[1..] {
+        if report.best_energy < best.best_energy {
+            best = report;
+        }
+    }
+    best
+}
+
+/// Embed a full-problem assignment for the quadratic-only coupling, run
+/// one greedy descent to a single-flip local optimum, and project back.
+/// Descent never worsens the energy, so stitching is safe to apply
+/// unconditionally.
+fn stitch(model: &IsingModel, quadratic: &IsingModel, assignment: &[i8]) -> Vec<i8> {
+    let start = if model.is_quadratic_only() {
+        SpinVector::from_signs(assignment)
+    } else {
+        // Ancilla gauge spin pinned to +1 round-trips the assignment
+        // exactly through the projection below.
+        let mut signs = Vec::with_capacity(assignment.len() + 1);
+        signs.push(1);
+        signs.extend_from_slice(assignment);
+        SpinVector::from_signs(&signs)
+    };
+    let (polished, _) = local_search(quadratic.couplings(), start);
+    let projected = if model.is_quadratic_only() {
+        polished
+    } else {
+        model.project_from_quadratic(&polished)
+    };
+    projected.as_slice().to_vec()
+}
+
+fn run_decomposed(
+    scheduler: &Scheduler,
+    spec: &CampaignSpec,
+    plan: DecomposePlan,
+    options: &SubmitOptions,
+) -> Result<CampaignOutcome, CampaignError> {
+    let ProblemSpec::Qubo { q } = &spec.problem else {
+        unreachable!("validate() requires a Qubo spec for decomposed campaigns");
+    };
+    let qubo = Qubo::from_matrix(q)?;
+    let model = qubo.to_ising()?;
+    let quadratic = model.to_quadratic_only();
+    let n = qubo.dimension();
+
+    // Deterministic neutral start: all spins +1, i.e. every binary
+    // variable 0. Round 0 then ranks windows by raw flip gain from the
+    // origin, which is exactly the linear + clamped structure of Q.
+    let mut assignment = vec![1i8; n];
+    let mut best_energy = model.energy(&SpinVector::from_signs(&assignment));
+    let mut best_assignment = assignment.clone();
+
+    let mut seed_cursor: u64 = 0;
+    let mut rounds = Vec::with_capacity(spec.rounds);
+    let mut total_hw_energy = 0.0;
+    let mut total_hw_time = 0.0;
+
+    for round in 0..spec.rounds {
+        let variant_index = round % spec.portfolio.len();
+        let variant = &spec.portfolio[variant_index];
+        let windows = impact_windows(&qubo, &assignment, plan.window, plan.overlap)?;
+        let job_count = windows.len();
+
+        // Submit every window up front; the scheduler runs them
+        // concurrently in priority order.
+        let mut jobs = Vec::with_capacity(job_count);
+        for (slot, window) in windows.iter().enumerate() {
+            let sub = SubQubo::extract(&qubo, window, &assignment)?;
+            let warm: Vec<i8> = window.iter().map(|&v| assignment[v]).collect();
+            let seed = spec.base_seed.wrapping_add(seed_cursor);
+            seed_cursor += variant.trials as u64;
+            let request = SolveRequest::new(
+                ProblemSpec::Qubo { q: sub.to_matrix() },
+                variant.solver.clone(),
+            )
+            .with_backend(spec.backend)
+            .with_run(RunPlan::Ensemble {
+                trials: variant.trials,
+                base_seed: seed,
+                threads: None,
+            })
+            .with_initial_spins(warm);
+            let name = format!("campaign-r{round}-w{slot}");
+            let handle = scheduler.submit_named(Some(&name), request, options.clone());
+            jobs.push((sub, handle));
+        }
+
+        // Reduce in submission (= window) order, never completion order.
+        let mut hw_energy = 0.0;
+        let mut hw_time = 0.0;
+        for (sub, handle) in jobs {
+            let response = handle.wait().map_err(CampaignError::Job)?;
+            hw_energy += response.summary.total_energy;
+            hw_time += response.summary.total_time;
+            sub.write_back(&mut assignment, best_trial(&response).best_spins.as_slice());
+        }
+
+        // Overlapping windows were solved against the round's *entry*
+        // assignment, so seams can disagree; settle them.
+        assignment = stitch(&model, &quadratic, &assignment);
+        let round_energy = model.energy(&SpinVector::from_signs(&assignment));
+        if round_energy < best_energy {
+            best_energy = round_energy;
+            best_assignment = assignment.clone();
+        } else {
+            // Never let concurrent window interactions regress the
+            // campaign: discard the round, restart from the best.
+            assignment = best_assignment.clone();
+        }
+
+        total_hw_energy += hw_energy;
+        total_hw_time += hw_time;
+        rounds.push(RoundReport {
+            round,
+            variant: variant_index,
+            jobs: job_count,
+            round_energy,
+            best_energy,
+            hw_energy,
+            hw_time,
+        });
+    }
+
+    Ok(CampaignOutcome {
+        rounds,
+        best_energy,
+        best_spins: best_assignment,
+        total_hw_energy,
+        total_hw_time,
+    })
+}
+
+fn run_whole(
+    scheduler: &Scheduler,
+    spec: &CampaignSpec,
+    options: &SubmitOptions,
+) -> Result<CampaignOutcome, CampaignError> {
+    let problem = spec.problem.build()?;
+    let model = problem.to_ising()?;
+
+    let mut best: Option<(f64, Vec<i8>)> = None;
+    let mut seed_cursor: u64 = 0;
+    let mut rounds = Vec::with_capacity(spec.rounds);
+    let mut total_hw_energy = 0.0;
+    let mut total_hw_time = 0.0;
+
+    for round in 0..spec.rounds {
+        let variant_index = round % spec.portfolio.len();
+        let variant = &spec.portfolio[variant_index];
+        let seed = spec.base_seed.wrapping_add(seed_cursor);
+        seed_cursor += variant.trials as u64;
+
+        let mut request = SolveRequest::new(spec.problem.clone(), variant.solver.clone())
+            .with_backend(spec.backend)
+            .with_run(RunPlan::Ensemble {
+                trials: variant.trials,
+                base_seed: seed,
+                threads: None,
+            });
+        if let Some((_, spins)) = &best {
+            // Warm start from the best-so-far: the engines capture the
+            // start as the initial best, so the round cannot regress.
+            request = request.with_initial_spins(spins.clone());
+        }
+        let name = format!("campaign-r{round}");
+        let response = scheduler
+            .submit_named(Some(&name), request, options.clone())
+            .wait()
+            .map_err(CampaignError::Job)?;
+
+        let report = best_trial(&response);
+        let round_energy = model.energy(&report.best_spins);
+        let improved = match &best {
+            None => true,
+            Some((energy, _)) => round_energy < *energy,
+        };
+        if improved {
+            best = Some((round_energy, report.best_spins.as_slice().to_vec()));
+        }
+        let best_energy = best.as_ref().expect("set on round 0").0;
+
+        total_hw_energy += response.summary.total_energy;
+        total_hw_time += response.summary.total_time;
+        rounds.push(RoundReport {
+            round,
+            variant: variant_index,
+            jobs: 1,
+            round_energy,
+            best_energy,
+            hw_energy: response.summary.total_energy,
+            hw_time: response.summary.total_time,
+        });
+    }
+
+    let (best_energy, best_spins) = best.expect("rounds >= 1 validated");
+    Ok(CampaignOutcome {
+        rounds,
+        best_energy,
+        best_spins,
+        total_hw_energy,
+        total_hw_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerConfig;
+    use fecim::CimAnnealer;
+
+    /// Max-Cut on an even ring as a QUBO: minimize `−cut`, optimum `−n`.
+    fn ring_qubo(n: usize) -> Vec<Vec<f64>> {
+        let mut q = vec![vec![0.0; n]; n];
+        for u in 0..n {
+            let v = (u + 1) % n;
+            q[u][v] += 2.0;
+            q[u][u] -= 1.0;
+            q[v][v] -= 1.0;
+        }
+        q
+    }
+
+    fn cim_variant(iterations: usize, trials: usize) -> ScheduleVariant {
+        ScheduleVariant::new(SolverSpec::Cim(CimAnnealer::new(iterations).with_flips(1)))
+            .with_trials(trials)
+    }
+
+    #[test]
+    fn rejects_structurally_invalid_specs() {
+        let scheduler = Scheduler::new();
+        let options = SubmitOptions::default();
+        let q = ring_qubo(8);
+        let problem = ProblemSpec::Qubo { q };
+        let portfolio = vec![cim_variant(50, 1)];
+
+        let cases: Vec<CampaignSpec> = vec![
+            CampaignSpec::new(problem.clone(), 0, portfolio.clone()),
+            CampaignSpec::new(problem.clone(), 1, vec![]),
+            CampaignSpec::new(problem.clone(), 1, vec![cim_variant(50, 0)]),
+            CampaignSpec::new(problem.clone(), 1, portfolio.clone())
+                .with_decompose(DecomposePlan::window(4).with_overlap(4)),
+            CampaignSpec::new(problem.clone(), 1, portfolio.clone())
+                .with_decompose(DecomposePlan::window(0)),
+            CampaignSpec::new(
+                ProblemSpec::MaxCut {
+                    vertices: 4,
+                    edges: vec![(0, 1, 1.0)],
+                },
+                1,
+                portfolio.clone(),
+            )
+            .with_decompose(DecomposePlan::window(2)),
+        ];
+        for spec in cases {
+            let err = run_campaign(&scheduler, &spec, &options).unwrap_err();
+            assert!(matches!(err, CampaignError::InvalidSpec(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn whole_problem_campaign_is_monotone_and_finds_the_ring_optimum() {
+        let scheduler = Scheduler::with_config(SchedulerConfig::workers(2));
+        let spec = CampaignSpec::new(
+            ProblemSpec::Qubo { q: ring_qubo(12) },
+            4,
+            vec![cim_variant(400, 2)],
+        )
+        .with_base_seed(7);
+        let outcome = run_campaign(&scheduler, &spec, &SubmitOptions::default()).unwrap();
+        assert_eq!(outcome.rounds.len(), 4);
+        for pair in outcome.rounds.windows(2) {
+            assert!(pair[1].best_energy <= pair[0].best_energy);
+        }
+        // Ring Max-Cut optimum: all 12 edges cut. The QUBO objective is
+        // −cut and the Ising energy equals it exactly (offset included).
+        assert_eq!(outcome.best_energy, -12.0);
+        assert_eq!(
+            outcome.rounds.last().unwrap().best_energy,
+            outcome.best_energy
+        );
+        assert!(outcome.total_hw_time > 0.0);
+    }
+
+    #[test]
+    fn decomposed_campaign_is_monotone_and_solves_the_ring() {
+        let scheduler = Scheduler::with_config(SchedulerConfig::workers(2));
+        let spec = CampaignSpec::new(
+            ProblemSpec::Qubo { q: ring_qubo(16) },
+            5,
+            vec![cim_variant(300, 2)],
+        )
+        .with_decompose(DecomposePlan::window(6).with_overlap(2))
+        .with_base_seed(11);
+        let outcome = run_campaign(&scheduler, &spec, &SubmitOptions::default()).unwrap();
+        assert_eq!(outcome.rounds.len(), 5);
+        assert!(outcome.rounds[0].jobs > 1, "16 vars / window 6 must split");
+        for pair in outcome.rounds.windows(2) {
+            assert!(pair[1].best_energy <= pair[0].best_energy);
+        }
+        // Each round's best matches the exact energy of the best spins.
+        let qubo = Qubo::from_matrix(&ring_qubo(16)).unwrap();
+        let model = qubo.to_ising().unwrap();
+        let energy = model.energy(&SpinVector::from_signs(&outcome.best_spins));
+        assert_eq!(energy, outcome.best_energy);
+        assert!(outcome.best_energy <= -12.0, "got {}", outcome.best_energy);
+    }
+
+    #[test]
+    fn portfolio_variants_rotate_across_rounds() {
+        let scheduler = Scheduler::new();
+        let spec = CampaignSpec::new(
+            ProblemSpec::Qubo { q: ring_qubo(8) },
+            3,
+            vec![cim_variant(100, 1), cim_variant(200, 1)],
+        );
+        let outcome = run_campaign(&scheduler, &spec, &SubmitOptions::default()).unwrap();
+        let variants: Vec<usize> = outcome.rounds.iter().map(|r| r.variant).collect();
+        assert_eq!(variants, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_trajectory() {
+        let spec = CampaignSpec::new(
+            ProblemSpec::Qubo { q: ring_qubo(14) },
+            3,
+            vec![cim_variant(200, 2)],
+        )
+        .with_decompose(DecomposePlan::window(5).with_overlap(1))
+        .with_base_seed(3);
+        let options = SubmitOptions::default();
+        let solo = run_campaign(
+            &Scheduler::with_config(SchedulerConfig::workers(1)),
+            &spec,
+            &options,
+        )
+        .unwrap();
+        let wide = run_campaign(
+            &Scheduler::with_config(SchedulerConfig::workers(8)),
+            &spec,
+            &options,
+        )
+        .unwrap();
+        assert_eq!(solo, wide);
+    }
+
+    #[test]
+    fn campaign_spec_round_trips_through_serde() {
+        let spec = CampaignSpec::new(
+            ProblemSpec::Qubo { q: ring_qubo(4) },
+            2,
+            vec![cim_variant(10, 3)],
+        )
+        .with_decompose(DecomposePlan::window(3).with_overlap(1))
+        .with_base_seed(42);
+        let wire = serde_json::to_string(&spec).unwrap();
+        let back: CampaignSpec = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back, spec);
+    }
+}

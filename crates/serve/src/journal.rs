@@ -217,6 +217,61 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<Vec<JournalRecord>, Journa
     Ok(records)
 }
 
+/// Compact a journal's records: drop every record of *settled*
+/// lifecycles — a [`JournalRecord::Submitted`] closed by a matching
+/// [`JournalRecord::Finalized`] or [`JournalRecord::Superseded`] —
+/// keeping everything else in its original order.
+///
+/// Settlement is tracked per *lifecycle*, not per bare job id: a
+/// journal appended to by successive server runs reuses ids (each run
+/// counts from 1 unless it recovered first), so a `Finalized` must
+/// only erase the records back to its matching `Submitted`, never a
+/// later submission that happens to share the id. Terminal records
+/// with no open lifecycle, like a `CancelRequested` with no pending
+/// submission, are replay no-ops and compact away too.
+///
+/// Replay ([`Scheduler::recover`](crate::Scheduler::recover)) acts only
+/// on submissions without a terminal record, and a settled lifecycle's
+/// records can never influence another job's replay, so recovery from
+/// the compacted journal is **bit-identical** to recovery from the
+/// original. Compaction exists purely to bound the append-only file's
+/// growth; the `fecim-serve journal compact <in> <out>` subcommand
+/// wraps this.
+pub fn compact_records(records: Vec<JournalRecord>) -> Vec<JournalRecord> {
+    use std::collections::{HashMap, HashSet};
+    // `open` maps a job id to its currently-open lifecycle ordinal;
+    // every record is tagged with the lifecycle it belongs to, then the
+    // settled lifecycles are filtered out in one pass.
+    let mut open: HashMap<u64, usize> = HashMap::new();
+    let mut ordinals: HashMap<u64, usize> = HashMap::new();
+    let mut settled: HashSet<(u64, usize)> = HashSet::new();
+    let mut tagged: Vec<(Option<(u64, usize)>, JournalRecord)> = Vec::new();
+    for record in records {
+        let job = record.job();
+        match &record {
+            JournalRecord::Submitted { .. } => {
+                let ordinal = ordinals.entry(job).or_insert(0);
+                *ordinal += 1;
+                open.insert(job, *ordinal);
+                tagged.push((Some((job, *ordinal)), record));
+            }
+            JournalRecord::Finalized { .. } | JournalRecord::Superseded { .. } => {
+                // Settles the open lifecycle (and is dropped with it);
+                // with no open lifecycle it is a replay no-op.
+                if let Some(ordinal) = open.remove(&job) {
+                    settled.insert((job, ordinal));
+                }
+            }
+            _ => tagged.push((open.get(&job).map(|ordinal| (job, *ordinal)), record)),
+        }
+    }
+    tagged
+        .into_iter()
+        .filter(|(tag, _)| !tag.is_some_and(|key| settled.contains(&key)))
+        .map(|(_, record)| record)
+        .collect()
+}
+
 /// A job a crashed run left unfinished, as replayed by
 /// [`Scheduler::recover`](crate::Scheduler::recover).
 #[derive(Debug)]
@@ -258,4 +313,102 @@ pub(crate) fn pending_jobs(
         }
     }
     pending
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fecim::{CimAnnealer, ProblemSpec, SolveRequest, SolverSpec};
+
+    fn submitted(job: u64) -> JournalRecord {
+        JournalRecord::Submitted {
+            job,
+            name: Some(format!("job-{job}")),
+            request: SolveRequest::new(
+                ProblemSpec::MaxCut {
+                    vertices: 4,
+                    edges: vec![(0, 1, 1.0), (1, 2, 1.0)],
+                },
+                SolverSpec::Cim(CimAnnealer::new(10)),
+            ),
+            options: SubmitOptions::default(),
+        }
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            submitted(1),
+            submitted(2),
+            JournalRecord::Started { job: 1 },
+            JournalRecord::TrialDone { job: 1, trial: 0 },
+            JournalRecord::Finalized {
+                job: 1,
+                status: JobStatus::Completed,
+            },
+            submitted(3),
+            JournalRecord::CancelRequested { job: 3 },
+            JournalRecord::Started { job: 2 },
+            JournalRecord::Superseded { job: 2, by: 4 },
+            submitted(4),
+        ]
+    }
+
+    #[test]
+    fn compaction_drops_exactly_the_settled_jobs() {
+        let compacted = compact_records(sample_records());
+        assert!(compacted.iter().all(|r| r.job() != 1 && r.job() != 2));
+        let jobs: Vec<u64> = compacted.iter().map(JournalRecord::job).collect();
+        // Unsettled jobs keep every record, in original order.
+        assert_eq!(jobs, vec![3, 3, 4]);
+        assert!(matches!(
+            compacted[1],
+            JournalRecord::CancelRequested { .. }
+        ));
+    }
+
+    #[test]
+    fn compaction_preserves_the_replay_distillation() {
+        let original = pending_jobs(sample_records());
+        let compacted = pending_jobs(compact_records(sample_records()));
+        assert_eq!(compacted.len(), original.len());
+        for (a, b) in original.iter().zip(&compacted) {
+            assert_eq!(a.0, b.0, "job id");
+            assert_eq!(a.1, b.1, "name");
+            assert_eq!(a.2, b.2, "request");
+            assert_eq!(a.4, b.4, "cancel flag");
+        }
+    }
+
+    #[test]
+    fn compaction_survives_job_id_reuse_across_server_runs() {
+        // A second server run appending to the same journal without
+        // recovering first counts ids from 1 again: the first run's
+        // Finalized{1} must not erase the second run's Submitted{1}.
+        let records = vec![
+            submitted(1),
+            JournalRecord::Finalized {
+                job: 1,
+                status: JobStatus::Completed,
+            },
+            submitted(1),
+            JournalRecord::Started { job: 1 },
+        ];
+        let compacted = compact_records(records.clone());
+        assert_eq!(compacted.len(), 2, "the open second lifecycle survives");
+        assert_eq!(compacted[0], records[2]);
+        assert_eq!(compacted[1], records[3]);
+        assert_eq!(pending_jobs(compacted).len(), 1);
+    }
+
+    #[test]
+    fn compaction_of_a_fully_settled_journal_is_empty() {
+        let records = vec![
+            submitted(7),
+            JournalRecord::Finalized {
+                job: 7,
+                status: JobStatus::Cancelled,
+            },
+        ];
+        assert!(compact_records(records).is_empty());
+    }
 }

@@ -17,16 +17,28 @@
 //!
 //! ```text
 //! {"Submit":{"id":"ring","request":{...SolveRequest...},"options":{"priority":5,"deadline_ms":null,"tags":[]}}}
+//! {"Campaign":{"id":"big","spec":{...CampaignSpec...},"options":{"priority":0,"deadline_ms":null,"tags":[]}}}
 //! {"Cancel":{"id":"ring"}}
 //! {"Status":{"id":"ring"}}
 //! {"Progress":{"id":"ring"}}
 //! ```
+//!
+//! `Campaign` lines run a whole multi-round
+//! [`CampaignSpec`] (warm-started rounds, optional
+//! windowed decomposition) whose sub-jobs go through the same scheduler
+//! queue; the answer is a single `Campaign` response line carrying the
+//! [`CampaignOutcome`]. In the batch transport
+//! campaigns execute *after* every staged `Submit` settles (their rounds
+//! are inherently sequential), in stream order; over TCP they run live,
+//! concurrently with everything else. Campaign ids share the submission
+//! id namespace and cannot be cancelled or queried.
 //!
 //! Terminal output lines mirror [`JobHandle::wait`]; `Status` and
 //! `Progress` answers are point-in-time observations:
 //!
 //! ```text
 //! {"Completed":{"id":"ring","response":{...SolveResponse...}}}
+//! {"Campaign":{"id":"big","outcome":{...CampaignOutcome...}}}
 //! {"Cancelled":{"id":"ring","completed_trials":0,"partial":null}}
 //! {"DeadlineExceeded":{"id":"ring","completed_trials":2,"partial":{...}}}
 //! {"Failed":{"id":"ring","error":"invalid request: ..."}}
@@ -49,6 +61,7 @@ use serde::{Deserialize, Serialize};
 
 use fecim::{SolveRequest, SolveResponse};
 
+use crate::campaign::{run_campaign, CampaignOutcome, CampaignSpec};
 use crate::job::{JobProgress, JobStatus, SchedulerError, SubmitOptions};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 
@@ -65,6 +78,17 @@ pub enum RequestLine {
         /// The job to run.
         request: SolveRequest,
         /// Priority/deadline/tags.
+        options: SubmitOptions,
+    },
+    /// Run a multi-round campaign under a client-chosen id (same
+    /// namespace as `Submit` ids). Every sub-job the campaign submits
+    /// carries `options`. Campaigns cannot be cancelled or queried.
+    Campaign {
+        /// Client-chosen campaign id (must be unique within the stream).
+        id: String,
+        /// The campaign to run.
+        spec: CampaignSpec,
+        /// Priority/deadline/tags of every sub-job.
         options: SubmitOptions,
     },
     /// Cancel a previously submitted id.
@@ -95,6 +119,13 @@ pub enum ResponseLine {
         id: String,
         /// The full response.
         response: SolveResponse,
+    },
+    /// A campaign ran every round.
+    Campaign {
+        /// The client's id.
+        id: String,
+        /// Per-round trajectory and the best solution found.
+        outcome: CampaignOutcome,
     },
     /// The job was cancelled; completed trials are summarized.
     Cancelled {
@@ -154,6 +185,7 @@ impl ResponseLine {
     pub fn id(&self) -> &str {
         match self {
             ResponseLine::Completed { id, .. }
+            | ResponseLine::Campaign { id, .. }
             | ResponseLine::Cancelled { id, .. }
             | ResponseLine::DeadlineExceeded { id, .. }
             | ResponseLine::Failed { id, .. }
@@ -227,6 +259,8 @@ pub struct JsonlSummary {
     pub submitted: usize,
     /// Jobs that completed every trial.
     pub completed: usize,
+    /// Campaigns that ran every round.
+    pub campaigns: usize,
     /// Jobs that ended cancelled.
     pub cancelled: usize,
     /// Jobs stopped by their submit-time deadline.
@@ -259,6 +293,11 @@ pub fn run_jsonl(
     let mut summary = JsonlSummary::default();
     // (id, handle) in submission order; duplicate ids become failures.
     let mut jobs: Vec<(String, Option<crate::JobHandle>)> = Vec::new();
+    // Campaigns are staged too, but execute only after every staged job
+    // settles: their rounds are sequential submit→wait cycles, which
+    // would deadlock a paused scheduler and interleave
+    // non-deterministically with a running one.
+    let mut campaigns: Vec<(String, Option<(CampaignSpec, SubmitOptions)>)> = Vec::new();
     let mut cancels: Vec<String> = Vec::new();
     for (line_no, line) in input.lines().enumerate() {
         let line = line?;
@@ -276,13 +315,24 @@ pub fn run_jsonl(
                 request,
                 options,
             } => {
-                if jobs.iter().any(|(existing, _)| existing == &id) {
+                if jobs.iter().any(|(existing, _)| existing == &id)
+                    || campaigns.iter().any(|(existing, _)| existing == &id)
+                {
                     // Answered by a `Failed` line in submission order.
                     jobs.push((id, None));
                     continue;
                 }
                 let handle = scheduler.submit_named(Some(&id), request, options);
                 jobs.push((id, Some(handle)));
+            }
+            RequestLine::Campaign { id, spec, options } => {
+                if jobs.iter().any(|(existing, _)| existing == &id)
+                    || campaigns.iter().any(|(existing, _)| existing == &id)
+                {
+                    campaigns.push((id, None));
+                    continue;
+                }
+                campaigns.push((id, Some((spec, options))));
             }
             RequestLine::Cancel { id } => cancels.push(id),
             // Point-in-time queries are answered where they stand in
@@ -358,6 +408,34 @@ pub fn run_jsonl(
         };
         write_line(&mut output, &response)?;
     }
+    // Every staged job has settled; now the scheduler is free for the
+    // campaigns' own submit→wait rounds, one campaign at a time in
+    // stream order (fully deterministic at any worker count).
+    for (id, staged) in campaigns {
+        let response = match staged {
+            None => {
+                summary.failed += 1;
+                ResponseLine::Failed {
+                    error: format!("duplicate submission id `{id}`"),
+                    id,
+                }
+            }
+            Some((spec, options)) => match run_campaign(&scheduler, &spec, &options) {
+                Ok(outcome) => {
+                    summary.campaigns += 1;
+                    ResponseLine::Campaign { id, outcome }
+                }
+                Err(e) => {
+                    summary.failed += 1;
+                    ResponseLine::Failed {
+                        id,
+                        error: e.to_string(),
+                    }
+                }
+            },
+        };
+        write_line(&mut output, &response)?;
+    }
     for (id, error) in errors {
         summary.failed += 1;
         write_line(&mut output, &ResponseLine::Failed { id, error })?;
@@ -414,7 +492,8 @@ pub fn terminal_line(
 
 /// Validate a response stream: every line must parse as a
 /// [`ResponseLine`], and no id may *settle* twice — at most one
-/// `Completed`/`Cancelled`/`DeadlineExceeded` line per id — so the CI
+/// `Completed`/`Campaign`/`Cancelled`/`DeadlineExceeded` line per id —
+/// so the CI
 /// smoke catches double-answered jobs, not just syntax errors. Returns
 /// the parsed lines.
 ///
@@ -437,6 +516,7 @@ pub fn check_responses(input: impl BufRead) -> Result<Vec<ResponseLine>, JsonlEr
         if matches!(
             line,
             ResponseLine::Completed { .. }
+                | ResponseLine::Campaign { .. }
                 | ResponseLine::Cancelled { .. }
                 | ResponseLine::DeadlineExceeded { .. }
         ) {
@@ -502,6 +582,12 @@ pub fn check_responses_against(
             RequestLine::Submit { id, .. } => {
                 *expected.entry(id.clone()).or_default() += 1;
                 submitted_so_far.push(id);
+            }
+            // A campaign is answered by exactly one terminal line
+            // (`Campaign` or `Failed`), but its id is not cancellable or
+            // queryable, so it joins neither submitted list.
+            RequestLine::Campaign { id, .. } => {
+                *expected.entry(id.clone()).or_default() += 1;
             }
             // A cancel for a submitted id (anywhere in the stream — the
             // staged transport applies forward cancels) is answered by

@@ -32,6 +32,14 @@
 //! variation seeds follow grid slots, so placement *does* matter — as
 //! it would on real silicon.
 //!
+//! ## Campaigns
+//!
+//! [`run_campaign`] layers multi-round orchestration on top of the
+//! queue: warm-started whole-problem refinement, or qbsolv-style
+//! windowed decomposition ([`CampaignSpec::with_decompose`]) that
+//! solves beyond-grid-capacity QUBOs as concurrent clamped sub-problems
+//! stitched between rounds — deterministic at any worker count.
+//!
 //! ## Transports
 //!
 //! The `fecim-serve` binary speaks the [`jsonl`] protocol over two
@@ -58,6 +66,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 mod grid;
 mod job;
 pub mod journal;
@@ -65,9 +74,13 @@ pub mod jsonl;
 mod scheduler;
 pub mod tcp;
 
+pub use campaign::{
+    run_campaign, CampaignError, CampaignOutcome, CampaignSpec, DecomposePlan, RoundReport,
+    ScheduleVariant,
+};
 pub use grid::LiveGridStats;
 pub use job::{JobHandle, JobProgress, JobStatus, SchedulerError, SubmitOptions};
-pub use journal::{read_journal, JournalError, JournalRecord, RecoveredJob};
+pub use journal::{compact_records, read_journal, JournalError, JournalRecord, RecoveredJob};
 pub use jsonl::{
     check_responses, check_responses_against, run_jsonl, terminal_line, JsonlError, JsonlSummary,
     RequestLine, ResponseLine,

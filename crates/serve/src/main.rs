@@ -7,6 +7,7 @@
 //!                   [--max-open-jobs N]
 //! fecim-serve drive --connect ADDR [FILE]
 //! fecim-serve recover --journal PATH [--workers N] [--grid-stripes N]
+//! fecim-serve journal compact IN OUT
 //! fecim-serve check-responses [FILE] [--requests FILE]
 //! ```
 //!
@@ -19,7 +20,10 @@
 //! server and prints every response line until the server closes the
 //! connection. `recover` replays a journal standalone and prints the
 //! recovered jobs' terminal response lines in original submission
-//! order. `check-responses` re-parses emitted response lines and exits
+//! order. `journal compact` rewrites a journal without the records of
+//! settled jobs — recovery from the compacted file is bit-identical to
+//! recovery from the original, the file is just smaller. `check-responses`
+//! re-parses emitted response lines and exits
 //! nonzero on syntax errors or double-answered ids; with `--requests`
 //! it also flags ids that got no (or a spurious) response.
 
@@ -27,8 +31,8 @@ use std::io::{BufRead, BufReader, Read as _, Write as _};
 use std::time::{Duration, Instant};
 
 use fecim_serve::{
-    check_responses, check_responses_against, run_jsonl, terminal_line, JsonlSummary, Scheduler,
-    SchedulerConfig, TcpServer, TcpServerConfig,
+    check_responses, check_responses_against, compact_records, read_journal, run_jsonl,
+    terminal_line, JsonlSummary, Scheduler, SchedulerConfig, TcpServer, TcpServerConfig,
 };
 
 fn usage() -> ! {
@@ -37,6 +41,7 @@ fn usage() -> ! {
          fecim-serve serve --listen ADDR [--journal PATH] [--workers N] [--grid-stripes N] [--max-open-jobs N]\n       \
          fecim-serve drive --connect ADDR [FILE]\n       \
          fecim-serve recover --journal PATH [--workers N] [--grid-stripes N]\n       \
+         fecim-serve journal compact IN OUT\n       \
          fecim-serve check-responses [FILE] [--requests FILE]"
     );
     std::process::exit(2);
@@ -96,9 +101,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--requests",
 ];
 
-/// The first positional argument after the subcommand: not a flag, not
-/// a flag's value.
-fn positional(args: &[String]) -> Option<&String> {
+/// The positional arguments after the subcommand: not flags, not a
+/// flag's value.
+fn positionals(args: &[String]) -> Vec<&String> {
+    let mut found = Vec::new();
     let mut skip_value = false;
     for a in args.iter().skip(1) {
         if skip_value {
@@ -109,9 +115,14 @@ fn positional(args: &[String]) -> Option<&String> {
             skip_value = VALUE_FLAGS.contains(&a.as_str()) && !a.contains('=');
             continue;
         }
-        return Some(a);
+        found.push(a);
     }
-    None
+    found
+}
+
+/// The first positional argument after the subcommand.
+fn positional(args: &[String]) -> Option<&String> {
+    positionals(args).into_iter().next()
 }
 
 fn open_input(path: Option<&String>) -> Box<dyn BufRead> {
@@ -258,6 +269,49 @@ fn recover(args: &[String]) {
     );
 }
 
+fn journal_compact(args: &[String]) {
+    let arguments = positionals(args);
+    let (input, output) = match arguments.as_slice() {
+        [verb, input, output] if verb.as_str() == "compact" => (input, output),
+        _ => {
+            eprintln!("error: `journal` needs `compact IN OUT`");
+            usage();
+        }
+    };
+    let records = match read_journal(input) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let total = records.len();
+    let compacted = compact_records(records);
+    let kept = compacted.len();
+    let mut file = match std::fs::File::create(output) {
+        Ok(file) => file,
+        Err(e) => {
+            eprintln!("error: cannot create {output}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let write = |file: &mut std::fs::File| -> std::io::Result<()> {
+        for record in &compacted {
+            let json = serde_json::to_string(record).expect("journal records serialize");
+            writeln!(file, "{json}")?;
+        }
+        file.sync_all()
+    };
+    if let Err(e) = write(&mut file) {
+        eprintln!("error: cannot write {output}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "compacted {total} records to {kept} ({} settled-job records dropped)",
+        total - kept
+    );
+}
+
 fn check(args: &[String]) {
     let responses = open_input(positional(args));
     let result = match parse_value(args, "--requests") {
@@ -300,6 +354,7 @@ fn main() {
             drive(&args, &addr);
         }
         Some("recover") => recover(&args),
+        Some("journal") => journal_compact(&args),
         Some("check-responses") => check(&args),
         _ => usage(),
     }

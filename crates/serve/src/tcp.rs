@@ -16,7 +16,13 @@
 //!   line and never enter the queue (the check is serialized across
 //!   connections, so the limit is hard);
 //! * submission ids are unique server-wide — a `Submit` reusing an id
-//!   from ANY connection (ids key the journal) fails deterministically.
+//!   from ANY connection (ids key the journal) fails deterministically;
+//! * a `Campaign` line runs its multi-round spec on a dedicated thread,
+//!   concurrently with everything else on the shared scheduler, and
+//!   answers with one `Campaign` (or `Failed`) line when the last round
+//!   settles. Admission control applies to the campaign line itself at
+//!   arrival; its per-round sub-jobs then enter the queue directly
+//!   (each round keeps at most one window-set in flight).
 //!
 //! A connection's jobs keep running after the client stops sending;
 //! the server half-closes only after every job submitted on that
@@ -33,6 +39,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::campaign;
 use crate::jsonl::{self, JsonlSummary, RequestLine, ResponseLine};
 use crate::scheduler::{lock, Scheduler, SchedulerConfig};
 use crate::JobHandle;
@@ -340,6 +347,58 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
                             send(&writer, &jsonl::terminal_line(id, outcome, &mut tally));
                         })
                         .expect("spawn waiter thread"),
+                );
+            }
+            RequestLine::Campaign { id, spec, options } => {
+                // Same server-wide duplicate + admission discipline as
+                // `Submit`; the id is burned even though campaigns have
+                // no handle (they cannot be cancelled or queried).
+                let mut submitted = lock(&shared.submitted);
+                if submitted.contains(&id) {
+                    drop(submitted);
+                    send(
+                        &writer,
+                        &ResponseLine::Failed {
+                            error: format!("duplicate submission id `{id}`"),
+                            id,
+                        },
+                    );
+                    continue;
+                }
+                if let Some(limit) = shared.max_open_jobs {
+                    let open_jobs = shared.scheduler.open_jobs();
+                    if open_jobs >= limit {
+                        drop(submitted);
+                        send(
+                            &writer,
+                            &ResponseLine::Rejected {
+                                id,
+                                open_jobs,
+                                limit,
+                            },
+                        );
+                        continue;
+                    }
+                }
+                submitted.insert(id.clone());
+                drop(submitted);
+                let writer = Arc::clone(&writer);
+                let shared = Arc::clone(shared);
+                waiters.push(
+                    std::thread::Builder::new()
+                        .name("fecim-serve-campaign".into())
+                        .spawn(move || {
+                            let response =
+                                match campaign::run_campaign(&shared.scheduler, &spec, &options) {
+                                    Ok(outcome) => ResponseLine::Campaign { id, outcome },
+                                    Err(e) => ResponseLine::Failed {
+                                        id,
+                                        error: e.to_string(),
+                                    },
+                                };
+                            send(&writer, &response);
+                        })
+                        .expect("spawn campaign thread"),
                 );
             }
             RequestLine::Cancel { id } => match registry.get(&id) {

@@ -26,13 +26,10 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use proptest::prelude::*;
 
-#[allow(deprecated)]
-use fecim::solve_batched_ensemble;
 use fecim::{
     BackendPlan, CimAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolveResponse,
     SolverSpec,
 };
-use fecim_anneal::Ensemble;
 use fecim_crossbar::{
     BatchRead, BatchedTiledCrossbar, Crossbar, CrossbarConfig, Fidelity, SensingMode, TiledCrossbar,
 };
@@ -287,9 +284,8 @@ fn noisy_batched_session_is_chunk_and_thread_invariant() {
 }
 
 #[test]
-#[allow(deprecated)] // pins the legacy wrapper until it is removed
 fn batched_gset_scale_ensemble_matches_unbatched_solves() {
-    // The solver-level contract at G-set scale: three replicas of an
+    // The batched-backend contract at G-set scale: three replicas of an
     // n = 800 instance share one 256-row-tile grid; every trial's whole
     // Ideal-fidelity trajectory must equal the unbatched tiled run.
     // This test only *reads* the thread count, but its dispatches must
@@ -302,36 +298,41 @@ fn batched_gset_scale_ensemble_matches_unbatched_solves() {
         .generate();
     let problem = graph.to_max_cut();
     let solver = CimAnnealer::new(30).with_flips(2);
-    let ensemble = Ensemble::new(3, 77);
-    let batched = solve_batched_ensemble(
-        &solver,
-        &problem,
-        CrossbarConfig::paper_defaults(),
-        256,
-        &ensemble,
-    )
-    .expect("max-cut encodes");
+    let base_seed = 77u64;
+    let batched = Session::new()
+        .run(
+            &SolveRequest::new(
+                ProblemSpec::from_graph(&graph),
+                SolverSpec::Cim(solver.clone()),
+            )
+            .with_backend(BackendPlan::Batched {
+                tile_rows: 256,
+                instances: 3,
+            })
+            .with_run(RunPlan::Ensemble {
+                trials: 3,
+                base_seed,
+                threads: None,
+            }),
+        )
+        .expect("max-cut encodes");
     assert_eq!(batched.reports.len(), 3);
-    assert_eq!(batched.grid.instances, 3);
-    assert_eq!(batched.grid.grid, (4, 12), "three 4x4 blocks side by side");
-    let unbatched = CimAnnealer::new(30)
-        .with_flips(2)
-        .with_tiled_device_in_loop(CrossbarConfig::paper_defaults(), 256);
-    for (i, seed) in ensemble.seeds().enumerate() {
-        let solo = unbatched.solve(&problem, seed).expect("max-cut encodes");
-        assert_eq!(
-            batched.reports[i].best_energy, solo.best_energy,
-            "trial {i}"
-        );
-        assert_eq!(batched.reports[i].best_spins, solo.best_spins, "trial {i}");
-        assert_eq!(
-            batched.reports[i].run.accepted, solo.run.accepted,
-            "trial {i}"
-        );
+    assert_eq!(batched.grids.len(), 1);
+    let grid = &batched.grids[0];
+    assert_eq!(grid.instances, 3);
+    assert_eq!(grid.grid, (4, 12), "three 4x4 blocks side by side");
+    let unbatched = solver.with_tiled_device_in_loop(CrossbarConfig::paper_defaults(), 256);
+    for (i, report) in batched.reports.iter().enumerate() {
+        let solo = unbatched
+            .solve(&problem, base_seed + i as u64)
+            .expect("max-cut encodes");
+        assert_eq!(report.best_energy, solo.best_energy, "trial {i}");
+        assert_eq!(report.best_spins, solo.best_spins, "trial {i}");
+        assert_eq!(report.run.accepted, solo.run.accepted, "trial {i}");
     }
     // Sharing really happened: one grid, per-replica attribution intact.
-    assert!(batched.grid.concurrent_utilization > 0.0);
-    assert!(batched.grid.serial_time > batched.grid.batch_time);
+    assert!(grid.concurrent_utilization > 0.0);
+    assert!(grid.serial_time > grid.batch_time);
     for report in &batched.reports {
         assert!(report.run.activity.is_some());
         assert!(report.energy.total() > 0.0);

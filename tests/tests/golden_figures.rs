@@ -1,7 +1,8 @@
 //! Golden-regression suite: small deterministic snapshots of the
 //! experiment pipeline (a `fig10_success`-style outcome, a
-//! `table1_summary` row, and a tiled device-accurate probe) committed
-//! under `tests/goldens/` and diffed byte-for-byte against fresh runs.
+//! `table1_summary` row, a tiled device-accurate probe, a scheduler
+//! queue trace, and a decomposed campaign trace) committed under
+//! `tests/goldens/` and diffed byte-for-byte against fresh runs.
 //!
 //! Every quantity here is derived from seeded RNG streams, so on a given
 //! platform any drift means a behavioral change — a future perf PR
@@ -29,7 +30,10 @@ use fecim::{BackendPlan, CimAnnealer, ProblemSpec, RunPlan, Session, SolveReques
 use fecim_crossbar::{CrossbarConfig, Fidelity};
 use fecim_device::VariationConfig;
 use fecim_gset::{GeneratorConfig, GsetFamily};
-use fecim_serve::{Scheduler, SchedulerConfig, SubmitOptions};
+use fecim_serve::{
+    run_campaign, CampaignSpec, DecomposePlan, ScheduleVariant, Scheduler, SchedulerConfig,
+    SubmitOptions,
+};
 
 fn goldens_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens")
@@ -324,6 +328,53 @@ fn queue_sweep_trace_matches_golden() {
             "grid_stripes": 8,
             "jobs": rows,
             "grids": grids,
+        }),
+    );
+}
+
+#[test]
+fn campaign_trace_matches_golden() {
+    // A decomposed campaign on a 2x-over-capacity ring QUBO (24 spins
+    // through a 12-spin grid): pins the whole orchestration layer —
+    // window selection, clamped sub-QUBO extraction, warm starts,
+    // stitching, the per-round energy/hardware trajectory and the
+    // final spins. The campaign contract makes this worker-count
+    // independent, so the golden pins that too (8 workers here, the
+    // committed bytes must match any other count).
+    let n = 24;
+    let mut q = vec![vec![0.0; n]; n];
+    for u in 0..n {
+        let v = (u + 1) % n;
+        q[u][v] += 2.0;
+        q[u][u] -= 1.0;
+        q[v][v] -= 1.0;
+    }
+    let spec = CampaignSpec::new(
+        ProblemSpec::Qubo { q },
+        3,
+        vec![
+            ScheduleVariant::new(SolverSpec::Cim(CimAnnealer::new(120).with_flips(1)))
+                .with_trials(2),
+            ScheduleVariant::new(SolverSpec::Cim(CimAnnealer::new(60).with_flips(1)))
+                .with_trials(1),
+        ],
+    )
+    .with_decompose(DecomposePlan::window(9).with_overlap(2))
+    .with_backend(BackendPlan::Batched {
+        tile_rows: 4,
+        instances: 2,
+    })
+    .with_base_seed(31);
+    let scheduler = Scheduler::with_config(SchedulerConfig::workers(8).with_grid_stripes(3));
+    let outcome =
+        run_campaign(&scheduler, &spec, &SubmitOptions::default()).expect("campaign runs");
+    scheduler.join();
+    check_golden(
+        "campaign_trace",
+        &serde_json::json!({
+            "grid_capacity_spins": 12,
+            "spec": spec,
+            "outcome": outcome,
         }),
     );
 }

@@ -1,14 +1,15 @@
 //! Job-API contract tests: `SolveRequest`/`SolveResponse` round-trip
-//! through JSON, and `Session::run` is bit-identical to every legacy
-//! entry point it subsumes (`Solver::solve`, `normalized_ensemble`,
-//! `solve_batched_ensemble`) in Ideal fidelity — the guarantee that lets
-//! callers migrate to requests without renumbering a single result.
+//! through JSON, and `Session::run` is bit-identical in Ideal fidelity
+//! to the direct `Solver::solve` calls it subsumes — per-trial for
+//! normalized ensembles, and against unbatched tiled solves for the
+//! batched backend — the guarantee that let callers migrate off the
+//! removed `normalized_ensemble` / `solve_batched_ensemble` wrappers
+//! without renumbering a single result.
 
 use fecim::{
     BackendPlan, CimAnnealer, DirectAnnealer, MesaAnnealer, ProblemSpec, RunPlan, Session,
     SessionError, SolveRequest, SolveResponse, Solver, SolverSpec,
 };
-use fecim_anneal::Ensemble;
 use fecim_crossbar::{CrossbarConfig, Fidelity};
 use fecim_gset::{GeneratorConfig, GsetFamily};
 use fecim_ising::MaxCut;
@@ -197,21 +198,27 @@ fn session_device_in_loop_matches_legacy_tiled_solve() {
 }
 
 #[test]
-#[allow(deprecated)] // compares against the legacy wrapper on purpose
-fn session_ensemble_matches_legacy_normalized_ensemble() {
+fn session_normalized_scores_match_per_trial_solves() {
     let graph = gset_graph(40, 0xBEEF);
     let problem = graph.to_max_cut();
     let reference = 30.0;
     let trials = 6;
     let base_seed = 91;
     let solver = CimAnnealer::new(200).with_target_energy(-10.0);
-    let legacy = fecim::normalized_ensemble(
-        &solver,
-        &problem,
-        reference,
-        &Ensemble::new(trials, base_seed),
-    )
-    .expect("max-cut encodes");
+    // What the removed `normalized_ensemble` wrapper computed: one
+    // `Solver::solve` per seed, `objective / reference`, and the first
+    // target-hit iteration.
+    let expected: Vec<(f64, Option<usize>)> = (0..trials as u64)
+        .map(|i| {
+            let report = solver
+                .solve(&problem, base_seed + i)
+                .expect("max-cut encodes");
+            (
+                report.objective.expect("max-cut has an objective") / reference,
+                report.run.first_target_hit,
+            )
+        })
+        .collect();
     let response = Session::new()
         .run(
             &SolveRequest::new(ProblemSpec::from_graph(&graph), SolverSpec::Cim(solver))
@@ -225,52 +232,53 @@ fn session_ensemble_matches_legacy_normalized_ensemble() {
         .expect("max-cut encodes");
     assert_eq!(
         response.normalized_pairs().expect("reference set"),
-        legacy,
+        expected,
         "normalized scores and target hits must be bit-identical"
     );
 }
 
 #[test]
-#[allow(deprecated)] // compares against the legacy wrapper on purpose
-fn session_batched_matches_legacy_solve_batched_ensemble() {
+fn session_batched_backend_matches_unbatched_tiled_solves() {
     let graph = gset_graph(32, 0xCAFE);
     let problem = graph.to_max_cut();
     let solver = CimAnnealer::new(80).with_flips(1);
     let trials = 3;
-    let legacy = fecim::solve_batched_ensemble(
-        &solver,
-        &problem,
-        CrossbarConfig::paper_defaults(),
-        8,
-        &Ensemble::new(trials, 55),
-    )
-    .expect("max-cut encodes");
+    let base_seed = 55u64;
     let response = Session::new()
         .run(
-            &SolveRequest::new(ProblemSpec::from_graph(&graph), SolverSpec::Cim(solver))
-                .with_backend(BackendPlan::Batched {
-                    tile_rows: 8,
-                    instances: trials,
-                })
-                .with_run(RunPlan::Ensemble {
-                    trials,
-                    base_seed: 55,
-                    threads: None,
-                }),
+            &SolveRequest::new(
+                ProblemSpec::from_graph(&graph),
+                SolverSpec::Cim(solver.clone()),
+            )
+            .with_backend(BackendPlan::Batched {
+                tile_rows: 8,
+                instances: trials,
+            })
+            .with_run(RunPlan::Ensemble {
+                trials,
+                base_seed,
+                threads: None,
+            }),
         )
         .expect("max-cut encodes");
-    assert_eq!(response.reports.len(), legacy.reports.len());
-    for (got, want) in response.reports.iter().zip(&legacy.reports) {
-        assert_eq!(got.best_energy, want.best_energy);
-        assert_eq!(got.best_spins, want.best_spins);
-        assert_eq!(got.run.accepted, want.run.accepted);
-        assert_eq!(got.energy.total(), want.energy.total());
+    // Trial for trial, the shared grid must reproduce the unbatched
+    // tiled device-in-the-loop run (the Ideal-fidelity contract the
+    // removed `solve_batched_ensemble` wrapper pinned).
+    let unbatched = solver.with_tiled_device_in_loop(CrossbarConfig::paper_defaults(), 8);
+    assert_eq!(response.reports.len(), trials);
+    for (i, got) in response.reports.iter().enumerate() {
+        let want = unbatched
+            .solve(&problem, base_seed + i as u64)
+            .expect("max-cut encodes");
+        assert_eq!(got.best_energy, want.best_energy, "trial {i}");
+        assert_eq!(got.best_spins, want.best_spins, "trial {i}");
+        assert_eq!(got.run.accepted, want.run.accepted, "trial {i}");
+        assert!(got.energy.total() > 0.0);
     }
+    // Sharing really happened: one grid, concurrent latency advantage.
     assert_eq!(response.grids.len(), 1);
-    assert_eq!(response.grids[0].instances, legacy.grid.instances);
-    assert_eq!(response.grids[0].grid, legacy.grid.grid);
-    assert_eq!(response.grids[0].total_energy, legacy.grid.total_energy);
-    assert_eq!(response.grids[0].batch_time, legacy.grid.batch_time);
+    assert_eq!(response.grids[0].instances, trials);
+    assert!(response.grids[0].serial_time > response.grids[0].batch_time);
 }
 
 #[test]
