@@ -18,7 +18,13 @@
 //! for solving a 2×-over-capacity instance end-to-end.
 //!
 //! `cargo run --release -p fecim-bench --bin campaign_sweep \
-//!     [--scale quick|paper]`
+//!     [--scale quick|paper] [--repeat N] [--noisy]`
+//!
+//! `--noisy` programs the decomposed arm's grid in
+//! `Fidelity::DeviceAccurate` with typical variation and read noise
+//! (the monolithic software reference stays exact). `--repeat N` runs
+//! every size N times with distinct base seeds — the same spelling the
+//! other sweeps use (see `queue_sweep`).
 
 use fecim::{BackendPlan, CimAnnealer, ProblemSpec, SolverSpec};
 use fecim_gset::{GeneratorConfig, GsetFamily};
@@ -55,6 +61,7 @@ fn run_size(
     trials: usize,
     workers: usize,
     seed: u64,
+    noisy: bool,
 ) -> Arms {
     let graph = GeneratorConfig::new(n, seed)
         .with_family(GsetFamily::RandomUnit)
@@ -81,8 +88,14 @@ fn run_size(
         instances: 2,
     })
     .with_base_seed(seed);
-    let scheduler =
-        Scheduler::with_config(SchedulerConfig::workers(workers).with_grid_stripes(stripes));
+    let mut config = SchedulerConfig::workers(workers).with_grid_stripes(stripes);
+    if noisy {
+        let mut cfg = fecim_crossbar::CrossbarConfig::paper_defaults();
+        cfg.fidelity = fecim_crossbar::Fidelity::DeviceAccurate;
+        cfg.variation = fecim_device::VariationConfig::typical();
+        config = config.with_crossbar(cfg);
+    }
+    let scheduler = Scheduler::with_config(config);
     let decomposed = run_campaign(&scheduler, &spec, &SubmitOptions::default())
         .unwrap_or_else(|e| fecim_bench::fail_exit(&e));
     scheduler.join();
@@ -117,6 +130,8 @@ fn run_size(
 
 fn main() {
     let scale = fecim_bench::parse_scale();
+    let noisy = fecim_bench::parse_noisy();
+    let repeat = fecim_bench::parse_repeat();
     let (stripes, tile_rows, multipliers, rounds, iterations, trials): (
         usize,
         usize,
@@ -130,68 +145,76 @@ fn main() {
     };
     let capacity = stripes * tile_rows;
     let workers = 4;
+    let mode = if noisy { "device-noisy" } else { "ideal" };
 
     println!(
-        "=== campaign_sweep: windowed decomposition vs monolithic at equal hw time \
-         (grid capacity {capacity} spins) ===\n"
+        "=== campaign_sweep ({mode}, ×{repeat}): windowed decomposition vs monolithic at equal \
+         hw time (grid capacity {capacity} spins) ===\n"
     );
     println!(
-        "{:>6} {:>6} {:>6} {:>12} {:>12} {:>12} {:>12} {:>8}",
-        "spins", "cap×", "jobs/r", "camp E", "camp hw(s)", "mono E", "mono hw(s)", "gap%"
+        "{:>6} {:>6} {:>6} {:>6} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "spins", "cap×", "copy", "jobs/r", "camp E", "camp hw(s)", "mono E", "mono hw(s)", "gap%"
     );
 
     let mut artifact_rows = Vec::new();
     for &multiplier in multipliers {
-        let n = multiplier * capacity;
-        let arms = run_size(
-            n, stripes, tile_rows, rounds, iterations, trials, workers, 17,
-        );
-        let campaign = &arms.decomposed;
-
-        assert_eq!(campaign.rounds.len(), rounds);
-        for pair in campaign.rounds.windows(2) {
-            assert!(
-                pair[1].best_energy <= pair[0].best_energy,
-                "trajectory must be monotone at n={n}"
+        for copy in 0..repeat {
+            let n = multiplier * capacity;
+            let seed = 17 + 1000 * copy as u64;
+            let arms = run_size(
+                n, stripes, tile_rows, rounds, iterations, trials, workers, seed, noisy,
             );
-        }
-        assert!(
-            campaign.best_energy < campaign.rounds[0].round_energy || campaign.best_energy < 0.0,
-            "campaign must improve on round 0 at n={n}"
-        );
-        if multiplier > 1 {
-            // The headline claim: this instance cannot be admitted whole
-            // (it needs more stripes than the grid has), yet it solved.
-            assert!(
-                n.div_ceil(tile_rows) > stripes,
-                "n={n} should exceed the grid's stripe capacity"
-            );
-        }
+            let campaign = &arms.decomposed;
 
-        let gap = 100.0 * (campaign.best_energy - arms.monolithic.best_energy)
-            / arms.monolithic.best_energy.abs().max(1e-12);
-        println!(
-            "{:>6} {:>6} {:>6} {:>12.1} {:>12.3e} {:>12.1} {:>12.3e} {:>8.2}",
-            n,
-            multiplier,
-            arms.jobs_per_round,
-            campaign.best_energy,
-            campaign.total_hw_time,
-            arms.monolithic.best_energy,
-            arms.monolithic.total_hw_time,
-            gap
-        );
-        artifact_rows.push(serde_json::json!({
-            "spins": n,
-            "capacity_multiplier": multiplier,
-            "jobs_per_round": arms.jobs_per_round,
-            "campaign_best_energy": campaign.best_energy,
-            "campaign_hw_time": campaign.total_hw_time,
-            "campaign_trajectory": campaign.rounds.iter().map(|r| r.best_energy).collect::<Vec<_>>(),
-            "monolithic_best_energy": arms.monolithic.best_energy,
-            "monolithic_hw_time": arms.monolithic.total_hw_time,
-            "energy_gap_percent": gap,
-        }));
+            assert_eq!(campaign.rounds.len(), rounds);
+            for pair in campaign.rounds.windows(2) {
+                assert!(
+                    pair[1].best_energy <= pair[0].best_energy,
+                    "trajectory must be monotone at n={n}"
+                );
+            }
+            assert!(
+                campaign.best_energy < campaign.rounds[0].round_energy
+                    || campaign.best_energy < 0.0,
+                "campaign must improve on round 0 at n={n}"
+            );
+            if multiplier > 1 {
+                // The headline claim: this instance cannot be admitted whole
+                // (it needs more stripes than the grid has), yet it solved.
+                assert!(
+                    n.div_ceil(tile_rows) > stripes,
+                    "n={n} should exceed the grid's stripe capacity"
+                );
+            }
+
+            let gap = 100.0 * (campaign.best_energy - arms.monolithic.best_energy)
+                / arms.monolithic.best_energy.abs().max(1e-12);
+            println!(
+                "{:>6} {:>6} {:>6} {:>6} {:>12.1} {:>12.3e} {:>12.1} {:>12.3e} {:>8.2}",
+                n,
+                multiplier,
+                copy,
+                arms.jobs_per_round,
+                campaign.best_energy,
+                campaign.total_hw_time,
+                arms.monolithic.best_energy,
+                arms.monolithic.total_hw_time,
+                gap
+            );
+            artifact_rows.push(serde_json::json!({
+                "spins": n,
+                "capacity_multiplier": multiplier,
+                "copy": copy,
+                "base_seed": seed,
+                "jobs_per_round": arms.jobs_per_round,
+                "campaign_best_energy": campaign.best_energy,
+                "campaign_hw_time": campaign.total_hw_time,
+                "campaign_trajectory": campaign.rounds.iter().map(|r| r.best_energy).collect::<Vec<_>>(),
+                "monolithic_best_energy": arms.monolithic.best_energy,
+                "monolithic_hw_time": arms.monolithic.total_hw_time,
+                "energy_gap_percent": gap,
+            }));
+        }
     }
 
     println!(
@@ -202,6 +225,8 @@ fn main() {
         "campaign_sweep",
         &serde_json::json!({
             "scale": format!("{scale:?}"),
+            "mode": mode,
+            "repeat": repeat,
             "grid_capacity_spins": capacity,
             "rows": artifact_rows,
         }),

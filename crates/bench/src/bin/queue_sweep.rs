@@ -164,18 +164,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let workers_list =
         fecim_bench::workers_from_args(&args).unwrap_or_else(|msg| fecim_bench::usage_exit(&msg));
-    let noisy = fecim_bench::has_flag("--noisy");
-    let repeat = args
-        .iter()
-        .position(|a| a == "--repeat")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| {
-            v.parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| fecim_bench::usage_exit("--repeat needs a positive integer"))
-        })
-        .unwrap_or(1);
+    let noisy = fecim_bench::parse_noisy();
+    let repeat = fecim_bench::parse_repeat();
     let mode = if noisy { "device-noisy" } else { "ideal" };
 
     println!(

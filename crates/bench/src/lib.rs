@@ -176,6 +176,45 @@ pub fn workers_from_args(args: &[String]) -> Result<Vec<usize>, String> {
     Ok(vec![1, 2])
 }
 
+/// Parse `--repeat N` (or `--repeat=N`) from an argument list: how many
+/// times a sweep's workload is offered (distinct seeds per copy).
+/// Defaults to 1.
+///
+/// # Errors
+///
+/// Returns a usage message on a missing or non-positive value.
+pub fn repeat_from_args(args: &[String]) -> Result<usize, String> {
+    let parse = |v: Option<&str>| -> Result<usize, String> {
+        match v.and_then(|s| s.parse::<usize>().ok()) {
+            Some(n) if n > 0 => Ok(n),
+            _ => Err(format!("usage: --repeat <positive integer> (got {v:?})")),
+        }
+    };
+    for (i, a) in args.iter().enumerate() {
+        if a == "--repeat" {
+            return parse(args.get(i + 1).map(String::as_str));
+        }
+        if let Some(rest) = a.strip_prefix("--repeat=") {
+            return parse(Some(rest));
+        }
+    }
+    Ok(1)
+}
+
+/// Parse `--repeat N` from `std::env::args`; prints usage to stderr and
+/// exits with status 2 on a bad value.
+pub fn parse_repeat() -> usize {
+    repeat_from_args(&std::env::args().collect::<Vec<_>>())
+        .unwrap_or_else(|usage| usage_exit(&usage))
+}
+
+/// `true` when `--noisy` is present: program every simulated grid in
+/// `Fidelity::DeviceAccurate` with typical variation and read noise.
+/// The shared spelling keeps the sweeps' usage strings consistent.
+pub fn parse_noisy() -> bool {
+    has_flag("--noisy")
+}
+
 /// Render an ASCII bar series `(x, y)` for terminal figures.
 pub fn render_series(name: &str, series: &[(f64, f64)]) -> String {
     let mut out = String::new();
@@ -282,5 +321,22 @@ mod tests {
             let err = batch_sizes_from_args(&bad).expect_err("usage error");
             assert!(err.contains("usage: --batch-sizes"), "{err}");
         }
+        for bad in [
+            args(&["bin", "--repeat"]),
+            args(&["bin", "--repeat", "0"]),
+            args(&["bin", "--repeat=lots"]),
+        ] {
+            let err = repeat_from_args(&bad).expect_err("usage error");
+            assert!(err.contains("usage: --repeat"), "{err}");
+        }
+    }
+
+    #[test]
+    fn repeat_parses_both_spellings_and_defaults_to_one() {
+        assert_eq!(repeat_from_args(&args(&["bin"])), Ok(1));
+        assert_eq!(repeat_from_args(&args(&["bin", "--repeat", "3"])), Ok(3));
+        assert_eq!(repeat_from_args(&args(&["bin", "--repeat=7"])), Ok(7));
+        // No --noisy in the test harness args → ideal fidelity.
+        assert!(!parse_noisy());
     }
 }

@@ -26,13 +26,44 @@ use serde::{Deserialize, Serialize};
 use fecim_anneal::BatchedBackend;
 use fecim_anneal::Ensemble;
 use fecim_crossbar::{BatchInstance, BatchedTiledCrossbar, CrossbarConfig};
-use fecim_hwcost::{energy_of, time_of, AnnealerKind, CostModel, ExpUnit};
+use fecim_hwcost::{energy_of, time_of, CostModel, ExpUnit};
 #[cfg(test)]
 use fecim_ising::IsingError;
 use fecim_ising::{CopProblem, Coupling, IsingModel, SpinVector};
 
 use crate::annealer::{CimAnnealer, SolveReport};
-use crate::solver::INIT_SEED_SALT;
+use crate::solver::{Solver, INIT_SEED_SALT};
+
+/// A solver that can anneal one replica against a shared-grid instance
+/// handle — the hook that lets the batched route serve both the CiM
+/// in-situ annealer (incremental-E sensing through a [`BatchedBackend`])
+/// and the SB family (full-vector MVM reads on the same grid block)
+/// through one code path.
+pub(crate) trait BatchedSolve: Solver {
+    /// Run one trial against the instance's grid block. The handle has
+    /// already been reseeded for the trial; `initial` is the embedded
+    /// start configuration.
+    fn anneal_batched(
+        &self,
+        coupling: &fecim_ising::CsrCoupling,
+        initial: SpinVector,
+        handle: BatchInstance,
+        seed: u64,
+    ) -> fecim_anneal::RunResult;
+}
+
+impl BatchedSolve for CimAnnealer {
+    fn anneal_batched(
+        &self,
+        coupling: &fecim_ising::CsrCoupling,
+        initial: SpinVector,
+        handle: BatchInstance,
+        seed: u64,
+    ) -> fecim_anneal::RunResult {
+        let mut backend = BatchedBackend::new(coupling, initial, handle);
+        self.anneal_with_backend(coupling, &mut backend, seed)
+    }
+}
 
 /// Grid-level summary of one batched ensemble solve.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -92,7 +123,7 @@ pub struct BatchedEnsembleOutcome {
 /// Panics if `ensemble` plans zero trials or `tile_rows == 0`.
 #[cfg(test)] // production callers go through `Session`'s prepared route
 pub(crate) fn batched_ensemble(
-    solver: &CimAnnealer,
+    solver: &dyn BatchedSolve,
     problem: &(dyn CopProblem + Sync),
     config: CrossbarConfig,
     tile_rows: usize,
@@ -111,7 +142,7 @@ pub(crate) fn batched_ensemble(
 /// chunk of the run plan — no re-encoding per chunk.
 #[allow(clippy::too_many_arguments)] // pub(crate) plumbing shared by two call sites
 pub(crate) fn batched_ensemble_prepared(
-    solver: &CimAnnealer,
+    solver: &dyn BatchedSolve,
     problem: &(dyn CopProblem + Sync),
     model: &IsingModel,
     quadratic: &IsingModel,
@@ -191,7 +222,7 @@ pub(crate) fn batched_ensemble_prepared(
 /// regardless of who else shares the grid.
 #[allow(clippy::too_many_arguments)] // pub(crate) plumbing shared by two call sites
 pub(crate) fn batched_trial_report(
-    solver: &CimAnnealer,
+    solver: &dyn BatchedSolve,
     problem: &dyn CopProblem,
     model: &IsingModel,
     quadratic: &IsingModel,
@@ -216,8 +247,7 @@ pub(crate) fn batched_trial_report(
             SpinVector::random(coupling.dimension(), &mut rng)
         }
     };
-    let mut backend = BatchedBackend::new(coupling, initial, handle);
-    let run = solver.anneal_with_backend(coupling, &mut backend, seed);
+    let run = solver.anneal_batched(coupling, initial, handle, seed);
 
     let spins = if model.is_quadratic_only() {
         run.best_spins.clone()
@@ -232,7 +262,7 @@ pub(crate) fn batched_trial_report(
     let energy = energy_of(&stats, cost_model, ExpUnit::Asic);
     let time = time_of(&stats, cost_model, ExpUnit::Asic);
     SolveReport {
-        kind: AnnealerKind::InSitu,
+        kind: solver.kind(),
         best_energy: run.best_energy,
         objective: Some(objective),
         feasible,

@@ -15,6 +15,8 @@
 //! * [`fecim_crossbar`] — the CiM array simulator;
 //! * [`fecim_hwcost`] — 22 nm energy/latency accounting;
 //! * [`fecim_anneal`] — the annealing engines;
+//! * [`fecim_sb`] — the simulated-bifurcation (bSB/dSB) engines on the
+//!   crossbar's full-vector MVM read path;
 //! * this crate — the user-facing job API, solvers and the paper's
 //!   experiments.
 //!
@@ -107,6 +109,7 @@ pub mod experiment;
 mod mesa_solver;
 pub mod report;
 mod request;
+mod sb_solver;
 mod session;
 mod solver;
 
@@ -119,6 +122,7 @@ pub use experiment::{
 };
 pub use mesa_solver::MesaAnnealer;
 pub use request::{BackendPlan, ProblemSpec, RunPlan, SolveRequest, SolverSpec};
+pub use sb_solver::SbAnnealer;
 pub use session::{NormalizedTrial, PreparedJob, RunSummary, Session, SessionError, SolveResponse};
 pub use solver::Solver;
 
@@ -128,3 +132,4 @@ pub use fecim_device as device;
 pub use fecim_gset as gset;
 pub use fecim_hwcost as hwcost;
 pub use fecim_ising as ising;
+pub use fecim_sb as sb;

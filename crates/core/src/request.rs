@@ -19,6 +19,7 @@ use fecim_ising::{CopProblem, GraphColoring, IsingError, Knapsack, MaxCut, Qubo,
 use crate::annealer::CimAnnealer;
 use crate::baselines::DirectAnnealer;
 use crate::mesa_solver::MesaAnnealer;
+use crate::sb_solver::SbAnnealer;
 
 /// A serializable description of the combinatorial problem to solve.
 ///
@@ -128,6 +129,9 @@ pub enum SolverSpec {
     /// The MESA multi-epoch baseline (software schedule on direct-E
     /// hardware; analytic backend only).
     Mesa(MesaAnnealer),
+    /// The simulated-bifurcation family (bSB/dSB) on the same crossbar:
+    /// one full-vector MVM read per step instead of per-flip sensing.
+    Sb(SbAnnealer),
 }
 
 impl SolverSpec {
@@ -141,6 +145,10 @@ impl SolverSpec {
                 _ => "CiM/ASIC direct-E baseline",
             },
             SolverSpec::Mesa(_) => "MESA multi-epoch baseline",
+            SolverSpec::Sb(s) => match s.variant() {
+                fecim_sb::SbVariant::Ballistic => "simulated bifurcation (bSB)",
+                fecim_sb::SbVariant::Discrete => "simulated bifurcation (dSB)",
+            },
         }
     }
 }
@@ -170,8 +178,8 @@ pub enum BackendPlan {
     },
     /// Shared-grid batching: pack up to `instances` ensemble replicas
     /// block-diagonally onto ONE physical tile grid and anneal them
-    /// concurrently on disjoint ADC banks (CiM in-situ solver only).
-    /// Ensembles larger than `instances` run as successive grids.
+    /// concurrently on disjoint ADC banks (CiM in-situ and SB solvers
+    /// only). Ensembles larger than `instances` run as successive grids.
     Batched {
         /// Physical tile height of every replica's block.
         tile_rows: usize,
@@ -504,5 +512,9 @@ mod tests {
         assert_eq!(SolverSpec::Direct(fpga.clone()).name(), Solver::name(&fpga));
         let mesa = MesaAnnealer::new(10);
         assert_eq!(SolverSpec::Mesa(mesa).name(), Solver::name(&mesa));
+        let bsb = SbAnnealer::ballistic(10);
+        assert_eq!(SolverSpec::Sb(bsb.clone()).name(), Solver::name(&bsb));
+        let dsb = SbAnnealer::discrete(10);
+        assert_eq!(SolverSpec::Sb(dsb.clone()).name(), Solver::name(&dsb));
     }
 }

@@ -1,0 +1,469 @@
+//! The simulated-bifurcation solver family (bSB/dSB) on the FeCIM
+//! crossbar: the `fecim-sb` engine wrapped behind the same builder-style
+//! [`Solver`] surface as the annealers, so sessions, schedulers and
+//! campaigns accept SB jobs with zero transport changes.
+
+use serde::{Deserialize, Serialize};
+
+use fecim_anneal::RunResult;
+use fecim_crossbar::{BatchInstance, Crossbar, CrossbarConfig, TiledCrossbar};
+use fecim_hwcost::{AnnealerKind, CostModel, EnergyReport, IterationProfile, TimeReport};
+use fecim_ising::{CopProblem, CsrCoupling, IsingError, IsingModel, SpinVector};
+use fecim_sb::{DeviceMvm, ExactMvm, PressureSchedule, SbEngine, SbVariant};
+
+use crate::annealer::SolveReport;
+use crate::solver::Solver;
+
+/// Default input-DAC resolution of the ballistic variant's bit-serial
+/// continuous drive (matches the array's 4-bit weight quantization).
+const DEFAULT_IN_BITS: u8 = 4;
+
+/// Configuration of the simulated-bifurcation solver (bSB/dSB).
+///
+/// Each SB step performs one full-vector coupling MVM through the
+/// crossbar read path instead of the annealers' per-flip incremental-E
+/// sense: the ballistic variant drives the continuous positions through
+/// an `in_bits`-pass bit-serial DAC decomposition, the discrete variant
+/// reads one sign vector per step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SbAnnealer {
+    variant: SbVariant,
+    steps: usize,
+    dt: f64,
+    pressure_schedule: PressureSchedule,
+    coupling_strength: Option<f64>,
+    in_bits: u8,
+    device_in_loop: Option<CrossbarConfig>,
+    tile_rows: Option<usize>,
+    trace_every: Option<usize>,
+    target_energy: Option<f64>,
+    quant_bits: u8,
+    mux_ratio: usize,
+}
+
+impl SbAnnealer {
+    /// An SB solver with the engine defaults: `dt = 0.25`, a linear
+    /// pressure ramp to `1.0`, problem-adapted coupling strength, 4-bit
+    /// input DAC, software-exact MVM (set
+    /// [`SbAnnealer::with_device_in_loop`] for crossbar-in-the-loop
+    /// simulation).
+    pub fn new(variant: SbVariant, steps: usize) -> SbAnnealer {
+        SbAnnealer {
+            variant,
+            steps,
+            dt: 0.25,
+            pressure_schedule: PressureSchedule::linear(),
+            coupling_strength: None,
+            in_bits: DEFAULT_IN_BITS,
+            device_in_loop: None,
+            tile_rows: None,
+            trace_every: None,
+            target_energy: None,
+            quant_bits: crate::solver::DEFAULT_QUANT_BITS,
+            mux_ratio: crate::solver::DEFAULT_MUX_RATIO,
+        }
+    }
+
+    /// The ballistic variant (`f = J·x`, `in_bits` reads per step).
+    pub fn ballistic(steps: usize) -> SbAnnealer {
+        SbAnnealer::new(SbVariant::Ballistic, steps)
+    }
+
+    /// The discrete variant (`f = J·sign(x)`, one read per step).
+    pub fn discrete(steps: usize) -> SbAnnealer {
+        SbAnnealer::new(SbVariant::Discrete, steps)
+    }
+
+    /// Override the integration time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not finite and strictly positive.
+    pub fn with_dt(mut self, dt: f64) -> SbAnnealer {
+        assert!(dt.is_finite() && dt > 0.0, "dt must be finite and positive");
+        self.dt = dt;
+        self
+    }
+
+    /// Override the bifurcation-pressure ramp.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the schedule's parameters are invalid (see
+    /// [`PressureSchedule::validate`]).
+    pub fn with_pressure_schedule(mut self, schedule: PressureSchedule) -> SbAnnealer {
+        if let Err(e) = schedule.validate() {
+            panic!("invalid pressure schedule: {e}");
+        }
+        self.pressure_schedule = schedule;
+        self
+    }
+
+    /// Fix the coupling prefactor `c₀` (default: problem-adapted
+    /// [`fecim_sb::suggest_coupling_strength`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c0` is not finite and strictly positive.
+    pub fn with_coupling_strength(mut self, c0: f64) -> SbAnnealer {
+        assert!(
+            c0.is_finite() && c0 > 0.0,
+            "coupling strength must be finite and positive"
+        );
+        self.coupling_strength = Some(c0);
+        self
+    }
+
+    /// Override the input-DAC resolution of the ballistic bit-serial
+    /// drive (ignored by the discrete variant's sign reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_bits == 0`.
+    pub fn with_in_bits(mut self, in_bits: u8) -> SbAnnealer {
+        assert!(in_bits > 0, "the input DAC needs at least one bit");
+        self.in_bits = in_bits;
+        self
+    }
+
+    /// Route every coupling MVM through the simulated DG FeFET crossbar
+    /// (quantization, ADC conversion, activity statistics, and — in
+    /// device-accurate fidelity — variation and counter-based read
+    /// noise).
+    pub fn with_device_in_loop(mut self, config: CrossbarConfig) -> SbAnnealer {
+        self.quant_bits = config.quant_bits;
+        self.mux_ratio = config.mux_ratio;
+        self.device_in_loop = Some(config);
+        self
+    }
+
+    /// Route every coupling MVM through the *tiled* array composition
+    /// (fixed-size `tile_rows`-row tiles — how beyond-array-size
+    /// instances run device-in-the-loop). In Ideal fidelity the tiled
+    /// read is bit-identical to the monolithic one, so the whole SB
+    /// trajectory is placement-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_rows == 0`.
+    pub fn with_tiled_device_in_loop(
+        mut self,
+        config: CrossbarConfig,
+        tile_rows: usize,
+    ) -> SbAnnealer {
+        assert!(tile_rows > 0, "tile_rows must be positive");
+        self.tile_rows = Some(tile_rows);
+        self.with_device_in_loop(config)
+    }
+
+    /// Strip any device backend and restore the software-exact defaults
+    /// — the [`Session`](crate::Session) hook that makes the request's
+    /// `BackendPlan` authoritative over knobs already on the solver.
+    pub(crate) fn with_analytic_backend(mut self) -> SbAnnealer {
+        self.device_in_loop = None;
+        self.tile_rows = None;
+        self.quant_bits = crate::solver::DEFAULT_QUANT_BITS;
+        self.mux_ratio = crate::solver::DEFAULT_MUX_RATIO;
+        self
+    }
+
+    /// Record a trace point every `every` steps.
+    pub fn with_trace(mut self, every: usize) -> SbAnnealer {
+        self.trace_every = Some(every.max(1));
+        self
+    }
+
+    /// Record the first step whose best Ising energy reaches `target`
+    /// (the time-to-solution metric); the result appears as
+    /// `run.first_target_hit`.
+    pub fn with_target_energy(mut self, target: f64) -> SbAnnealer {
+        self.target_energy = Some(target);
+        self
+    }
+
+    /// Which update variant this solver runs.
+    pub fn variant(&self) -> SbVariant {
+        self.variant
+    }
+
+    /// Symplectic Euler steps per run.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Full-array reads one SB step issues on the device path: `in_bits`
+    /// bit-serial planes for the ballistic drive, one sign read for the
+    /// discrete drive.
+    pub fn reads_per_step(&self) -> u64 {
+        match self.variant {
+            SbVariant::Ballistic => self.in_bits as u64,
+            SbVariant::Discrete => 1,
+        }
+    }
+
+    /// Check a (possibly wire-deserialized) configuration the builders
+    /// would have rejected: the builder panics never run for JSON
+    /// payloads, so [`Session::prepare`](crate::Session::prepare) calls
+    /// this instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when `steps` is zero, `dt` is not finite
+    /// and positive, the pressure schedule is invalid, the input DAC has
+    /// zero bits, or a fixed coupling strength is not finite and
+    /// positive. (Zero-step warm-start echoes remain an engine-level
+    /// contract — [`fecim_sb::SbEngine::run`] supports them — but a
+    /// *request* for zero SB steps is a misconfiguration.)
+    pub fn validate(&self) -> Result<(), String> {
+        if self.steps == 0 {
+            return Err("SB solver needs at least one step".to_string());
+        }
+        if !self.dt.is_finite() || self.dt <= 0.0 {
+            return Err(format!(
+                "SB time step must be finite and positive (got {})",
+                self.dt
+            ));
+        }
+        self.pressure_schedule.validate()?;
+        if self.in_bits == 0 {
+            return Err("SB input DAC needs at least one bit".to_string());
+        }
+        if let Some(c0) = self.coupling_strength {
+            if !c0.is_finite() || c0 <= 0.0 {
+                return Err(format!(
+                    "SB coupling strength must be finite and positive (got {c0})"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve a COP: transform to Ising, run the SB dynamics, and score
+    /// the solution in the problem's native objective (convenience
+    /// wrapper over the [`Solver`] pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors from the problem's Ising transformation.
+    pub fn solve<P: CopProblem>(&self, problem: &P, seed: u64) -> Result<SolveReport, IsingError> {
+        Solver::solve(self, problem, seed)
+    }
+
+    /// Run the SB dynamics on a raw Ising model and return the run plus
+    /// the best solution projected back to the model's original spins
+    /// (see [`Solver::anneal_model`]).
+    pub fn anneal_model(&self, model: &IsingModel, seed: u64) -> (RunResult, SpinVector) {
+        Solver::anneal_model(self, model, seed)
+    }
+
+    /// The configured `fecim-sb` engine.
+    pub(crate) fn engine(&self) -> SbEngine {
+        let mut engine = SbEngine::new(self.variant, self.steps)
+            .with_dt(self.dt)
+            .with_pressure(self.pressure_schedule);
+        if let Some(c0) = self.coupling_strength {
+            engine = engine.with_coupling_strength(c0);
+        }
+        if let Some(every) = self.trace_every {
+            engine = engine.with_trace(every);
+        }
+        if let Some(target) = self.target_energy {
+            engine = engine.with_target_energy(target);
+        }
+        engine
+    }
+}
+
+impl Solver for SbAnnealer {
+    fn name(&self) -> &str {
+        match self.variant {
+            SbVariant::Ballistic => "simulated bifurcation (bSB)",
+            SbVariant::Discrete => "simulated bifurcation (dSB)",
+        }
+    }
+
+    fn kind(&self) -> AnnealerKind {
+        // SB runs on the same in-situ crossbar hardware; only the read
+        // pattern (full-vector MVM vs per-flip sense) differs, which the
+        // cost model prices separately.
+        AnnealerKind::InSitu
+    }
+
+    fn iterations(&self) -> usize {
+        self.steps
+    }
+
+    fn run_engine(&self, coupling: &CsrCoupling, initial: SpinVector, seed: u64) -> RunResult {
+        let engine = self.engine();
+        match (&self.device_in_loop, self.tile_rows) {
+            (None, _) => {
+                let mut source = ExactMvm::new(coupling);
+                engine.run(coupling, &mut source, &initial, seed)
+            }
+            (Some(xb_config), None) => {
+                let mut source =
+                    DeviceMvm::new(Crossbar::program(coupling, xb_config.clone()), self.in_bits);
+                engine.run(coupling, &mut source, &initial, seed)
+            }
+            (Some(xb_config), Some(tile_rows)) => {
+                let mut source = DeviceMvm::new(
+                    TiledCrossbar::program(coupling, xb_config.clone(), tile_rows),
+                    self.in_bits,
+                );
+                engine.run(coupling, &mut source, &initial, seed)
+            }
+        }
+    }
+
+    fn hardware_report(&self, run: &mut RunResult, spins: usize) -> (EnergyReport, TimeReport) {
+        let cost_model = match self.tile_rows {
+            None => CostModel::paper_22nm(spins, self.quant_bits),
+            Some(tr) => CostModel::paper_22nm_tiled(spins, self.quant_bits, tr),
+        };
+        let profile = IterationProfile {
+            spins,
+            quant_bits: self.quant_bits,
+            // SB updates every spin per step; `flips` has no SB meaning
+            // and only feeds the annealer arms of the profile.
+            flips: 1,
+            mux_ratio: self.mux_ratio,
+            tile_rows: self.tile_rows,
+            batch_instances: 1,
+        };
+        // Prefer measured activity (device-in-loop) over the analytic model.
+        match &run.activity {
+            Some(stats) => (
+                fecim_hwcost::energy_of(stats, &cost_model, fecim_hwcost::ExpUnit::Asic),
+                fecim_hwcost::time_of(stats, &cost_model, fecim_hwcost::ExpUnit::Asic),
+            ),
+            None => (
+                profile.sb_run_energy(&cost_model, run.iterations, self.reads_per_step()),
+                profile.sb_run_time(&cost_model, run.iterations, self.reads_per_step()),
+            ),
+        }
+    }
+}
+
+impl crate::batch::BatchedSolve for SbAnnealer {
+    fn anneal_batched(
+        &self,
+        coupling: &CsrCoupling,
+        initial: SpinVector,
+        handle: BatchInstance,
+        seed: u64,
+    ) -> RunResult {
+        // The grid instance IS the MVM source: SB steps read the
+        // replica's block-diagonal slice of the shared grid, so batched
+        // SB trials are bit-identical to monolithic device runs in Ideal
+        // fidelity (same per-column read, different placement).
+        let mut source = DeviceMvm::new(handle, self.in_bits);
+        self.engine().run(coupling, &mut source, &initial, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fecim_ising::MaxCut;
+
+    fn ring_problem(n: usize) -> MaxCut {
+        MaxCut::new(n, (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect()).unwrap()
+    }
+
+    #[test]
+    fn both_variants_solve_ring_max_cut() {
+        let problem = ring_problem(16);
+        for solver in [SbAnnealer::ballistic(600), SbAnnealer::discrete(600)] {
+            let report = solver.solve(&problem, 11).unwrap();
+            assert_eq!(report.kind, AnnealerKind::InSitu);
+            assert!(report.feasible);
+            let cut = report.objective.unwrap();
+            assert!(cut >= 14.0, "{}: cut={cut}", Solver::name(&solver));
+            assert!(report.energy.total() > 0.0);
+            assert!(report.time.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn device_in_loop_produces_measured_activity() {
+        let problem = ring_problem(12);
+        let solver =
+            SbAnnealer::discrete(200).with_device_in_loop(CrossbarConfig::paper_defaults());
+        let report = solver.solve(&problem, 3).unwrap();
+        let activity = report.run.activity.expect("device runs record stats");
+        assert_eq!(activity.array_ops, 200, "one MVM read per dSB step");
+        assert!(report.energy.total() > 0.0);
+    }
+
+    #[test]
+    fn tiled_device_run_matches_monolithic_bit_for_bit() {
+        let problem = ring_problem(24);
+        for steps in [0usize, 150] {
+            let mono = SbAnnealer::ballistic(steps)
+                .with_device_in_loop(CrossbarConfig::paper_defaults())
+                .solve(&problem, 5)
+                .unwrap();
+            let tiled = SbAnnealer::ballistic(steps)
+                .with_tiled_device_in_loop(CrossbarConfig::paper_defaults(), 8)
+                .solve(&problem, 5)
+                .unwrap();
+            assert_eq!(mono.best_energy, tiled.best_energy, "steps={steps}");
+            assert_eq!(mono.best_spins, tiled.best_spins, "steps={steps}");
+        }
+    }
+
+    #[test]
+    fn handles_problems_with_linear_terms() {
+        // MIS has linear fields, exercising the ancilla embedding.
+        let problem = fecim_ising::MaxIndependentSet::new(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap();
+        let solver = SbAnnealer::ballistic(800);
+        let report = solver.solve(&problem, 5).unwrap();
+        assert!(report.feasible);
+        assert!(report.objective.unwrap() >= 2.0);
+    }
+
+    #[test]
+    fn analytic_cost_model_prices_bsb_reads_above_dsb() {
+        let problem = ring_problem(16);
+        let bsb = SbAnnealer::ballistic(300).solve(&problem, 2).unwrap();
+        let dsb = SbAnnealer::discrete(300).solve(&problem, 2).unwrap();
+        let ratio = bsb.energy.total() / dsb.energy.total();
+        assert!(
+            (ratio - DEFAULT_IN_BITS as f64).abs() < 1e-9,
+            "analytic bSB/dSB energy ratio = in_bits, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn validate_catches_wire_deserialized_misconfigurations() {
+        assert!(SbAnnealer::ballistic(100).validate().is_ok());
+        assert!(
+            SbAnnealer::ballistic(0).validate().is_err(),
+            "zero steps rejected"
+        );
+        let mut bad_dt = SbAnnealer::discrete(10);
+        bad_dt.dt = f64::NAN;
+        assert!(bad_dt.validate().is_err());
+        bad_dt.dt = 0.0;
+        assert!(bad_dt.validate().is_err());
+        let mut bad_schedule = SbAnnealer::discrete(10);
+        bad_schedule.pressure_schedule = PressureSchedule::Linear { end: f64::INFINITY };
+        assert!(bad_schedule.validate().is_err());
+        let mut bad_bits = SbAnnealer::ballistic(10);
+        bad_bits.in_bits = 0;
+        assert!(bad_bits.validate().is_err());
+        let mut bad_c0 = SbAnnealer::ballistic(10);
+        bad_c0.coupling_strength = Some(-1.0);
+        assert!(bad_c0.validate().is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let problem = ring_problem(10);
+        let solver = SbAnnealer::discrete(300);
+        let a = solver.solve(&problem, 77).unwrap();
+        let b = solver.solve(&problem, 77).unwrap();
+        assert_eq!(a.best_energy, b.best_energy);
+        assert_eq!(a.best_spins, b.best_spins);
+    }
+}

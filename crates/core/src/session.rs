@@ -44,8 +44,10 @@ use fecim_ising::{CopProblem, CsrCoupling, IsingError, IsingModel, ObjectiveSens
 
 use fecim_hwcost::CostModel;
 
-use crate::annealer::{CimAnnealer, SolveReport};
-use crate::batch::{batched_ensemble_prepared, batched_trial_report, BatchGridSummary};
+use crate::annealer::SolveReport;
+use crate::batch::{
+    batched_ensemble_prepared, batched_trial_report, BatchGridSummary, BatchedSolve,
+};
 use crate::request::{BackendPlan, RunPlan, SolveRequest, SolverSpec};
 use crate::solver::Solver;
 
@@ -270,7 +272,7 @@ impl Session {
                         ensemble = ensemble.with_max_threads(cap);
                     }
                     let outcome = batched_ensemble_prepared(
-                        solver,
+                        solver.as_ref(),
                         job.problem.as_ref(),
                         model,
                         quadratic,
@@ -309,6 +311,12 @@ impl Session {
         if request.run.threads() == Some(0) {
             return Err(invalid("thread cap must be at least one worker"));
         }
+        if let SolverSpec::Sb(sb) = &request.solver {
+            // Builder panics never run for wire-deserialized payloads;
+            // reject unusable SB parameters (non-finite dt/schedule, …)
+            // here, on every route.
+            sb.validate().map_err(invalid)?;
+        }
         let problem = request.problem.build()?;
         let initial = match &request.initial_spins {
             None => None,
@@ -331,10 +339,14 @@ impl Session {
                 tile_rows,
                 instances,
             } => {
-                let SolverSpec::Cim(solver) = &request.solver else {
-                    return Err(invalid(
-                        "the batched backend supports only the CiM in-situ solver",
-                    ));
+                let solver: Box<dyn BatchedSolve> = match &request.solver {
+                    SolverSpec::Cim(solver) => Box::new(solver.clone().with_analytic_backend()),
+                    SolverSpec::Sb(solver) => Box::new(solver.clone().with_analytic_backend()),
+                    _ => {
+                        return Err(invalid(
+                            "the batched backend supports only the CiM in-situ and SB solvers",
+                        ))
+                    }
                 };
                 if tile_rows == 0 {
                     return Err(invalid("batched backend needs tile_rows > 0"));
@@ -357,7 +369,7 @@ impl Session {
                 let cost_model =
                     CostModel::paper_22nm_tiled(model.dimension(), config.quant_bits, tile_rows);
                 PreparedRoute::Batched {
-                    solver: solver.clone(),
+                    solver,
                     config,
                     tile_rows,
                     instances,
@@ -398,6 +410,7 @@ impl Session {
         match spec {
             SolverSpec::Cim(solver) => self.plan_device_solver(solver.clone(), plan),
             SolverSpec::Direct(solver) => self.plan_device_solver(solver.clone(), plan),
+            SolverSpec::Sb(solver) => self.plan_device_solver(solver.clone(), plan),
             SolverSpec::Mesa(solver) => match plan {
                 BackendPlan::Analytic => Ok(Box::new(*solver)),
                 _ => Err(invalid(
@@ -473,6 +486,18 @@ impl DeviceBackendKnobs for crate::CimAnnealer {
     }
 }
 
+impl DeviceBackendKnobs for crate::SbAnnealer {
+    fn analytic(self) -> Self {
+        self.with_analytic_backend()
+    }
+    fn device_in_loop(self, config: CrossbarConfig) -> Self {
+        self.with_device_in_loop(config)
+    }
+    fn tiled_device_in_loop(self, config: CrossbarConfig, tile_rows: usize) -> Self {
+        self.with_tiled_device_in_loop(config, tile_rows)
+    }
+}
+
 impl DeviceBackendKnobs for crate::DirectAnnealer {
     fn analytic(self) -> Self {
         self.with_analytic_backend()
@@ -508,7 +533,7 @@ enum PreparedRoute {
     /// (chunked grids under [`Session::run`]; live admission under the
     /// `fecim-serve` scheduler).
     Batched {
-        solver: CimAnnealer,
+        solver: Box<dyn BatchedSolve>,
         config: CrossbarConfig,
         tile_rows: usize,
         instances: usize,
@@ -690,7 +715,7 @@ impl PreparedJob {
             ));
         };
         Ok(batched_trial_report(
-            solver,
+            solver.as_ref(),
             self.problem.as_ref(),
             model,
             quadratic,

@@ -45,6 +45,13 @@ pub trait InSituArray {
     /// The conventional direct-E read `σᵀJσ` (see [`Crossbar::vmv`]).
     fn vmv(&mut self, sigma: &[i8]) -> f64;
 
+    /// The full matrix-vector read: drive every row with `σ` and return
+    /// the per-column digital outputs `(Jσ)_j` in coupling units (see
+    /// [`Crossbar::mvm`]). One array read regardless of `n` — the
+    /// synchronous update primitive of the simulated-bifurcation
+    /// engines.
+    fn mvm(&mut self, sigma: &[i8]) -> Vec<f64>;
+
     /// Accumulated hardware activity.
     fn stats(&self) -> &ActivityStats;
 
@@ -329,6 +336,60 @@ impl Crossbar {
         self.read_columns(sigma, None, &active, 1.0)
     }
 
+    /// The full matrix-vector read `Jσ`: every row carries its `σ` entry
+    /// through the positive/negative input phases, every column group is
+    /// converted, and — unlike [`Crossbar::vmv`], which folds the column
+    /// outputs into one scalar — the per-column digital values are
+    /// returned individually in coupling units. Because the programmed
+    /// matrix is symmetric, column `j`'s output is `(Jσ)_j`.
+    ///
+    /// One read ordinal covers the whole product (each driven cell
+    /// conducts in exactly one sign pass), so device-accurate noise
+    /// draws are addressed by `(ordinal, row, column)` exactly as in the
+    /// scalar reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma.len()` differs from the array dimension.
+    pub fn mvm(&mut self, sigma: &[i8]) -> Vec<f64> {
+        let n = self.dimension();
+        assert_eq!(sigma.len(), n, "sigma length mismatch");
+        let k = self.config.quant_bits as usize;
+        let active: Vec<usize> = (0..n).collect();
+        self.stats.array_ops += 1;
+        self.stats.tiles_activated += 1;
+        let vbg = if self.config.fidelity == Fidelity::DeviceAccurate {
+            self.vbg_for_factor(1.0)
+        } else {
+            0.0
+        };
+        let ordinal = self.read_ordinal;
+        self.read_ordinal += 1;
+        let mut out = vec![0.0f64; n];
+        for &sign in &[1i8, -1i8] {
+            self.stats.row_passes += 1;
+            let driven: Vec<bool> = sigma.iter().map(|&r| r == sign).collect();
+            let driven_count = driven.iter().filter(|&&d| d).count() as u64;
+            self.stats.rows_driven += driven_count;
+            self.stats.columns_driven += active.len() as u64;
+            self.stats.adc_conversions += (active.len() * 2 * k) as u64;
+            self.stats.adc_slots += self.mux.slots_for(&active, k) as u64;
+            self.stats.shift_add_ops += (active.len() * 2 * k) as u64;
+            for &j in &active {
+                let (pos_val, neg_val) = self.sense_column(j, &driven, 1.0, vbg, ordinal);
+                out[j] += f64::from(sign) * (pos_val - neg_val);
+            }
+        }
+        // One buffer write per column output (the vector leaves the
+        // array digitally, column by column).
+        self.stats.buffer_writes += n as u64;
+        let scale = self.quant.scale();
+        for value in &mut out {
+            *value *= scale;
+        }
+        out
+    }
+
     /// Shared signal chain. When `column_select` is `Some(σ_c)`, column `j`
     /// contributes with sign `σ_c[j]` (incremental mode); when `None`, the
     /// row vector itself provides the digital column weights (direct mode).
@@ -467,6 +528,10 @@ impl InSituArray for Crossbar {
 
     fn vmv(&mut self, sigma: &[i8]) -> f64 {
         Crossbar::vmv(self, sigma)
+    }
+
+    fn mvm(&mut self, sigma: &[i8]) -> Vec<f64> {
+        Crossbar::mvm(self, sigma)
     }
 
     fn stats(&self) -> &ActivityStats {
@@ -656,6 +721,58 @@ mod tests {
             let v = xb.vmv(s.as_slice());
             assert!(v.abs() <= bound * 20.0, "v={v} bound={bound}");
         }
+    }
+
+    #[test]
+    fn mvm_matches_exact_coupling_product_and_vmv_contraction() {
+        let m = dense(24, 21);
+        let mut xb = Crossbar::program(&m, unit_config(8));
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..5 {
+            let s = SpinVector::random(24, &mut rng);
+            let out = xb.mvm(s.as_slice());
+            assert_eq!(out.len(), 24);
+            // Each column output approximates the exact (Jσ)_j.
+            let tol = 24.0 * m.max_abs() / 255.0 + 0.5;
+            for (j, measured) in out.iter().enumerate() {
+                let exact: f64 = (0..24)
+                    .map(|i| m.get(i, j) * f64::from(s.as_slice()[i]))
+                    .sum();
+                assert!(
+                    (measured - exact).abs() < tol,
+                    "col {j}: measured={measured} exact={exact}"
+                );
+            }
+            // σ·(Jσ) contracts to the scalar direct-E read.
+            let contracted: f64 = out
+                .iter()
+                .zip(s.as_slice())
+                .map(|(&v, &sig)| v * f64::from(sig))
+                .sum();
+            let scalar = xb.vmv(s.as_slice());
+            assert!(
+                (contracted - scalar).abs() < 1e-9 * scalar.abs().max(1.0),
+                "contracted={contracted} scalar={scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn mvm_accounts_one_array_read() {
+        let m = dense(32, 23);
+        let mut xb = Crossbar::program(&m, unit_config(4));
+        let s = SpinVector::all_up(32);
+        let _ = xb.mvm(s.as_slice());
+        let stats = *xb.stats();
+        assert_eq!(stats.array_ops, 1);
+        assert_eq!(stats.row_passes, 2);
+        assert_eq!(stats.buffer_writes, 32);
+        xb.reset_stats();
+        let _ = xb.vmv(s.as_slice());
+        // Same analog work as one direct-E read: the MVM differs only in
+        // keeping the per-column outputs digital.
+        assert_eq!(stats.adc_conversions, xb.stats().adc_conversions);
+        assert_eq!(stats.adc_slots, xb.stats().adc_slots);
     }
 
     #[test]

@@ -536,6 +536,22 @@ impl BatchedTiledCrossbar {
         value
     }
 
+    /// Full matrix-vector read of one instance's block (see
+    /// [`TiledCrossbar::mvm`]); the rest of the grid idles for the
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range or `sigma` has the wrong
+    /// length.
+    pub fn mvm(&mut self, instance: usize, sigma: &[i8]) -> Vec<f64> {
+        let before = self.slot(instance).array.stats().tiles_activated;
+        let value = self.slot_mut(instance).array.mvm(sigma);
+        let after = self.slot(instance).array.stats().tiles_activated;
+        self.account_cycle(1, 1, after - before);
+        value
+    }
+
     /// Execute one shared grid cycle: every request runs against its
     /// instance's block, distinct instances in parallel across threads
     /// (they occupy disjoint stripes, so the hardware converts them
@@ -743,6 +759,13 @@ impl InSituArray for BatchInstance {
         value
     }
 
+    fn mvm(&mut self, sigma: &[i8]) -> Vec<f64> {
+        let mut grid = lock_shared(&self.shared);
+        let value = grid.mvm(self.index, sigma);
+        self.stats = *grid.instance_stats(self.index);
+        value
+    }
+
     fn stats(&self) -> &ActivityStats {
         &self.stats
     }
@@ -924,6 +947,32 @@ mod tests {
         }
         assert_eq!(grid.aggregate_stats().array_ops, 3);
         assert_eq!(grid.batch_stats().grid_cycles, 3);
+    }
+
+    #[test]
+    fn batched_mvm_matches_per_instance_monolithic_mvm() {
+        // The SB placement contract: an instance's full-vector read on
+        // the shared grid is bit-identical to the standalone monolithic
+        // array's, both through the grid API and a BatchInstance handle.
+        let n = 18;
+        let problems = [dense(n, 41), dense(n, 42)];
+        let mut grid = BatchedTiledCrossbar::new(config(), 7);
+        for p in &problems {
+            grid.push_instance(p);
+        }
+        let mut rng = StdRng::seed_from_u64(43);
+        let s = SpinVector::random(n, &mut rng);
+        for (i, p) in problems.iter().enumerate() {
+            let mut mono = Crossbar::program(p, config());
+            assert_eq!(grid.mvm(i, s.as_slice()), mono.mvm(s.as_slice()));
+        }
+        let shared = grid.into_shared();
+        let mut handles = BatchedTiledCrossbar::handles(&shared);
+        for (i, p) in problems.iter().enumerate() {
+            let mut mono = Crossbar::program(p, config());
+            assert_eq!(handles[i].mvm(s.as_slice()), mono.mvm(s.as_slice()));
+            assert_eq!(handles[i].stats().array_ops, 2);
+        }
     }
 
     #[test]

@@ -442,6 +442,148 @@ impl TiledCrossbar {
         self.read_columns(sigma, None, &active, &stripes, 1.0)
     }
 
+    /// The full matrix-vector read: drive every row with `σ` and return
+    /// the per-column digital outputs `(Jσ)_j` in coupling units — one
+    /// array read regardless of `n`, the synchronous update primitive
+    /// of the simulated-bifurcation engines.
+    ///
+    /// Every stripe activates and converts on its own ADC bank; each
+    /// chained column quantizes once per (plane, bit slice) exactly as
+    /// in [`TiledCrossbar::vmv`], so Ideal-mode outputs are
+    /// **bit-identical per column** to the monolithic
+    /// [`Crossbar::mvm`](crate::Crossbar::mvm) for any tile size and
+    /// any [`SensingMode`]. Unlike `vmv` there is no cross-stripe
+    /// digital aggregation — each output column lives in exactly one
+    /// stripe — and the whole vector leaves the array digitally
+    /// (`buffer_writes += n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma.len()` differs from the array dimension.
+    pub fn mvm(&mut self, sigma: &[i8]) -> Vec<f64> {
+        let n = self.dimension();
+        assert_eq!(sigma.len(), n, "sigma length mismatch");
+        let active: Vec<usize> = (0..n).collect();
+        let stripes = self.stripe_partition(&active);
+        self.stats.array_ops += 1;
+        self.stats.tiles_activated += stripes.len() as u64 * self.driven_band_count(sigma);
+
+        let k = self.config.quant_bits as usize;
+        let device_mode = self.config.fidelity == Fidelity::DeviceAccurate;
+        // One noise-counter ordinal per product: every driven cell is
+        // sensed exactly once, so `(ordinal, row, col)` addresses every
+        // draw no matter which thread evaluates it.
+        let ordinal = self.read_ordinal;
+        self.read_ordinal += 1;
+        let ctx = SenseContext {
+            factor: 1.0,
+            vbg: if device_mode {
+                vbg_for_factor(&self.cell, self.full_scale_current, 1.0)
+            } else {
+                0.0
+            },
+            device_mode,
+            ordinal,
+        };
+
+        let signs = [1i8, -1i8];
+        let driven_maps: Vec<Vec<bool>> = signs
+            .iter()
+            .map(|&sign| sigma.iter().map(|&r| r == sign).collect())
+            .collect();
+
+        let mut local_scratch: Vec<usize> = Vec::new();
+        for driven in &driven_maps {
+            self.stats.row_passes += 1;
+            let driven_count = driven.iter().filter(|&&d| d).count() as u64;
+            self.stats.rows_driven += driven_count * stripes.len() as u64;
+            self.stats.columns_driven += n as u64;
+            self.stats.adc_conversions += (n * 2 * k) as u64;
+            let mut slots = 0usize;
+            for (s, range) in &stripes {
+                local_scratch.clear();
+                local_scratch.extend(
+                    active[range.clone()]
+                        .iter()
+                        .map(|&j| j - s * self.tile_rows),
+                );
+                slots = slots.max(self.stripe_mux[*s].slots_for(&local_scratch, k));
+            }
+            self.stats.adc_slots += slots as u64;
+            self.stats.shift_add_ops += (n * 2 * k) as u64;
+        }
+
+        let fan_out = match self.sensing {
+            SensingMode::Sequential => false,
+            SensingMode::Auto => n >= AUTO_PARALLEL_MIN_COLUMNS,
+            SensingMode::Parallel => n > 0,
+        } && rayon::current_num_threads() > 1;
+
+        let mut out = vec![0.0f64; n];
+        let mut cells_activated = 0u64;
+        if fan_out {
+            let chunk_cols =
+                PARALLEL_COLUMN_CHUNK.max(n.div_ceil(4 * rayon::current_num_threads()));
+            let mut items: Vec<(usize, usize, std::ops::Range<usize>)> = Vec::new();
+            for sign_idx in 0..signs.len() {
+                for (stripe, range) in &stripes {
+                    let mut start = range.start;
+                    while start < range.end {
+                        let end = (start + chunk_cols).min(range.end);
+                        items.push((sign_idx, *stripe, start..end));
+                        start = end;
+                    }
+                }
+            }
+            let this: &TiledCrossbar = self;
+            let chunks: Vec<(usize, Vec<f64>, u64)> = items
+                .into_par_iter()
+                .map(|(sign_idx, stripe, cols)| {
+                    let driven = &driven_maps[sign_idx];
+                    let start = cols.start;
+                    let mut terms = Vec::with_capacity(cols.len());
+                    let mut activated = 0u64;
+                    for &j in &active[cols] {
+                        let (pos_val, neg_val, cells) =
+                            this.sense_chained_column(stripe, j, driven, ctx);
+                        activated += cells;
+                        terms.push(f64::from(signs[sign_idx]) * (pos_val - neg_val));
+                    }
+                    (start, terms, activated)
+                })
+                .collect();
+            // Per-column accumulation in item order replays the serial
+            // sign-pass order exactly, so the sum of the two pass terms
+            // is bit-identical at any thread count.
+            for (start, terms, activated) in chunks {
+                for (offset, term) in terms.into_iter().enumerate() {
+                    out[active[start + offset]] += term;
+                }
+                cells_activated += activated;
+            }
+        } else {
+            for (sign_idx, &sign) in signs.iter().enumerate() {
+                let driven = &driven_maps[sign_idx];
+                for (stripe, range) in &stripes {
+                    for &j in &active[range.clone()] {
+                        let (pos_val, neg_val, cells) =
+                            self.sense_chained_column(*stripe, j, driven, ctx);
+                        cells_activated += cells;
+                        out[j] += f64::from(sign) * (pos_val - neg_val);
+                    }
+                }
+            }
+        }
+        self.stats.cells_activated += cells_activated;
+        // One buffer write per column output (the vector leaves the
+        // array digitally, column by column).
+        self.stats.buffer_writes += n as u64;
+        for value in &mut out {
+            *value *= self.scale;
+        }
+        out
+    }
+
     /// Contiguous per-stripe ranges over the (sorted) active column list:
     /// `(stripe, start..end)` index ranges into `active`, ascending — the
     /// single partition both the activation count and the read reuse.
@@ -712,6 +854,10 @@ impl InSituArray for TiledCrossbar {
 
     fn vmv(&mut self, sigma: &[i8]) -> f64 {
         TiledCrossbar::vmv(self, sigma)
+    }
+
+    fn mvm(&mut self, sigma: &[i8]) -> Vec<f64> {
+        TiledCrossbar::mvm(self, sigma)
     }
 
     fn stats(&self) -> &ActivityStats {
@@ -1040,6 +1186,80 @@ mod tests {
             assert_eq!(seq.vmv(s.as_slice()), par.vmv(s.as_slice()));
         }
         assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn ideal_mvm_is_bit_identical_to_monolithic_per_column() {
+        let n = 24;
+        let m = dense(n, 33);
+        let mut mono = Crossbar::program(&m, config(4));
+        let mut rng = StdRng::seed_from_u64(34);
+        for tile_rows in [3usize, 5, 7, 24, 100] {
+            let mut tiled = TiledCrossbar::program(&m, config(4), tile_rows);
+            for _ in 0..3 {
+                let s = SpinVector::random(n, &mut rng);
+                let a = mono.mvm(s.as_slice());
+                let b = tiled.mvm(s.as_slice());
+                assert_eq!(a, b, "tile_rows={tile_rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mvm_is_bit_identical_to_sequential_including_noisy() {
+        let n = 96;
+        let m = dense(n, 35);
+        for noisy in [false, true] {
+            let mut cfg = config(4);
+            if noisy {
+                cfg.fidelity = Fidelity::DeviceAccurate;
+                cfg.variation = VariationConfig::typical();
+            }
+            let mut seq = TiledCrossbar::program(&m, cfg.clone(), 16)
+                .with_sensing_mode(SensingMode::Sequential);
+            let mut par =
+                TiledCrossbar::program(&m, cfg, 16).with_sensing_mode(SensingMode::Parallel);
+            let mut rng = StdRng::seed_from_u64(36);
+            for _ in 0..3 {
+                let s = SpinVector::random(n, &mut rng);
+                assert_eq!(
+                    seq.mvm(s.as_slice()),
+                    par.mvm(s.as_slice()),
+                    "noisy={noisy}"
+                );
+            }
+            assert_eq!(seq.stats(), par.stats());
+        }
+    }
+
+    #[test]
+    fn mvm_handles_zero_entries_and_single_tile_matches_monolithic_stats() {
+        // Bit-plane drives carry zeros for absent bits: a zero row must
+        // conduct in neither sign pass, and a single-tile grid must
+        // account exactly like the monolithic array.
+        let n = 16;
+        let m = dense(n, 37);
+        let mut mono = Crossbar::program(&m, config(4));
+        let mut tiled = TiledCrossbar::program(&m, config(4), n);
+        let mut sigma = vec![0i8; n];
+        for (i, v) in sigma.iter_mut().enumerate() {
+            *v = match i % 3 {
+                0 => 1,
+                1 => -1,
+                _ => 0,
+            };
+        }
+        let a = mono.mvm(&sigma);
+        let b = tiled.mvm(&sigma);
+        assert_eq!(a, b);
+        assert_eq!(mono.stats(), tiled.stats());
+        // Zero rows contribute nothing: the exact product over the
+        // nonzero rows bounds the quantized read.
+        for (j, value) in a.iter().enumerate() {
+            let exact: f64 = (0..n).map(|i| m.get(i, j) * f64::from(sigma[i])).sum();
+            let tol = n as f64 * m.max_abs() / 255.0 + 0.5;
+            assert!((value - exact).abs() <= tol, "col {j}: {value} vs {exact}");
+        }
     }
 
     #[test]

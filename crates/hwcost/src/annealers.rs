@@ -256,6 +256,53 @@ impl IterationProfile {
     pub fn run_time(&self, kind: AnnealerKind, model: &CostModel, iterations: usize) -> TimeReport {
         self.iteration_time(kind, model).scaled(iterations as f64)
     }
+
+    /// Analytic activity of ONE simulated-bifurcation step.
+    ///
+    /// An SB step is `input_passes` full-array MVM reads (one sign-plane
+    /// read for dSB, `in_bits` bit-serial planes for bSB), each the same
+    /// dense read as a direct-E baseline pass — every column group
+    /// converts on every read — plus a digital position/momentum update
+    /// with no exponential evaluation and no background-gate refresh.
+    pub fn sb_step_activity(&self, input_passes: u64) -> ActivityStats {
+        let p = input_passes.max(1);
+        let n = self.spins as u64;
+        let k = self.quant_bits as u64;
+        let m = self.mux_ratio as u64;
+        let (row_bands, col_stripes) = self.tile_grid();
+        ActivityStats {
+            array_ops: p,
+            row_passes: 2 * p,
+            adc_conversions: p * 2 * n * 2 * k,
+            adc_slots: p * 2 * m * k,
+            cells_activated: p * 2 * n * k,
+            rows_driven: p * 2 * n * col_stripes as u64,
+            columns_driven: p * 2 * n * 2 * k,
+            bg_updates: 0,
+            shift_add_ops: p * 2 * n * 2 * k,
+            // The symplectic update writes the full (x, y) state back.
+            buffer_writes: p * n,
+            tiles_activated: p * (row_bands * col_stripes) as u64,
+            exp_evaluations: 0,
+        }
+    }
+
+    /// Energy of a whole SB run: `steps` steps of `input_passes` MVM
+    /// reads each.
+    pub fn sb_run_energy(
+        &self,
+        model: &CostModel,
+        steps: usize,
+        input_passes: u64,
+    ) -> EnergyReport {
+        energy_of(&self.sb_step_activity(input_passes), model, ExpUnit::Asic).scaled(steps as f64)
+    }
+
+    /// Latency of a whole SB run: `steps` steps of `input_passes` MVM
+    /// reads each.
+    pub fn sb_run_time(&self, model: &CostModel, steps: usize, input_passes: u64) -> TimeReport {
+        time_of(&self.sb_step_activity(input_passes), model, ExpUnit::Asic).scaled(steps as f64)
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +390,31 @@ mod tests {
         assert_eq!(mono.tile_grid(), (1, 1));
         assert_eq!(mono.activity(AnnealerKind::InSitu).tiles_activated, 1);
         assert_eq!(mono.activity(AnnealerKind::InSitu).bg_updates, 1);
+    }
+
+    #[test]
+    fn sb_step_cost_scales_with_input_passes() {
+        // A bSB step with a 4-bit input DAC issues 4 full-array reads,
+        // a dSB step one — so its energy/latency are exactly 4× dSB's,
+        // and neither pays for exponentials or BG refreshes.
+        let model = CostModel::paper_22nm(800, 4);
+        let p = IterationProfile::paper(800);
+        let dsb = p.sb_step_activity(1);
+        let bsb = p.sb_step_activity(4);
+        assert_eq!(dsb.exp_evaluations, 0);
+        assert_eq!(dsb.bg_updates, 0);
+        assert_eq!(bsb.array_ops, 4 * dsb.array_ops);
+        assert_eq!(bsb.adc_conversions, 4 * dsb.adc_conversions);
+        let e_dsb = p.sb_run_energy(&model, 100, 1).total();
+        let e_bsb = p.sb_run_energy(&model, 100, 4).total();
+        assert!((e_bsb / e_dsb - 4.0).abs() < 1e-9, "energy ratio");
+        let t_dsb = p.sb_run_time(&model, 100, 1).total();
+        let t_bsb = p.sb_run_time(&model, 100, 4).total();
+        assert!((t_bsb / t_dsb - 4.0).abs() < 1e-9, "time ratio");
+        // An SB step reads the whole array, like a direct-E baseline
+        // pass — dearer than the t-column in-situ sense.
+        let in_situ = p.iteration_energy(AnnealerKind::InSitu, &model).total();
+        assert!(e_dsb / 100.0 > in_situ, "full read > per-flip sense");
     }
 
     #[test]

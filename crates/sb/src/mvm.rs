@@ -1,0 +1,288 @@
+//! MVM sources: where the simulated-bifurcation coupling product comes
+//! from.
+//!
+//! Both SB variants consume one matrix-vector product per step. The
+//! discrete variant drives a plain sign vector — one
+//! [`InSituArray::mvm`] read. The ballistic variant needs `J·x` for
+//! continuous `x ∈ [−1, 1]ⁿ`, which the crossbar serves *bit-serially*:
+//! the input DAC quantizes `x` to a signed fixed-point code and drives
+//! one sign-vector plane per input bit (entries `{−1, 0, +1}`; zero
+//! rows conduct in neither polarity pass), and the digital periphery
+//! recombines the per-plane outputs with shift-add weights `2^b`. A
+//! `in_bits`-bit drive therefore costs `in_bits` array reads per step —
+//! the hardware-cost differentiator between bSB and dSB that
+//! `fecim-hwcost` prices.
+
+use fecim_crossbar::{ActivityStats, InSituArray};
+use fecim_ising::Coupling;
+
+/// Where the per-step SB coupling product comes from.
+///
+/// Implementations must be deterministic: the same call sequence on the
+/// same source yields bit-identical outputs (the device path inherits
+/// this from the crossbar's counter-based read-noise contract).
+pub trait MvmSource {
+    /// Matrix dimension `n`.
+    fn dimension(&self) -> usize;
+
+    /// One sign-vector product `(Jσ)_j` for `σ ∈ {−1, 0, +1}ⁿ` — the
+    /// dSB drive (and the per-plane primitive of the bSB drive).
+    fn mvm_signs(&mut self, sigma: &[i8]) -> Vec<f64>;
+
+    /// The continuous product `(Jx)_j` for `x ∈ [−1, 1]ⁿ` — the bSB
+    /// drive.
+    fn mvm_continuous(&mut self, x: &[f64]) -> Vec<f64>;
+
+    /// Accumulated hardware activity (`None` for software sources).
+    fn activity(&self) -> Option<ActivityStats>;
+}
+
+/// Software-exact coupling product, the SB analogue of the annealers'
+/// `ExactBackend`: full-precision f64 arithmetic, no quantization, no
+/// activity statistics.
+#[derive(Debug)]
+pub struct ExactMvm<'a, C: Coupling + ?Sized> {
+    coupling: &'a C,
+}
+
+impl<'a, C: Coupling + ?Sized> ExactMvm<'a, C> {
+    /// Wrap a coupling matrix.
+    pub fn new(coupling: &'a C) -> ExactMvm<'a, C> {
+        ExactMvm { coupling }
+    }
+}
+
+impl<C: Coupling + ?Sized> MvmSource for ExactMvm<'_, C> {
+    fn dimension(&self) -> usize {
+        self.coupling.dimension()
+    }
+
+    fn mvm_signs(&mut self, sigma: &[i8]) -> Vec<f64> {
+        let n = self.coupling.dimension();
+        assert_eq!(sigma.len(), n, "dimension mismatch");
+        let mut out = vec![0.0; n];
+        for (i, &s) in sigma.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let s = s as f64;
+            // J is symmetric, so scattering row i into the output
+            // columns computes (Jσ)_j = Σ_i J_ij σ_i.
+            self.coupling
+                .for_each_in_row(i, &mut |j, v| out[j] += s * v);
+        }
+        out
+    }
+
+    fn mvm_continuous(&mut self, x: &[f64]) -> Vec<f64> {
+        let n = self.coupling.dimension();
+        assert_eq!(x.len(), n, "dimension mismatch");
+        let mut out = vec![0.0; n];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            self.coupling
+                .for_each_in_row(i, &mut |j, v| out[j] += xi * v);
+        }
+        out
+    }
+
+    fn activity(&self) -> Option<ActivityStats> {
+        None
+    }
+}
+
+/// Crossbar-backed coupling product: every product is an
+/// [`InSituArray::mvm`] read of a programmed array (monolithic, tiled,
+/// or a shared-grid batch instance), so quantization, ADC behaviour,
+/// fidelity modes and activity accounting all come from the simulated
+/// hardware.
+#[derive(Debug)]
+pub struct DeviceMvm<A: InSituArray> {
+    array: A,
+    in_bits: u8,
+}
+
+impl<A: InSituArray> DeviceMvm<A> {
+    /// Wrap a programmed array. `in_bits` is the input-DAC resolution of
+    /// the bit-serial continuous drive: a bSB step issues `in_bits`
+    /// sign-plane reads, while the dSB sign drive always costs one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_bits == 0`.
+    pub fn new(array: A, in_bits: u8) -> DeviceMvm<A> {
+        assert!(in_bits > 0, "the input DAC needs at least one bit");
+        DeviceMvm { array, in_bits }
+    }
+
+    /// The wrapped array (configuration, wires, statistics).
+    pub fn array(&self) -> &A {
+        &self.array
+    }
+}
+
+impl<A: InSituArray> MvmSource for DeviceMvm<A> {
+    fn dimension(&self) -> usize {
+        self.array.dimension()
+    }
+
+    fn mvm_signs(&mut self, sigma: &[i8]) -> Vec<f64> {
+        self.array.mvm(sigma)
+    }
+
+    fn mvm_continuous(&mut self, x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        assert_eq!(self.array.dimension(), n, "dimension mismatch");
+        // Signed fixed-point input code: full scale = 2^in_bits − 1.
+        let levels = (1u32 << self.in_bits) - 1;
+        let codes: Vec<i32> = x
+            .iter()
+            .map(|&v| {
+                let c = (v.clamp(-1.0, 1.0) * levels as f64).round() as i32;
+                c.clamp(-(levels as i32), levels as i32)
+            })
+            .collect();
+        let mut out = vec![0.0; n];
+        // One sign-vector plane per input bit, LSB first. Every plane is
+        // issued even when all-zero: the bit-serial pipeline runs a
+        // fixed schedule, which keeps the per-step read count (and the
+        // noise-counter advance) data-independent.
+        for b in 0..self.in_bits {
+            let plane: Vec<i8> = codes
+                .iter()
+                .map(|&c| {
+                    if (c.unsigned_abs() >> b) & 1 == 1 {
+                        if c < 0 {
+                            -1
+                        } else {
+                            1
+                        }
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let partial = self.array.mvm(&plane);
+            let weight = (1u64 << b) as f64 / levels as f64;
+            for (acc, term) in out.iter_mut().zip(partial) {
+                *acc += weight * term;
+            }
+        }
+        out
+    }
+
+    fn activity(&self) -> Option<ActivityStats> {
+        Some(*self.array.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fecim_crossbar::{Crossbar, CrossbarConfig};
+    use fecim_ising::{CsrCoupling, DenseCoupling};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_coupling(n: usize, seed: u64) -> CsrCoupling {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dense = DenseCoupling::random(n, 0.6, 1.0, &mut rng);
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            dense.for_each_in_row(i, &mut |j, v| {
+                if j > i {
+                    triplets.push((i, j, v));
+                }
+            });
+        }
+        CsrCoupling::from_triplets(n, &triplets).unwrap()
+    }
+
+    #[test]
+    fn exact_sign_product_matches_dense_math() {
+        let n = 12;
+        let j = random_coupling(n, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sigma: Vec<i8> = (0..n)
+            .map(|_| [-1i8, 0, 1][rng.gen_range(0..3usize)])
+            .collect();
+        let mut exact = ExactMvm::new(&j);
+        let out = exact.mvm_signs(&sigma);
+        for (col, &got) in out.iter().enumerate() {
+            let mut want = 0.0;
+            for (row, &s) in sigma.iter().enumerate() {
+                want += j.get(row, col) * s as f64;
+            }
+            assert!((got - want).abs() < 1e-12, "col {col}: {got} vs {want}");
+        }
+        assert!(exact.activity().is_none());
+    }
+
+    #[test]
+    fn exact_continuous_product_matches_dense_math() {
+        let n = 10;
+        let j = random_coupling(n, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let x: Vec<f64> = (0..n).map(|_| 2.0 * rng.gen::<f64>() - 1.0).collect();
+        let mut exact = ExactMvm::new(&j);
+        let out = exact.mvm_continuous(&x);
+        for (col, &got) in out.iter().enumerate() {
+            let mut want = 0.0;
+            for (row, &xi) in x.iter().enumerate() {
+                want += j.get(row, col) * xi;
+            }
+            assert!((got - want).abs() < 1e-12, "col {col}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn device_bit_serial_drive_approximates_the_exact_product() {
+        let n = 16;
+        let j = random_coupling(n, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let x: Vec<f64> = (0..n).map(|_| 2.0 * rng.gen::<f64>() - 1.0).collect();
+        let exact = ExactMvm::new(&j).mvm_continuous(&x);
+        let mut device = DeviceMvm::new(Crossbar::program(&j, CrossbarConfig::paper_defaults()), 8);
+        let got = device.mvm_continuous(&x);
+        // Error budget: 4-bit weight quantization (LSB n·max|J|/(2^4−1)
+        // per column in the worst case) plus the 8-bit input code.
+        let mut max_abs = 0.0f64;
+        for i in 0..n {
+            j.for_each_in_row(i, &mut |_, v| max_abs = max_abs.max(v.abs()));
+        }
+        let tol = n as f64 * max_abs * (1.0 / 15.0 + 1.0 / 255.0) + 1e-9;
+        for (col, (&g, &e)) in got.iter().zip(&exact).enumerate() {
+            assert!((g - e).abs() < tol, "col {col}: {g} vs {e} (tol {tol})");
+        }
+        // Fixed bit-serial schedule: exactly in_bits array reads.
+        let stats = device.activity().expect("device sources record stats");
+        assert_eq!(stats.array_ops, 8);
+    }
+
+    #[test]
+    fn device_sign_drive_is_one_read_and_deterministic() {
+        let n = 12;
+        let j = random_coupling(n, 9);
+        let sigma: Vec<i8> = (0..n).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        let run = || {
+            let mut device =
+                DeviceMvm::new(Crossbar::program(&j, CrossbarConfig::paper_defaults()), 4);
+            let out = device.mvm_signs(&sigma);
+            (out, device.activity().unwrap().array_ops)
+        };
+        let (a, ops_a) = run();
+        let (b, ops_b) = run();
+        assert_eq!(a, b, "bit-identical replays");
+        assert_eq!(ops_a, 1);
+        assert_eq!(ops_b, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_input_bits_are_rejected() {
+        let j = random_coupling(4, 1);
+        let _ = DeviceMvm::new(Crossbar::program(&j, CrossbarConfig::paper_defaults()), 0);
+    }
+}

@@ -167,6 +167,64 @@ fn over_capacity_trajectory_is_bit_identical_at_1_and_8_workers() {
     assert_eq!(solo, fleet, "campaign outcome must not depend on workers");
 }
 
+#[test]
+fn sb_variants_run_in_campaign_portfolios_deterministically() {
+    // A mixed portfolio round: the CiM annealer and both SB variants
+    // compete on every window of a decomposed over-capacity ring, with
+    // warm starts chaining rounds (SB sign-initializes its positions
+    // from `initial_spins`). The outcome must keep the campaign
+    // contract: a monotone trajectory, exact full-model rescoring of
+    // the reported spins, and bit-identity at 1 and 8 workers.
+    use fecim::SbAnnealer;
+    let n = 24;
+    let spec = CampaignSpec::new(
+        ring_spec(n),
+        3,
+        vec![
+            ScheduleVariant::new(cim(120)).with_trials(1),
+            ScheduleVariant::new(SolverSpec::Sb(SbAnnealer::ballistic(150))).with_trials(2),
+            ScheduleVariant::new(SolverSpec::Sb(SbAnnealer::discrete(150))).with_trials(1),
+        ],
+    )
+    .with_decompose(DecomposePlan::window(10).with_overlap(2))
+    .with_backend(BackendPlan::Batched {
+        tile_rows: 4,
+        instances: 2,
+    })
+    .with_base_seed(47);
+    let run = |workers: usize| {
+        let scheduler =
+            Scheduler::with_config(SchedulerConfig::workers(workers).with_grid_stripes(4));
+        let outcome = run_campaign(&scheduler, &spec, &SubmitOptions::default())
+            .expect("SB portfolio campaign runs");
+        scheduler.join();
+        outcome
+    };
+    let outcome = run(1);
+    assert_eq!(outcome.rounds.len(), 3);
+    for pair in outcome.rounds.windows(2) {
+        assert!(
+            pair[1].best_energy <= pair[0].best_energy,
+            "per-round best energy is monotone non-increasing"
+        );
+    }
+    let model = Qubo::from_matrix(&ring_qubo(n))
+        .expect("ring is a valid QUBO")
+        .to_ising()
+        .expect("ring converts to Ising");
+    assert_eq!(
+        outcome.best_energy,
+        model.energy(&SpinVector::from_signs(&outcome.best_spins))
+    );
+    assert!(
+        outcome.best_energy <= -(n as f64) + 8.0,
+        "best energy {} too far from the ring optimum {}",
+        outcome.best_energy,
+        -(n as f64)
+    );
+    assert_eq!(outcome, run(8), "SB campaign must not depend on workers");
+}
+
 // ---------------------------------------------------------------------
 // JSONL transport: the Campaign request line
 // ---------------------------------------------------------------------

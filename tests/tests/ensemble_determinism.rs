@@ -4,7 +4,7 @@
 //! pool — because every trial derives all randomness from its own seed
 //! and outcomes are returned in trial order.
 
-use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer, Solver};
+use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer, SbAnnealer, Solver};
 use fecim_anneal::Ensemble;
 use fecim_crossbar::{CrossbarConfig, Fidelity};
 use fecim_device::VariationConfig;
@@ -123,6 +123,50 @@ fn tiled_device_accurate_backend_is_ensemble_deterministic() {
     // mutating the process-global env here would race
     // `rayon_num_threads_env_does_not_change_results` under the parallel
     // test harness.
+}
+
+#[test]
+fn sb_variants_are_ensemble_deterministic_at_1_2_and_8_threads() {
+    // The SB family joins the determinism contract: trial results are a
+    // pure function of (solver, problem, trial seed) — the momentum
+    // draw, the symplectic trajectory and the sign readouts never
+    // consult shared state, so thread count cannot matter.
+    let problem = test_problem();
+    for solver in [SbAnnealer::ballistic(200), SbAnnealer::discrete(200)] {
+        let eight = best_energies(&solver, &problem, &Ensemble::new(8, 77).with_max_threads(8));
+        let two = best_energies(&solver, &problem, &Ensemble::new(8, 77).with_max_threads(2));
+        let one = best_energies(&solver, &problem, &Ensemble::new(8, 77).with_max_threads(1));
+        assert_eq!(eight, one, "{} drifted across thread counts", solver.name());
+        assert_eq!(eight, two, "{} drifted across thread counts", solver.name());
+    }
+}
+
+#[test]
+fn sb_device_accurate_tiled_backend_is_ensemble_deterministic() {
+    // SB's hardest determinism case mirrors the annealers': the
+    // device-accurate tiled crossbar in the MVM loop — per-tile
+    // variation maps and counter-based read noise per MVM ordinal —
+    // must stay bit-identical across thread counts because every trial
+    // programs and reseeds its own array from its own seed.
+    let problem = test_problem();
+    let mut cfg = CrossbarConfig::paper_defaults();
+    cfg.fidelity = Fidelity::DeviceAccurate;
+    cfg.variation = VariationConfig::typical();
+    let solver = SbAnnealer::discrete(100).with_tiled_device_in_loop(cfg, 32);
+
+    let default_threads = best_energies(&solver, &problem, &Ensemble::new(6, 515));
+    let capped = best_energies(
+        &solver,
+        &problem,
+        &Ensemble::new(6, 515).with_max_threads(2),
+    );
+    let sequential = best_energies(
+        &solver,
+        &problem,
+        &Ensemble::new(6, 515).with_max_threads(1),
+    );
+    assert_eq!(default_threads, sequential, "bit-identical under tiling");
+    assert_eq!(default_threads, capped);
 }
 
 #[test]

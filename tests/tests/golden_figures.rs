@@ -333,6 +333,64 @@ fn queue_sweep_trace_matches_golden() {
 }
 
 #[test]
+fn sb_trace_matches_golden() {
+    // The SB family's byte pin, two halves: (a) an instrumented bSB
+    // trajectory through `Session::run` — every trace point (step,
+    // energy, best, bifurcation pressure, sign flips) is seeded-RNG
+    // deterministic; (b) a noisy device-accurate dSB ensemble scheduled
+    // at 8 workers — the scheduler determinism contract (now covering
+    // SB) makes the committed bytes identical at any other worker
+    // count.
+    use fecim::SbAnnealer;
+    let graph = GeneratorConfig::new(64, 0x5B17)
+        .with_family(GsetFamily::RandomUnit)
+        .with_mean_degree(6.0)
+        .generate();
+    let spec = ProblemSpec::from_graph(&graph);
+
+    let traced = Session::new()
+        .run(
+            &SolveRequest::new(
+                spec.clone(),
+                SolverSpec::Sb(SbAnnealer::ballistic(120).with_trace(10)),
+            )
+            .with_run(RunPlan::Single { seed: 2025 }),
+        )
+        .expect("traced SB request runs");
+
+    let mut device = CrossbarConfig::paper_defaults();
+    device.fidelity = Fidelity::DeviceAccurate;
+    device.variation = VariationConfig::typical();
+    let scheduler = Scheduler::with_config(SchedulerConfig::workers(8).with_crossbar(device));
+    let scheduled = scheduler
+        .submit(
+            SolveRequest::new(spec, SolverSpec::Sb(SbAnnealer::discrete(80)))
+                .with_backend(BackendPlan::DeviceInLoop {
+                    fidelity: Fidelity::DeviceAccurate,
+                    tile_rows: Some(32),
+                })
+                .with_run(RunPlan::Ensemble {
+                    trials: 3,
+                    base_seed: 7,
+                    threads: None,
+                }),
+            SubmitOptions::default(),
+        )
+        .wait()
+        .expect("scheduled SB job completes");
+    scheduler.join();
+
+    check_golden(
+        "sb_trace",
+        &serde_json::json!({
+            "traced": traced.reports[0],
+            "scheduled_reports": scheduled.reports,
+            "scheduled_summary": scheduled.summary,
+        }),
+    );
+}
+
+#[test]
 fn campaign_trace_matches_golden() {
     // A decomposed campaign on a 2x-over-capacity ring QUBO (24 spins
     // through a 12-spin grid): pins the whole orchestration layer —

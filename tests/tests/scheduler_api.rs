@@ -112,6 +112,128 @@ fn scheduled_results_bit_identical_to_session_at_1_and_8_workers() {
     }
 }
 
+/// The SB workload of the bit-identity pin: analytic ensemble, tiled
+/// Ideal device-in-the-loop, shared-grid batched, and noisy
+/// DeviceAccurate — both variants represented.
+fn sb_requests() -> Vec<SolveRequest> {
+    use fecim::SbAnnealer;
+    vec![
+        SolveRequest::new(ring_spec(12), SolverSpec::Sb(SbAnnealer::ballistic(200)))
+            .with_run(RunPlan::Ensemble {
+                trials: 4,
+                base_seed: 11,
+                threads: None,
+            })
+            .with_reference(12.0),
+        SolveRequest::new(ring_spec(16), SolverSpec::Sb(SbAnnealer::discrete(150)))
+            .with_backend(BackendPlan::DeviceInLoop {
+                fidelity: fecim_crossbar::Fidelity::Ideal,
+                tile_rows: Some(8),
+            })
+            .with_run(RunPlan::Ensemble {
+                trials: 2,
+                base_seed: 5,
+                threads: None,
+            }),
+        SolveRequest::new(ring_spec(24), SolverSpec::Sb(SbAnnealer::ballistic(120)))
+            .with_backend(BackendPlan::Batched {
+                tile_rows: 8,
+                instances: 2,
+            })
+            .with_run(RunPlan::Ensemble {
+                trials: 3,
+                base_seed: 41,
+                threads: None,
+            }),
+        SolveRequest::new(ring_spec(12), SolverSpec::Sb(SbAnnealer::discrete(100)))
+            .with_backend(BackendPlan::DeviceInLoop {
+                fidelity: fecim_crossbar::Fidelity::DeviceAccurate,
+                tile_rows: None,
+            })
+            .with_run(RunPlan::Ensemble {
+                trials: 2,
+                base_seed: 29,
+                threads: None,
+            }),
+    ]
+}
+
+#[test]
+fn sb_jobs_bit_identical_to_session_at_1_and_8_workers() {
+    // The headline determinism contract extends verbatim to the SB
+    // family: scheduled SB results must match `Session::run` bit for
+    // bit at any worker count, in Ideal and noisy DeviceAccurate
+    // fidelity (counter-based read noise per MVM ordinal plus per-trial
+    // reseeding make each trial a pure function of the request and
+    // trial seed).
+    let session = Session::new();
+    let expected: Vec<String> = sb_requests()
+        .iter()
+        .map(|request| result_fingerprint(&session.run(request).expect("session runs")))
+        .collect();
+    for workers in [1, 8] {
+        let scheduler = Scheduler::with_config(SchedulerConfig::workers(workers).start_paused());
+        let handles: Vec<_> = sb_requests()
+            .into_iter()
+            .map(|request| scheduler.submit(request, SubmitOptions::default()))
+            .collect();
+        scheduler.resume();
+        for (handle, expected) in handles.iter().zip(&expected) {
+            let response = handle.wait().expect("SB job completes");
+            assert_eq!(
+                &result_fingerprint(&response),
+                expected,
+                "scheduled SB results must be bit-identical to Session::run at {workers} workers"
+            );
+            assert_eq!(handle.status(), JobStatus::Completed);
+        }
+        scheduler.join();
+    }
+}
+
+#[test]
+fn sb_batched_placement_matches_monolithic_tiling_trial_for_trial() {
+    // The shared-grid replica reads its block-diagonal slice of the
+    // grid; in Ideal fidelity that is the same exact MVM a dedicated
+    // tiled array computes, so batched SB trials must land on the same
+    // trajectories as the monolithic tiled placement (hardware-cost
+    // accounting differs — the grid is shared — so the comparison is
+    // per-trial energies and spins, not the full fingerprint).
+    use fecim::SbAnnealer;
+    let session = Session::new();
+    for solver in [SbAnnealer::ballistic(150), SbAnnealer::discrete(150)] {
+        let run = RunPlan::Ensemble {
+            trials: 3,
+            base_seed: 17,
+            threads: None,
+        };
+        let batched = session
+            .run(
+                &SolveRequest::new(ring_spec(24), SolverSpec::Sb(solver.clone()))
+                    .with_backend(BackendPlan::Batched {
+                        tile_rows: 8,
+                        instances: 2,
+                    })
+                    .with_run(run),
+            )
+            .expect("batched SB runs");
+        let tiled = session
+            .run(
+                &SolveRequest::new(ring_spec(24), SolverSpec::Sb(solver))
+                    .with_backend(BackendPlan::DeviceInLoop {
+                        fidelity: fecim_crossbar::Fidelity::Ideal,
+                        tile_rows: Some(8),
+                    })
+                    .with_run(run),
+            )
+            .expect("tiled SB runs");
+        for (b, t) in batched.reports.iter().zip(&tiled.reports) {
+            assert_eq!(b.best_energy, t.best_energy);
+            assert_eq!(b.best_spins, t.best_spins);
+        }
+    }
+}
+
 #[test]
 fn noisy_device_accurate_scheduling_is_bit_identical_and_order_invariant() {
     // The determinism contract now extends to DeviceAccurate fidelity

@@ -202,6 +202,127 @@ fn solve_report_serializes_for_artifacts() {
 }
 
 #[test]
+fn sb_solve_request_roundtrips_and_replays_bit_identically() {
+    use fecim::sb::{PressureSchedule, SbVariant};
+    use fecim::{BackendPlan, ProblemSpec, RunPlan, SbAnnealer, Session, SolveRequest, SolverSpec};
+    let request = SolveRequest::new(
+        ProblemSpec::MaxCut {
+            vertices: 12,
+            edges: (0..12).map(|i| (i, (i + 1) % 12, 1.0)).collect(),
+        },
+        SolverSpec::Sb(
+            SbAnnealer::new(SbVariant::Discrete, 150)
+                .with_dt(0.2)
+                .with_pressure_schedule(PressureSchedule::DelayedLinear {
+                    onset: 0.1,
+                    end: 1.0,
+                })
+                .with_coupling_strength(1.25)
+                .with_in_bits(5),
+        ),
+    )
+    .with_backend(BackendPlan::DeviceInLoop {
+        fidelity: fecim_crossbar::Fidelity::Ideal,
+        tile_rows: Some(4),
+    })
+    .with_run(RunPlan::Ensemble {
+        trials: 3,
+        base_seed: 9,
+        threads: None,
+    })
+    .with_reference(12.0);
+    assert_eq!(roundtrip(&request), request);
+    // A deserialized SB request produces bit-identical results — the
+    // same wire contract the annealers honor.
+    let session = Session::new();
+    let a = session.run(&request).expect("valid request");
+    let b = session.run(&roundtrip(&request)).expect("valid request");
+    assert_eq!(
+        serde_json::to_string(&a.reports).expect("reports serialize"),
+        serde_json::to_string(&b.reports).expect("reports serialize"),
+    );
+}
+
+#[test]
+fn wire_deserialized_sb_misconfigurations_are_rejected_as_invalid_requests() {
+    use fecim::{ProblemSpec, SbAnnealer, Session, SessionError, SolveRequest, SolverSpec};
+    let valid = SolveRequest::new(
+        ProblemSpec::MaxCut {
+            vertices: 6,
+            edges: (0..6).map(|i| (i, (i + 1) % 6, 1.0)).collect(),
+        },
+        SolverSpec::Sb(SbAnnealer::ballistic(50)),
+    );
+    // Navigate the parsed map tree to a named field (the shim's `Value`
+    // has no JSON-pointer helpers).
+    fn field_mut<'a>(value: &'a mut serde_json::Value, path: &[&str]) -> &'a mut serde_json::Value {
+        let mut current = value;
+        for key in path {
+            current = match current {
+                serde_json::Value::Map(entries) => {
+                    &mut entries
+                        .iter_mut()
+                        .find(|(k, _)| k == key)
+                        .unwrap_or_else(|| panic!("field `{key}` exists"))
+                        .1
+                }
+                _ => panic!("expected an object at `{key}`"),
+            };
+        }
+        current
+    }
+
+    let json = valid.to_json().expect("serializes");
+    let session = Session::new();
+    // The builders panic on these values, but wire payloads never run
+    // the builders — `Session::prepare` re-validates instead. (JSON has
+    // no NaN/Infinity literal, so the non-finite schedule case arrives
+    // as an out-of-domain finite value.)
+    let cases: Vec<(&[&str], serde_json::Value)> = vec![
+        (&["solver", "Sb", "steps"], serde_json::json!(0u64)),
+        (&["solver", "Sb", "dt"], serde_json::json!(-0.5f64)),
+        (&["solver", "Sb", "in_bits"], serde_json::json!(0u64)),
+        (
+            &["solver", "Sb", "coupling_strength"],
+            serde_json::json!(-2.0f64),
+        ),
+        (
+            &["solver", "Sb", "pressure_schedule"],
+            serde_json::json!({"DelayedLinear": serde_json::json!({"onset": 1.5f64, "end": 1.0f64})}),
+        ),
+    ];
+    for (path, bad) in cases {
+        let mut tree: serde_json::Value = serde_json::from_str(&json).expect("parses");
+        *field_mut(&mut tree, path) = bad;
+        let mutated = serde_json::to_string(&tree).expect("tree serializes");
+        let request = SolveRequest::from_json(&mutated).expect("mutation still parses");
+        match session.run(&request) {
+            Err(SessionError::InvalidRequest(_)) => {}
+            other => panic!("{path:?}: expected InvalidRequest, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn requests_predating_the_sb_family_parse_unchanged() {
+    use fecim::{CimAnnealer, ProblemSpec, RunPlan, SolveRequest, SolverSpec};
+    let request = SolveRequest::new(
+        ProblemSpec::MaxCut {
+            vertices: 4,
+            edges: vec![(0, 1, 1.0), (2, 3, 1.0)],
+        },
+        SolverSpec::Cim(CimAnnealer::new(120).with_flips(1)),
+    )
+    .with_run(RunPlan::Single { seed: 7 });
+    let wire = request.to_json().expect("serializes");
+    // `SolverSpec` grew the `Sb` variant, which external tagging keeps
+    // backward compatible: pre-SB payloads neither mention the new
+    // variant nor gain required fields, so old JSON parses unchanged.
+    assert!(!wire.contains("Sb"), "legacy encodings are SB-free: {wire}");
+    assert_eq!(SolveRequest::from_json(&wire).expect("parses"), request);
+}
+
+#[test]
 fn solve_request_and_response_roundtrip() {
     use fecim::{
         BackendPlan, CimAnnealer, ProblemSpec, RunPlan, Session, SolveRequest, SolveResponse,

@@ -3,13 +3,13 @@
 //! `ising::problems` encodings (TSP, knapsack, coloring, spin glass,
 //! vertex cover), and the area model.
 
-use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer};
+use fecim::{CimAnnealer, DirectAnnealer, MesaAnnealer, SbAnnealer};
 use fecim_anneal::{multi_start_local_search, multi_start_tabu};
 use fecim_gset::{GeneratorConfig, GsetFamily};
 use fecim_hwcost::{annealer_area, AreaModel};
 use fecim_ising::{
-    CopProblem, Coupling, GraphColoring, Knapsack, SherringtonKirkpatrick, TravellingSalesman,
-    VertexCover,
+    CopProblem, Coupling, GraphColoring, Knapsack, MaxCut, MaxIndependentSet, NumberPartitioning,
+    SherringtonKirkpatrick, TravellingSalesman, VertexCover,
 };
 
 /// The engine's reported best energy must be the exact `Coupling::energy`
@@ -221,6 +221,49 @@ fn vertex_cover_solvable_through_the_full_stack() {
         "cover size {}",
         report.objective.unwrap()
     );
+}
+
+#[test]
+fn sb_variants_satisfy_the_solver_contract_on_the_standard_fixtures() {
+    // Both SB variants through the same `Solver` surface as the
+    // annealers: ring Max-Cut (pure quadratic), number partitioning
+    // (dense quadratic with an offset), and MIS (ancilla-embedded linear
+    // terms). The reported best energy must be the exact
+    // `Coupling::energy` of the reported spins in every case.
+    let ring = MaxCut::new(16, (0..16).map(|i| (i, (i + 1) % 16, 1.0)).collect()).unwrap();
+    let partition = NumberPartitioning::new(vec![4.0, 7.0, 1.0, 6.0, 2.0, 2.0]).unwrap();
+    let mis = MaxIndependentSet::new(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+    for solver in [SbAnnealer::ballistic(800), SbAnnealer::discrete(800)] {
+        let name = fecim::Solver::name(&solver).to_string();
+
+        let report = solver.solve(&ring, 11).unwrap();
+        assert!(
+            report.objective.unwrap() >= 14.0,
+            "{name}: ring cut {}",
+            report.objective.unwrap()
+        );
+        assert_energy_consistent(&ring, &report);
+
+        // A perfect partition exists ({4,7} vs {1,6,2,2}); SB must get
+        // within one smallest element of it.
+        let report = solver.solve(&partition, 11).unwrap();
+        assert!(
+            report.objective.unwrap() <= 2.0,
+            "{name}: imbalance {}",
+            report.objective.unwrap()
+        );
+        assert_energy_consistent(&partition, &report);
+
+        // The 6-path's maximum independent set has 3 vertices.
+        let report = solver.solve(&mis, 11).unwrap();
+        assert!(report.feasible, "{name}: MIS must decode feasibly");
+        assert!(
+            report.objective.unwrap() >= 3.0,
+            "{name}: MIS size {}",
+            report.objective.unwrap()
+        );
+        assert_energy_consistent(&mis, &report);
+    }
 }
 
 #[test]
