@@ -1,0 +1,185 @@
+//! CLI for the `fecim-audit` static-analysis pass.
+//!
+//! ```text
+//! fecim-audit check [--deny] [--root DIR]   # findings summary; --deny exits 1 on violations
+//! fecim-audit report [--root DIR]           # full finding + waiver inventory
+//! fecim-audit graph [--root DIR] [--json] [--out DIR]   # lock graphs (DOT default)
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fecim_audit::{audit_workspace, Finding, Rule, WorkspaceAudit};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fecim-audit <check [--deny] | report | graph [--json] [--out DIR]> [--root DIR]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    cmd: String,
+    deny: bool,
+    json: bool,
+    root: PathBuf,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else { usage() };
+    if !matches!(cmd.as_str(), "check" | "report" | "graph") {
+        usage();
+    }
+    let mut args = Args {
+        cmd,
+        deny: false,
+        json: false,
+        root: PathBuf::from("."),
+        out: None,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--deny" => args.deny = true,
+            "--json" => args.json = true,
+            "--root" => match argv.next() {
+                Some(dir) => args.root = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--out" => match argv.next() {
+                Some(dir) => args.out = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn print_findings(label: &str, findings: &[&Finding]) {
+    if findings.is_empty() {
+        return;
+    }
+    println!("{label} ({}):", findings.len());
+    for f in findings {
+        println!("  [{}] {}:{}  {}", f.rule.name(), f.file, f.line, f.excerpt);
+        if let Some(reason) = &f.waived {
+            println!("      waived: {reason}");
+        }
+    }
+}
+
+fn rule_histogram(findings: &[&Finding]) -> BTreeMap<&'static str, usize> {
+    let mut hist = BTreeMap::new();
+    for f in findings {
+        *hist.entry(f.rule.name()).or_insert(0usize) += 1;
+    }
+    hist
+}
+
+fn cmd_check(audit: &WorkspaceAudit, deny: bool) -> ExitCode {
+    let violations: Vec<&Finding> = audit.violations().collect();
+    let waived: Vec<&Finding> = audit.waived().collect();
+    print_findings("violations", &violations);
+    println!(
+        "audit: {} crates, {} files scanned; {} violation(s), {} waived, {} lock graph(s)",
+        audit.crates,
+        audit.files,
+        violations.len(),
+        waived.len(),
+        audit.graphs.len()
+    );
+    for graph in &audit.graphs {
+        let cycles = graph.cycles();
+        println!(
+            "  lock graph [{}]: {} lock(s), {} edge(s), {} cycle(s)",
+            graph.crate_name,
+            graph.nodes.len(),
+            graph.edges.len(),
+            cycles.len()
+        );
+    }
+    if !violations.is_empty() && deny {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_report(audit: &WorkspaceAudit) -> ExitCode {
+    let violations: Vec<&Finding> = audit.violations().collect();
+    let waived: Vec<&Finding> = audit.waived().collect();
+    print_findings("violations", &violations);
+    print_findings("waived", &waived);
+    println!("per-rule counts (violations):");
+    for (rule, count) in rule_histogram(&violations) {
+        println!("  {rule:<14} {count}");
+    }
+    println!("per-rule counts (waived):");
+    for (rule, count) in rule_histogram(&waived) {
+        println!("  {rule:<14} {count}");
+    }
+    for graph in &audit.graphs {
+        println!("lock graph [{}]:", graph.crate_name);
+        for ((from, to), site) in &graph.edges {
+            println!(
+                "  {from} -> {to}  ({}:{} via {})",
+                site.file, site.line, site.via
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_graph(audit: &WorkspaceAudit, json: bool, out: Option<&PathBuf>) -> ExitCode {
+    if let Some(dir) = out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("fecim-audit: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        for graph in &audit.graphs {
+            let dot = dir.join(format!("lock_graph_{}.dot", graph.crate_name));
+            let js = dir.join(format!("lock_graph_{}.json", graph.crate_name));
+            if let Err(e) = std::fs::write(&dot, graph.to_dot()) {
+                eprintln!("fecim-audit: cannot write {}: {e}", dot.display());
+                return ExitCode::from(2);
+            }
+            if let Err(e) = std::fs::write(&js, graph.to_json()) {
+                eprintln!("fecim-audit: cannot write {}: {e}", js.display());
+                return ExitCode::from(2);
+            }
+            println!("wrote {} and {}", dot.display(), js.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+    for graph in &audit.graphs {
+        if json {
+            print!("{}", graph.to_json());
+        } else {
+            print!("{}", graph.to_dot());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let audit = match audit_workspace(&args.root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fecim-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Sanity: the auditor's own rule names must round-trip, otherwise
+    // waivers written against the docs would silently go stale.
+    debug_assert!(Rule::from_name(Rule::PanicPath.name()) == Some(Rule::PanicPath));
+    match args.cmd.as_str() {
+        "check" => cmd_check(&audit, args.deny),
+        "report" => cmd_report(&audit),
+        "graph" => cmd_graph(&audit, args.json, args.out.as_ref()),
+        _ => unreachable!("validated in parse_args"),
+    }
+}

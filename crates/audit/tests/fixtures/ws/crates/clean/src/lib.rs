@@ -1,0 +1,45 @@
+//! Audit fixture: needle-shaped text the scanner must NOT flag — doc
+//! comments, string literals, test-gated items, non-iterating hash use,
+//! ordered-map iteration, and poison-safe lock helpers.
+//!
+//! Mentioning `unwrap()` or `Instant::now()` in a doc comment is fine.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Membership only — `contains`/`insert` never observe hash order.
+pub fn dedup(seen: &mut HashSet<String>, id: &str) -> bool {
+    seen.insert(id.to_string())
+}
+
+/// Ordered iteration is deterministic by construction.
+pub fn totals(by_name: &BTreeMap<String, u64>) -> u64 {
+    by_name.values().sum()
+}
+
+/// The needle text lives in a string literal, not code.
+pub fn describe() -> &'static str {
+    "call unwrap() or panic!() via thread_rng() after std::env::var"
+}
+
+/// Poison-safe locking: recovers the guard, no `unwrap()` needle.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `unreachable!` documents impossibility and is allowed.
+pub fn parity(n: u64) -> &'static str {
+    match n % 2 {
+        0 => "even",
+        _ => unreachable!("n % 2 is 0 or 1"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_gated_code_may_panic_freely() {
+        let v = vec![1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,6 @@
+//! `src/bin/**` is binary scope too: exempt from R1/R2.
+
+fn main() {
+    let scale: f64 = std::env::var("SCALE").unwrap().parse().expect("a number");
+    println!("{scale}");
+}

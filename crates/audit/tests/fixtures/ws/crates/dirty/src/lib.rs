@@ -1,0 +1,51 @@
+//! Audit fixture: one unwaived positive per R1/R2 rule, one correctly
+//! waived site, and the waiver-hygiene failure shapes (unknown rule,
+//! missing reason, stale waiver). Never compiled — only scanned.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn hash_iteration_total(scores: &HashMap<String, u64>) -> u64 {
+    let mut total = 0;
+    for v in scores.values() {
+        total += v;
+    }
+    total
+}
+
+pub fn ambient_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn configured_threads() -> Option<String> {
+    std::env::var("FIXTURE_THREADS").ok()
+}
+
+pub fn first_byte(data: &[u8]) -> u8 {
+    *data.first().unwrap()
+}
+
+pub fn checked_first(data: &[u8]) -> u8 {
+    // audit:allow(panic-path): fixture — callers always pass nonempty slices
+    *data.first().expect("nonempty")
+}
+
+pub fn misnamed_waiver(data: &[u8]) -> u8 {
+    // audit:allow(no-such-rule): the rule name here is unknown
+    *data.first().unwrap()
+}
+
+pub fn reasonless_waiver(data: &[u8]) -> u8 {
+    // audit:allow(panic-path):
+    *data.first().unwrap()
+}
+
+pub fn tidy() -> u64 {
+    // audit:allow(panic-path): nothing on the next line panics anymore
+    42
+}

@@ -1,0 +1,8 @@
+//! Binary root: argv/clock reads and aborts are legitimate here, so none
+//! of the needles below may produce findings.
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap();
+    let started = std::time::Instant::now();
+    println!("{arg} {:?}", started.elapsed());
+}

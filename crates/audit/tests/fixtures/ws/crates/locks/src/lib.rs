@@ -1,0 +1,24 @@
+//! Audit fixture: a deliberate two-lock ordering inversion
+//! (`alpha -> beta` in one method, `beta -> alpha` in the other) that
+//! must surface as a `lock-cycle` finding.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn alpha_then_beta(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        read_both(a, b)
+    }
+
+    pub fn beta_then_alpha(&self) -> u64 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        read_both(a, b)
+    }
+}

@@ -65,12 +65,14 @@ pub fn scale_from_args(args: &[String]) -> Result<HarnessScale, String> {
 /// Parse `--scale quick|paper` from `std::env::args` (default quick);
 /// prints usage to stderr and exits with status 2 on a bad value.
 pub fn parse_scale() -> HarnessScale {
+    // audit:allow(env-read): bench binaries parse their own argv here; flags choose what to benchmark, never what any solver computes
     scale_from_args(&std::env::args().collect::<Vec<_>>())
         .unwrap_or_else(|usage| usage_exit(&usage))
 }
 
 /// `true` when the flag is present in `std::env::args`.
 pub fn has_flag(flag: &str) -> bool {
+    // audit:allow(env-read): bench binaries parse their own argv here; flags choose what to benchmark, never what any solver computes
     std::env::args().any(|a| a == flag)
 }
 
@@ -101,6 +103,7 @@ pub fn tile_rows_from_args(args: &[String]) -> Result<Option<usize>, String> {
 /// Parse `--tile-rows N` from `std::env::args`; prints usage to stderr
 /// and exits with status 2 on a bad value.
 pub fn parse_tile_rows() -> Option<usize> {
+    // audit:allow(env-read): bench binaries parse their own argv here; flags choose what to benchmark, never what any solver computes
     tile_rows_from_args(&std::env::args().collect::<Vec<_>>())
         .unwrap_or_else(|usage| usage_exit(&usage))
 }
@@ -141,6 +144,7 @@ pub fn batch_sizes_from_args(args: &[String]) -> Result<Vec<usize>, String> {
 /// Parse `--batch-sizes` from `std::env::args`; prints usage to stderr
 /// and exits with status 2 on a bad value.
 pub fn parse_batch_sizes() -> Vec<usize> {
+    // audit:allow(env-read): bench binaries parse their own argv here; flags choose what to benchmark, never what any solver computes
     batch_sizes_from_args(&std::env::args().collect::<Vec<_>>())
         .unwrap_or_else(|usage| usage_exit(&usage))
 }
@@ -204,6 +208,7 @@ pub fn repeat_from_args(args: &[String]) -> Result<usize, String> {
 /// Parse `--repeat N` from `std::env::args`; prints usage to stderr and
 /// exits with status 2 on a bad value.
 pub fn parse_repeat() -> usize {
+    // audit:allow(env-read): bench binaries parse their own argv here; flags choose what to benchmark, never what any solver computes
     repeat_from_args(&std::env::args().collect::<Vec<_>>())
         .unwrap_or_else(|usage| usage_exit(&usage))
 }

@@ -133,6 +133,7 @@ impl CimAnnealer {
     /// build time, instead of deep inside a run.
     pub fn with_factor(mut self, factor: FactorChoice) -> CimAnnealer {
         if let Err(e) = factor.validate() {
+            // audit:allow(panic-path): documented `# Panics` contract — builder misconfiguration fails loudly at build time, not mid-run
             panic!("invalid annealing factor: {e}");
         }
         self.factor = factor;

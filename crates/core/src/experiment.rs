@@ -304,6 +304,7 @@ fn run_group(
             runs.extend(
                 response
                     .normalized_pairs()
+                    // audit:allow(panic-path): the request was built `with_reference` just above, so the response always carries normalized pairs
                     .expect("request carries a reference"),
             );
         }

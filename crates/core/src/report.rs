@@ -203,11 +203,13 @@ pub fn this_work_row(outcome: &ExperimentOutcome) -> SolverRow {
         .groups
         .iter()
         .max_by_key(|g| g.spins)
+        // audit:allow(panic-path): `run_experiment` always emits one group per problem size and sizes are never empty; an empty outcome is a harness bug
         .expect("nonempty outcome");
     let ours = largest
         .hardware
         .iter()
         .find(|h| h.kind == AnnealerKind::InSitu)
+        // audit:allow(panic-path): every experiment group records hardware cost rows for both annealer kinds, InSitu included, by construction
         .expect("in-situ cost present");
     // Fraction of the iteration budget actually needed to reach the
     // target, on average over successful runs.

@@ -93,6 +93,7 @@ impl SbAnnealer {
     /// [`PressureSchedule::validate`]).
     pub fn with_pressure_schedule(mut self, schedule: PressureSchedule) -> SbAnnealer {
         if let Err(e) = schedule.validate() {
+            // audit:allow(panic-path): documented `# Panics` contract — builder misconfiguration fails loudly at build time, not mid-run
             panic!("invalid pressure schedule: {e}");
         }
         self.pressure_schedule = schedule;

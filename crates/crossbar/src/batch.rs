@@ -219,6 +219,7 @@ impl BatchedTiledCrossbar {
     /// [`TiledCrossbar::program`]).
     pub fn push_instance<C: Coupling>(&mut self, coupling: &C) -> usize {
         self.try_admit_instance(coupling, usize::MAX)
+            // audit:allow(panic-path): with a usize::MAX stripe limit admission only fails on an empty coupling — the documented `# Panics` contract above
             .expect("an unbounded grid always admits")
     }
 
@@ -295,7 +296,9 @@ impl BatchedTiledCrossbar {
     /// Panics if `instance` is out of range or already retired.
     pub fn retire_instance(&mut self, instance: usize) {
         let slot = match self.slots.get_mut(instance) {
+            // audit:allow(panic-path): the guard pattern just matched Some, so take() cannot observe None
             Some(slot @ Some(_)) => slot.take().expect("matched Some"),
+            // audit:allow(panic-path): documented `# Panics` contract — retiring an out-of-range or already-retired instance is caller misuse that must abort
             _ => panic!(
                 "instance {instance} is retired or out of range for {} slots",
                 self.slots.len()
@@ -595,6 +598,7 @@ impl BatchedTiledCrossbar {
             .zip(per_instance)
             .filter(|(_, ops)| !ops.is_empty())
             .map(|(slot, ops)| {
+                // audit:allow(panic-path): the filter above keeps only slots with pending ops, and ops are only assigned to live (Some) slots
                 let slot = slot.as_mut().expect("liveness checked above");
                 (&mut slot.array, ops)
             })
@@ -649,7 +653,9 @@ impl BatchedTiledCrossbar {
     fn slot(&self, instance: usize) -> &InstanceSlot {
         match self.slots.get(instance) {
             Some(Some(slot)) => slot,
+            // audit:allow(panic-path): reads on a retired instance are a documented-panic API misuse (see `retire_instance`); aborting beats returning stale state
             Some(None) => panic!("instance {instance} is retired"),
+            // audit:allow(panic-path): same documented out-of-range misuse contract as the arm above
             None => panic!(
                 "instance {instance} out of range for {} instances",
                 self.slots.len()
@@ -661,7 +667,9 @@ impl BatchedTiledCrossbar {
         let count = self.slots.len();
         match self.slots.get_mut(instance) {
             Some(Some(slot)) => slot,
+            // audit:allow(panic-path): reads on a retired instance are a documented-panic API misuse (see `retire_instance`); aborting beats returning stale state
             Some(None) => panic!("instance {instance} is retired"),
+            // audit:allow(panic-path): same documented out-of-range misuse contract as the arm above
             None => panic!("instance {instance} out of range for {count} instances"),
         }
     }

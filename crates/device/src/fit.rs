@@ -200,13 +200,11 @@ fn sum_sq(samples: &[(f64, f64)], params: &[f64; 3]) -> f64 {
 /// Solve a 3×3 linear system with partial pivoting; `None` if singular.
 fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
     for col in 0..3 {
-        let pivot = (col..3).max_by(|&i, &j| {
-            a[i][col]
-                .abs()
-                .partial_cmp(&a[j][col].abs())
-                .expect("finite")
-        })?;
-        if a[pivot][col].abs() < 1e-300 {
+        // total_cmp keeps NaN coefficients from panicking mid-pivot; a
+        // NaN-polluted system falls through to the singular check below.
+        let pivot = (col..3).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        let magnitude = a[pivot][col].abs();
+        if !magnitude.is_finite() || magnitude < 1e-300 {
             return None;
         }
         a.swap(col, pivot);

@@ -138,6 +138,7 @@ fn random_graph(n: usize, mean_degree: f64, signed: bool, rng: &mut StdRng) -> G
         } else {
             1.0
         };
+        // audit:allow(panic-path): `pair_from_index` yields distinct in-range endpoints and ±1 weights are finite, so add_edge cannot fail
         g.add_edge(u, v, w).expect("generated edges are valid");
     }
     g
@@ -187,9 +188,11 @@ fn toroidal_graph(n: usize, signed: bool, rng: &mut StdRng) -> Graph {
             let w1 = weight();
             let w2 = weight();
             if v != right {
+                // audit:allow(panic-path): torus neighbours are in-range, the v != right guard rules out self-loops, and ±1 weights are finite
                 g.add_edge(v, right, w1).expect("torus edges valid");
             }
             if v != down {
+                // audit:allow(panic-path): same torus-construction invariant as the edge above
                 g.add_edge(v, down, w2).expect("torus edges valid");
             }
         }
@@ -230,6 +233,7 @@ fn almost_planar_graph(n: usize, rng: &mut StdRng) -> Graph {
         let (u, v) = (chunk[0], chunk[1]);
         if u != v {
             let w = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            // audit:allow(panic-path): u and v come from a permutation of 0..n (in-range, distinct by the guard above) and ±1 weights are finite
             g.add_edge(u, v, w).expect("matching edges valid");
         }
     }

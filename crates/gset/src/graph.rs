@@ -176,6 +176,7 @@ impl Graph {
 
     /// Convert to a [`MaxCut`] problem instance.
     pub fn to_max_cut(&self) -> MaxCut {
+        // audit:allow(panic-path): every edge was admitted by `add_edge`'s checks (in-range, no self-loops, finite weights), exactly the invariants MaxCut::new validates
         MaxCut::new(self.n, self.edges.clone()).expect("graph invariants imply a valid instance")
     }
 }

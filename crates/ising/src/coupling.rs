@@ -334,6 +334,7 @@ impl CsrCoupling {
                 }
             }
         }
+        // audit:allow(panic-path): every DenseCoupling mutation path asserts finite, symmetric, zero-diagonal entries, and the loop emits only in-range i < j triplets — exactly what from_triplets validates
         CsrCoupling::from_triplets(n, &triplets).expect("dense matrix is always valid")
     }
 
@@ -516,6 +517,7 @@ impl IsingModel {
             }
         }
         let couplings =
+            // audit:allow(panic-path): triplets are in-range off-diagonal pairs built from an already-validated model (finite couplings and fields), so re-validation cannot fail
             CsrCoupling::from_triplets(n + 1, &triplets).expect("valid by construction");
         let mut m = IsingModel::new(couplings);
         m.set_offset(self.offset);

@@ -205,15 +205,10 @@ pub fn impact_windows(
         }
     }
     let mut ranked: Vec<usize> = (0..n).collect();
-    // Impact descending, index ascending on ties — total and
-    // deterministic (impacts are finite).
-    ranked.sort_by(|&a, &b| {
-        delta[b]
-            .abs()
-            .partial_cmp(&delta[a].abs())
-            .expect("finite impacts")
-            .then(a.cmp(&b))
-    });
+    // Impact descending, index ascending on ties — total_cmp keeps the
+    // order total and deterministic even for degenerate (non-finite)
+    // impact sums.
+    ranked.sort_by(|&a, &b| delta[b].abs().total_cmp(&delta[a].abs()).then(a.cmp(&b)));
 
     let stride = window - overlap;
     let mut windows = Vec::new();

@@ -70,6 +70,7 @@ impl Knapsack {
         if covered < capacity {
             slack_coeffs.push(capacity - covered);
         }
+        // audit:allow(panic-path): empty `values` was rejected with IsingError a few lines above, so max() is always Some
         let penalty = 2.0 * (*values.iter().max().expect("nonempty") as f64).max(1.0);
         Ok(Knapsack {
             values,

@@ -209,6 +209,7 @@ impl SbEngine {
     /// [`PressureSchedule::validate`]).
     pub fn with_pressure(mut self, pressure: PressureSchedule) -> SbEngine {
         if let Err(e) = pressure.validate() {
+            // audit:allow(panic-path): documented `# Panics` contract — builder misconfiguration fails loudly at build time, not mid-run
             panic!("invalid pressure schedule: {e}");
         }
         self.pressure = pressure;

@@ -484,6 +484,7 @@ fn run_whole(
         if improved {
             best = Some((round_energy, report.best_spins.as_slice().to_vec()));
         }
+        // audit:allow(panic-path): `improved` is true on round 0 (best is None), so best is always Some by this line
         let best_energy = best.as_ref().expect("set on round 0").0;
 
         total_hw_energy += response.summary.total_energy;
@@ -499,6 +500,7 @@ fn run_whole(
         });
     }
 
+    // audit:allow(panic-path): CampaignSpec::validate rejects rounds == 0, so the loop body ran at least once and set `best`
     let (best_energy, best_spins) = best.expect("rounds >= 1 validated");
     Ok(CampaignOutcome {
         rounds,

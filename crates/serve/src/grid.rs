@@ -96,7 +96,9 @@ impl GridPool {
     /// Panics if `prepared` is not a batched job (the scheduler routes
     /// solver jobs elsewhere).
     pub(crate) fn admit(&mut self, job: &Arc<Job>, prepared: &PreparedJob) -> Admission {
+        // audit:allow(panic-path): documented `# Panics` contract above — the scheduler only routes batched jobs here, and batched jobs carry tiles and a coupling
         let tile_rows = prepared.tile_rows().expect("admitting a batched job");
+        // audit:allow(panic-path): same documented contract as the line above
         let coupling = prepared.batch_coupling().expect("batched jobs carry one");
         // Reject never-fitting instances before instantiating a grid
         // for their tile height (same sizing rule as
@@ -131,6 +133,7 @@ impl GridPool {
         let entry = self
             .grids
             .get_mut(&tile_rows)
+            // audit:allow(panic-path): every retire pairs with a prior admit that created this tile-height entry, and entries are never removed
             .expect("retiring from a grid that admitted");
         lock_grid(&entry.shared).retire_instance(instance);
         std::mem::take(&mut entry.waiters)

@@ -203,6 +203,7 @@ impl Job {
             priority: options.priority,
             deadline: options
                 .deadline_ms
+                // audit:allow(wall-clock): deadline arithmetic is inherently wall-clock; a deadline decides *whether* trials run, never what any trial computes
                 .map(|ms| Instant::now() + Duration::from_millis(ms)),
             tags: options.tags,
             request,
@@ -232,6 +233,7 @@ impl Job {
     /// Checked by workers before claiming each trial, so an elapsed
     /// deadline stops the ensemble at the next trial boundary.
     pub(crate) fn is_deadline_elapsed(&self) -> bool {
+        // audit:allow(wall-clock): deadline *enforcement* point; affects which trials run (like a cancel), never the bits any completed trial produces
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }

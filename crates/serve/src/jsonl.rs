@@ -54,7 +54,7 @@
 //!
 //! [`JobHandle::wait`]: crate::JobHandle::wait
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
 use serde::{Deserialize, Serialize};
@@ -445,6 +445,7 @@ pub fn run_jsonl(
 }
 
 fn write_line(output: &mut impl Write, response: &ResponseLine) -> Result<(), JsonlError> {
+    // audit:allow(panic-path): ResponseLine is plain structs/enums with string keys throughout, so serialization is infallible by construction
     let json = serde_json::to_string(response).expect("response lines serialize");
     writeln!(output, "{json}")?;
     Ok(())
@@ -511,7 +512,9 @@ pub fn terminal_line(
 /// double-settled id.
 pub fn check_responses(input: impl BufRead) -> Result<Vec<ResponseLine>, JsonlError> {
     let lines = parse_responses(input)?;
-    let mut settled: HashMap<&str, usize> = HashMap::new();
+    // Ordered map: the double-settle error below reports the first
+    // offending id deterministically, not in hash order.
+    let mut settled: BTreeMap<&str, usize> = BTreeMap::new();
     for line in &lines {
         if matches!(
             line,
@@ -575,7 +578,7 @@ pub fn check_responses_against(
         })
         .collect();
     // Expected terminal responses per id, from the request stream.
-    let mut expected: HashMap<String, usize> = HashMap::new();
+    let mut expected: BTreeMap<String, usize> = BTreeMap::new();
     let mut submitted_so_far: Vec<&str> = Vec::new();
     for request in &parsed_requests {
         match request {
@@ -608,7 +611,7 @@ pub fn check_responses_against(
         }
     }
     let lines = parse_responses(responses)?;
-    let mut got: HashMap<&str, usize> = HashMap::new();
+    let mut got: BTreeMap<&str, usize> = BTreeMap::new();
     for line in &lines {
         if line.is_terminal() {
             *got.entry(line.id()).or_default() += 1;

@@ -63,7 +63,7 @@
 //! *enforced* at trial granularity: a job whose `deadline_ms` elapses
 //! finalizes as [`JobStatus::DeadlineExceeded`] with partial results.
 
-#![warn(missing_docs)]
+// `missing_docs` (and `deny(unsafe_code)`) come from `[workspace.lints]`.
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;

@@ -45,7 +45,7 @@
 //! [`BatchedTiledCrossbar`]: fecim_crossbar::BatchedTiledCrossbar
 
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -199,7 +199,9 @@ pub(crate) struct Core {
     /// Jobs submitted and not yet finalized, for shutdown finalization.
     /// Finalize removes entries, so a long-lived scheduler does not
     /// accumulate terminal jobs (clients keep theirs via `JobHandle`).
-    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    /// Ordered map so shutdown finalizes in submission-id order — the
+    /// `finished_event` ordinals of aborted jobs are deterministic.
+    jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
     /// Durable job journal (leaf lock: appended to under job/queue
     /// locks, never the reverse).
     journal: Option<Journal>,
@@ -335,11 +337,14 @@ impl Core {
                 self.settle_stopped(&job, &mut st);
                 return;
             }
-            if st.prepared.is_none() {
-                match self.session.prepare(&job.request) {
+            match &st.prepared {
+                Some(prepared) => Arc::clone(prepared),
+                None => match self.session.prepare(&job.request) {
                     Ok(prepared) => {
                         st.reports = (0..prepared.trials()).map(|_| None).collect();
-                        st.prepared = Some(Arc::new(prepared));
+                        let prepared = Arc::new(prepared);
+                        st.prepared = Some(Arc::clone(&prepared));
+                        prepared
                     }
                     Err(e) => {
                         self.finalize(
@@ -350,9 +355,8 @@ impl Core {
                         );
                         return;
                     }
-                }
+                },
             }
-            Arc::clone(st.prepared.as_ref().expect("prepared just above"))
         };
 
         // Batched trials reserve their grid slot before claiming, so a
@@ -468,6 +472,7 @@ impl Core {
             let reports: Vec<SolveReport> = st
                 .reports
                 .iter_mut()
+                // audit:allow(panic-path): st.done == st.total implies every slot is Some; a None here is a trial-accounting bug that must abort loudly, not ship a partial response
                 .map(|slot| slot.take().expect("all trials done"))
                 .collect();
             match prepared.finish(reports, Vec::new()) {
@@ -488,6 +493,7 @@ impl Core {
 
     /// Retire a trial's grid instance and wake every parked job.
     fn retire(&self, prepared: &PreparedJob, handle: &fecim_crossbar::BatchInstance) {
+        // audit:allow(panic-path): retire is only reached with an admission handle, which exists only for batched jobs, and batched jobs always carry tile rows
         let tile_rows = prepared.tile_rows().expect("batched trials have tiles");
         let waiters = lock(&self.grids).retire(tile_rows, handle.index());
         for job in waiters {
@@ -574,6 +580,7 @@ impl Scheduler {
     /// the configured journal file cannot be opened (use
     /// [`Scheduler::try_with_config`] to handle that as an error).
     pub fn with_config(config: SchedulerConfig) -> Scheduler {
+        // audit:allow(panic-path): panicking on journal-open failure is this constructor's documented contract; try_with_config is the fallible path
         Scheduler::try_with_config(config).expect("open the configured journal")
     }
 
@@ -582,7 +589,8 @@ impl Scheduler {
     ///
     /// # Errors
     ///
-    /// The [`std::io::Error`] of opening `config.journal` for append.
+    /// The [`std::io::Error`] of opening `config.journal` for append, or
+    /// of spawning a worker thread.
     ///
     /// # Panics
     ///
@@ -611,18 +619,18 @@ impl Scheduler {
             grids: Mutex::new(GridPool::new(grid_config, config.grid_stripes)),
             next_id: AtomicU64::new(0),
             events: AtomicU64::new(0),
-            jobs: Mutex::new(HashMap::new()),
+            jobs: Mutex::new(BTreeMap::new()),
             journal,
         });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let core = Arc::clone(&core);
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let core = Arc::clone(&core);
+            workers.push(
                 std::thread::Builder::new()
                     .name(format!("fecim-serve-worker-{i}"))
-                    .spawn(move || worker_loop(core))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+                    .spawn(move || worker_loop(core))?,
+            );
+        }
         Ok(Scheduler { core, workers })
     }
 
@@ -788,7 +796,9 @@ impl Drop for Scheduler {
         }
         // Snapshot first: finalize takes the registry lock itself, and a
         // client thread may be cancelling concurrently (lock order is
-        // always job.state → registry).
+        // always job.state → registry). The registry is a BTreeMap, so
+        // aborted jobs finalize in submission-id order and their
+        // `finished_event` ordinals are deterministic.
         let open: Vec<Arc<Job>> = lock(&self.core.jobs).values().cloned().collect();
         for job in open {
             let mut st = lock(&job.state);

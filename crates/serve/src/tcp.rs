@@ -32,7 +32,7 @@
 //! responses bit-identical, they just can no longer be delivered to the
 //! original (dead) connection.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,8 +67,9 @@ struct Shared {
     /// shutdown half-closes their read sides so a reader blocked on an
     /// idle client unblocks. Each handler removes its own entry on exit
     /// — a lingering clone would hold the fd open (the peer would never
-    /// see EOF) and leak one fd per connection.
-    socks: Mutex<HashMap<u64, TcpStream>>,
+    /// see EOF) and leak one fd per connection. Ordered map so shutdown
+    /// half-closes in connection-id order, not hash order.
+    socks: Mutex<BTreeMap<u64, TcpStream>>,
     /// Every id ever submitted on ANY connection. Ids key the journal
     /// (and the `recover` subcommand's output lines), so uniqueness is
     /// server-wide, not per-connection; the same lock also serializes
@@ -148,7 +149,7 @@ impl TcpServer {
             scheduler,
             max_open_jobs: config.max_open_jobs,
             conns: Mutex::new(Vec::new()),
-            socks: Mutex::new(HashMap::new()),
+            socks: Mutex::new(BTreeMap::new()),
             submitted: Mutex::new(HashSet::new()),
         });
         let stop = Arc::new(AtomicBool::new(false));
@@ -157,8 +158,7 @@ impl TcpServer {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("fecim-serve-accept".into())
-                .spawn(move || accept_loop(listener, shared, stop))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(listener, shared, stop))?
         };
         Ok(TcpServer {
             addr: local,
@@ -241,6 +241,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>
         let conn = std::thread::Builder::new()
             .name("fecim-serve-conn".into())
             .spawn(move || handle_connection(stream, &shared_for_conn, conn_id))
+            // audit:allow(panic-path): thread spawn fails only on OS resource exhaustion; the accept loop has no error channel to the peer, and limping on with a silently dropped connection is worse than aborting
             .expect("spawn connection thread");
         lock(&shared.conns).push(conn);
     }
@@ -250,6 +251,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>
 /// which is not the server's problem — jobs keep running (and, with a
 /// journal, stay replayable).
 fn send(writer: &Arc<Mutex<TcpStream>>, line: &ResponseLine) {
+    // audit:allow(panic-path): ResponseLine is plain structs/enums with string keys throughout, so serialization is infallible by construction
     let json = serde_json::to_string(line).expect("response lines serialize");
     let mut stream = lock(writer);
     let _ = writeln!(stream, "{json}").and_then(|()| stream.flush());
@@ -346,6 +348,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
                             let mut tally = JsonlSummary::default();
                             send(&writer, &jsonl::terminal_line(id, outcome, &mut tally));
                         })
+                        // audit:allow(panic-path): thread spawn fails only on OS resource exhaustion; the job is already submitted and journaled, so limping on without a waiter would silently swallow its terminal line
                         .expect("spawn waiter thread"),
                 );
             }
@@ -398,6 +401,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
                                 };
                             send(&writer, &response);
                         })
+                        // audit:allow(panic-path): thread spawn fails only on OS resource exhaustion; the id is already burned in `submitted`, so limping on would silently swallow the campaign's response
                         .expect("spawn campaign thread"),
                 );
             }
@@ -492,6 +496,8 @@ pub fn drive(
         writeln!(output, "{line}")?;
         received += 1;
     }
-    sender.join().expect("sender thread never panics")?;
+    sender
+        .join()
+        .map_err(|_| std::io::Error::other("request sender thread panicked"))??;
     Ok(received)
 }

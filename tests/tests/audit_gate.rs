@@ -1,0 +1,82 @@
+//! The static-analysis gate, as a test: the workspace must audit clean.
+//!
+//! This is the same check CI runs via `cargo run -p fecim-audit -- check
+//! --deny`, kept here too so a plain `cargo test` catches a fresh
+//! violation (or a waiver gone stale) without a separate CI round-trip.
+
+use std::path::Path;
+
+use fecim_audit::{audit_workspace, Rule};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate lives one level under the workspace root")
+}
+
+#[test]
+fn workspace_has_no_unwaived_findings() {
+    let audit = audit_workspace(workspace_root()).expect("workspace audits");
+    let violations: Vec<String> = audit
+        .violations()
+        .map(|f| format!("[{}] {}:{}  {}", f.rule.name(), f.file, f.line, f.excerpt))
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "audit violations (fix or waive with `// audit:allow(<rule>): <reason>`):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn every_waiver_carries_a_reason() {
+    let audit = audit_workspace(workspace_root()).expect("workspace audits");
+    for f in audit.waived() {
+        let reason = f.waived.as_deref().unwrap_or("");
+        assert!(
+            !reason.trim().is_empty(),
+            "waiver without a reason at {}:{}",
+            f.file,
+            f.line
+        );
+    }
+}
+
+#[test]
+fn lock_graphs_are_cycle_free() {
+    let audit = audit_workspace(workspace_root()).expect("workspace audits");
+    for graph in &audit.graphs {
+        let cycles = graph.cycles();
+        assert!(
+            cycles.is_empty(),
+            "lock-order cycle in crate `{}`: {:?}",
+            graph.crate_name,
+            cycles
+        );
+    }
+    // The serve scheduler is the lock-heavy subsystem this rule exists
+    // for; make sure the extractor is actually seeing its locks rather
+    // than vacuously passing on an empty graph.
+    let serve = audit
+        .graphs
+        .iter()
+        .find(|g| g.crate_name == "serve")
+        .expect("serve lock graph extracted");
+    assert!(serve.nodes.len() >= 5, "serve graph lost its locks");
+    assert!(!serve.edges.is_empty(), "serve graph lost its edges");
+}
+
+#[test]
+fn no_finding_escapes_the_rule_set() {
+    // `check --deny` only gates on violations; make sure nothing in the
+    // workspace produces the unwaivable hygiene rules even as waived.
+    let audit = audit_workspace(workspace_root()).expect("workspace audits");
+    for f in &audit.findings {
+        if matches!(f.rule, Rule::BadWaiver | Rule::StaleWaiver) {
+            panic!(
+                "waiver hygiene finding at {}:{} — {}",
+                f.file, f.line, f.excerpt
+            );
+        }
+    }
+}
